@@ -1,0 +1,76 @@
+"""§3.2 ablation — local vs global checksum chaining.
+
+Times the same interleaved multi-object workload under per-object chains
+(the paper's choice) and a single global chain (the rejected design), and
+attaches the failure-isolation counts: after one corrupted checksum, how
+many objects remain verifiable.
+"""
+
+import random
+
+import pytest
+
+from repro.baseline.global_chain import GlobalChainProvenance
+from repro.core.system import TamperEvidentDatabase
+from repro.core.verifier import Verifier
+from repro.crypto.pki import CertificateAuthority, KeyStore, Participant
+
+N_OBJECTS = 12
+UPDATES_PER_OBJECT = 3
+
+
+@pytest.fixture(scope="module")
+def pki(bench_key_bits):
+    rng = random.Random(3)
+    ca = CertificateAuthority(key_bits=bench_key_bits, rng=rng)
+    signer = Participant.enroll("p1", ca, key_bits=bench_key_bits, rng=rng)
+    keystore = KeyStore.trusting(ca)
+    keystore.add_certificate(signer.certificate)
+    return ca, signer, keystore
+
+
+def test_local_chaining_append_throughput(benchmark, pki):
+    ca, signer, keystore = pki
+
+    def workload():
+        db = TamperEvidentDatabase(ca=ca)
+        session = db.session(signer)
+        for i in range(N_OBJECTS):
+            session.insert(f"obj{i}", -1)
+        for round_no in range(UPDATES_PER_OBJECT - 1):
+            for i in range(N_OBJECTS):
+                session.update(f"obj{i}", round_no)
+        return db
+
+    db = benchmark(workload)
+    # Failure isolation: corrupt one object's record; only it is lost.
+    verifier = Verifier(keystore)
+    records = list(db.provenance_of("obj0"))
+    middle = records[1]
+    records[1] = middle.with_checksum(
+        bytes([middle.checksum[0] ^ 0xFF]) + middle.checksum[1:]
+    )
+    assert not verifier.verify_records(records).ok
+    assert verifier.verify_records(db.provenance_of("obj1")).ok
+    benchmark.extra_info["poisoned_objects_after_1_corruption"] = 1
+
+
+def test_global_chaining_append_throughput(benchmark, pki):
+    ca, signer, keystore = pki
+
+    def workload():
+        chain = GlobalChainProvenance()
+        for round_no in range(UPDATES_PER_OBJECT):
+            for i in range(N_OBJECTS):
+                chain.record(signer, f"obj{i}", round_no)
+        return chain
+
+    chain = benchmark(workload)
+    chain.corrupt(len(chain) // 2)
+    survivors = chain.verifiable_objects(keystore)
+    benchmark.extra_info["poisoned_objects_after_1_corruption"] = (
+        N_OBJECTS - len(survivors)
+    )
+    benchmark.extra_info["lock_acquisitions"] = chain.lock_acquisitions
+    # Everything appended after the corruption point is poisoned.
+    assert len(survivors) < N_OBJECTS

@@ -1,0 +1,78 @@
+"""Microbenchmarks of the checksum building blocks.
+
+Decomposes the per-record cost the figures aggregate: node hashing,
+payload construction, RSA signing (the paper's scheme), and signature
+verification — plus HMAC/null signing for the cost comparison the
+signature ablation reports.
+"""
+
+import random
+
+import pytest
+
+from repro.core import checksum as payloads
+from repro.core.merkle import subtree_digest
+from repro.crypto.hashing import hash_bytes
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.signatures import (
+    HMACSignatureScheme,
+    NullSignatureScheme,
+    RSASignatureScheme,
+)
+from repro.model.values import encode_node
+from repro.workloads.synthetic import build_forest, tables_for
+
+
+@pytest.fixture(scope="module")
+def rsa_scheme(bench_key_bits):
+    keypair = generate_keypair(bench_key_bits, rng=random.Random(5))
+    return RSASignatureScheme(keypair.private)
+
+
+def test_node_hash(benchmark):
+    payload = encode_node("db/t1/r100/a3", 123456)
+    digest = benchmark(hash_bytes, payload)
+    assert len(digest) == 20
+
+
+def test_update_payload_construction(benchmark):
+    in_digest = hash_bytes(b"in")
+    out_digest = hash_bytes(b"out")
+    prev = b"\x42" * 128
+    result = benchmark(payloads.update_payload, in_digest, out_digest, prev)
+    assert result
+
+
+def test_aggregate_payload_construction(benchmark):
+    digests = [hash_bytes(bytes([i])) for i in range(10)]
+    prevs = [bytes([i]) * 128 for i in range(10)]
+    out = hash_bytes(b"out")
+    result = benchmark(payloads.aggregate_payload, digests, out, prevs)
+    assert result
+
+
+def test_rsa_sign(benchmark, rsa_scheme):
+    signature = benchmark(rsa_scheme.sign, b"checksum payload")
+    assert rsa_scheme.verify(b"checksum payload", signature)
+
+
+def test_rsa_verify(benchmark, rsa_scheme):
+    signature = rsa_scheme.sign(b"checksum payload")
+    assert benchmark(rsa_scheme.verify, b"checksum payload", signature)
+
+
+def test_hmac_sign(benchmark):
+    scheme = HMACSignatureScheme(b"key")
+    benchmark(scheme.sign, b"checksum payload")
+
+
+def test_null_sign(benchmark):
+    scheme = NullSignatureScheme()
+    benchmark(scheme.sign, b"checksum payload")
+
+
+def test_small_subtree_digest(benchmark, bench_scale):
+    forest = build_forest(tables_for((1,), scale=min(bench_scale, 0.01)))
+    row = forest.children("db/t1")[0]
+    digest = benchmark(subtree_digest, forest, row)
+    assert len(digest) == 20

@@ -1,0 +1,35 @@
+"""Fig 10 — time overhead of Setup C mixed complex operations.
+
+Expected shape: operation time falls as the delete share rises.
+"""
+
+import copy
+
+import pytest
+
+from repro.bench.experiments import _provenanced_world
+from repro.model.relational import RelationalView
+from repro.workloads.operations import SETUP_C_MIXES, apply_mixed_operations
+from repro.workloads.synthetic import tables_for
+
+
+@pytest.fixture(scope="module")
+def world(bench_scale, bench_key_bits):
+    specs = tables_for((1,), scale=bench_scale)
+    return _provenanced_world(specs, "rsa", bench_key_bits)
+
+
+@pytest.mark.parametrize(
+    "mix", SETUP_C_MIXES, ids=lambda m: f"deletes-{m.delete_fraction:.0%}"
+)
+def test_fig10_mixed_operation_time(benchmark, mix, world, bench_scale, bench_rounds):
+    def setup():
+        db, actor, view = copy.deepcopy(world)
+        session_view = RelationalView(db.session(actor), root_id=view.root_id)
+        return (session_view,), {}
+
+    def run(session_view):
+        apply_mixed_operations(session_view, "t1", mix.scaled(bench_scale))
+
+    benchmark.pedantic(run, setup=setup, rounds=bench_rounds)
+    benchmark.extra_info["delete_fraction"] = round(mix.delete_fraction, 3)

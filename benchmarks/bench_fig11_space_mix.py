@@ -1,0 +1,51 @@
+"""Fig 11 — space overhead of Setup C mixed complex operations.
+
+Expected shape: stored checksum bytes fall as the delete share rises
+(inversely proportional to the number of deletions).
+"""
+
+import copy
+
+import pytest
+
+from repro.bench.experiments import _provenanced_world
+from repro.model.relational import RelationalView
+from repro.workloads.operations import SETUP_C_MIXES, apply_mixed_operations
+from repro.workloads.synthetic import tables_for
+
+
+@pytest.fixture(scope="module")
+def world(bench_scale, bench_key_bits):
+    specs = tables_for((1,), scale=bench_scale)
+    return _provenanced_world(specs, "rsa", bench_key_bits)
+
+
+#: Filled per-mix so the monotonicity assertion can run on the last mix.
+_SPACE_BY_FRACTION = {}
+
+
+@pytest.mark.parametrize(
+    "mix", SETUP_C_MIXES, ids=lambda m: f"deletes-{m.delete_fraction:.0%}"
+)
+def test_fig11_mixed_operation_space(benchmark, mix, world, bench_scale):
+    def setup():
+        db, actor, view = copy.deepcopy(world)
+        session_view = RelationalView(db.session(actor), root_id=view.root_id)
+        return (db, session_view), {}
+
+    space = {}
+
+    def run(db, session_view):
+        before = db.provenance_store.space_bytes()
+        apply_mixed_operations(session_view, "t1", mix.scaled(bench_scale))
+        space["checksum_bytes"] = db.provenance_store.space_bytes() - before
+
+    benchmark.pedantic(run, setup=setup, rounds=1)
+    benchmark.extra_info.update(space)
+    _SPACE_BY_FRACTION[mix.delete_fraction] = space["checksum_bytes"]
+
+    if len(_SPACE_BY_FRACTION) == len(SETUP_C_MIXES):
+        ordered = [v for _, v in sorted(_SPACE_BY_FRACTION.items())]
+        assert ordered == sorted(ordered, reverse=True), (
+            "space overhead should fall as the delete share rises"
+        )

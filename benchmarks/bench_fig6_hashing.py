@@ -1,0 +1,24 @@
+"""Fig 6 — average hashing time per database.
+
+Benchmarks the full compound hash of each Table 1(b) database
+combination; the paper's claim is linear growth in the node count.
+"""
+
+import pytest
+
+from repro.core.merkle import tree_digests
+from repro.workloads.synthetic import PAPER_COMBINATIONS, build_forest, tables_for
+
+
+@pytest.mark.parametrize(
+    "combination", PAPER_COMBINATIONS, ids=lambda c: "tables-" + "-".join(map(str, c))
+)
+def test_fig6_database_hashing(benchmark, combination, bench_scale):
+    specs = tables_for(combination, scale=bench_scale)
+    forest = build_forest(specs)
+    digests = benchmark(tree_digests, forest, "db")
+    assert len(digests) == len(forest)
+    benchmark.extra_info["nodes"] = len(forest)
+    benchmark.extra_info["us_per_node"] = round(
+        benchmark.stats["mean"] / len(forest) * 1e6, 3
+    )

@@ -1,0 +1,52 @@
+"""Fig 7 — hashing the output tree: Basic vs Economical.
+
+Benchmarks exactly the output-tree hashing step (the hash context's
+``commit``) after a Setup A update sweep.  Expected shape: Basic is flat
+in the number of updated cells; Economical grows with it and sits far
+below Basic for small update sets.
+"""
+
+import pytest
+
+from repro.backend.engine import DatabaseEngine
+from repro.core.merkle import BasicHashing, EconomicalHashing
+from repro.model.relational import RelationalView
+from repro.workloads.operations import apply_update_sweep
+from repro.workloads.synthetic import build_forest, tables_for
+
+#: Fractions of the table's rows updated (one cell per row), spanning the
+#: figure's x-axis from a single cell to a tenth of the table.
+SWEEP_FRACTIONS = (0.0, 0.01, 0.05, 0.1)
+
+
+def _prepare(strategy_name, fraction, scale):
+    specs = tables_for((1,), scale=scale)
+    forest = build_forest(specs)
+    engine = DatabaseEngine(forest)
+    captured = []
+    engine.add_listener(captured.append)
+    view = RelationalView(engine)
+    strategy = (
+        BasicHashing() if strategy_name == "basic" else EconomicalHashing()
+    )
+    ctx = strategy.begin(forest)
+    ctx.ensure_tree("db")
+    n_updates = max(1, round(specs[0].rows * fraction))
+    apply_update_sweep(view, "t1", n_updates, n_updates)
+    return ctx, captured[-1].events, strategy, n_updates
+
+
+@pytest.mark.parametrize("strategy_name", ["basic", "economical"])
+@pytest.mark.parametrize("fraction", SWEEP_FRACTIONS, ids=lambda f: f"updates-{f:g}")
+def test_fig7_output_tree_hashing(
+    benchmark, strategy_name, fraction, bench_scale, bench_rounds
+):
+    def setup():
+        ctx, events, strategy, n_updates = _prepare(strategy_name, fraction, bench_scale)
+        benchmark.extra_info["updates"] = n_updates
+        return (ctx, events), {}
+
+    def commit(ctx, events):
+        ctx.commit(events)
+
+    benchmark.pedantic(commit, setup=setup, rounds=bench_rounds)

@@ -1,0 +1,54 @@
+"""Fig 8 — time overhead of Setup B complex operations.
+
+Full pipeline per operation: compound hashing, checksum signing, and
+provenance-row insertion.  Expected shape: all-deletes cheapest;
+all-inserts ~ all-updates.
+"""
+
+import copy
+
+import pytest
+
+from repro.bench.experiments import _provenanced_world
+from repro.model.relational import RelationalView
+from repro.workloads.operations import (
+    SETUP_B_OPERATIONS,
+    apply_row_deletes,
+    apply_row_inserts,
+    apply_update_sweep,
+)
+from repro.workloads.synthetic import tables_for
+
+
+@pytest.fixture(scope="module")
+def world(bench_scale, bench_key_bits):
+    specs = tables_for((1,), scale=bench_scale)
+    return _provenanced_world(specs, "rsa", bench_key_bits), specs
+
+
+@pytest.mark.parametrize(
+    "operation", SETUP_B_OPERATIONS, ids=lambda op: op[0]
+)
+def test_fig8_complex_operation_time(benchmark, operation, world, bench_scale, bench_rounds):
+    baseline, specs = world
+    key, deletes, inserts, updates, update_rows = operation
+
+    def s(count):
+        return max(1, round(count * bench_scale))
+
+    def setup():
+        db, actor, view = copy.deepcopy(baseline)
+        session_view = RelationalView(db.session(actor), root_id=view.root_id)
+        return (db, session_view), {}
+
+    def run(db, session_view):
+        if deletes:
+            apply_row_deletes(session_view, "t1", s(deletes))
+        elif inserts:
+            apply_row_inserts(session_view, "t1", s(inserts))
+        else:
+            n_rows = min(s(update_rows), specs[0].rows)
+            apply_update_sweep(session_view, "t1", s(updates), n_rows)
+        return len(db.provenance_store)
+
+    benchmark.pedantic(run, setup=setup, rounds=bench_rounds)

@@ -1,0 +1,65 @@
+"""Fig 9 — space overhead of Setup B complex operations.
+
+Space is a one-shot measurement (record count x row size), attached to
+each benchmark as ``extra_info``; the timed body is the workload itself so
+the figure's rows appear in the benchmark table alongside Fig 8's.
+Expected shape: deletes store only inherited ancestor checksums (near
+zero); inserts and updates store one checksum per touched object plus
+ancestors.
+"""
+
+import copy
+
+import pytest
+
+from repro.bench.experiments import _provenanced_world
+from repro.model.relational import RelationalView
+from repro.workloads.operations import (
+    SETUP_B_OPERATIONS,
+    apply_row_deletes,
+    apply_row_inserts,
+    apply_update_sweep,
+)
+from repro.workloads.synthetic import tables_for
+
+
+@pytest.fixture(scope="module")
+def world(bench_scale, bench_key_bits):
+    specs = tables_for((1,), scale=bench_scale)
+    return _provenanced_world(specs, "rsa", bench_key_bits), specs
+
+
+@pytest.mark.parametrize("operation", SETUP_B_OPERATIONS, ids=lambda op: op[0])
+def test_fig9_complex_operation_space(benchmark, operation, world, bench_scale):
+    baseline, specs = world
+    key, deletes, inserts, updates, update_rows = operation
+
+    def s(count):
+        return max(1, round(count * bench_scale))
+
+    def setup():
+        db, actor, view = copy.deepcopy(baseline)
+        session_view = RelationalView(db.session(actor), root_id=view.root_id)
+        return (db, session_view), {}
+
+    space = {}
+
+    def run(db, session_view):
+        records_before = len(db.provenance_store)
+        bytes_before = db.provenance_store.space_bytes()
+        if deletes:
+            apply_row_deletes(session_view, "t1", s(deletes))
+        elif inserts:
+            apply_row_inserts(session_view, "t1", s(inserts))
+        else:
+            n_rows = min(s(update_rows), specs[0].rows)
+            apply_update_sweep(session_view, "t1", s(updates), n_rows)
+        space["records"] = len(db.provenance_store) - records_before
+        space["checksum_bytes"] = db.provenance_store.space_bytes() - bytes_before
+
+    benchmark.pedantic(run, setup=setup, rounds=1)
+    benchmark.extra_info.update(space)
+    assert space["records"] >= 1
+    if deletes:
+        # All-deletes leaves only ancestor (table + root) records.
+        assert space["records"] <= 2

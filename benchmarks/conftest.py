@@ -1,0 +1,37 @@
+"""Shared benchmark configuration.
+
+Workload sizes default to a small fraction of the paper's (the pure-Python
+substrate is slower per node than the authors' Java/MySQL stack); set the
+environment variables below to approach full scale:
+
+- ``REPRO_BENCH_SCALE``   — workload scale factor (default 0.02).
+- ``REPRO_BENCH_ROUNDS``  — timing rounds per benchmark (default 2).
+- ``REPRO_BENCH_KEYBITS`` — RSA modulus bits (default 512; paper used 1024).
+"""
+
+import os
+
+import pytest
+
+
+def _env_float(name: str, default: float) -> float:
+    return float(os.environ.get(name, default))
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return _env_float("REPRO_BENCH_SCALE", 0.02)
+
+
+@pytest.fixture(scope="session")
+def bench_rounds() -> int:
+    return _env_int("REPRO_BENCH_ROUNDS", 2)
+
+
+@pytest.fixture(scope="session")
+def bench_key_bits() -> int:
+    return _env_int("REPRO_BENCH_KEYBITS", 512)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation.
+
+Usage::
+
+    python benchmarks/run_all.py [--scale 0.1] [--runs 3] [--key-bits 1024]
+                                 [--stream-rows 100000] [--quick]
+
+Prints the paper-style tables recorded in EXPERIMENTS.md.  ``--quick``
+shrinks everything for a fast sanity pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import (
+    run_ablation_chaining,
+    run_ablation_grouping,
+    run_ablation_signature,
+    run_fig6,
+    run_fig7,
+    run_fig8_fig9,
+    run_fig10_fig11,
+    run_streaming,
+    run_table1b,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="workload scale factor vs the paper (default 0.1)")
+    parser.add_argument("--runs", type=int, default=3,
+                        help="timing repetitions (paper used 100)")
+    parser.add_argument("--key-bits", type=int, default=1024,
+                        help="RSA modulus bits (paper: 1024)")
+    parser.add_argument("--stream-rows", type=int, default=100_000,
+                        help="rows for the streaming scale test")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny everything, for smoke-testing")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.scale, args.runs, args.key_bits = 0.02, 2, 512
+        args.stream_rows = 5_000
+
+    started = time.perf_counter()
+    print(run_table1b().render(), "\n")
+    print(run_fig6(scale=args.scale, runs=args.runs).render(), "\n")
+    print(run_fig7(scale=args.scale, runs=args.runs).render(), "\n")
+
+    fig8, fig9 = run_fig8_fig9(
+        scale=args.scale, runs=args.runs, key_bits=args.key_bits
+    )
+    print(fig8.render(), "\n")
+    print(fig9.render(), "\n")
+
+    fig10, fig11 = run_fig10_fig11(
+        scale=args.scale, runs=args.runs, key_bits=args.key_bits
+    )
+    print(fig10.render(), "\n")
+    print(fig11.render(), "\n")
+
+    print(run_streaming(rows=args.stream_rows).render(), "\n")
+    print(run_ablation_chaining().render(), "\n")
+    print(run_ablation_signature(runs=args.runs, key_bits=args.key_bits).render(), "\n")
+    print(run_ablation_grouping().render(), "\n")
+
+    print(f"total wall time: {time.perf_counter() - started:.1f} s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""The paper's Example 1: the TrustUsRx clinical trial.
+
+Four independent parties contribute patient data at cell granularity;
+the pharmaceutical company aggregates everything into an FDA submission.
+The FDA (the data recipient) verifies the provenance, reads the audit
+trail — including PCP Pamela's amendment of one endocrine value — and
+catches the company when it tries to rewrite that amendment.
+
+Run:  python examples/clinical_trial.py
+"""
+
+import dataclasses
+
+from repro import RelationalView, TamperEvidentDatabase
+from repro.audit.inspector import audit_trail, render_report
+from repro.crypto.hashing import hash_bytes
+from repro.model.values import encode_node
+
+db = TamperEvidentDatabase(key_bits=512)
+paul = db.enroll("pcp-paul")
+clinic = db.enroll("perfect-saints-clinic")
+pamela = db.enroll("pcp-pamela")
+labs = db.enroll("goodstewards-labs")
+trustusrx = db.enroll("trustusrx")
+
+# PCP Paul collects ages and weights.
+paul_view = RelationalView(db.session(paul), root_id="paul-db")
+paul_view.create_table("patients", ["patient", "age", "weight"])
+for patient, age, weight in ((4553, 52, 81), (4554, 47, 70), (4555, 61, 95)):
+    paul_view.insert_row("patients", {"patient": patient, "age": age, "weight": weight})
+
+# The Perfect Saints Clinic produces endocrine measurements...
+clinic_view = RelationalView(db.session(clinic), root_id="clinic-db")
+clinic_view.create_table("endocrine", ["patient", "level"])
+for patient, level in ((4553, 1.2), (4554, 0.9), (4555, 3.1)):
+    clinic_view.insert_row("endocrine", {"patient": patient, "level": level})
+
+# ...and PCP Pamela amends the value for patient #4555.
+pamela_view = RelationalView(db.session(pamela), root_id="clinic-db")
+pamela_view.update_cell("endocrine", 2, "level", 1.4)
+
+# GoodStewards Labs determines white blood cell counts.
+labs_view = RelationalView(db.session(labs), root_id="labs-db")
+labs_view.create_table("white_counts", ["patient", "count"])
+for patient, count in ((4553, 6100), (4554, 7200), (4555, 5800)):
+    labs_view.insert_row("white_counts", {"patient": patient, "count": count})
+
+# TrustUsRx aggregates all three databases into the submission.
+db.session(trustusrx).aggregate(["paul-db", "clinic-db", "labs-db"], "fda-submission")
+
+# --- the FDA's review ------------------------------------------------------
+
+print(audit_trail(db.dag(), "fda-submission", db.verify("fda-submission")))
+
+# Fine-grained drill-down: who touched patient #4555's endocrine value?
+cell = "clinic-db/endocrine/r2/level"
+print("\ncell-level history of patient #4555's endocrine value:")
+for record in db.provenance_of(cell):
+    print("  " + record.describe())
+
+# --- fraud attempt ----------------------------------------------------------
+# TrustUsRx ships the amended cell but rewrites history to hide the
+# amendment: record output forged back to 3.1, digest recomputed honestly.
+
+shipment = db.ship(cell)
+forged_records = []
+for record in shipment.records:
+    if record.participant_id == "pcp-pamela":
+        fake_digest = hash_bytes(encode_node(cell, 3.1))
+        forged_output = dataclasses.replace(
+            record.output, digest=fake_digest, value=3.1
+        )
+        record = dataclasses.replace(record, output=forged_output)
+    forged_records.append(record)
+forged = dataclasses.replace(shipment, records=tuple(forged_records))
+
+print("\nTrustUsRx rewrites Pamela's amendment and re-ships the cell...")
+print(render_report(forged.verify_with_ca(db.ca.public_key)))
+assert not forged.verify_with_ca(db.ca.public_key).ok
+print("\nThe FDA catches the forgery: Pamela's signature cannot be regenerated.")

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Parallel chain construction — the §3.2 argument, live.
+
+The paper chooses per-object (local) checksum chaining over a single
+global chain because "participants can construct provenance chains (and
+checksums) for the two objects in parallel".  This example ingests from
+four threads at once:
+
+- each thread owns one sensor object → no contention, chains grow
+  concurrently;
+- all threads also hammer one *shared* object → the per-tree lock
+  serialises exactly that object and nothing else.
+
+Afterwards every chain verifies, and the interleaved shared chain shows
+all four participants' signatures in one consistent sequence.
+
+Run:  python examples/concurrent_ingest.py
+"""
+
+import threading
+import time
+
+from repro import TamperEvidentDatabase
+from repro.core.concurrent import concurrent_sessions
+
+THREADS = 4
+UPDATES = 25
+
+db = TamperEvidentDatabase(key_bits=512)
+participants = [db.enroll(f"ingester-{i}") for i in range(THREADS)]
+sessions = concurrent_sessions(db, participants)
+
+sessions[0].insert("shared-counter", 0)
+
+def ingest(index):
+    session = sessions[index]
+    session.insert(f"sensor-{index}", 0.0)
+    for i in range(UPDATES):
+        session.update(f"sensor-{index}", float(i))       # uncontended
+        session.update("shared-counter", index * 1000 + i)  # contended
+
+start = time.perf_counter()
+threads = [threading.Thread(target=ingest, args=(i,)) for i in range(THREADS)]
+for t in threads:
+    t.start()
+for t in threads:
+    t.join()
+elapsed = time.perf_counter() - start
+
+total_records = len(db.provenance_store)
+print(f"{THREADS} threads x {UPDATES} updates in {elapsed:.2f} s "
+      f"({total_records} signed records)")
+
+for i in range(THREADS):
+    report = db.verify(f"sensor-{i}")
+    assert report.ok, report.summary()
+print(f"all {THREADS} private chains verify ✓")
+
+shared = db.provenance_of("shared-counter")
+assert [r.seq_id for r in shared] == list(range(len(shared)))
+contributors = {r.participant_id for r in shared}
+assert len(contributors) == THREADS
+assert db.verify("shared-counter").ok
+print(f"shared chain: {len(shared)} records, strictly sequential seq ids, "
+      f"{len(contributors)} participants interleaved, verifies ✓")

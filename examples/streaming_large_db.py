@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""§5.2's scale experiment: hash a database larger than memory.
+
+Streams a synthetic version of the paper's 'Title' table (Document ID,
+Title) through the row-at-a-time hasher — O(row) memory at any size —
+and verifies the streamed digest equals the in-memory compound hash on a
+small prefix.  The paper's run: 18,962,041 rows / 56,886,125 nodes in
+1226.7 s (0.02156 ms per node, Java on 2009 hardware).
+
+Run:  python examples/streaming_large_db.py [rows]
+"""
+
+import sys
+import time
+
+from repro import StreamingDatabaseHasher, subtree_digest
+from repro.model.tree import Forest
+from repro.workloads.synthetic import title_table_rows
+
+rows = int(sys.argv[1]) if len(sys.argv) > 1 else 200_000
+
+print(f"streaming {rows:,} rows of the Title table (3 nodes per row)...")
+hasher = StreamingDatabaseHasher()
+start = time.perf_counter()
+digest = hasher.hash_database(
+    "bigdb", None, [("bigdb/title", "doc_id,title", title_table_rows(rows))]
+)
+elapsed = time.perf_counter() - start
+
+print(f"  nodes hashed : {hasher.nodes_hashed:,}")
+print(f"  total time   : {elapsed:.2f} s")
+print(f"  per node     : {elapsed / hasher.nodes_hashed * 1e3:.5f} ms  "
+      f"(paper: 0.02156 ms on 2009 hardware)")
+print(f"  digest       : {digest.hex()}")
+
+# Cross-check: streamed digest == materialised compound hash (small prefix).
+check_rows = 1_000
+forest = Forest()
+forest.insert("bigdb", None)
+forest.insert("bigdb/title", "doc_id,title", "bigdb")
+for row_id, row_value, cells in title_table_rows(check_rows):
+    forest.insert(row_id, row_value, "bigdb/title")
+    for cell_id, value in cells:
+        forest.insert(cell_id, value, row_id)
+
+streamed = StreamingDatabaseHasher().hash_database(
+    "bigdb", None, [("bigdb/title", "doc_id,title", title_table_rows(check_rows))]
+)
+materialised = subtree_digest(forest, "bigdb")
+assert streamed == materialised
+print(f"\ncross-check on {check_rows} rows: streamed digest == in-memory digest ✓")

@@ -1,0 +1,64 @@
+"""Tamper-evident database provenance.
+
+A reproduction of *"Do You Know Where Your Data's Been? — Tamper-Evident
+Database Provenance"* (Zhang, Chapman, LeFevre; SDM@VLDB 2009): provenance
+records protected by signed, chained checksums, supporting non-linear
+(DAG) provenance from aggregation and fine-grained provenance over
+compound objects (tables / rows / cells) via recursive Merkle-style
+hashing.
+
+Quickstart::
+
+    from repro import TamperEvidentDatabase
+
+    db = TamperEvidentDatabase()
+    alice = db.enroll("alice")
+    s = db.session(alice)
+    s.insert("report", "draft")
+    s.update("report", "final")
+    shipment = db.ship("report")
+    report = shipment.verify_with_ca(db.ca.public_key)
+    assert report.ok
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduced evaluation.
+"""
+
+from repro.core.merkle import (
+    BasicHashing,
+    EconomicalHashing,
+    StreamingDatabaseHasher,
+    subtree_digest,
+)
+from repro.core.shipment import Shipment
+from repro.core.system import ParticipantSession, TamperEvidentDatabase
+from repro.core.verifier import VerificationReport, Verifier
+from repro.crypto.pki import CertificateAuthority, KeyStore, Participant
+from repro.model.relational import RelationalView
+from repro.provenance.dag import ProvenanceDAG
+from repro.provenance.records import ObjectState, Operation, ProvenanceRecord
+from repro.provenance.snapshot import SubtreeSnapshot
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TamperEvidentDatabase",
+    "ParticipantSession",
+    "Participant",
+    "CertificateAuthority",
+    "KeyStore",
+    "Verifier",
+    "VerificationReport",
+    "Shipment",
+    "RelationalView",
+    "ProvenanceDAG",
+    "ProvenanceRecord",
+    "ObjectState",
+    "Operation",
+    "SubtreeSnapshot",
+    "BasicHashing",
+    "EconomicalHashing",
+    "StreamingDatabaseHasher",
+    "subtree_digest",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Attack simulations for the §2.2 threat model.
+
+Each attack takes a legitimate :class:`~repro.core.shipment.Shipment` and
+returns a tampered copy, exactly as an attacker with full control over the
+provenance channel could produce.  The test suite and the security
+benchmark assert that the verifier detects every attack the paper's
+requirements R1–R7 cover (R8, non-repudiation, is exercised as the
+inability to *deny* a validly signed record).
+
+- :mod:`repro.attacks.tampering` — single-attacker record/data attacks.
+- :mod:`repro.attacks.collusion` — multi-attacker sandwich attacks
+  (R6/R7), including the documented tail-rewrite boundary case.
+- :mod:`repro.attacks.scenarios` — a registry mapping requirement codes
+  to runnable scenarios, used by tests and ``examples/tamper_audit.py``.
+"""
+
+from repro.attacks.scenarios import AttackScenario, all_scenarios, scenarios_for
+from repro.attacks.tampering import (
+    forge_attribution,
+    insert_forged_record,
+    modify_record_output,
+    reassign_provenance,
+    remove_record,
+    tamper_data,
+)
+
+__all__ = [
+    "AttackScenario",
+    "all_scenarios",
+    "scenarios_for",
+    "modify_record_output",
+    "remove_record",
+    "insert_forged_record",
+    "tamper_data",
+    "reassign_provenance",
+    "forge_attribution",
+]

@@ -1,0 +1,157 @@
+"""Collusion attacks (§2.2 R6/R7).
+
+Two colluding participants bracket a victim's records and try to rewrite
+the bracketed history.  Because each checksum signs the previous
+checksum(s), a rewrite forces the colluders to re-sign their *own* later
+records — and any non-colluding record downstream of the rewrite still
+chains to the original checksums, which is what the verifier catches.
+
+``tail_rewrite`` demonstrates the known boundary of the guarantee (also
+present in Hasan et al.'s scheme): when the colluders own the *entire
+tail* of a chain, they can re-sign history back to their own earlier
+record and no cryptographic evidence remains.  The test suite pins this
+behaviour down as a documented limitation rather than hiding it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from repro.core import checksum as payloads
+from repro.core.shipment import Shipment
+from repro.crypto.pki import Participant
+from repro.exceptions import ProvenanceError
+from repro.provenance.records import Operation, ProvenanceRecord
+
+__all__ = ["remove_between", "insert_between", "tail_rewrite"]
+
+
+def _chain(shipment: Shipment, object_id: str) -> List[ProvenanceRecord]:
+    chain = sorted(
+        (r for r in shipment.records if r.object_id == object_id),
+        key=lambda r: r.seq_id,
+    )
+    if not chain:
+        raise ProvenanceError(f"no records for {object_id!r} in shipment")
+    return chain
+
+
+def _resign(
+    record: ProvenanceRecord,
+    colluder: Participant,
+    new_seq: int,
+    new_inputs,
+    prev_checksums: Tuple[bytes, ...],
+) -> ProvenanceRecord:
+    """A colluder rewrites and re-signs their own record."""
+    forged = dataclasses.replace(
+        record,
+        seq_id=new_seq,
+        inputs=new_inputs,
+        output=dataclasses.replace(record.output),
+        participant_id=colluder.participant_id,
+        checksum=b"",
+    )
+    return forged.with_checksum(
+        colluder.sign(payloads.record_payload(forged, prev_checksums))
+    )
+
+
+def remove_between(
+    shipment: Shipment,
+    object_id: str,
+    victim_seq: int,
+    second_colluder: Participant,
+) -> Shipment:
+    """R7: colluders excise the victim's record between their own.
+
+    The record at ``victim_seq`` is removed and the *next* record —
+    assumed to belong to ``second_colluder`` — is rewritten to chain
+    directly to ``victim_seq - 1``: seq renumbered, input state replaced
+    by the predecessor's output, checksum re-signed.  Later records keep
+    their original seq ids and checksums (the colluders cannot re-sign
+    non-colluders' records), which is exactly where detection bites.
+    """
+    chain = _chain(shipment, object_id)
+    by_seq = {r.seq_id: r for r in chain}
+    if victim_seq not in by_seq or victim_seq - 1 not in by_seq or victim_seq + 1 not in by_seq:
+        raise ProvenanceError(
+            f"need records at {victim_seq - 1}..{victim_seq + 1} to sandwich"
+        )
+    predecessor = by_seq[victim_seq - 1]
+    successor = by_seq[victim_seq + 1]
+    if successor.operation is Operation.AGGREGATE:
+        raise ProvenanceError("sandwiching across an aggregation is not modelled")
+
+    rewritten = _resign(
+        successor,
+        second_colluder,
+        new_seq=victim_seq,
+        new_inputs=(predecessor.output,),
+        prev_checksums=(predecessor.checksum,),
+    )
+    records = tuple(
+        rewritten
+        if r.key == successor.key
+        else r
+        for r in shipment.records
+        if r.key != (object_id, victim_seq)
+    )
+    return dataclasses.replace(shipment, records=records)
+
+
+def insert_between(
+    shipment: Shipment,
+    object_id: str,
+    after_seq: int,
+    first_colluder: Participant,
+    scapegoat_id: str,
+    fake_record_value,
+) -> Shipment:
+    """R6: colluders fabricate a record *attributed to a non-colluder*.
+
+    A record claiming ``scapegoat_id`` performed an operation is spliced
+    in after ``after_seq``.  The colluders cannot produce the scapegoat's
+    signature, so they sign with ``first_colluder``'s key and label it
+    with the scapegoat's id — the recipient's keystore exposes the
+    mismatch.
+    """
+    from repro.attacks.tampering import insert_forged_record
+
+    forged = insert_forged_record(
+        shipment, first_colluder, object_id, after_seq + 1, fake_record_value
+    )
+    # Re-attribute the freshly spliced record to the scapegoat.
+    records = []
+    for record in forged.records:
+        if record.key == (object_id, after_seq + 1) and (
+            record.participant_id == first_colluder.participant_id
+        ):
+            record = dataclasses.replace(record, participant_id=scapegoat_id)
+        records.append(record)
+    return dataclasses.replace(forged, records=tuple(records))
+
+
+def tail_rewrite(
+    shipment: Shipment,
+    object_id: str,
+    victim_seq: int,
+    colluder: Participant,
+) -> Shipment:
+    """The documented boundary case: colluders own the whole chain tail.
+
+    Like :func:`remove_between`, but the colluder's rewritten record is
+    the *last* record of the chain and the shipped data is replaced with
+    the state that record attests.  No non-colluding checksum chains past
+    the rewrite, so the forged history is internally consistent — the
+    scheme (like Hasan et al.'s) cannot detect a truncation performed by
+    whoever controls the end of the chain.  See
+    ``tests/attacks/test_collusion.py`` for the pinned behaviour.
+    """
+    chain = _chain(shipment, object_id)
+    if chain[-1].seq_id != victim_seq + 1:
+        raise ProvenanceError(
+            "tail_rewrite requires the colluder's record to be the chain tail"
+        )
+    return remove_between(shipment, object_id, victim_seq, colluder)

@@ -1,0 +1,24 @@
+"""Audit reporting: human-readable renderings for recipients and auditors.
+
+- :mod:`repro.audit.inspector` — pretty-print chains, provenance objects,
+  verification reports, and full audit trails.
+- :mod:`repro.audit.dot` — Graphviz DOT export of provenance DAGs
+  (Fig 2-style drawings).
+- :mod:`repro.audit.lint` — key-free structural checking of provenance
+  stores (administrator's corruption sweep).
+"""
+
+from repro.audit.dot import to_dot
+from repro.audit.inspector import ChainInspector, audit_trail, render_report
+from repro.audit.lint import LintIssue, LintReport, lint_records, lint_store
+
+__all__ = [
+    "ChainInspector",
+    "audit_trail",
+    "render_report",
+    "to_dot",
+    "LintIssue",
+    "LintReport",
+    "lint_records",
+    "lint_store",
+]

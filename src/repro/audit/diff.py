@@ -1,0 +1,118 @@
+"""Snapshot diffing: what changed between two deliveries?
+
+A repeat data recipient holds yesterday's verified snapshot and today's.
+:func:`diff_snapshots` reports the structural and value differences —
+the complement of the provenance records, which say *who* and *why*
+(:func:`explain_delivery` lines both up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.model.values import Value
+from repro.provenance.records import ProvenanceRecord
+from repro.provenance.snapshot import SubtreeSnapshot
+
+__all__ = ["SnapshotDiff", "DiffEntry", "diff_snapshots", "explain_delivery"]
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One changed node between two snapshots."""
+
+    object_id: str
+    kind: str  # "added" | "removed" | "changed" | "moved"
+    old_value: Value = None
+    new_value: Value = None
+
+    def __str__(self) -> str:
+        if self.kind == "added":
+            return f"+ {self.object_id} = {self.new_value!r}"
+        if self.kind == "removed":
+            return f"- {self.object_id} (was {self.old_value!r})"
+        if self.kind == "moved":
+            return f"~ {self.object_id} re-parented"
+        return f"~ {self.object_id}: {self.old_value!r} -> {self.new_value!r}"
+
+
+@dataclass(frozen=True)
+class SnapshotDiff:
+    """All differences between two snapshots of the same object."""
+
+    root_id: str
+    entries: Tuple[DiffEntry, ...]
+
+    @property
+    def unchanged(self) -> bool:
+        return not self.entries
+
+    def by_kind(self, kind: str) -> Tuple[DiffEntry, ...]:
+        """Entries of one kind (``added``/``removed``/``changed``/``moved``)."""
+        return tuple(e for e in self.entries if e.kind == kind)
+
+    def __str__(self) -> str:
+        if self.unchanged:
+            return f"{self.root_id}: unchanged"
+        return f"{self.root_id}: " + "; ".join(str(e) for e in self.entries)
+
+
+def _index(snapshot: SubtreeSnapshot) -> Dict[str, Tuple[Value, Optional[str]]]:
+    return {
+        node.object_id: (node.value, node.parent)
+        for node in snapshot.nodes
+    }
+
+
+def diff_snapshots(old: SubtreeSnapshot, new: SubtreeSnapshot) -> SnapshotDiff:
+    """Differences from ``old`` to ``new`` (same root expected).
+
+    Entries are ordered: removals, then additions, then value changes and
+    re-parentings, each in id order.
+    """
+    old_nodes = _index(old)
+    new_nodes = _index(new)
+    entries: List[DiffEntry] = []
+
+    for object_id in sorted(set(old_nodes) - set(new_nodes)):
+        entries.append(
+            DiffEntry(object_id, "removed", old_value=old_nodes[object_id][0])
+        )
+    for object_id in sorted(set(new_nodes) - set(old_nodes)):
+        entries.append(
+            DiffEntry(object_id, "added", new_value=new_nodes[object_id][0])
+        )
+    for object_id in sorted(set(old_nodes) & set(new_nodes)):
+        old_value, old_parent = old_nodes[object_id]
+        new_value, new_parent = new_nodes[object_id]
+        if old_value != new_value:
+            entries.append(
+                DiffEntry(object_id, "changed", old_value=old_value, new_value=new_value)
+            )
+        if old_parent != new_parent and object_id != new.root_id:
+            entries.append(DiffEntry(object_id, "moved"))
+    return SnapshotDiff(root_id=new.root_id, entries=tuple(entries))
+
+
+def explain_delivery(
+    old: SubtreeSnapshot,
+    new: SubtreeSnapshot,
+    new_records: Iterable[ProvenanceRecord],
+) -> str:
+    """Human-readable "what changed and who did it" between deliveries.
+
+    Pairs the structural diff with the provenance records accompanying
+    the new delivery (typically the records past the recipient's
+    checkpoint).
+    """
+    diff = diff_snapshots(old, new)
+    lines: List[str] = [str(diff)]
+    records = sorted(new_records, key=lambda r: (r.object_id, r.seq_id))
+    if records:
+        lines.append("documented by:")
+        for record in records:
+            lines.append("  " + record.describe())
+    elif not diff.unchanged:
+        lines.append("WARNING: changes arrived with no provenance records")
+    return "\n".join(lines)

@@ -1,0 +1,185 @@
+"""Structural linting of provenance stores.
+
+A store administrator (who holds no participants' keys and may not even
+trust the CA) can still check *structural* invariants cheaply — the
+conditions every honest store satisfies regardless of signatures:
+
+- chains start at seq 0 with an insert, or with an aggregation;
+- within a chain, consecutive records differ by exactly 1 in seq;
+- an update-shaped record's input digest equals the previous record's
+  output digest;
+- an aggregation's inputs each match some earlier recorded state of that
+  input object;
+- digests have the length their hash algorithm dictates;
+- checksums are non-empty and sized plausibly for the named scheme.
+
+Lint failures mean corruption or tampering *somewhere*; the signed
+verification (:mod:`repro.core.verifier`) remains the authority on what
+exactly is forged.  Lint passes do NOT imply integrity — an attacker can
+fabricate a structurally perfect store; only signatures bind it to
+participants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.crypto.hashing import get_algorithm
+from repro.exceptions import UnknownHashAlgorithm
+from repro.provenance.records import Operation, ProvenanceRecord
+
+__all__ = ["LintIssue", "LintReport", "lint_records", "lint_store"]
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One structural problem found in a record set."""
+
+    object_id: str
+    seq_id: Optional[int]
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        where = f"{self.object_id}#{self.seq_id}" if self.seq_id is not None else self.object_id
+        return f"[{self.code}] {where}: {self.message}"
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one lint pass."""
+
+    issues: Tuple[LintIssue, ...]
+    records_checked: int
+    objects_checked: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"LINT OK: {self.records_checked} records over "
+                f"{self.objects_checked} objects"
+            )
+        return f"LINT: {len(self.issues)} issue(s); first: {self.issues[0]}"
+
+
+def lint_records(records: Iterable[ProvenanceRecord]) -> LintReport:
+    """Structurally lint a record set (no keys required)."""
+    issues: List[LintIssue] = []
+    chains: Dict[str, List[ProvenanceRecord]] = {}
+    count = 0
+    for record in records:
+        count += 1
+        chains.setdefault(record.object_id, []).append(record)
+
+    for object_id, chain in sorted(chains.items()):
+        chain.sort(key=lambda r: r.seq_id)
+        previous: Optional[ProvenanceRecord] = None
+        for record in chain:
+            issues.extend(_lint_shapes(record))
+            issues.extend(_lint_position(record, previous, chains))
+            previous = record
+    return LintReport(
+        issues=tuple(issues), records_checked=count, objects_checked=len(chains)
+    )
+
+
+def lint_store(provenance_store) -> LintReport:
+    """Lint every record in a provenance store."""
+    return lint_records(provenance_store.all_records())
+
+
+def _lint_shapes(record: ProvenanceRecord) -> List[LintIssue]:
+    issues: List[LintIssue] = []
+
+    def issue(code: str, message: str) -> None:
+        issues.append(LintIssue(record.object_id, record.seq_id, code, message))
+
+    try:
+        digest_size = get_algorithm(record.hash_algorithm).digest_size
+    except UnknownHashAlgorithm:
+        issue("bad-algorithm", f"unknown hash algorithm {record.hash_algorithm!r}")
+        return issues
+
+    for state in (*record.inputs, record.output):
+        if len(state.digest) != digest_size:
+            issue(
+                "bad-digest",
+                f"state {state.object_id!r} has a {len(state.digest)}-byte "
+                f"digest; {record.hash_algorithm} produces {digest_size}",
+            )
+        if state.node_count < 1:
+            issue("bad-size", f"state {state.object_id!r} has node_count < 1")
+
+    if not record.checksum:
+        issue("missing-checksum", "record has an empty checksum")
+    if record.operation is Operation.AGGREGATE and not record.inputs:
+        issue("bad-aggregate", "aggregation record with no inputs")
+    if record.operation in (Operation.UPDATE, Operation.COMPLEX):
+        if len(record.inputs) != 1 or record.inputs[0].object_id != record.object_id:
+            issue(
+                "bad-update",
+                "update-shaped record must take the object's own prior "
+                "state as its single input",
+            )
+    return issues
+
+
+def _lint_position(
+    record: ProvenanceRecord,
+    previous: Optional[ProvenanceRecord],
+    chains: Dict[str, List[ProvenanceRecord]],
+) -> List[LintIssue]:
+    issues: List[LintIssue] = []
+
+    def issue(code: str, message: str) -> None:
+        issues.append(LintIssue(record.object_id, record.seq_id, code, message))
+
+    if previous is None:
+        if record.operation is Operation.INSERT and record.seq_id != 0:
+            issue("chain-start", "insert chain does not start at seq 0")
+        elif record.operation in (Operation.UPDATE, Operation.COMPLEX):
+            issue("chain-start", "chain starts with an update-shaped record")
+    else:
+        if record.seq_id == previous.seq_id:
+            issue("dup-seq", "duplicate sequence id in chain")
+        elif record.seq_id != previous.seq_id + 1:
+            issue(
+                "seq-gap",
+                f"sequence jumps from {previous.seq_id} to {record.seq_id}",
+            )
+        if (
+            record.operation is not Operation.INSERT
+            and record.operation is not Operation.AGGREGATE
+            and record.inputs
+            and record.inputs[0].digest != previous.output.digest
+        ):
+            issue(
+                "state-break",
+                "input state does not continue the previous record's output",
+            )
+
+    if record.operation is Operation.AGGREGATE:
+        for state in record.inputs:
+            earlier = [
+                r
+                for r in chains.get(state.object_id, [])
+                if r.seq_id < record.seq_id
+            ]
+            if not earlier:
+                issue(
+                    "dangling-input",
+                    f"aggregation input {state.object_id!r} has no earlier "
+                    "records in this store",
+                )
+            elif all(r.output.digest != state.digest for r in earlier):
+                issue(
+                    "unmatched-input",
+                    f"aggregation input {state.object_id!r} matches no "
+                    "recorded state of that object",
+                )
+    return issues

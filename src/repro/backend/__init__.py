@@ -1,0 +1,40 @@
+"""Back-end database substrate.
+
+The paper's experimental setup (§5.1) has a *back-end database* holding the
+user data, viewed as a tree of depth 4 (root → tables → rows → cells), and
+a separate *provenance database*.  This package provides the back-end:
+
+- :mod:`repro.backend.interface` — the store protocol.
+- :mod:`repro.backend.memory` — in-memory store (a thin alias of
+  :class:`repro.model.tree.Forest`).
+- :mod:`repro.backend.sqlite` — SQLite-persistent store with the same
+  protocol.
+- :mod:`repro.backend.events` — operation events emitted by the engine.
+- :mod:`repro.backend.engine` — :class:`DatabaseEngine`, implementing the
+  paper's primitives (Insert/Delete/Update/Aggregate) plus complex
+  operations, and notifying observers (the provenance collector).
+"""
+
+from repro.backend.engine import DatabaseEngine
+from repro.backend.events import (
+    AggregateEvent,
+    ComplexOperationEvent,
+    DeleteEvent,
+    InsertEvent,
+    OperationEvent,
+    UpdateEvent,
+)
+from repro.backend.memory import InMemoryStore
+from repro.backend.sqlite import SQLiteStore
+
+__all__ = [
+    "DatabaseEngine",
+    "InMemoryStore",
+    "SQLiteStore",
+    "OperationEvent",
+    "InsertEvent",
+    "DeleteEvent",
+    "UpdateEvent",
+    "AggregateEvent",
+    "ComplexOperationEvent",
+]

@@ -1,0 +1,237 @@
+"""The database engine: primitive operations over a forest store.
+
+:class:`DatabaseEngine` implements the paper's four primitives —
+``Insert``, ``Delete``, ``Update``, ``Aggregate`` (§2, §4.1) — against any
+:class:`~repro.backend.interface.ForestStore`, emitting
+:mod:`~repro.backend.events` that carry the pre-operation context the
+provenance collector needs.
+
+Complex operations (§4.4) are exposed as a context manager that buffers
+the primitive events and emits one :class:`ComplexOperationEvent` on exit.
+The engine is provenance-agnostic: it neither knows participants nor signs
+anything; that is the job of :mod:`repro.core.system`, which wires an
+engine to a collector.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.backend.events import (
+    AggregateEvent,
+    ComplexOperationEvent,
+    DeleteEvent,
+    InsertEvent,
+    OperationEvent,
+    UpdateEvent,
+)
+from repro.backend.interface import ForestStore
+from repro.exceptions import TransactionError, UnknownObjectError
+from repro.model.ordering import sort_ids
+from repro.model.values import Value
+
+__all__ = ["DatabaseEngine"]
+
+#: Observers receive every primitive event and every complex-operation event.
+Listener = Callable[[object], None]
+
+
+class DatabaseEngine:
+    """Applies primitive operations to a store and emits events.
+
+    Args:
+        store: Any :class:`ForestStore` implementation.
+    """
+
+    def __init__(self, store: ForestStore):
+        self.store = store
+        self._listeners: List[Listener] = []
+        self._buffer: Optional[List[OperationEvent]] = None
+
+    def add_listener(self, listener: Listener) -> None:
+        """Register an observer for emitted events."""
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # primitives
+    # ------------------------------------------------------------------
+
+    def insert(
+        self, object_id: str, value: Value = None, parent: Optional[str] = None
+    ) -> InsertEvent:
+        """``Insert(A, val, <parent>)`` — add a new leaf object."""
+        self.store.insert(object_id, value, parent)
+        event = InsertEvent(
+            object_id,
+            value=value,
+            parent=parent,
+            ancestors=tuple(self.store.ancestors(object_id)),
+        )
+        self._emit(event)
+        return event
+
+    def update(self, object_id: str, value: Value) -> UpdateEvent:
+        """``Update(A, val')`` — change an object's value."""
+        ancestors = tuple(self.store.ancestors(object_id))
+        old = self.store.update(object_id, value)
+        event = UpdateEvent(
+            object_id, old_value=old, new_value=value, ancestors=ancestors
+        )
+        self._emit(event)
+        return event
+
+    def delete(self, object_id: str) -> DeleteEvent:
+        """``Delete(A)`` — remove a leaf object."""
+        ancestors = tuple(self.store.ancestors(object_id))
+        parent = self.store.parent(object_id)
+        old = self.store.delete(object_id)
+        event = DeleteEvent(
+            object_id, old_value=old, parent=parent, ancestors=ancestors
+        )
+        self._emit(event)
+        return event
+
+    def aggregate(
+        self,
+        input_roots: Sequence[str],
+        output_id: str,
+        builder: Optional[Callable[["DatabaseEngine", Tuple[str, ...], str], Iterable[str]]] = None,
+    ) -> AggregateEvent:
+        """``Aggregate({A1..An}, B)`` — combine subtrees into a new object.
+
+        The paper treats the aggregation function as a black box; by
+        default the input subtrees are *copied* beneath the fresh root
+        ``B`` (ids namespaced under ``B``), which matches the running
+        example where the inputs remain in the database.  Pass ``builder``
+        to materialise any other output subtree: it receives
+        ``(engine, input_roots, output_id)``, must create the output tree
+        rooted at ``output_id`` via raw store operations, and must return
+        the created ids.
+
+        Aggregation is not allowed inside a complex operation (§4.4 groups
+        only insert/update/delete primitives).
+
+        Raises:
+            UnknownObjectError: If any input root does not exist.
+            TransactionError: If called inside a complex operation.
+        """
+        if self._buffer is not None:
+            raise TransactionError(
+                "aggregate is not allowed inside a complex operation"
+            )
+        ordered_inputs = tuple(sort_ids(input_roots))
+        for root in ordered_inputs:
+            if root not in self.store:
+                raise UnknownObjectError(f"aggregation input {root!r} does not exist")
+        if builder is None:
+            created = self._copy_aggregate(ordered_inputs, output_id)
+        else:
+            created = tuple(builder(self, ordered_inputs, output_id))
+        event = AggregateEvent(
+            output_id, input_roots=ordered_inputs, created_ids=created
+        )
+        self._emit(event)
+        return event
+
+    def _copy_aggregate(
+        self, input_roots: Tuple[str, ...], output_id: str
+    ) -> Tuple[str, ...]:
+        """Default black-box aggregator: copy inputs under a new root."""
+        created = [output_id]
+        self.store.insert(output_id, None, None)
+        for root in input_roots:
+            mapping = {root: f"{output_id}/{_leaf_name(root)}"}
+            for node in list(self.store.subtree_nodes(root)):
+                if node.object_id == root:
+                    new_id = mapping[root]
+                    parent: Optional[str] = output_id
+                else:
+                    new_id = mapping[node.parent] + "/" + _leaf_name(node.object_id)
+                    mapping[node.object_id] = new_id
+                    parent = mapping[node.parent]
+                self.store.insert(new_id, node.value, parent)
+                created.append(new_id)
+        return tuple(created)
+
+    # ------------------------------------------------------------------
+    # complex operations (§4.4)
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def complex_operation(self) -> Iterator[None]:
+        """Group subsequent primitives into one complex operation.
+
+        Within the block, primitive events are buffered instead of being
+        emitted individually; on normal exit a single
+        :class:`ComplexOperationEvent` is emitted.  Nested blocks *join*
+        the outermost operation (so building blocks like
+        :meth:`RelationalView.insert_row` compose into larger complex
+        operations transparently).
+        """
+        if self._buffer is not None:  # nested: join the outer operation
+            yield
+            return
+        self._buffer = []
+        try:
+            yield
+        except BaseException:
+            self._buffer = None  # abandoned; store changes are NOT rolled back
+            raise
+        events = tuple(self._buffer)
+        self._buffer = None
+        if events:
+            self._notify(ComplexOperationEvent(events))
+
+    @property
+    def in_complex_operation(self) -> bool:
+        """True while inside a :meth:`complex_operation` block."""
+        return self._buffer is not None
+
+    # ------------------------------------------------------------------
+    # undo (compensation for failed provenance collection)
+    # ------------------------------------------------------------------
+
+    def undo_event(self, event: OperationEvent) -> None:
+        """Reverse one event's effect on the store (no event is emitted).
+
+        Used by sessions to restore consistency when provenance
+        collection fails *after* the store mutation was applied: a store
+        change without a provenance record would otherwise be
+        indistinguishable from an R4 attack at the next verification.
+        """
+        if isinstance(event, InsertEvent):
+            self.store.delete(event.object_id)
+        elif isinstance(event, UpdateEvent):
+            self.store.update(event.object_id, event.old_value)
+        elif isinstance(event, DeleteEvent):
+            self.store.insert(event.object_id, event.old_value, event.parent)
+        elif isinstance(event, AggregateEvent):
+            for object_id in reversed(event.created_ids):
+                self.store.delete(object_id)
+        else:  # pragma: no cover - defensive
+            raise TransactionError(f"cannot undo event {event!r}")
+
+    def undo_events(self, events: Iterable[OperationEvent]) -> None:
+        """Reverse a sequence of events, most recent first."""
+        for event in reversed(list(events)):
+            self.undo_event(event)
+
+    # ------------------------------------------------------------------
+
+    def _emit(self, event: OperationEvent) -> None:
+        if self._buffer is not None:
+            self._buffer.append(event)
+        else:
+            self._notify(event)
+
+    def _notify(self, event: object) -> None:
+        for listener in self._listeners:
+            listener(event)
+
+    def __repr__(self) -> str:
+        return f"DatabaseEngine(store={self.store!r})"
+
+
+def _leaf_name(object_id: str) -> str:
+    return object_id.rsplit("/", 1)[-1]

@@ -1,0 +1,89 @@
+"""Operation events emitted by the database engine.
+
+Each event captures everything the provenance collector needs *about the
+moment of the operation* — old values, parents, and the ancestor chain —
+so collection never has to reconstruct pre-operation state from the
+(already mutated) store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.model.values import Value
+
+__all__ = [
+    "OperationEvent",
+    "InsertEvent",
+    "UpdateEvent",
+    "DeleteEvent",
+    "AggregateEvent",
+    "ComplexOperationEvent",
+]
+
+
+@dataclass(frozen=True)
+class OperationEvent:
+    """Base class for primitive-operation events."""
+
+    object_id: str
+    #: Ancestor ids (parent upward) at the time of the operation.
+    ancestors: Tuple[str, ...] = field(default_factory=tuple, kw_only=True)
+
+    @property
+    def kind(self) -> str:
+        """Lower-case operation name (``insert``/``update``/...)."""
+        return type(self).__name__[: -len("Event")].lower()
+
+
+@dataclass(frozen=True)
+class InsertEvent(OperationEvent):
+    """A leaf object was inserted."""
+
+    value: Value = None
+    parent: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class UpdateEvent(OperationEvent):
+    """An object's value was changed."""
+
+    old_value: Value = None
+    new_value: Value = None
+
+
+@dataclass(frozen=True)
+class DeleteEvent(OperationEvent):
+    """A leaf object was removed."""
+
+    old_value: Value = None
+    parent: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class AggregateEvent(OperationEvent):
+    """Subtrees were aggregated into a new compound object.
+
+    ``object_id`` is the new output root.  ``input_roots`` are the roots of
+    the input compound objects (still present in the database).
+    ``created_ids`` are all node ids materialised for the output, in
+    preorder.
+    """
+
+    input_roots: Tuple[str, ...] = field(default_factory=tuple)
+    created_ids: Tuple[str, ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class ComplexOperationEvent:
+    """A group of primitive operations treated as one unit (§4.4)."""
+
+    events: Tuple[OperationEvent, ...]
+
+    @property
+    def kind(self) -> str:
+        return "complex"
+
+    def __len__(self) -> int:
+        return len(self.events)

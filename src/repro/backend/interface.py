@@ -1,0 +1,63 @@
+"""The store protocol every back-end must satisfy.
+
+:class:`repro.model.tree.Forest` is the reference implementation; the
+SQLite store mirrors it.  The engine, the Merkle hashers, and the
+provenance collector are all written against this protocol, so any storage
+layer with these methods plugs in.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Protocol, Tuple, runtime_checkable
+
+from repro.model.objects import AtomicObject
+from repro.model.values import Value
+
+__all__ = ["ForestStore"]
+
+
+@runtime_checkable
+class ForestStore(Protocol):
+    """Mutable forest of atomic objects with leaf-level primitives."""
+
+    def insert(self, object_id: str, value: Value = None, parent: Optional[str] = None) -> None:
+        """Insert a new leaf object."""
+        ...
+
+    def update(self, object_id: str, value: Value) -> Value:
+        """Update an object's value; returns the old value."""
+        ...
+
+    def delete(self, object_id: str) -> Value:
+        """Delete a leaf object; returns its last value."""
+        ...
+
+    def __contains__(self, object_id: str) -> bool: ...
+
+    def __len__(self) -> int: ...
+
+    def get(self, object_id: str) -> AtomicObject:
+        """Return an immutable snapshot of one node."""
+        ...
+
+    def value(self, object_id: str) -> Value: ...
+
+    def parent(self, object_id: str) -> Optional[str]: ...
+
+    def children(self, object_id: str) -> Tuple[str, ...]: ...
+
+    def is_leaf(self, object_id: str) -> bool: ...
+
+    def roots(self) -> Tuple[str, ...]: ...
+
+    def ancestors(self, object_id: str) -> List[str]: ...
+
+    def root_of(self, object_id: str) -> str: ...
+
+    def iter_subtree(self, root_id: str) -> Iterator[str]: ...
+
+    def subtree_nodes(self, root_id: str) -> Iterator[AtomicObject]: ...
+
+    def subtree_size(self, root_id: str) -> int: ...
+
+    def depth(self, object_id: str) -> int: ...

@@ -1,0 +1,17 @@
+"""In-memory back-end store.
+
+:class:`InMemoryStore` is :class:`repro.model.tree.Forest` under the name
+the back-end package exports.  It exists as its own class (rather than a
+bare alias) so store-specific extensions can be added without touching the
+data-model layer.
+"""
+
+from __future__ import annotations
+
+from repro.model.tree import Forest
+
+__all__ = ["InMemoryStore"]
+
+
+class InMemoryStore(Forest):
+    """A :class:`~repro.model.tree.Forest`-backed store (no persistence)."""

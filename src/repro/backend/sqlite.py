@@ -1,0 +1,222 @@
+"""SQLite-persistent back-end store.
+
+Implements the same :class:`~repro.backend.interface.ForestStore` protocol
+as the in-memory store, persisting nodes in a single ``nodes`` table:
+
+    nodes(object_id TEXT PRIMARY KEY, parent TEXT, value BLOB)
+
+Values are stored in their canonical encoding
+(:func:`repro.model.values.encode_value`), so what is hashed is byte-for-
+byte what is stored.  Children are fetched by the ``parent`` index and
+sorted with the global total order on the Python side.
+
+This stands in for the paper's MySQL back-end (see DESIGN.md §3): the code
+paths exercised — per-node reads during hashing, per-row writes when
+storing checksums — are the same.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterator, List, Optional, Tuple
+
+from repro.exceptions import (
+    BackendError,
+    DuplicateObjectError,
+    NotALeafError,
+    UnknownObjectError,
+)
+from repro.model.objects import AtomicObject
+from repro.model.ordering import sort_ids
+from repro.model.values import Value, decode_value, encode_value
+
+__all__ = ["SQLiteStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS nodes (
+    object_id TEXT PRIMARY KEY,
+    parent    TEXT,
+    value     BLOB NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_nodes_parent ON nodes(parent);
+"""
+
+
+class SQLiteStore:
+    """A :class:`ForestStore` persisted in SQLite.
+
+    Args:
+        path: Database file path, or ``":memory:"`` (the default) for an
+            ephemeral database.
+    """
+
+    def __init__(self, path: str = ":memory:"):
+        try:
+            self._conn = sqlite3.connect(path)
+        except sqlite3.Error as exc:
+            raise BackendError(f"cannot open SQLite database {path!r}: {exc}") from exc
+        self._conn.executescript(_SCHEMA)
+        # Durability is not under test; keep the store fast.
+        self._conn.execute("PRAGMA synchronous = OFF")
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._conn.close()
+
+    def __enter__(self) -> "SQLiteStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # primitives
+    # ------------------------------------------------------------------
+
+    def insert(self, object_id: str, value: Value = None, parent: Optional[str] = None) -> None:
+        """Insert a new leaf object."""
+        if object_id in self:
+            raise DuplicateObjectError(f"object {object_id!r} already exists")
+        if parent is not None and parent not in self:
+            raise UnknownObjectError(f"parent {parent!r} does not exist")
+        self._conn.execute(
+            "INSERT INTO nodes(object_id, parent, value) VALUES (?, ?, ?)",
+            (object_id, parent, encode_value(value)),
+        )
+        self._conn.commit()
+
+    def update(self, object_id: str, value: Value) -> Value:
+        """Update an object's value; returns the old value."""
+        old = self.value(object_id)
+        self._conn.execute(
+            "UPDATE nodes SET value = ? WHERE object_id = ?",
+            (encode_value(value), object_id),
+        )
+        self._conn.commit()
+        return old
+
+    def delete(self, object_id: str) -> Value:
+        """Delete a leaf object; returns its last value."""
+        old = self.value(object_id)
+        if self.children(object_id):
+            raise NotALeafError(
+                f"object {object_id!r} has children; only leaves can be deleted"
+            )
+        self._conn.execute("DELETE FROM nodes WHERE object_id = ?", (object_id,))
+        self._conn.commit()
+        return old
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def __contains__(self, object_id: str) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM nodes WHERE object_id = ?", (object_id,)
+        ).fetchone()
+        return row is not None
+
+    def __len__(self) -> int:
+        (count,) = self._conn.execute("SELECT COUNT(*) FROM nodes").fetchone()
+        return count
+
+    def get(self, object_id: str) -> AtomicObject:
+        """Return an immutable snapshot of one node."""
+        row = self._conn.execute(
+            "SELECT parent, value FROM nodes WHERE object_id = ?", (object_id,)
+        ).fetchone()
+        if row is None:
+            raise UnknownObjectError(f"object {object_id!r} does not exist")
+        parent, value_blob = row
+        return AtomicObject(
+            object_id=object_id,
+            value=decode_value(value_blob),
+            children=self.children(object_id),
+            parent=parent,
+        )
+
+    def value(self, object_id: str) -> Value:
+        row = self._conn.execute(
+            "SELECT value FROM nodes WHERE object_id = ?", (object_id,)
+        ).fetchone()
+        if row is None:
+            raise UnknownObjectError(f"object {object_id!r} does not exist")
+        return decode_value(row[0])
+
+    def parent(self, object_id: str) -> Optional[str]:
+        row = self._conn.execute(
+            "SELECT parent FROM nodes WHERE object_id = ?", (object_id,)
+        ).fetchone()
+        if row is None:
+            raise UnknownObjectError(f"object {object_id!r} does not exist")
+        return row[0]
+
+    def children(self, object_id: str) -> Tuple[str, ...]:
+        self._require(object_id)
+        rows = self._conn.execute(
+            "SELECT object_id FROM nodes WHERE parent = ?", (object_id,)
+        ).fetchall()
+        return tuple(sort_ids(r[0] for r in rows))
+
+    def is_leaf(self, object_id: str) -> bool:
+        self._require(object_id)
+        row = self._conn.execute(
+            "SELECT 1 FROM nodes WHERE parent = ? LIMIT 1", (object_id,)
+        ).fetchone()
+        return row is None
+
+    def roots(self) -> Tuple[str, ...]:
+        rows = self._conn.execute(
+            "SELECT object_id FROM nodes WHERE parent IS NULL"
+        ).fetchall()
+        return tuple(sort_ids(r[0] for r in rows))
+
+    def ancestors(self, object_id: str) -> List[str]:
+        self._require(object_id)
+        out: List[str] = []
+        current = self.parent(object_id)
+        while current is not None:
+            out.append(current)
+            current = self.parent(current)
+        return out
+
+    def root_of(self, object_id: str) -> str:
+        ancestors = self.ancestors(object_id)
+        return ancestors[-1] if ancestors else object_id
+
+    def iter_subtree(self, root_id: str) -> Iterator[str]:
+        self._require(root_id)
+        stack = [root_id]
+        while stack:
+            current = stack.pop()
+            yield current
+            stack.extend(reversed(self.children(current)))
+
+    def subtree_nodes(self, root_id: str) -> Iterator[AtomicObject]:
+        for object_id in self.iter_subtree(root_id):
+            yield self.get(object_id)
+
+    def subtree_size(self, root_id: str) -> int:
+        return sum(1 for _ in self.iter_subtree(root_id))
+
+    def depth(self, object_id: str) -> int:
+        return len(self.ancestors(object_id))
+
+    # ------------------------------------------------------------------
+    # bulk helpers
+    # ------------------------------------------------------------------
+
+    def delete_subtree(self, root_id: str) -> List[str]:
+        """Delete a whole subtree bottom-up; returns deleted ids."""
+        order = list(self.iter_subtree(root_id))
+        order.reverse()
+        for object_id in order:
+            self.delete(object_id)
+        return order
+
+    def _require(self, object_id: str) -> None:
+        if object_id not in self:
+            raise UnknownObjectError(f"object {object_id!r} does not exist")
+
+    def __repr__(self) -> str:
+        return f"SQLiteStore(nodes={len(self)})"

@@ -1,0 +1,16 @@
+"""Baselines the paper positions itself against.
+
+- :mod:`repro.baseline.linear_chain` — Hasan et al.'s file-system scheme:
+  checksum chains over *atomic* objects with *totally ordered* histories.
+  Aggregation cannot be represented; the output is treated as a brand-new
+  object and the inputs' history is discarded — the exact shortcoming
+  §1.1 motivates the paper with.
+- :mod:`repro.baseline.global_chain` — a single global checksum chain
+  (§3.2's rejected alternative): correct, but serialises all participants
+  through one lock and loses failure isolation.
+"""
+
+from repro.baseline.global_chain import GlobalChainProvenance
+from repro.baseline.linear_chain import LinearChainProvenance, LinearRecord
+
+__all__ = ["LinearChainProvenance", "LinearRecord", "GlobalChainProvenance"]

@@ -1,0 +1,156 @@
+"""A single global checksum chain — §3.2's rejected design.
+
+Every record, regardless of object, chains to the globally previous
+record.  The integrity guarantees are the same as local chaining; the
+practical problems §3.2 calls out are what this class exists to
+demonstrate (and what ``benchmarks/bench_ablation_chaining.py`` measures):
+
+- **Serialisation**: appends must take a global lock, so participants
+  working on unrelated objects contend.
+- **No failure isolation**: corrupting one record invalidates the
+  verification of *every* object whose records follow it, not just the
+  object it belongs to.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.baseline.linear_chain import _payload
+from repro.crypto.hashing import hash_bytes
+from repro.crypto.pki import KeyStore, Participant
+from repro.exceptions import UnknownObjectError
+from repro.model.values import Value, encode_node
+
+__all__ = ["GlobalRecord", "GlobalChainProvenance"]
+
+_ZERO = b"\x00"
+
+
+@dataclass(frozen=True)
+class GlobalRecord:
+    """One link of the global chain."""
+
+    global_seq: int
+    object_id: str
+    participant_id: str
+    input_digest: Optional[bytes]
+    output_digest: bytes
+    checksum: bytes
+
+
+class GlobalChainProvenance:
+    """All objects share one totally ordered checksum chain."""
+
+    def __init__(self, hash_algorithm: str = "sha1"):
+        self.hash_algorithm = hash_algorithm
+        self._records: List[GlobalRecord] = []
+        self._values: Dict[str, Value] = {}
+        self._lock = threading.Lock()
+        #: Lock acquisitions observed (contention accounting for the bench).
+        self.lock_acquisitions = 0
+
+    # ------------------------------------------------------------------
+
+    def record(
+        self, participant: Participant, object_id: str, value: Value
+    ) -> GlobalRecord:
+        """Insert-or-update an object, appending to the global chain.
+
+        The append — seq assignment, predecessor lookup, signing, store —
+        happens under the global lock, which is exactly the §3.2
+        bottleneck: two participants touching unrelated objects cannot
+        proceed concurrently.
+        """
+        with self._lock:
+            self.lock_acquisitions += 1
+            previous = self._records[-1] if self._records else None
+            old_value = self._values.get(object_id)
+            in_digest = (
+                self._digest(object_id, old_value) if object_id in self._values else None
+            )
+            out_digest = self._digest(object_id, value)
+            if previous is None:
+                payload = _payload((_ZERO, out_digest, _ZERO))
+            else:
+                payload = _payload(
+                    (in_digest or _ZERO, out_digest, previous.checksum)
+                )
+            record = GlobalRecord(
+                global_seq=len(self._records),
+                object_id=object_id,
+                participant_id=participant.participant_id,
+                input_digest=in_digest,
+                output_digest=out_digest,
+                checksum=participant.sign(payload),
+            )
+            self._records.append(record)
+            self._values[object_id] = value
+            return record
+
+    # ------------------------------------------------------------------
+
+    def records(self) -> Tuple[GlobalRecord, ...]:
+        """The whole chain, oldest first."""
+        return tuple(self._records)
+
+    def value(self, object_id: str) -> Value:
+        """Current value of an object."""
+        try:
+            return self._values[object_id]
+        except KeyError:
+            raise UnknownObjectError(f"object {object_id!r} does not exist") from None
+
+    def verifiable_objects(self, keystore: KeyStore) -> Set[str]:
+        """Objects whose provenance survives chain verification.
+
+        Walks the global chain from the start; at the first record whose
+        signature fails, *everything after it* is unverifiable — so only
+        objects whose entire history precedes the corruption remain.
+        This is the failure-isolation cost the ablation bench reports
+        against local chaining (where one corrupt record poisons one
+        object).
+        """
+        good: Set[str] = set()
+        poisoned: Set[str] = set()
+        previous: Optional[GlobalRecord] = None
+        broken = False
+        for record in self._records:
+            if not broken:
+                if previous is None:
+                    payload = _payload((_ZERO, record.output_digest, _ZERO))
+                else:
+                    payload = _payload(
+                        (
+                            record.input_digest or _ZERO,
+                            record.output_digest,
+                            previous.checksum,
+                        )
+                    )
+                try:
+                    verifier = keystore.verifier_for(record.participant_id)
+                    ok = verifier.verify(payload, record.checksum)
+                except Exception:
+                    ok = False
+                if not ok:
+                    broken = True
+            if broken:
+                poisoned.add(record.object_id)
+            else:
+                good.add(record.object_id)
+            previous = record
+        return good - poisoned
+
+    def corrupt(self, global_seq: int) -> None:
+        """Flip a byte of one record's checksum (failure injection)."""
+        record = self._records[global_seq]
+        broken = bytes([record.checksum[0] ^ 0xFF]) + record.checksum[1:]
+        self._records[global_seq] = replace(record, checksum=broken)
+
+    def _digest(self, object_id: str, value: Value) -> bytes:
+        return hash_bytes(encode_node(object_id, value), self.hash_algorithm)
+
+    def __len__(self) -> int:
+        return len(self._records)

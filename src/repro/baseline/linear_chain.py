@@ -1,0 +1,223 @@
+"""Hasan et al.-style linear provenance chains (the FAST'09 baseline).
+
+Models the prior work the paper extends: provenance for *atomic* objects
+(files) whose history is a *totally ordered* chain of operations.  The
+checksum construction is the same per-record signature over
+``h(in) | h(out) | C_prev`` — the limitations are structural:
+
+- no compound objects: an object is one opaque value, so there is no
+  fine-grained (cell/row/table) provenance and no inherited records;
+- no aggregation: combining objects produces a *new* object with no
+  history ("one might consider treating an object produced in this way as
+  if it were new ... but this discards the history", §1.1).
+  :meth:`LinearChainProvenance.combine` does exactly that, and the test
+  suite demonstrates the lost lineage next to the DAG scheme's preserved
+  one.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto.hashing import hash_bytes
+from repro.crypto.pki import KeyStore, Participant
+from repro.exceptions import (
+    DuplicateObjectError,
+    InvalidSignature,
+    UnknownObjectError,
+)
+from repro.model.values import Value, encode_node
+
+__all__ = ["LinearRecord", "LinearChainProvenance"]
+
+_ZERO = b"\x00"
+
+
+def _payload(parts: Sequence[bytes]) -> bytes:
+    out = []
+    for part in parts:
+        out.append(struct.pack(">I", len(part)))
+        out.append(part)
+    return b"".join(out)
+
+
+@dataclass(frozen=True)
+class LinearRecord:
+    """One link of a linear chain: ``(seq, p, in, out, checksum)``."""
+
+    object_id: str
+    seq_id: int
+    participant_id: str
+    input_digest: Optional[bytes]
+    output_digest: bytes
+    output_value: Value
+    checksum: bytes
+
+
+class LinearChainProvenance:
+    """Per-object linear checksum chains over atomic values.
+
+    Args:
+        hash_algorithm: Digest algorithm (default SHA-1).
+    """
+
+    def __init__(self, hash_algorithm: str = "sha1"):
+        self.hash_algorithm = hash_algorithm
+        self._values: Dict[str, Value] = {}
+        self._chains: Dict[str, List[LinearRecord]] = {}
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+
+    def insert(self, participant: Participant, object_id: str, value: Value) -> LinearRecord:
+        """Create an object with a genesis record."""
+        if object_id in self._values:
+            raise DuplicateObjectError(f"object {object_id!r} already exists")
+        digest = self._digest(object_id, value)
+        record = LinearRecord(
+            object_id=object_id,
+            seq_id=0,
+            participant_id=participant.participant_id,
+            input_digest=None,
+            output_digest=digest,
+            output_value=value,
+            checksum=b"",
+        )
+        record = replace(
+            record,
+            checksum=participant.sign(_payload((_ZERO, digest, _ZERO))),
+        )
+        self._values[object_id] = value
+        self._chains[object_id] = [record]
+        return record
+
+    def update(self, participant: Participant, object_id: str, value: Value) -> LinearRecord:
+        """Update an object, appending to its chain."""
+        if object_id not in self._values:
+            raise UnknownObjectError(f"object {object_id!r} does not exist")
+        previous = self._chains[object_id][-1]
+        in_digest = previous.output_digest
+        out_digest = self._digest(object_id, value)
+        record = LinearRecord(
+            object_id=object_id,
+            seq_id=previous.seq_id + 1,
+            participant_id=participant.participant_id,
+            input_digest=in_digest,
+            output_digest=out_digest,
+            output_value=value,
+            checksum=b"",
+        )
+        record = replace(
+            record,
+            checksum=participant.sign(
+                _payload((in_digest, out_digest, previous.checksum))
+            ),
+        )
+        self._values[object_id] = value
+        self._chains[object_id].append(record)
+        return record
+
+    def combine(
+        self,
+        participant: Participant,
+        input_ids: Sequence[str],
+        output_id: str,
+        value: Value,
+    ) -> LinearRecord:
+        """The baseline's only way to 'aggregate': a fresh object.
+
+        The inputs' chains are simply not connected to the output — their
+        history is discarded, which is the gap the paper's non-linear
+        checksums close.
+        """
+        for input_id in input_ids:
+            if input_id not in self._values:
+                raise UnknownObjectError(f"object {input_id!r} does not exist")
+        return self.insert(participant, output_id, value)
+
+    # ------------------------------------------------------------------
+    # reads / verification
+    # ------------------------------------------------------------------
+
+    def value(self, object_id: str) -> Value:
+        """Current value of an object."""
+        try:
+            return self._values[object_id]
+        except KeyError:
+            raise UnknownObjectError(f"object {object_id!r} does not exist") from None
+
+    def chain(self, object_id: str) -> Tuple[LinearRecord, ...]:
+        """The object's chain, oldest first."""
+        return tuple(self._chains.get(object_id, ()))
+
+    def history_length(self, object_id: str) -> int:
+        """Number of records documenting the object (0 if untracked)."""
+        return len(self._chains.get(object_id, ()))
+
+    def verify(
+        self,
+        object_id: str,
+        value: Value,
+        records: Sequence[LinearRecord],
+        keystore: KeyStore,
+    ) -> bool:
+        """Hasan-style verification of a received (value, chain) pair.
+
+        Raises:
+            InvalidSignature: Describing the first violation found.
+        """
+        if not records:
+            raise InvalidSignature(f"no provenance records for {object_id!r}")
+        chain = sorted(records, key=lambda r: r.seq_id)
+        if chain[0].seq_id != 0 or chain[0].input_digest is not None:
+            raise InvalidSignature("chain does not start with a genesis record")
+        previous: Optional[LinearRecord] = None
+        for record in chain:
+            if record.object_id != object_id:
+                raise InvalidSignature(
+                    f"record for {record.object_id!r} in {object_id!r}'s chain"
+                )
+            if record.output_digest != self._digest(object_id, record.output_value):
+                raise InvalidSignature(
+                    f"output value/digest mismatch at seq {record.seq_id}"
+                )
+            if previous is None:
+                payload = _payload((_ZERO, record.output_digest, _ZERO))
+            else:
+                if record.seq_id != previous.seq_id + 1:
+                    raise InvalidSignature(
+                        f"sequence break at seq {record.seq_id}"
+                    )
+                if record.input_digest != previous.output_digest:
+                    raise InvalidSignature(
+                        f"input/output mismatch at seq {record.seq_id}"
+                    )
+                payload = _payload(
+                    (record.input_digest, record.output_digest, previous.checksum)
+                )
+            verifier = keystore.verifier_for(record.participant_id)
+            if not verifier.verify(payload, record.checksum):
+                raise InvalidSignature(
+                    f"signature of {record.participant_id!r} fails at seq "
+                    f"{record.seq_id}"
+                )
+            previous = record
+        if self._digest(object_id, value) != chain[-1].output_digest:
+            raise InvalidSignature(
+                "value does not match the most recent provenance record"
+            )
+        return True
+
+    # ------------------------------------------------------------------
+
+    def _digest(self, object_id: str, value: Value) -> bytes:
+        return hash_bytes(encode_node(object_id, value), self.hash_algorithm)
+
+    def __repr__(self) -> str:
+        return (
+            f"LinearChainProvenance(objects={len(self._values)}, "
+            f"records={sum(len(c) for c in self._chains.values())})"
+        )

@@ -1,0 +1,39 @@
+"""Benchmark harness reproducing the paper's evaluation (§5).
+
+- :mod:`repro.bench.timer` — mean ± 95% confidence interval over repeated
+  runs (§5.1 reports "the average across 100 runs, including 95%
+  confidence intervals").
+- :mod:`repro.bench.reporting` — paper-style ASCII tables and series.
+- :mod:`repro.bench.experiments` — one runnable experiment per figure
+  (Fig 6–11), the Table 1(b) node counts, the §5.2 streaming scale test,
+  and the §3.2 chaining ablation.
+
+``benchmarks/run_all.py`` executes every experiment and prints the rows
+EXPERIMENTS.md records; ``benchmarks/bench_*.py`` wrap the same code in
+pytest-benchmark targets.
+"""
+
+from repro.bench.experiments import (
+    ExperimentResult,
+    run_fig6,
+    run_fig7,
+    run_fig8_fig9,
+    run_fig10_fig11,
+    run_streaming,
+    run_table1b,
+)
+from repro.bench.reporting import format_table
+from repro.bench.timer import TimingResult, measure
+
+__all__ = [
+    "TimingResult",
+    "measure",
+    "format_table",
+    "ExperimentResult",
+    "run_table1b",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8_fig9",
+    "run_fig10_fig11",
+    "run_streaming",
+]

@@ -1,0 +1,63 @@
+"""Terminal bar charts for the reproduced figures.
+
+The paper presents Figs 6–11 as plots; :func:`bar_chart` gives the same
+visual read in a terminal — proportional horizontal bars — so the shapes
+(flat, linear, inversely proportional) are visible at a glance in
+``run_all.py`` output and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["bar_chart"]
+
+_FULL = "█"
+_PARTIAL = (" ", "▏", "▎", "▍", "▌", "▋", "▊", "▉")
+
+
+def _bar(value: float, maximum: float, width: int) -> str:
+    if maximum <= 0:
+        return ""
+    cells = value / maximum * width
+    full = int(cells)
+    remainder = cells - full
+    partial = _PARTIAL[int(remainder * len(_PARTIAL))] if full < width else ""
+    return _FULL * full + partial
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    unit: str = "",
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Render labelled values as proportional horizontal bars.
+
+    Args:
+        labels: Row labels (y axis).
+        values: Non-negative values (bar lengths).
+        unit: Suffix printed after each value.
+        width: Bar width in character cells for the largest value.
+        title: Optional heading line.
+
+    Raises:
+        ValueError: If labels and values differ in length.
+    """
+    if len(labels) != len(values):
+        raise ValueError(
+            f"{len(labels)} labels but {len(values)} values"
+        )
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not values:
+        return "\n".join(lines) if lines else "(no data)"
+    label_width = max(len(str(label)) for label in labels)
+    maximum = max(values)
+    for label, value in zip(labels, values):
+        bar = _bar(value, maximum, width)
+        suffix = f" {unit}" if unit else ""
+        lines.append(f"  {str(label).ljust(label_width)} |{bar} {value:g}{suffix}")
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Paper-style plain-text reporting for experiment results."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_kv", "banner"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_kv(pairs: Iterable[Sequence[object]]) -> str:
+    """Render ``key: value`` lines with aligned keys."""
+    items = [(str(k), str(v)) for k, v in pairs]
+    width = max((len(k) for k, _ in items), default=0)
+    return "\n".join(f"{k.ljust(width)} : {v}" for k, v in items)
+
+
+def banner(title: str) -> str:
+    """A section banner."""
+    bar = "=" * max(len(title), 8)
+    return f"{bar}\n{title}\n{bar}"

@@ -1,0 +1,15 @@
+"""Command-line interface.
+
+``python -m repro`` (or the ``repro-provenance`` console script) manages
+an on-disk workspace — SQLite back-end + SQLite provenance database + a
+persisted CA and participant keys — and exposes the full lifecycle:
+enroll participants, run operations, inspect chains, ship objects, and
+verify shipments offline.
+
+See ``python -m repro --help``.
+"""
+
+from repro.cli.main import main
+from repro.cli.workspace import Workspace
+
+__all__ = ["main", "Workspace"]

@@ -1,0 +1,398 @@
+"""``python -m repro`` — the command-line interface.
+
+Typical session::
+
+    python -m repro init --path ./lab
+    python -m repro -w ./lab enroll alice
+    python -m repro -w ./lab insert report draft --as alice
+    python -m repro -w ./lab update report final --as alice --note "sign-off"
+    python -m repro -w ./lab show report
+    python -m repro -w ./lab verify report
+    python -m repro -w ./lab ship report -o report.shipment.json
+    python -m repro -w ./lab verify-shipment report.shipment.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.audit.inspector import ChainInspector, audit_trail, render_report
+from repro.cli.workspace import Workspace
+from repro.core.shipment import Shipment
+from repro.crypto.keys import public_key_from_dict, public_key_to_dict
+from repro.exceptions import ReproError
+from repro.model.values import Value
+from repro.query.lineage import lineage_summary
+
+__all__ = ["main", "build_parser"]
+
+
+def parse_value(text: Optional[str]) -> Value:
+    """Parse a CLI value: int, float, true/false/null, else string."""
+    if text is None:
+        return None
+    lowered = text.lower()
+    if lowered == "null":
+        return None
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tamper-evident database provenance (Zhang/Chapman/LeFevre 2009).",
+    )
+    parser.add_argument(
+        "-w", "--workspace", default=".", metavar="DIR",
+        help="workspace directory (default: current directory)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("init", help="create a new workspace")
+    p.add_argument("--path", default=None, help="directory (default: --workspace)")
+    p.add_argument("--key-bits", type=int, default=1024)
+    p.add_argument("--ca-name", default="repro-root-ca")
+    p.add_argument("--hash", dest="hash_algorithm", default="sha1")
+
+    p = sub.add_parser("enroll", help="enroll a participant (keys + certificate)")
+    p.add_argument("participant")
+
+    p = sub.add_parser("participants", help="list enrolled participants")
+
+    p = sub.add_parser("insert", help="insert an object")
+    p.add_argument("object_id")
+    p.add_argument("value", nargs="?", default=None)
+    p.add_argument("--parent", default=None)
+    p.add_argument("--as", dest="participant", required=True)
+    p.add_argument("--note", default="")
+
+    p = sub.add_parser("update", help="update an object's value")
+    p.add_argument("object_id")
+    p.add_argument("value")
+    p.add_argument("--as", dest="participant", required=True)
+    p.add_argument("--note", default="")
+
+    p = sub.add_parser("delete", help="delete a leaf object")
+    p.add_argument("object_id")
+    p.add_argument("--as", dest="participant", required=True)
+    p.add_argument("--note", default="")
+
+    p = sub.add_parser("aggregate", help="aggregate objects into a new one")
+    p.add_argument("output_id")
+    p.add_argument("inputs", nargs="+")
+    p.add_argument("--as", dest="participant", required=True)
+    p.add_argument("--note", default="")
+
+    p = sub.add_parser("sql", help="run a SQL statement against a tracked database")
+    p.add_argument("statement")
+    p.add_argument("--as", dest="participant", default=None,
+                   help="acting participant (required for writes)")
+    p.add_argument("--root", default="db", help="database root object id")
+    p.add_argument("--note", default="")
+
+    p = sub.add_parser("shell", help="interactive SQL shell")
+    p.add_argument("--as", dest="participant", required=True)
+    p.add_argument("--root", default="db")
+
+    p = sub.add_parser("objects", help="list root objects")
+
+    p = sub.add_parser("show", help="print an object's provenance chain")
+    p.add_argument("object_id")
+
+    p = sub.add_parser("audit", help="verification + full audit trail")
+    p.add_argument("object_id")
+
+    p = sub.add_parser("lineage", help="one-line lineage summary")
+    p.add_argument("object_id")
+
+    p = sub.add_parser("history", help="value history of an object")
+    p.add_argument("object_id")
+
+    p = sub.add_parser("verify", help="verify an object in place")
+    p.add_argument("object_id")
+    p.add_argument("--anchors", action="store_true",
+                   help="also check the workspace's anchored checksums")
+
+    p = sub.add_parser("anchor", help="anchor an object's latest checksum")
+    p.add_argument("object_id")
+
+    p = sub.add_parser(
+        "lint", help="structural self-check of the provenance store (no keys)"
+    )
+
+    p = sub.add_parser("dot", help="export the provenance DAG as Graphviz DOT")
+    p.add_argument("object_id", nargs="?", default=None,
+                   help="restrict to this object's ancestry (default: all)")
+    p.add_argument("-o", "--output", default=None,
+                   help="write to file (default: stdout)")
+    p.add_argument("--notes", action="store_true", help="include white-box notes")
+
+    p = sub.add_parser("ship", help="export data + provenance + certificates")
+    p.add_argument("object_id")
+    p.add_argument("-o", "--output", required=True)
+
+    p = sub.add_parser("verify-shipment", help="verify a shipment file")
+    p.add_argument("shipment_file")
+    p.add_argument(
+        "--ca-key", default=None,
+        help="CA public key JSON (default: the workspace's CA)",
+    )
+
+    p = sub.add_parser("export-ca-key", help="write the CA public key as JSON")
+    p.add_argument("-o", "--output", required=True)
+
+    return parser
+
+
+def _cmd_init(args) -> int:
+    path = args.path or args.workspace
+    Workspace.create(
+        path,
+        ca_name=args.ca_name,
+        key_bits=args.key_bits,
+        hash_algorithm=args.hash_algorithm,
+    )
+    print(f"initialised workspace at {path} (CA: {args.ca_name}, "
+          f"{args.key_bits}-bit keys)")
+    return 0
+
+
+def _cmd_verify_shipment(args, workspace_dir: str) -> int:
+    with open(args.shipment_file) as f:
+        shipment = Shipment.from_json(f.read())
+    if args.ca_key:
+        with open(args.ca_key) as f:
+            data = json.loads(f.read())
+        public_key = public_key_from_dict(data["public_key"])
+        ca_name = data["ca_name"]
+    else:
+        with Workspace(workspace_dir) as ws:
+            public_key = ws.ca.public_key
+            ca_name = ws.ca.name
+    report = shipment.verify_with_ca(public_key, ca_name)
+    print(render_report(report))
+    return 0 if report.ok else 1
+
+
+def _run_shell(sql, db, root_id: str, input_stream=None) -> int:
+    """The interactive loop behind ``repro shell``.
+
+    Dot-commands: ``.tables``, ``.verify``, ``.help``, ``.exit``.
+    Reads from ``input_stream`` (stdin by default) so tests can drive it.
+    """
+    stream = input_stream if input_stream is not None else sys.stdin
+    interactive = stream is sys.stdin and sys.stdin.isatty()
+    if interactive:
+        print("repro SQL shell — .help for commands, .exit to leave")
+    while True:
+        if interactive:
+            print("sql> ", end="", flush=True)
+        line = stream.readline()
+        if not line:
+            return 0
+        line = line.strip()
+        if not line:
+            continue
+        if line in (".exit", ".quit"):
+            return 0
+        if line == ".help":
+            print(".tables  list tables\n.verify  verify the database root\n"
+                  ".exit    leave the shell\nanything else is executed as SQL")
+            continue
+        if line == ".tables":
+            for table in sql.view.tables():
+                print(table)
+            continue
+        if line == ".verify":
+            print(render_report(db.verify(root_id)))
+            continue
+        try:
+            print(sql.execute(line).render())
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args) -> int:
+    if args.command == "init":
+        return _cmd_init(args)
+    if args.command == "verify-shipment":
+        return _cmd_verify_shipment(args, args.workspace)
+
+    with Workspace(args.workspace) as ws:
+        if args.command == "enroll":
+            ws.enroll(args.participant)
+            print(f"enrolled {args.participant!r}")
+            return 0
+
+        if args.command == "participants":
+            for participant_id in ws.participants():
+                print(participant_id)
+            return 0
+
+        if args.command == "export-ca-key":
+            payload = {
+                "ca_name": ws.ca.name,
+                "public_key": public_key_to_dict(ws.ca.public_key),
+            }
+            with open(args.output, "w") as f:
+                json.dump(payload, f)
+            print(f"wrote CA public key to {args.output}")
+            return 0
+
+        db = ws.database()
+
+        if args.command in ("insert", "update", "delete", "aggregate"):
+            session = db.session(ws.participant(args.participant))
+            if args.command == "insert":
+                session.insert(
+                    args.object_id, parse_value(args.value), args.parent,
+                    note=args.note,
+                )
+            elif args.command == "update":
+                session.update(args.object_id, parse_value(args.value), note=args.note)
+            elif args.command == "delete":
+                session.delete(args.object_id, note=args.note)
+            else:
+                session.aggregate(args.inputs, args.output_id, note=args.note)
+            print("ok")
+            return 0
+
+        if args.command == "shell":
+            from repro.model.relational import RelationalView
+            from repro.sql.executor import SQLExecutor
+
+            session = db.session(ws.participant(args.participant))
+            sql = SQLExecutor(RelationalView(session, root_id=args.root))
+            return _run_shell(sql, db, args.root)
+
+        if args.command == "sql":
+            from repro.model.relational import RelationalView
+            from repro.sql.executor import SQLExecutor
+
+            is_read = args.statement.strip().lower().startswith("select")
+            if is_read and args.participant is None:
+                if args.root not in db.store:
+                    print(f"error: no database root {args.root!r}", file=sys.stderr)
+                    return 2
+                executor = db.engine
+            else:
+                if args.participant is None:
+                    print("error: writes need --as <participant>", file=sys.stderr)
+                    return 2
+                executor = db.session(ws.participant(args.participant))
+            view = RelationalView(executor, root_id=args.root)
+            result = SQLExecutor(view).execute(args.statement, note=args.note)
+            print(result.render())
+            return 0
+
+        if args.command == "objects":
+            for root in db.store.roots():
+                print(f"{root}  ({db.store.subtree_size(root)} nodes)")
+            return 0
+
+        if args.command == "show":
+            inspector = ChainInspector(db.provenance_of(args.object_id))
+            print(inspector.render_chain(args.object_id))
+            return 0
+
+        if args.command == "audit":
+            report = db.verify(args.object_id)
+            print(audit_trail(db.dag(), args.object_id, report))
+            return 0 if report.ok else 1
+
+        if args.command == "lineage":
+            print(lineage_summary(db.dag(), args.object_id))
+            return 0
+
+        if args.command == "history":
+            from repro.query.history import value_history
+
+            for entry in value_history(db.provenance_of(args.object_id), args.object_id):
+                print(entry)
+            return 0
+
+        if args.command == "anchor":
+            service = ws.anchor_service()
+            receipt = service.anchor_latest(db, args.object_id)
+            ws.save_anchor(receipt)
+            print(
+                f"anchored {args.object_id!r} at seq {receipt.seq_id} "
+                f"(anchor counter {receipt.counter})"
+            )
+            return 0
+
+        if args.command == "verify":
+            if args.anchors:
+                from repro.core.anchor import verify_with_anchors
+
+                service = ws.anchor_service()
+                report = verify_with_anchors(
+                    db.ship(args.object_id),
+                    db.keystore(),
+                    ws.anchor_receipts(),
+                    service.verifier(),
+                )
+            else:
+                report = db.verify(args.object_id)
+            print(render_report(report))
+            return 0 if report.ok else 1
+
+        if args.command == "lint":
+            from repro.audit.lint import lint_store
+
+            report = lint_store(db.provenance_store)
+            print(report.summary())
+            for issue in report.issues:
+                print(f"  - {issue}")
+            return 0 if report.ok else 1
+
+        if args.command == "dot":
+            from repro.audit.dot import to_dot
+
+            text = to_dot(db.dag(), args.object_id, include_notes=args.notes)
+            if args.output:
+                with open(args.output, "w") as f:
+                    f.write(text)
+                print(f"wrote DOT graph to {args.output}")
+            else:
+                print(text)
+            return 0
+
+        if args.command == "ship":
+            shipment = db.ship(args.object_id)
+            with open(args.output, "w") as f:
+                f.write(shipment.to_json())
+            print(
+                f"shipped {args.object_id!r}: {len(shipment)} records, "
+                f"{shipment.snapshot.node_count} nodes -> {args.output}"
+            )
+            return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,213 @@
+"""Checksum anchoring: closing the tail-truncation boundary.
+
+The one attack the chain scheme cannot detect by itself is *truncation by
+whoever controls the end of a chain* (see SECURITY.md and
+``tests/attacks/test_collusion.py::TestTailRewriteBoundary``): colluders
+owning every record after seq *k* can re-sign and erase history back to
+*k*.  The classic mitigation — mentioned as out-of-scope by the paper's
+lineage of work — is to periodically deposit terminal checksums with a
+party outside the colluders' control.
+
+:class:`AnchorService` models that party (a timestamping service, a
+public ledger, a regulator's inbox): it signs ``(object, seq, checksum)``
+receipts and remembers them.  :func:`verify_with_anchors` extends normal
+shipment verification with the anchor check: every anchored state must
+appear in the shipped chain with exactly the anchored checksum.  A tail
+rewrite that erased an anchored record is then detected — the forged
+chain cannot contain the anchored checksum (it chains differently) and
+cannot omit it either.
+
+Anchoring is an *availability* trade: it re-introduces a third party the
+core scheme deliberately avoids, which is why it is an opt-in extension
+and not the default path.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.verifier import (
+    VerificationFailure,
+    VerificationReport,
+)
+from repro.crypto.signatures import SignatureScheme, SignatureVerifier
+from repro.exceptions import VerificationError
+from repro.provenance.records import ProvenanceRecord
+
+__all__ = ["AnchorReceipt", "AnchorService", "verify_with_anchors"]
+
+
+def _receipt_payload(object_id: str, seq_id: int, checksum: bytes, counter: int) -> bytes:
+    body = json.dumps(
+        {
+            "anchor": "v1",
+            "object_id": object_id,
+            "seq_id": seq_id,
+            "checksum": checksum.hex(),
+            "counter": counter,
+        },
+        sort_keys=True,
+    )
+    return body.encode("utf-8")
+
+
+@dataclass(frozen=True)
+class AnchorReceipt:
+    """A signed deposit of one chain state with the anchor service."""
+
+    object_id: str
+    seq_id: int
+    checksum: bytes
+    counter: int  # the service's monotonic sequence (its "timestamp")
+    signature: bytes
+
+    def payload(self) -> bytes:
+        """The bytes the anchor service signed."""
+        return _receipt_payload(self.object_id, self.seq_id, self.checksum, self.counter)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form."""
+        return {
+            "object_id": self.object_id,
+            "seq_id": self.seq_id,
+            "checksum": self.checksum.hex(),
+            "counter": self.counter,
+            "signature": self.signature.hex(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "AnchorReceipt":
+        """Inverse of :meth:`to_dict`.
+
+        Raises:
+            VerificationError: On malformed input.
+        """
+        try:
+            return cls(
+                object_id=str(data["object_id"]),
+                seq_id=int(data["seq_id"]),
+                checksum=bytes.fromhex(data["checksum"]),
+                counter=int(data["counter"]),
+                signature=bytes.fromhex(data["signature"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise VerificationError(f"malformed anchor receipt: {exc}") from exc
+
+
+class AnchorService:
+    """A trusted deposit box for terminal checksums.
+
+    Args:
+        scheme: The service's signature scheme (its own key pair — NOT a
+            participant's; the whole point is being outside their control).
+    """
+
+    def __init__(self, scheme: SignatureScheme):
+        self._scheme = scheme
+        self._counter = 0
+        self._log: List[AnchorReceipt] = []
+
+    def anchor(self, record: ProvenanceRecord) -> AnchorReceipt:
+        """Deposit one record's (object, seq, checksum); returns the receipt."""
+        self._counter += 1
+        receipt = AnchorReceipt(
+            object_id=record.object_id,
+            seq_id=record.seq_id,
+            checksum=record.checksum,
+            counter=self._counter,
+            signature=self._scheme.sign(
+                _receipt_payload(
+                    record.object_id, record.seq_id, record.checksum, self._counter
+                )
+            ),
+        )
+        self._log.append(receipt)
+        return receipt
+
+    def anchor_latest(self, db, object_id: str) -> AnchorReceipt:
+        """Convenience: anchor an object's most recent record.
+
+        Raises:
+            VerificationError: If the object has no records.
+        """
+        latest = db.provenance_store.latest(object_id)
+        if latest is None:
+            raise VerificationError(f"no records for {object_id!r} to anchor")
+        return self.anchor(latest)
+
+    def receipts_for(self, object_id: str) -> Tuple[AnchorReceipt, ...]:
+        """All receipts the service holds for one object, oldest first."""
+        return tuple(r for r in self._log if r.object_id == object_id)
+
+    def verifier(self) -> SignatureVerifier:
+        """Verification-only counterpart for recipients."""
+        return self._scheme.verifier()
+
+
+def verify_with_anchors(
+    shipment,
+    keystore,
+    receipts: Iterable[AnchorReceipt],
+    anchor_verifier: SignatureVerifier,
+) -> VerificationReport:
+    """Shipment verification extended with anchor-consistency checks.
+
+    On top of the normal R1–R8 verification, every receipt for the
+    shipment's objects must match the shipped chain: the record at the
+    anchored seq must exist and carry exactly the anchored checksum.
+    Receipts with invalid service signatures are rejected (an attacker
+    must not be able to fabricate "anchors" that contradict honest data).
+    """
+    report = shipment.verify(keystore)
+    failures = list(report.failures)
+    by_key: Dict[Tuple[str, int], ProvenanceRecord] = {
+        record.key: record for record in shipment.records
+    }
+    shipped_objects = {record.object_id for record in shipment.records}
+    checked = 0
+
+    for receipt in receipts:
+        if receipt.object_id not in shipped_objects:
+            continue
+        checked += 1
+        if not anchor_verifier.verify(receipt.payload(), receipt.signature):
+            failures.append(
+                VerificationFailure(
+                    "ANCHOR",
+                    receipt.object_id,
+                    "anchor receipt has an invalid service signature",
+                    seq_id=receipt.seq_id,
+                )
+            )
+            continue
+        record = by_key.get((receipt.object_id, receipt.seq_id))
+        if record is None:
+            failures.append(
+                VerificationFailure(
+                    "R7",
+                    receipt.object_id,
+                    f"anchored record #{receipt.seq_id} is missing from the "
+                    "shipped chain (history truncated or rewritten)",
+                    seq_id=receipt.seq_id,
+                )
+            )
+        elif record.checksum != receipt.checksum:
+            failures.append(
+                VerificationFailure(
+                    "R7",
+                    receipt.object_id,
+                    f"record #{receipt.seq_id} does not match its anchored "
+                    "checksum (history rewritten after anchoring)",
+                    seq_id=receipt.seq_id,
+                )
+            )
+
+    return VerificationReport(
+        ok=not failures,
+        failures=tuple(failures),
+        records_checked=report.records_checked + checked,
+        objects_checked=report.objects_checked,
+        target_id=report.target_id,
+    )

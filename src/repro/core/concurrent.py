@@ -1,0 +1,186 @@
+"""Concurrent sessions: §3.2's parallelism argument, made real.
+
+The paper's case for *local* (per-object) checksum chaining is that
+"participants can construct provenance chains (and checksums) for the two
+objects in parallel" — a global chain would serialise everyone through
+one lock.  This module provides the machinery that makes concurrent
+sessions safe in this implementation:
+
+- :class:`TreeLockManager` — one lock per tree root plus a structural
+  lock for root creation; multi-root operations acquire locks in the
+  global id order (deadlock-free).
+- :class:`ConcurrentSession` — wraps a participant session so every
+  primitive runs under the locks for exactly the trees it touches.
+  Operations on *different trees* proceed concurrently (the point of
+  local chaining); operations on the same tree serialise.
+
+Use with in-memory stores; SQLite connections are bound to their creating
+thread.  Complex operations must declare the roots they will touch
+(``complex_operation(roots=[...])``) since locks must be taken up front.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import ExitStack, contextmanager
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.core.system import ParticipantSession, TamperEvidentDatabase
+from repro.crypto.pki import Participant
+from repro.exceptions import TransactionError
+from repro.model.ordering import sort_ids
+from repro.model.values import Value
+
+__all__ = ["TreeLockManager", "ConcurrentSession", "concurrent_sessions"]
+
+
+class TreeLockManager:
+    """Per-tree-root locks with ordered multi-acquisition."""
+
+    def __init__(self) -> None:
+        self._locks: Dict[str, threading.Lock] = {}
+        #: Guards root creation/deletion and the lock table itself.
+        self.structural = threading.RLock()
+
+    def lock_for(self, root_id: str) -> threading.Lock:
+        """The lock guarding one tree (created on first use)."""
+        with self.structural:
+            lock = self._locks.get(root_id)
+            if lock is None:
+                lock = threading.Lock()
+                self._locks[root_id] = lock
+            return lock
+
+    @contextmanager
+    def holding(self, root_ids: Iterable[str], structural: bool = False) -> Iterator[None]:
+        """Acquire the locks for ``root_ids`` (global order) and yield.
+
+        ``structural`` additionally holds the structural lock — required
+        whenever the operation creates or removes a tree root.
+        """
+        ordered = sort_ids(set(root_ids))
+        with ExitStack() as stack:
+            if structural:
+                stack.enter_context(self.structural)
+            for root_id in ordered:
+                stack.enter_context(self.lock_for(root_id))
+            yield
+
+
+class ConcurrentSession:
+    """A participant session safe to use alongside other threads' sessions.
+
+    Each thread should create its *own* :class:`ConcurrentSession` (the
+    underlying sessions are not shared); all sessions of one database must
+    share one :class:`TreeLockManager`.
+    """
+
+    def __init__(
+        self,
+        db: TamperEvidentDatabase,
+        participant: Participant,
+        locks: TreeLockManager,
+    ):
+        self.db = db
+        self.locks = locks
+        self._session = ParticipantSession(db, participant)
+
+    @property
+    def store(self):
+        """Read access to the back-end store."""
+        return self.db.store
+
+    def _root_of(self, object_id: str) -> Optional[str]:
+        with self.locks.structural:
+            if object_id in self.db.store:
+                return self.db.store.root_of(object_id)
+            return None
+
+    # ------------------------------------------------------------------
+
+    def insert(
+        self,
+        object_id: str,
+        value: Value = None,
+        parent: Optional[str] = None,
+        note: str = "",
+    ):
+        """Locked ``Insert``; creating a root holds the structural lock."""
+        if parent is None:
+            with self.locks.holding([object_id], structural=True):
+                return self._session.insert(object_id, value, None, note=note)
+        root = self._root_of(parent)
+        with self.locks.holding([root] if root else [], structural=root is None):
+            return self._session.insert(object_id, value, parent, note=note)
+
+    def update(self, object_id: str, value: Value, note: str = ""):
+        """Locked ``Update``."""
+        root = self._root_of(object_id)
+        with self.locks.holding([root] if root else []):
+            return self._session.update(object_id, value, note=note)
+
+    def delete(self, object_id: str, note: str = ""):
+        """Locked ``Delete``; removing a root holds the structural lock."""
+        root = self._root_of(object_id)
+        structural = root == object_id
+        with self.locks.holding([root] if root else [], structural=structural):
+            return self._session.delete(object_id, note=note)
+
+    def aggregate(
+        self,
+        input_roots: Sequence[str],
+        output_id: str,
+        builder: Optional[Callable] = None,
+        note: str = "",
+    ):
+        """Locked ``Aggregate``: all input trees + structural (new root)."""
+        roots: List[str] = []
+        for input_id in input_roots:
+            root = self._root_of(input_id)
+            if root is not None:
+                roots.append(root)
+        with self.locks.holding(roots + [output_id], structural=True):
+            return self._session.aggregate(input_roots, output_id, builder, note=note)
+
+    @contextmanager
+    def complex_operation(self, roots: Sequence[str] = (), note: str = ""):
+        """Locked complex operation over the declared tree roots.
+
+        Locks cannot be discovered as the block runs, so the caller
+        declares the roots the block will touch.  The structural lock is
+        always held (the block may create roots).
+
+        Raises:
+            TransactionError: If an operation inside the block touches a
+                tree outside ``roots`` — detected at commit by the
+                records produced.
+        """
+        declared = set(roots)
+        with self.locks.holding(declared, structural=True):
+            with self._session.complex_operation(note=note):
+                yield self._session
+            for record in self._session.last_records:
+                root = (
+                    self.db.store.root_of(record.object_id)
+                    if record.object_id in self.db.store
+                    else None
+                )
+                if root is not None and root not in declared:
+                    raise TransactionError(
+                        f"complex operation touched undeclared tree {root!r}; "
+                        "declare it in complex_operation(roots=[...])"
+                    )
+
+    @property
+    def last_records(self):
+        """Records of the wrapped session's last complex operation."""
+        return self._session.last_records
+
+
+def concurrent_sessions(
+    db: TamperEvidentDatabase, participants: Sequence[Participant]
+) -> List[ConcurrentSession]:
+    """One :class:`ConcurrentSession` per participant, sharing one lock
+    manager — the standard multi-threaded setup."""
+    locks = TreeLockManager()
+    return [ConcurrentSession(db, p, locks) for p in participants]

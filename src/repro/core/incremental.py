@@ -1,0 +1,216 @@
+"""Incremental verification for repeat data recipients.
+
+A recipient who obtains the same object repeatedly (nightly data drops,
+subscription feeds) should not re-verify the entire history every time.
+Because each checksum signs its predecessor, a verified prefix can be
+summarised by a *checkpoint* — the last verified record's coordinates,
+output digest, and checksum — and later deliveries verified from there:
+
+    verifier = Verifier(keystore)
+    first = verifier.verify(snapshot, records)          # full pass
+    checkpoint = Checkpoint.from_records(object_id, records)
+    ...
+    report = verify_extension(verifier, checkpoint, new_snapshot, new_records)
+
+Trust argument: the checkpoint's checksum is covered by the signature of
+every subsequent record, so accepting the checkpoint is exactly as strong
+as having re-verified the prefix — provided the checkpoint itself came
+from a full verification the recipient performed earlier.
+
+Limitation (documented): extensions must be *linear* — aggregation
+records reach back into other chains, so a delivery introducing a new
+aggregation triggers a full verification.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.core.verifier import (
+    VerificationFailure,
+    VerificationReport,
+    Verifier,
+)
+from repro.exceptions import VerificationError
+from repro.provenance.records import Operation, ProvenanceRecord
+from repro.provenance.snapshot import SubtreeSnapshot
+
+__all__ = ["Checkpoint", "verify_extension"]
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Summary of a fully verified chain prefix."""
+
+    object_id: str
+    seq_id: int
+    output_digest: bytes
+    checksum: bytes
+    hash_algorithm: str
+
+    @classmethod
+    def from_records(
+        cls, object_id: str, records: Sequence[ProvenanceRecord]
+    ) -> "Checkpoint":
+        """Checkpoint at the most recent record for ``object_id``.
+
+        The caller must have *verified* ``records`` first; this only
+        extracts the summary.
+
+        Raises:
+            VerificationError: If there is no record for the object.
+        """
+        chain = sorted(
+            (r for r in records if r.object_id == object_id),
+            key=lambda r: r.seq_id,
+        )
+        if not chain:
+            raise VerificationError(f"no records for {object_id!r} to checkpoint")
+        terminal = chain[-1]
+        return cls(
+            object_id=object_id,
+            seq_id=terminal.seq_id,
+            output_digest=terminal.output.digest,
+            checksum=terminal.checksum,
+            hash_algorithm=terminal.hash_algorithm,
+        )
+
+    def to_json(self) -> str:
+        """Serialize (recipients persist checkpoints between deliveries)."""
+        return json.dumps(
+            {
+                "object_id": self.object_id,
+                "seq_id": self.seq_id,
+                "output_digest": self.output_digest.hex(),
+                "checksum": self.checksum.hex(),
+                "hash_algorithm": self.hash_algorithm,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, blob: str) -> "Checkpoint":
+        """Inverse of :meth:`to_json`.
+
+        Raises:
+            VerificationError: On malformed input.
+        """
+        try:
+            data: Dict[str, object] = json.loads(blob)
+            return cls(
+                object_id=str(data["object_id"]),
+                seq_id=int(data["seq_id"]),
+                output_digest=bytes.fromhex(data["output_digest"]),
+                checksum=bytes.fromhex(data["checksum"]),
+                hash_algorithm=str(data["hash_algorithm"]),
+            )
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+            raise VerificationError(f"malformed checkpoint: {exc}") from exc
+
+
+def verify_extension(
+    verifier: Verifier,
+    checkpoint: Checkpoint,
+    snapshot: SubtreeSnapshot,
+    new_records: Sequence[ProvenanceRecord],
+) -> VerificationReport:
+    """Verify a delivery given a previously verified checkpoint.
+
+    ``new_records`` are the records with ``seq_id > checkpoint.seq_id``
+    for the checkpointed object; records at or below the checkpoint are
+    ignored (senders may re-ship the full chain).  A delivery containing
+    an aggregation record is rejected with a failure instructing a full
+    verification (aggregations reach into other chains, which the
+    checkpoint does not summarise).
+    """
+    from repro.core import checksum as payloads
+    from repro.core.merkle import subtree_digest
+    from repro.exceptions import CertificateError
+
+    object_id = checkpoint.object_id
+    relevant = sorted(
+        (
+            r
+            for r in new_records
+            if r.object_id == object_id and r.seq_id > checkpoint.seq_id
+        ),
+        key=lambda r: r.seq_id,
+    )
+    failures = []
+
+    def fail(requirement: str, message: str, seq_id=None) -> None:
+        failures.append(VerificationFailure(requirement, object_id, message, seq_id))
+
+    if any(r.operation is Operation.AGGREGATE for r in relevant):
+        fail(
+            "STRUCT",
+            "extension contains an aggregation record; incremental "
+            "verification only covers linear extensions — run a full "
+            "verification",
+        )
+        return _report(checkpoint, failures, 0)
+
+    prev_seq = checkpoint.seq_id
+    prev_digest = checkpoint.output_digest
+    prev_checksum = checkpoint.checksum
+    for record in relevant:
+        if record.seq_id != prev_seq + 1:
+            code = "R3" if record.seq_id == prev_seq else "R2"
+            fail(
+                code,
+                f"sequence break: record {record.seq_id} follows {prev_seq}",
+                record.seq_id,
+            )
+            return _report(checkpoint, failures, len(relevant))
+        if record.operation is not Operation.INSERT:
+            if len(record.inputs) != 1 or record.inputs[0].digest != prev_digest:
+                fail(
+                    "R1",
+                    "input state does not match the previously verified state",
+                    record.seq_id,
+                )
+        try:
+            payload = payloads.record_payload(record, (prev_checksum,))
+            key = verifier.keystore.verifier_for(record.participant_id)
+            if not key.verify(payload, record.checksum):
+                fail(
+                    "R1",
+                    f"checksum signature of {record.participant_id!r} does not verify",
+                    record.seq_id,
+                )
+        except CertificateError as exc:
+            fail("PKI", str(exc), record.seq_id)
+        except Exception as exc:
+            fail("STRUCT", str(exc), record.seq_id)
+        prev_seq = record.seq_id
+        prev_digest = record.output.digest
+        prev_checksum = record.checksum
+
+    # Terminal data check (R4/R5).
+    if snapshot.root_id != object_id:
+        fail("R5", f"data object is {snapshot.root_id!r}, not {object_id!r}")
+    else:
+        actual = subtree_digest(
+            snapshot.to_forest(), object_id, checkpoint.hash_algorithm
+        )
+        if actual != prev_digest:
+            fail(
+                "R4",
+                "data object does not match the most recent verified state",
+                prev_seq,
+            )
+
+    return _report(checkpoint, failures, len(relevant))
+
+
+def _report(
+    checkpoint: Checkpoint, failures, records_checked: int
+) -> VerificationReport:
+    return VerificationReport(
+        ok=not failures,
+        failures=tuple(failures),
+        records_checked=records_checked,
+        objects_checked=1,
+        target_id=checkpoint.object_id,
+    )

@@ -1,0 +1,95 @@
+"""Selective disclosure: redacting values from shipped provenance.
+
+Provenance records carry atomic values inline purely for auditability —
+the signed payloads cover only *digests* of states.  A shipper can
+therefore strip inline values from records before delivery without
+breaking a single signature: the recipient still verifies the full
+chain, they just see ``<compound: digest>`` placeholders where values
+were withheld.
+
+Scope and honesty notes:
+
+- the *data object itself* (the snapshot) cannot be redacted — the
+  recipient must be able to recompute ``h(subtree(target))`` for the R4
+  check; redaction hides other objects' intermediate states, not the
+  delivered data;
+- white-box notes are part of the signed payload and cannot be redacted
+  (removing one is indistinguishable from tampering — by design);
+- this is *withholding*, not semantic security: digests of low-entropy
+  values are guessable by brute force.  The paper explicitly leaves
+  confidentiality to other work (§6); this module only keeps the
+  integrity scheme usable when policies forbid shipping raw values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.core.shipment import Shipment
+from repro.exceptions import ShipmentError
+from repro.provenance.records import ObjectState, ProvenanceRecord
+
+__all__ = [
+    "redact_values",
+    "redact_participant_values",
+    "redact_object_values",
+]
+
+#: Decides, per (record, state), whether the state's value is withheld.
+RedactionPredicate = Callable[[ProvenanceRecord, ObjectState], bool]
+
+
+def _strip(state: ObjectState) -> ObjectState:
+    if not state.has_value:
+        return state
+    return dataclasses.replace(state, value=None, has_value=False)
+
+
+def redact_values(shipment: Shipment, predicate: RedactionPredicate) -> Shipment:
+    """Return a copy of ``shipment`` with matching inline values stripped.
+
+    Digests, checksums, and the data snapshot are untouched, so the
+    redacted shipment verifies exactly like the original.
+
+    Raises:
+        ShipmentError: If the predicate matches the *target object's*
+            terminal output — that value is re-derivable from the
+            snapshot anyway, so redacting it would only feign privacy.
+    """
+    records = []
+    for record in shipment.records:
+        inputs = tuple(
+            _strip(state) if predicate(record, state) else state
+            for state in record.inputs
+        )
+        output = record.output
+        if predicate(record, output):
+            if record.object_id == shipment.target_id and record.output.has_value:
+                raise ShipmentError(
+                    "cannot redact the delivered object's own value: it is "
+                    "present in the data snapshot the recipient must receive"
+                )
+            output = _strip(output)
+        if inputs != record.inputs or output is not record.output:
+            record = dataclasses.replace(record, inputs=inputs, output=output)
+        records.append(record)
+    return dataclasses.replace(shipment, records=tuple(records))
+
+
+def redact_participant_values(shipment: Shipment, participant_id: str) -> Shipment:
+    """Withhold every value appearing in ``participant_id``'s records."""
+    return redact_values(
+        shipment, lambda record, _state: record.participant_id == participant_id
+    )
+
+
+def redact_object_values(shipment: Shipment, object_prefix: str) -> Shipment:
+    """Withhold values of all states whose object id starts with a prefix.
+
+    With the relational id scheme this hides a table, a row, or a column
+    (e.g. ``clinic-db/endocrine``) from the shipped history.
+    """
+    return redact_values(
+        shipment, lambda _record, state: state.object_id.startswith(object_prefix)
+    )

@@ -1,0 +1,450 @@
+"""Data-recipient verification (§3's two-step procedure).
+
+Given a data object (as a :class:`SubtreeSnapshot`), its provenance object
+(a set of records), and a trust store of participant certificates, the
+verifier checks:
+
+1. the data object matches the output of its most recent provenance
+   record (requirements R4/R5);
+2. starting from the earliest checksums, every stored checksum verifies
+   against the payload recomputed from the record's input/output fields
+   and the predecessor checksum(s) (R1–R3, R6–R8).
+
+Verification failures are *reported*, not raised: tampering is an
+expected input, and the report says which security requirement the
+evidence violates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import checksum as payloads
+from repro.core.merkle import subtree_digest
+from repro.crypto.pki import KeyStore
+from repro.exceptions import CertificateError
+from repro.provenance.records import Operation, ProvenanceRecord
+from repro.provenance.snapshot import SubtreeSnapshot
+
+__all__ = ["VerificationFailure", "VerificationReport", "Verifier"]
+
+
+@dataclass(frozen=True)
+class VerificationFailure:
+    """One detected integrity violation.
+
+    ``requirement`` names the security requirement of §2.2 whose
+    guarantee flagged the problem (R1–R8), or ``"PKI"`` for trust-store
+    problems and ``"STRUCT"`` for malformed record sets.
+    """
+
+    requirement: str
+    object_id: str
+    message: str
+    seq_id: Optional[int] = None
+
+    def __str__(self) -> str:
+        where = f"{self.object_id}#{self.seq_id}" if self.seq_id is not None else self.object_id
+        return f"[{self.requirement}] {where}: {self.message}"
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of one verification run."""
+
+    ok: bool
+    failures: Tuple[VerificationFailure, ...]
+    records_checked: int
+    objects_checked: int
+    target_id: Optional[str] = None
+
+    def requirement_codes(self) -> Tuple[str, ...]:
+        """Sorted distinct requirement codes among the failures."""
+        return tuple(sorted({f.requirement for f in self.failures}))
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        if self.ok:
+            return (
+                f"VERIFIED: {self.records_checked} records over "
+                f"{self.objects_checked} objects"
+            )
+        return (
+            f"TAMPERING DETECTED ({', '.join(self.requirement_codes())}): "
+            + "; ".join(str(f) for f in self.failures[:5])
+            + ("; ..." if len(self.failures) > 5 else "")
+        )
+
+
+class _PredecessorChoices:
+    """Candidate predecessor checksums per aggregation input.
+
+    Digest-identical chain states are indistinguishable from the record
+    alone (e.g. an input later updated back to the same value, with a seq
+    id still below the aggregate's), so the verifier accepts *any*
+    candidate combination whose signature verifies — signatures cannot be
+    forged, so this is sound.
+
+    Search order: the all-newest and all-oldest combinations first (the
+    signer's actual predecessor is the input's latest record *at
+    aggregation time* — all-newest when nothing changed afterwards,
+    drifting toward older candidates as duplicate states accumulate),
+    then the bounded cartesian product.
+    """
+
+    MAX_COMBINATIONS = 512
+
+    def __init__(self, per_input: List[List[bytes]]):
+        self.per_input = per_input
+
+    def combinations(self):
+        import itertools
+
+        newest = tuple(options[0] for options in self.per_input)
+        oldest = tuple(options[-1] for options in self.per_input)
+        yield newest
+        if oldest != newest:
+            yield oldest
+        emitted = 2
+        for combo in itertools.product(*self.per_input):
+            if combo in (newest, oldest):
+                continue
+            yield combo
+            emitted += 1
+            if emitted >= self.MAX_COMBINATIONS:
+                return
+
+
+class _Failures:
+    def __init__(self) -> None:
+        self.items: List[VerificationFailure] = []
+
+    def add(
+        self, requirement: str, object_id: str, message: str, seq_id: Optional[int] = None
+    ) -> None:
+        self.items.append(VerificationFailure(requirement, object_id, message, seq_id))
+
+
+class Verifier:
+    """Verifies provenance objects against data objects.
+
+    Args:
+        keystore: Trust store resolving participant ids to signature
+            verifiers (built from CA-signed certificates).
+    """
+
+    def __init__(self, keystore: KeyStore):
+        self.keystore = keystore
+
+    # ------------------------------------------------------------------
+
+    def verify(
+        self,
+        snapshot: SubtreeSnapshot,
+        records: Sequence[ProvenanceRecord],
+        target_id: Optional[str] = None,
+    ) -> VerificationReport:
+        """Run the full §3 verification procedure.
+
+        Args:
+            snapshot: The received data object.
+            records: The received provenance object (the target's chain
+                plus the chains it depends on through aggregations).
+            target_id: The object the provenance claims to describe;
+                defaults to the snapshot root.
+        """
+        failures = _Failures()
+        target = target_id if target_id is not None else snapshot.root_id
+        chains = self._index(records, failures)
+
+        self._check_data_matches_terminal(snapshot, target, chains, failures)
+        checked = self._check_chains(chains, failures)
+
+        return VerificationReport(
+            ok=not failures.items,
+            failures=tuple(failures.items),
+            records_checked=checked,
+            objects_checked=len(chains),
+            target_id=target,
+        )
+
+    def verify_records(
+        self, records: Sequence[ProvenanceRecord]
+    ) -> VerificationReport:
+        """Verify checksum chains only (no data object at hand)."""
+        failures = _Failures()
+        chains = self._index(records, failures)
+        checked = self._check_chains(chains, failures)
+        return VerificationReport(
+            ok=not failures.items,
+            failures=tuple(failures.items),
+            records_checked=checked,
+            objects_checked=len(chains),
+        )
+
+    # ------------------------------------------------------------------
+    # step 1: the data object matches the most recent record (R4/R5)
+    # ------------------------------------------------------------------
+
+    def _check_data_matches_terminal(
+        self,
+        snapshot: SubtreeSnapshot,
+        target: str,
+        chains: Dict[str, List[ProvenanceRecord]],
+        failures: _Failures,
+    ) -> None:
+        if snapshot.root_id != target:
+            failures.add(
+                "R5",
+                target,
+                f"provenance describes {target!r} but the data object is "
+                f"{snapshot.root_id!r}",
+            )
+            return
+        chain = chains.get(target)
+        if not chain:
+            failures.add(
+                "R4", target, "no provenance records for the delivered object"
+            )
+            return
+        terminal = chain[-1]
+        forest = snapshot.to_forest()
+        try:
+            actual = subtree_digest(forest, snapshot.root_id, terminal.hash_algorithm)
+        except Exception as exc:  # unknown algorithm, malformed snapshot, ...
+            failures.add(
+                "STRUCT",
+                target,
+                f"cannot recompute the data object's digest: {exc}",
+                seq_id=terminal.seq_id,
+            )
+            return
+        if actual != terminal.output.digest:
+            failures.add(
+                "R4",
+                target,
+                "data object does not match the output of its most recent "
+                "provenance record (modified without provenance, or "
+                "provenance reassigned)",
+                seq_id=terminal.seq_id,
+            )
+
+    # ------------------------------------------------------------------
+    # step 2: recompute every checksum from the earliest onward (R1-R3, R6-R8)
+    # ------------------------------------------------------------------
+
+    def _check_chains(
+        self, chains: Dict[str, List[ProvenanceRecord]], failures: _Failures
+    ) -> int:
+        checked = 0
+        for object_id, chain in sorted(chains.items()):
+            previous: Optional[ProvenanceRecord] = None
+            for record in chain:
+                checked += 1
+                self._check_inline_values(record, failures)
+                prev_checksums = self._resolve_predecessors(
+                    record, previous, chains, failures
+                )
+                if prev_checksums is None:
+                    previous = record
+                    continue  # structural failure already reported
+                self._verify_signature(record, prev_checksums, failures)
+                previous = record
+        return checked
+
+    def _check_inline_values(
+        self, record: ProvenanceRecord, failures: _Failures
+    ) -> None:
+        """Inlined atomic values must hash to the state digests they ride on.
+
+        Catches an attacker who leaves digests (and thus signatures)
+        intact but rewrites the human-readable values in the records.
+        """
+        from repro.crypto.hashing import hash_bytes
+        from repro.model.values import encode_node
+
+        for state in (*record.inputs, record.output):
+            if not state.has_value or state.node_count != 1:
+                continue
+            try:
+                expected = hash_bytes(
+                    encode_node(state.object_id, state.value), record.hash_algorithm
+                )
+            except Exception:
+                expected = None
+            if expected != state.digest:
+                failures.add(
+                    "R1",
+                    record.object_id,
+                    f"inlined value {state.value!r} of {state.object_id!r} does "
+                    "not hash to the recorded state digest",
+                    seq_id=record.seq_id,
+                )
+
+    def _resolve_predecessors(
+        self,
+        record: ProvenanceRecord,
+        previous: Optional[ProvenanceRecord],
+        chains: Dict[str, List[ProvenanceRecord]],
+        failures: _Failures,
+    ) -> Optional[Sequence[bytes]]:
+        if record.operation is Operation.AGGREGATE:
+            return self._resolve_aggregate_predecessors(record, chains, failures)
+
+        if previous is None:
+            if record.seq_id != 0 or record.operation is not Operation.INSERT:
+                failures.add(
+                    "R2",
+                    record.object_id,
+                    f"chain starts at seq {record.seq_id} with a "
+                    f"{record.operation.value} record; earlier records are missing",
+                    seq_id=record.seq_id,
+                )
+                return None
+            return ()
+
+        if record.seq_id != previous.seq_id + 1:
+            code = "R3" if record.seq_id == previous.seq_id else "R2"
+            failures.add(
+                code,
+                record.object_id,
+                f"sequence break: record {record.seq_id} follows {previous.seq_id}",
+                seq_id=record.seq_id,
+            )
+            return None
+
+        # Update-shaped continuity: the input state must be the state the
+        # previous record produced.
+        if record.operation is not Operation.INSERT:
+            if len(record.inputs) != 1:
+                failures.add(
+                    "STRUCT",
+                    record.object_id,
+                    f"update record has {len(record.inputs)} inputs",
+                    seq_id=record.seq_id,
+                )
+                return None
+            if record.inputs[0].digest != previous.output.digest:
+                failures.add(
+                    "R1",
+                    record.object_id,
+                    "input state does not match the previous record's output "
+                    "(a record in between was modified or removed)",
+                    seq_id=record.seq_id,
+                )
+                # The signature check below will also fail if the stored
+                # checksum was not updated to match; still worth running.
+        return (previous.checksum,)
+
+    def _resolve_aggregate_predecessors(
+        self,
+        record: ProvenanceRecord,
+        chains: Dict[str, List[ProvenanceRecord]],
+        failures: _Failures,
+    ) -> Optional[Sequence[bytes]]:
+        per_input: List[List[bytes]] = []
+        for state in record.inputs:
+            # The consumed record is identified by *state*, not sequence
+            # position: the input chain may have advanced (with seq ids
+            # still below the aggregate's) after the aggregation ran.
+            chain = chains.get(state.object_id, [])
+            candidates = [r for r in chain if r.seq_id < record.seq_id]
+            matches = [
+                r.checksum
+                for r in reversed(candidates)
+                if r.output.digest == state.digest
+            ]
+            if not matches:
+                if candidates:
+                    failures.add(
+                        "R1",
+                        record.object_id,
+                        f"aggregation input {state.object_id!r} does not match "
+                        "any recorded state of that object",
+                        seq_id=record.seq_id,
+                    )
+                    matches = [candidates[-1].checksum]  # still run the check
+                else:
+                    failures.add(
+                        "R2",
+                        record.object_id,
+                        f"aggregation input {state.object_id!r} has no "
+                        "provenance records before the aggregation",
+                        seq_id=record.seq_id,
+                    )
+                    return None
+            per_input.append(matches)
+        return _PredecessorChoices(per_input)
+
+    def _verify_signature(
+        self,
+        record: ProvenanceRecord,
+        prev_checksums,
+        failures: _Failures,
+    ) -> None:
+        if isinstance(prev_checksums, _PredecessorChoices):
+            options = prev_checksums.combinations()
+        else:
+            options = iter([tuple(prev_checksums)])
+
+        try:
+            verifier = self.keystore.verifier_for(record.participant_id)
+        except CertificateError as exc:
+            failures.add("PKI", record.object_id, str(exc), seq_id=record.seq_id)
+            return
+
+        tried_any = False
+        for prevs in options:
+            try:
+                payload = payloads.record_payload(record, prevs)
+            except Exception as exc:  # malformed record shapes
+                failures.add(
+                    "STRUCT", record.object_id, str(exc), seq_id=record.seq_id
+                )
+                return
+            tried_any = True
+            if verifier.verify(payload, record.checksum):
+                return
+        if tried_any:
+            failures.add(
+                "R1",
+                record.object_id,
+                f"checksum signature of participant "
+                f"{record.participant_id!r} does not verify (record contents "
+                "modified, record forged, or chain re-linked)",
+                seq_id=record.seq_id,
+            )
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _index(
+        records: Sequence[ProvenanceRecord], failures: _Failures
+    ) -> Dict[str, List[ProvenanceRecord]]:
+        chains: Dict[str, List[ProvenanceRecord]] = {}
+        seen = set()
+        for record in records:
+            if record.key in seen:
+                failures.add(
+                    "R3",
+                    record.object_id,
+                    f"duplicate record for seq {record.seq_id}",
+                    seq_id=record.seq_id,
+                )
+                continue
+            seen.add(record.key)
+            chains.setdefault(record.object_id, []).append(record)
+        for chain in chains.values():
+            chain.sort(key=lambda r: r.seq_id)
+        return chains
+
+
+def _latest_before(
+    chain: List[ProvenanceRecord], seq_id: int
+) -> Optional[ProvenanceRecord]:
+    best = None
+    for record in chain:
+        if record.seq_id < seq_id:
+            best = record
+    return best

@@ -1,0 +1,73 @@
+"""Cryptographic substrate: hashing, RSA signatures, and a minimal PKI.
+
+The paper (§2.3) assumes a cryptographic hash function ``h()`` (SHA-1 in the
+evaluation), RSA public-key signatures ``S_SK(m)``, and a public-key
+infrastructure in which every participant is authenticated by a certificate
+authority.  This package provides all three, implemented from scratch on top
+of the standard library only:
+
+- :mod:`repro.crypto.hashing` — a registry of hash algorithms and helpers.
+- :mod:`repro.crypto.numbers` — modular arithmetic and probabilistic
+  primality testing used by key generation.
+- :mod:`repro.crypto.rsa` — RSA key generation and the raw trapdoor
+  permutation.
+- :mod:`repro.crypto.pkcs1` — EMSA-PKCS1-v1_5 signature encoding.
+- :mod:`repro.crypto.signatures` — signature-scheme objects (RSA, HMAC,
+  null) behind one protocol so benchmarks can isolate hashing from signing.
+- :mod:`repro.crypto.keys` — key serialization.
+- :mod:`repro.crypto.pki` — certificates, a certificate authority, and
+  :class:`~repro.crypto.pki.Participant`.
+"""
+
+from repro.crypto.hashing import (
+    DEFAULT_HASH,
+    HashAlgorithm,
+    available_algorithms,
+    get_algorithm,
+    hash_bytes,
+    register_algorithm,
+)
+from repro.crypto.keys import (
+    private_key_from_dict,
+    private_key_to_dict,
+    public_key_from_dict,
+    public_key_to_dict,
+)
+from repro.crypto.pki import (
+    Certificate,
+    CertificateAuthority,
+    KeyStore,
+    Participant,
+)
+from repro.crypto.rsa import RSAKeyPair, RSAPrivateKey, RSAPublicKey, generate_keypair
+from repro.crypto.signatures import (
+    HMACSignatureScheme,
+    NullSignatureScheme,
+    RSASignatureScheme,
+    SignatureScheme,
+)
+
+__all__ = [
+    "DEFAULT_HASH",
+    "HashAlgorithm",
+    "available_algorithms",
+    "get_algorithm",
+    "hash_bytes",
+    "register_algorithm",
+    "RSAKeyPair",
+    "RSAPrivateKey",
+    "RSAPublicKey",
+    "generate_keypair",
+    "SignatureScheme",
+    "RSASignatureScheme",
+    "HMACSignatureScheme",
+    "NullSignatureScheme",
+    "Certificate",
+    "CertificateAuthority",
+    "KeyStore",
+    "Participant",
+    "public_key_to_dict",
+    "public_key_from_dict",
+    "private_key_to_dict",
+    "private_key_from_dict",
+]

@@ -1,0 +1,77 @@
+"""Key serialization.
+
+Keys are serialized to plain dictionaries with hex-encoded integers, which
+JSON-round-trip cleanly.  This is what the :mod:`repro.core.shipment`
+format embeds when a data recipient needs participants' public keys (via
+their certificates) to verify checksums offline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.crypto.rsa import RSAPrivateKey, RSAPublicKey
+from repro.exceptions import CryptoError
+
+__all__ = [
+    "public_key_to_dict",
+    "public_key_from_dict",
+    "private_key_to_dict",
+    "private_key_from_dict",
+]
+
+_PUBLIC_FIELDS = ("n", "e")
+_PRIVATE_FIELDS = ("n", "e", "d", "p", "q")
+
+
+def public_key_to_dict(key: RSAPublicKey) -> Dict[str, str]:
+    """Serialize a public key to ``{"kind": "rsa-public", "n": hex, "e": hex}``."""
+    return {"kind": "rsa-public", "n": hex(key.n), "e": hex(key.e)}
+
+
+def public_key_from_dict(data: Dict[str, str]) -> RSAPublicKey:
+    """Inverse of :func:`public_key_to_dict`.
+
+    Raises:
+        CryptoError: On a malformed dictionary.
+    """
+    _require_kind(data, "rsa-public")
+    fields = _parse_int_fields(data, _PUBLIC_FIELDS)
+    return RSAPublicKey(**fields)
+
+
+def private_key_to_dict(key: RSAPrivateKey) -> Dict[str, str]:
+    """Serialize a private key (CRT parameters are re-derived on load)."""
+    out = {"kind": "rsa-private"}
+    for name in _PRIVATE_FIELDS:
+        out[name] = hex(getattr(key, name))
+    return out
+
+
+def private_key_from_dict(data: Dict[str, str]) -> RSAPrivateKey:
+    """Inverse of :func:`private_key_to_dict`.
+
+    Raises:
+        CryptoError: On a malformed dictionary.
+    """
+    _require_kind(data, "rsa-private")
+    fields = _parse_int_fields(data, _PRIVATE_FIELDS)
+    return RSAPrivateKey(**fields)
+
+
+def _require_kind(data: Dict[str, str], kind: str) -> None:
+    found = data.get("kind")
+    if found != kind:
+        raise CryptoError(f"expected key kind {kind!r}, found {found!r}")
+
+
+def _parse_int_fields(data: Dict[str, str], names) -> Dict[str, int]:
+    out = {}
+    for name in names:
+        if name not in data:
+            raise CryptoError(f"key dictionary missing field {name!r}")
+        try:
+            out[name] = int(data[name], 16)
+        except (TypeError, ValueError) as exc:
+            raise CryptoError(f"field {name!r} is not a hex integer") from exc
+    return out

@@ -1,0 +1,75 @@
+"""EMSA-PKCS1-v1_5 signature encoding (RFC 8017 §9.2).
+
+The paper describes signing as "first hashing m, and then encrypting h(m)
+with the secret key" (§2.3).  Encrypting a bare digest with textbook RSA is
+malleable, so — like the Java ``Cipher("RSA")``/``Signature("SHA1withRSA")``
+stack the authors actually ran — we wrap the digest in the standard
+PKCS#1 v1.5 encoding before exponentiation:
+
+    EM = 0x00 || 0x01 || 0xFF..0xFF || 0x00 || DigestInfo || digest
+
+``DigestInfo`` is the DER prefix identifying the hash algorithm, taken from
+RFC 8017 Appendix B.1 notes.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashing import get_algorithm
+from repro.exceptions import SignatureError, UnknownHashAlgorithm
+
+__all__ = ["encode", "digest_info_prefix", "MIN_PADDING_LEN"]
+
+#: DER-encoded DigestInfo prefixes per RFC 8017 (hash OID + NULL params).
+_DIGEST_INFO_PREFIXES = {
+    "md5": bytes.fromhex("3020300c06082a864886f70d020505000410"),
+    "sha1": bytes.fromhex("3021300906052b0e03021a05000414"),
+    "sha224": bytes.fromhex("302d300d06096086480165030402040500041c"),
+    "sha256": bytes.fromhex("3031300d060960864801650304020105000420"),
+    "sha384": bytes.fromhex("3041300d060960864801650304020205000430"),
+    "sha512": bytes.fromhex("3051300d060960864801650304020305000440"),
+}
+
+#: RFC 8017 requires at least 8 bytes of 0xFF padding.
+MIN_PADDING_LEN = 8
+
+
+def digest_info_prefix(algorithm: str) -> bytes:
+    """Return the DER DigestInfo prefix for a hash algorithm name.
+
+    Raises:
+        UnknownHashAlgorithm: If no prefix is known for ``algorithm``.
+    """
+    try:
+        return _DIGEST_INFO_PREFIXES[algorithm.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_DIGEST_INFO_PREFIXES))
+        raise UnknownHashAlgorithm(
+            f"no DigestInfo prefix for {algorithm!r}; known: {known}"
+        ) from None
+
+
+def encode(message: bytes, em_len: int, algorithm: str = "sha1") -> bytes:
+    """EMSA-PKCS1-v1_5-encode ``message`` into ``em_len`` bytes.
+
+    Args:
+        message: The raw message to be signed (it is hashed here).
+        em_len: Target encoded length in bytes — the modulus byte size.
+        algorithm: Registered hash algorithm name.
+
+    Returns:
+        The ``em_len``-byte encoded message ``EM``.
+
+    Raises:
+        SignatureError: If the modulus is too small for the chosen hash
+            (``intended encoded message length too short`` per the RFC).
+    """
+    alg = get_algorithm(algorithm)
+    digest = alg.digest(message)
+    t = digest_info_prefix(algorithm) + digest
+    if em_len < len(t) + MIN_PADDING_LEN + 3:
+        raise SignatureError(
+            f"modulus too small: need at least {len(t) + MIN_PADDING_LEN + 3} "
+            f"bytes for {algorithm}, have {em_len}"
+        )
+    padding = b"\xff" * (em_len - len(t) - 3)
+    return b"\x00\x01" + padding + b"\x00" + t

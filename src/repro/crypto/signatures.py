@@ -1,0 +1,226 @@
+"""Signature schemes behind a single protocol.
+
+The checksum machinery only needs two operations — ``sign(message)`` and
+``verify(message, signature)`` — plus a stable ``signature_size`` so the
+space-overhead experiments (Fig 9/11) can account for storage.  Three
+implementations are provided:
+
+- :class:`RSASignatureScheme` — the paper's scheme: RSA over an
+  EMSA-PKCS1-v1_5-encoded digest.  1024-bit keys give the 128-byte
+  checksums the paper stores.
+- :class:`HMACSignatureScheme` — a keyed-MAC stand-in.  Not a real
+  signature (no non-repudiation, so R8 does not hold), but useful in
+  benchmarks to separate hashing cost from public-key signing cost.
+- :class:`NullSignatureScheme` — returns the digest itself; isolates pure
+  hashing cost and is the fastest thing a benchmark can compare against.
+
+Verifier-side counterparts (:class:`RSASignatureVerifier`, ...) carry only
+public material, mirroring what a data recipient actually holds.
+"""
+
+from __future__ import annotations
+
+import hmac
+from typing import Protocol, runtime_checkable
+
+from repro.crypto import pkcs1
+from repro.crypto.hashing import get_algorithm
+from repro.crypto.rsa import RSAPrivateKey, RSAPublicKey
+from repro.exceptions import CryptoError
+
+__all__ = [
+    "SignatureScheme",
+    "SignatureVerifier",
+    "RSASignatureScheme",
+    "RSASignatureVerifier",
+    "MultiKeyVerifier",
+    "HMACSignatureScheme",
+    "NullSignatureScheme",
+]
+
+
+@runtime_checkable
+class SignatureScheme(Protocol):
+    """Anything that can sign messages on behalf of a participant."""
+
+    #: Registry name of the scheme, stored alongside checksums.
+    scheme_name: str
+
+    @property
+    def signature_size(self) -> int:
+        """Size in bytes of every signature this scheme produces."""
+        ...
+
+    def sign(self, message: bytes) -> bytes:
+        """Sign ``message`` and return the signature bytes."""
+        ...
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Return True iff ``signature`` is valid for ``message``."""
+        ...
+
+
+@runtime_checkable
+class SignatureVerifier(Protocol):
+    """Verification-only counterpart of :class:`SignatureScheme`."""
+
+    scheme_name: str
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Return True iff ``signature`` is valid for ``message``."""
+        ...
+
+
+class RSASignatureVerifier:
+    """Verifies RSA/PKCS#1 v1.5 signatures given only a public key."""
+
+    scheme_name = "rsa-pkcs1v15"
+
+    def __init__(self, public_key: RSAPublicKey, hash_algorithm: str = "sha1"):
+        self.public_key = public_key
+        self.hash_algorithm = hash_algorithm
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Constant-structure verify: re-encode and compare."""
+        k = self.public_key.byte_size
+        if len(signature) != k:
+            return False
+        s = int.from_bytes(signature, "big")
+        if s >= self.public_key.n:
+            return False
+        em = self.public_key.encrypt_int(s).to_bytes(k, "big")
+        try:
+            expected = pkcs1.encode(message, k, self.hash_algorithm)
+        except CryptoError:
+            return False
+        return hmac.compare_digest(em, expected)
+
+    def __repr__(self) -> str:
+        return (
+            f"RSASignatureVerifier(key={self.public_key.fingerprint()}, "
+            f"hash={self.hash_algorithm})"
+        )
+
+
+class MultiKeyVerifier:
+    """Accepts a signature valid under *any* of several verifiers.
+
+    Key rotation gives one participant several certified keys over time;
+    old records stay verifiable under old keys.  Order the verifiers
+    newest-first — recent records dominate real workloads.
+    """
+
+    scheme_name = "multi-key"
+
+    def __init__(self, verifiers: tuple):
+        if not verifiers:
+            raise CryptoError("MultiKeyVerifier needs at least one verifier")
+        self.verifiers = tuple(verifiers)
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        return any(v.verify(message, signature) for v in self.verifiers)
+
+    def __repr__(self) -> str:
+        return f"MultiKeyVerifier(keys={len(self.verifiers)})"
+
+
+class RSASignatureScheme:
+    """The paper's signature scheme: ``S_SK(m) = RSA_SK(PKCS1(h(m)))``."""
+
+    scheme_name = "rsa-pkcs1v15"
+
+    def __init__(self, private_key: RSAPrivateKey, hash_algorithm: str = "sha1"):
+        self.private_key = private_key
+        self.hash_algorithm = hash_algorithm
+        self._verifier = RSASignatureVerifier(private_key.public_key(), hash_algorithm)
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        """The public half, to be placed in the participant's certificate."""
+        return self.private_key.public_key()
+
+    @property
+    def signature_size(self) -> int:
+        """Modulus byte size; 128 for the paper's 1024-bit keys."""
+        return self.private_key.byte_size
+
+    def sign(self, message: bytes) -> bytes:
+        """Sign ``message``; output length is always :attr:`signature_size`."""
+        k = self.private_key.byte_size
+        em = pkcs1.encode(message, k, self.hash_algorithm)
+        m = int.from_bytes(em, "big")
+        return self.private_key.decrypt_int(m).to_bytes(k, "big")
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Verify with the embedded public key."""
+        return self._verifier.verify(message, signature)
+
+    def verifier(self) -> RSASignatureVerifier:
+        """Return the public-material-only verifier."""
+        return self._verifier
+
+    def __repr__(self) -> str:
+        return (
+            f"RSASignatureScheme(key={self.public_key.fingerprint()}, "
+            f"hash={self.hash_algorithm})"
+        )
+
+
+class HMACSignatureScheme:
+    """Keyed-MAC scheme for benchmarking (symmetric; no non-repudiation)."""
+
+    scheme_name = "hmac"
+
+    def __init__(self, key: bytes, hash_algorithm: str = "sha1"):
+        if not key:
+            raise CryptoError("HMAC key must be non-empty")
+        self._key = key
+        self.hash_algorithm = hash_algorithm
+        self._factory = get_algorithm(hash_algorithm).factory
+
+    @property
+    def signature_size(self) -> int:
+        return get_algorithm(self.hash_algorithm).digest_size
+
+    def sign(self, message: bytes) -> bytes:
+        return hmac.new(self._key, message, self._factory).digest()
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        return hmac.compare_digest(self.sign(message), signature)
+
+    def verifier(self) -> "HMACSignatureScheme":
+        """HMAC verification needs the same secret; returns self."""
+        return self
+
+    def __repr__(self) -> str:
+        return f"HMACSignatureScheme(hash={self.hash_algorithm})"
+
+
+class NullSignatureScheme:
+    """Digest-only 'signature' used to isolate hashing cost in benchmarks.
+
+    Provides *no* security: anyone can forge it.  It exists so that the
+    overhead experiments can subtract signing cost from checksum cost.
+    """
+
+    scheme_name = "null"
+
+    def __init__(self, hash_algorithm: str = "sha1"):
+        self.hash_algorithm = hash_algorithm
+        self._alg = get_algorithm(hash_algorithm)
+
+    @property
+    def signature_size(self) -> int:
+        return self._alg.digest_size
+
+    def sign(self, message: bytes) -> bytes:
+        return self._alg.digest(message)
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        return hmac.compare_digest(self.sign(message), signature)
+
+    def verifier(self) -> "NullSignatureScheme":
+        return self
+
+    def __repr__(self) -> str:
+        return f"NullSignatureScheme(hash={self.hash_algorithm})"

@@ -1,0 +1,133 @@
+"""Exception hierarchy for the tamper-evident provenance library.
+
+Every exception raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch one base class at API boundaries.  Subsystem bases
+(:class:`CryptoError`, :class:`ModelError`, ...) mirror the package layout.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+# ---------------------------------------------------------------------------
+# crypto
+# ---------------------------------------------------------------------------
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class KeyGenerationError(CryptoError):
+    """Raised when key-pair generation fails (bad parameters, no primes)."""
+
+
+class SignatureError(CryptoError):
+    """Raised when a message cannot be signed (e.g. message too large)."""
+
+
+class InvalidSignature(CryptoError):
+    """Raised (or reported) when signature verification fails."""
+
+
+class UnknownHashAlgorithm(CryptoError):
+    """Raised when a hash algorithm name is not registered."""
+
+
+class CertificateError(CryptoError):
+    """Raised for invalid, unknown, or untrusted certificates."""
+
+
+# ---------------------------------------------------------------------------
+# data model
+# ---------------------------------------------------------------------------
+
+
+class ModelError(ReproError):
+    """Base class for data-model violations."""
+
+
+class UnknownObjectError(ModelError, KeyError):
+    """Raised when an object id does not exist in the forest."""
+
+    def __str__(self) -> str:  # KeyError quotes its args; keep the message
+        return ModelError.__str__(self)
+
+
+class DuplicateObjectError(ModelError):
+    """Raised when inserting an object id that already exists."""
+
+
+class NotALeafError(ModelError):
+    """Raised when a leaf-only primitive is applied to an interior node."""
+
+
+class InvalidValueError(ModelError, TypeError):
+    """Raised when a value cannot be canonically encoded."""
+
+
+class TreeStructureError(ModelError):
+    """Raised when an operation would corrupt the forest structure."""
+
+
+# ---------------------------------------------------------------------------
+# backend
+# ---------------------------------------------------------------------------
+
+
+class BackendError(ReproError):
+    """Base class for back-end storage failures."""
+
+
+class TransactionError(BackendError):
+    """Raised on invalid complex-operation (transaction) usage."""
+
+
+# ---------------------------------------------------------------------------
+# provenance
+# ---------------------------------------------------------------------------
+
+
+class ProvenanceError(ReproError):
+    """Base class for provenance-subsystem failures."""
+
+
+class MissingProvenanceError(ProvenanceError):
+    """Raised when an object has no provenance records but some are required."""
+
+
+class BrokenChainError(ProvenanceError):
+    """Raised when a provenance chain is structurally inconsistent."""
+
+
+class SequenceError(ProvenanceError):
+    """Raised when seqID assignment rules are violated."""
+
+
+# ---------------------------------------------------------------------------
+# verification / shipment
+# ---------------------------------------------------------------------------
+
+
+class VerificationError(ReproError):
+    """Raised when verification cannot even be attempted (malformed input).
+
+    Note that a *failed* verification is not an exception: the verifier
+    returns a report describing which security requirement was violated.
+    """
+
+
+class ShipmentError(ReproError):
+    """Raised when a shipment cannot be encoded or decoded."""
+
+
+# ---------------------------------------------------------------------------
+# workloads / benchmarks
+# ---------------------------------------------------------------------------
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid synthetic-workload parameters."""

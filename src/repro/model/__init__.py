@@ -1,0 +1,37 @@
+"""Data model: atomic/compound objects arranged as a forest.
+
+The paper models the database abstractly as a forest of trees (§4.1): each
+*atomic object* is a triple ``(id, value, {child_ids})`` and a *compound
+object* is the subtree rooted at any node.  The relational model maps onto
+this as root → tables → rows → cells.
+
+- :mod:`repro.model.values` — canonical, injective byte encoding of ids
+  and values (so hashes are platform-independent).
+- :mod:`repro.model.objects` — the :class:`AtomicObject` triple.
+- :mod:`repro.model.ordering` — the globally-defined total order over
+  objects that the aggregate checksum and compound hashing rely on.
+- :mod:`repro.model.tree` — :class:`Forest`, the in-memory tree store.
+- :mod:`repro.model.relational` — database/table/row/cell façade mapping
+  the relational model onto a depth-4 forest.
+"""
+
+from repro.model.objects import AtomicObject
+from repro.model.ordering import ordering_key, sort_ids
+from repro.model.tree import Forest
+from repro.model.values import (
+    decode_value,
+    encode_child_link,
+    encode_node,
+    encode_value,
+)
+
+__all__ = [
+    "AtomicObject",
+    "Forest",
+    "encode_value",
+    "decode_value",
+    "encode_node",
+    "encode_child_link",
+    "ordering_key",
+    "sort_ids",
+]

@@ -1,0 +1,46 @@
+"""The atomic-object triple of the extended data model (§4.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.model.values import Value
+
+__all__ = ["AtomicObject"]
+
+
+@dataclass(frozen=True)
+class AtomicObject:
+    """An atomic data object: ``(id, value, {child_ids})``.
+
+    Immutable snapshot of one node of the forest; the mutable structure
+    lives in :class:`repro.model.tree.Forest`.  ``children`` is kept in the
+    global total order so hashing a snapshot is deterministic.
+
+    Attributes:
+        object_id: Unique identifier within the database.
+        value: The atomic value (None for pure structural nodes such as
+            tables and rows, which the paper's workloads use).
+        children: Ids of child objects, in global order.
+        parent: Id of the parent object, or None for roots.
+    """
+
+    object_id: str
+    value: Value = None
+    children: Tuple[str, ...] = field(default_factory=tuple)
+    parent: Optional[str] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """True if the object has no children."""
+        return not self.children
+
+    @property
+    def is_root(self) -> bool:
+        """True if the object has no parent."""
+        return self.parent is None
+
+    def __str__(self) -> str:
+        kids = "{" + ", ".join(self.children) + "}"
+        return f"({self.object_id}, {self.value!r}, {kids})"

@@ -1,0 +1,47 @@
+"""The globally-defined total order over atomic objects.
+
+Both the aggregate checksum (§3: "assume that the input objects are sorted
+according to a globally-defined order (e.g., numeric or lexical)") and the
+recursive compound hash (§4.3: "we again assume that there exists a
+pre-defined total order over atomic objects") require every party —
+participants and data recipients alike — to order objects identically, or
+recomputed hashes would not match.
+
+We order object ids by their UTF-8 byte sequence, with embedded runs of
+ASCII digits compared numerically so that ``row2 < row10`` (plain
+bytewise ordering would interleave them and make generated workloads
+confusing to inspect).  The order is total: ties in the numeric-aware key
+are broken by the raw id.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Tuple
+
+__all__ = ["ordering_key", "sort_ids"]
+
+_DIGIT_RUN = re.compile(r"(\d+)")
+
+
+def ordering_key(object_id: str) -> Tuple:
+    """Return the sort key defining the global total order for an id.
+
+    The key alternates text chunks and integer chunks; text chunks are
+    compared as UTF-8 and integers numerically.  A trailing raw-id
+    component makes the order total even for ids like ``"a01"`` vs
+    ``"a1"`` whose chunked keys would otherwise tie.
+    """
+    parts = _DIGIT_RUN.split(object_id)
+    key: List[Tuple[int, object]] = []
+    for i, part in enumerate(parts):
+        if i % 2:  # odd indices are digit runs
+            key.append((1, int(part)))
+        elif part:
+            key.append((0, part))
+    return (tuple(key), object_id)
+
+
+def sort_ids(ids: Iterable[str]) -> List[str]:
+    """Return ``ids`` sorted by the global total order."""
+    return sorted(ids, key=ordering_key)

@@ -1,0 +1,207 @@
+"""Relational façade over the forest model.
+
+The paper's evaluation "view[s] the back-end database as a tree of depth 4,
+with a single root node, and subsequent levels representing tables, rows,
+and cells" (§5.1).  :class:`RelationalView` provides exactly that mapping:
+
+    root ``db`` → table ``db/T`` → row ``db/T/r7`` → cell ``db/T/r7/col``
+
+It is deliberately generic over *what executes the primitives*: pass it a
+raw :class:`~repro.backend.engine.DatabaseEngine` for untracked data, or a
+participant session of :class:`~repro.core.system.TamperEvidentDatabase`
+so that every relational operation is collected as (checksummed)
+provenance.  The executor only needs ``insert``/``update``/``delete``
+methods with the engine's signatures, a ``store`` attribute for reads, and
+a ``complex_operation`` context manager.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+from repro.backend.interface import ForestStore
+from repro.exceptions import DuplicateObjectError, UnknownObjectError, WorkloadError
+from repro.model.values import Value
+
+__all__ = ["RelationalView", "PrimitiveExecutor"]
+
+
+@runtime_checkable
+class PrimitiveExecutor(Protocol):
+    """What :class:`RelationalView` needs from its executor."""
+
+    store: ForestStore
+
+    def insert(self, object_id: str, value: Value = None, parent: Optional[str] = None): ...
+
+    def update(self, object_id: str, value: Value): ...
+
+    def delete(self, object_id: str): ...
+
+    def complex_operation(self): ...
+
+
+class RelationalView:
+    """Tables, rows and cells mapped onto the depth-4 forest.
+
+    Args:
+        executor: Engine or participant session executing primitives.
+        root_id: Id of the database root node (created on first use).
+    """
+
+    def __init__(self, executor: PrimitiveExecutor, root_id: str = "db"):
+        self.executor = executor
+        self.root_id = root_id
+        self._row_counters: Dict[str, int] = {}
+        if root_id not in executor.store:
+            executor.insert(root_id, None, None)
+
+    @property
+    def store(self) -> ForestStore:
+        """The underlying store (read access)."""
+        return self.executor.store
+
+    # ------------------------------------------------------------------
+    # ids
+    # ------------------------------------------------------------------
+
+    def table_id(self, table: str) -> str:
+        """Forest id of a table node."""
+        return f"{self.root_id}/{table}"
+
+    def row_id(self, table: str, row_key: int) -> str:
+        """Forest id of a row node."""
+        return f"{self.table_id(table)}/r{row_key}"
+
+    def cell_id(self, table: str, row_key: int, column: str) -> str:
+        """Forest id of a cell node."""
+        return f"{self.row_id(table, row_key)}/{column}"
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    def create_table(self, table: str, columns: Sequence[str]) -> str:
+        """Create a table node; the column list is its (immutable) value.
+
+        Raises:
+            WorkloadError: On empty or duplicate column names.
+            DuplicateObjectError: If the table already exists.
+        """
+        if not columns:
+            raise WorkloadError(f"table {table!r} needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise WorkloadError(f"table {table!r} has duplicate column names")
+        tid = self.table_id(table)
+        if tid in self.store:
+            raise DuplicateObjectError(f"table {table!r} already exists")
+        self.executor.insert(tid, ",".join(columns), self.root_id)
+        self._row_counters[table] = 0
+        return tid
+
+    def columns(self, table: str) -> Tuple[str, ...]:
+        """Return the table's column names.
+
+        Raises:
+            UnknownObjectError: If the table does not exist.
+        """
+        tid = self.table_id(table)
+        if tid not in self.store:
+            raise UnknownObjectError(f"table {table!r} does not exist")
+        return tuple(str(self.store.value(tid)).split(","))
+
+    def tables(self) -> Tuple[str, ...]:
+        """Names of all tables under this view's root."""
+        prefix = len(self.root_id) + 1
+        return tuple(t[prefix:] for t in self.store.children(self.root_id))
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+
+    def insert_row(self, table: str, values: Dict[str, Value]) -> int:
+        """Insert a row (one row node + one cell node per column).
+
+        Executed as a single complex operation so provenance-tracked
+        executors record it per §4.4.  Returns the new row key.
+
+        Raises:
+            WorkloadError: If ``values`` mentions unknown columns.
+        """
+        cols = self.columns(table)
+        unknown = set(values) - set(cols)
+        if unknown:
+            raise WorkloadError(f"unknown columns for {table!r}: {sorted(unknown)}")
+        row_key = self._next_row_key(table)
+        rid = self.row_id(table, row_key)
+        with self.executor.complex_operation():
+            self.executor.insert(rid, None, self.table_id(table))
+            for column in cols:
+                self.executor.insert(
+                    self.cell_id(table, row_key, column), values.get(column), rid
+                )
+        return row_key
+
+    def update_cell(self, table: str, row_key: int, column: str, value: Value) -> None:
+        """Update one cell's value."""
+        self.executor.update(self.cell_id(table, row_key, column), value)
+
+    def delete_row(self, table: str, row_key: int) -> None:
+        """Delete a row and all its cells (one complex operation).
+
+        Raises:
+            UnknownObjectError: If the row does not exist.
+        """
+        rid = self.row_id(table, row_key)
+        if rid not in self.store:
+            raise UnknownObjectError(f"row {row_key} of {table!r} does not exist")
+        with self.executor.complex_operation():
+            for cell in self.store.children(rid):
+                self.executor.delete(cell)
+            self.executor.delete(rid)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def get_row(self, table: str, row_key: int) -> Dict[str, Value]:
+        """Return ``{column: value}`` for one row.
+
+        Raises:
+            UnknownObjectError: If the row does not exist.
+        """
+        rid = self.row_id(table, row_key)
+        if rid not in self.store:
+            raise UnknownObjectError(f"row {row_key} of {table!r} does not exist")
+        out: Dict[str, Value] = {}
+        prefix = len(rid) + 1
+        for cell in self.store.children(rid):
+            out[cell[prefix:]] = self.store.value(cell)
+        return out
+
+    def get_cell(self, table: str, row_key: int, column: str) -> Value:
+        """Return one cell's value."""
+        return self.store.value(self.cell_id(table, row_key, column))
+
+    def row_keys(self, table: str) -> List[int]:
+        """All row keys of a table, ascending."""
+        tid = self.table_id(table)
+        prefix = len(tid) + 2  # skip "/r"
+        return sorted(int(r[prefix:]) for r in self.store.children(tid))
+
+    def row_count(self, table: str) -> int:
+        """Number of rows currently in the table."""
+        return len(self.store.children(self.table_id(table)))
+
+    # ------------------------------------------------------------------
+
+    def _next_row_key(self, table: str) -> int:
+        if table not in self._row_counters:
+            keys = self.row_keys(table)
+            self._row_counters[table] = (max(keys) + 1) if keys else 0
+        key = self._row_counters[table]
+        self._row_counters[table] = key + 1
+        return key
+
+    def __repr__(self) -> str:
+        return f"RelationalView(root={self.root_id!r}, tables={list(self.tables())})"

@@ -1,0 +1,250 @@
+"""In-memory forest of atomic objects.
+
+:class:`Forest` is the reference implementation of the store protocol the
+database engine manipulates (see :mod:`repro.backend.interface`).  It keeps
+each node's children sorted by the global total order at all times, so
+snapshots and hashes are deterministic without re-sorting.
+
+Structural invariants maintained:
+- every non-root node's parent exists and lists it as a child;
+- ids are unique;
+- insertion/deletion of *interior* nodes is rejected (the paper's
+  primitives operate on leaves; complex operations compose primitives).
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.exceptions import (
+    DuplicateObjectError,
+    NotALeafError,
+    TreeStructureError,
+    UnknownObjectError,
+)
+from repro.model.objects import AtomicObject
+from repro.model.ordering import ordering_key
+from repro.model.values import Value
+
+__all__ = ["Forest"]
+
+
+@dataclass
+class _Node:
+    value: Value
+    parent: Optional[str]
+    children: List[str] = field(default_factory=list)  # sorted by ordering_key
+
+
+class Forest:
+    """A mutable forest of atomic objects with leaf-level primitives."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, _Node] = {}
+        self._roots: List[str] = []  # sorted by ordering_key
+
+    # ------------------------------------------------------------------
+    # primitives
+    # ------------------------------------------------------------------
+
+    def insert(self, object_id: str, value: Value = None, parent: Optional[str] = None) -> None:
+        """Insert a new leaf object (§4.1 ``Insert(A, val, <parent>)``).
+
+        Raises:
+            DuplicateObjectError: If ``object_id`` already exists.
+            UnknownObjectError: If ``parent`` does not exist.
+        """
+        if object_id in self._nodes:
+            raise DuplicateObjectError(f"object {object_id!r} already exists")
+        if parent is not None and parent not in self._nodes:
+            raise UnknownObjectError(f"parent {parent!r} does not exist")
+        self._nodes[object_id] = _Node(value=value, parent=parent)
+        if parent is None:
+            insort(self._roots, object_id, key=ordering_key)
+        else:
+            insort(self._nodes[parent].children, object_id, key=ordering_key)
+
+    def update(self, object_id: str, value: Value) -> Value:
+        """Update an object's value; returns the old value.
+
+        Raises:
+            UnknownObjectError: If the object does not exist.
+        """
+        node = self._require(object_id)
+        old = node.value
+        node.value = value
+        return old
+
+    def delete(self, object_id: str) -> Value:
+        """Delete a leaf object; returns its last value (§4.1 ``Delete(A)``).
+
+        Raises:
+            UnknownObjectError: If the object does not exist.
+            NotALeafError: If the object has children.
+        """
+        node = self._require(object_id)
+        if node.children:
+            raise NotALeafError(
+                f"object {object_id!r} has {len(node.children)} children; "
+                "only leaves can be deleted by the primitive operation"
+            )
+        if node.parent is None:
+            self._roots.remove(object_id)
+        else:
+            self._nodes[node.parent].children.remove(object_id)
+        del self._nodes[object_id]
+        return node.value
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def __contains__(self, object_id: str) -> bool:
+        return object_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def get(self, object_id: str) -> AtomicObject:
+        """Return an immutable snapshot of one node.
+
+        Raises:
+            UnknownObjectError: If the object does not exist.
+        """
+        node = self._require(object_id)
+        return AtomicObject(
+            object_id=object_id,
+            value=node.value,
+            children=tuple(node.children),
+            parent=node.parent,
+        )
+
+    def value(self, object_id: str) -> Value:
+        """Return the object's current value (``A.val``)."""
+        return self._require(object_id).value
+
+    def parent(self, object_id: str) -> Optional[str]:
+        """Return the id of the object's parent, or None for roots."""
+        return self._require(object_id).parent
+
+    def children(self, object_id: str) -> Tuple[str, ...]:
+        """Return the object's child ids in global order."""
+        return tuple(self._require(object_id).children)
+
+    def is_leaf(self, object_id: str) -> bool:
+        """True if the object has no children."""
+        return not self._require(object_id).children
+
+    def roots(self) -> Tuple[str, ...]:
+        """Return all root ids in global order."""
+        return tuple(self._roots)
+
+    def ancestors(self, object_id: str) -> List[str]:
+        """Return ancestor ids from parent up to the root (excluding self).
+
+        The list's length is the ``x`` of §5.2's inherited-checksum
+        accounting: deleting a node with ``x`` ancestors produces ``x``
+        inherited checksums.
+        """
+        self._require(object_id)
+        out: List[str] = []
+        current = self._nodes[object_id].parent
+        while current is not None:
+            out.append(current)
+            current = self._nodes[current].parent
+        return out
+
+    def root_of(self, object_id: str) -> str:
+        """Return the root of the tree containing ``object_id``."""
+        self._require(object_id)
+        current = object_id
+        while self._nodes[current].parent is not None:
+            current = self._nodes[current].parent
+        return current
+
+    def iter_subtree(self, root_id: str) -> Iterator[str]:
+        """Yield the ids of ``subtree(root_id)`` in preorder (global order)."""
+        self._require(root_id)
+        stack = [root_id]
+        while stack:
+            current = stack.pop()
+            yield current
+            # reversed so the globally-first child is yielded first
+            stack.extend(reversed(self._nodes[current].children))
+
+    def subtree_nodes(self, root_id: str) -> Iterator[AtomicObject]:
+        """Yield snapshots of the nodes of ``subtree(root_id)`` in preorder."""
+        for object_id in self.iter_subtree(root_id):
+            yield self.get(object_id)
+
+    def subtree_size(self, root_id: str) -> int:
+        """Return the number of nodes in ``subtree(root_id)``."""
+        return sum(1 for _ in self.iter_subtree(root_id))
+
+    def depth(self, object_id: str) -> int:
+        """Return the node's depth (roots have depth 0)."""
+        return len(self.ancestors(object_id))
+
+    # ------------------------------------------------------------------
+    # bulk helpers (compositions of primitives; used by the engine)
+    # ------------------------------------------------------------------
+
+    def delete_subtree(self, root_id: str) -> List[str]:
+        """Delete a whole subtree bottom-up; returns deleted ids (postorder)."""
+        order = list(self.iter_subtree(root_id))
+        order.reverse()  # children before parents
+        for object_id in order:
+            self.delete(object_id)
+        return order
+
+    def copy_subtree_into(
+        self,
+        source: "Forest",
+        source_root: str,
+        new_root_id: str,
+        new_parent: Optional[str] = None,
+    ) -> List[str]:
+        """Copy ``subtree(source_root)`` from ``source`` into this forest.
+
+        The copied root gets id ``new_root_id``; descendants get
+        ``new_root_id`` + their id-path suffix, preserving structure.
+        Returns the new ids in insertion (preorder) order.
+
+        Raises:
+            TreeStructureError: If a generated id collides.
+        """
+        mapping = {source_root: new_root_id}
+        created: List[str] = []
+        for node in source.subtree_nodes(source_root):
+            if node.object_id == source_root:
+                new_id = new_root_id
+                parent = new_parent
+            else:
+                new_id = mapping[node.parent] + "/" + _leaf_name(node.object_id)
+                mapping[node.object_id] = new_id
+                parent = mapping[node.parent]
+            if new_id in self._nodes:
+                raise TreeStructureError(
+                    f"copy would overwrite existing object {new_id!r}"
+                )
+            self.insert(new_id, node.value, parent)
+            created.append(new_id)
+        return created
+
+    # ------------------------------------------------------------------
+
+    def _require(self, object_id: str) -> _Node:
+        try:
+            return self._nodes[object_id]
+        except KeyError:
+            raise UnknownObjectError(f"object {object_id!r} does not exist") from None
+
+    def __repr__(self) -> str:
+        return f"Forest(nodes={len(self._nodes)}, roots={len(self._roots)})"
+
+
+def _leaf_name(object_id: str) -> str:
+    """The last path segment of a structured id (the whole id if unsegmented)."""
+    return object_id.rsplit("/", 1)[-1]

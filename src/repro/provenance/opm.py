@@ -1,0 +1,153 @@
+"""Open Provenance Model (OPM) export.
+
+The paper's related work cites the Open Provenance Model [30] — the
+community interchange format of the era.  This module maps checksummed
+records onto OPM's core vocabulary so other provenance tools can consume
+histories produced here:
+
+- **artifact** — one object *state*: ``(object_id, seq_id)`` after the
+  record's operation (plus a distinct artifact for each genesis input).
+- **process** — one provenance record (the operation execution).
+- **agent** — a participant.
+- **used** — process → the artifacts it consumed.
+- **wasGeneratedBy** — artifact → the process that produced it.
+- **wasControlledBy** — process → the signing participant.
+- **wasDerivedFrom** — output artifact → input artifact(s) (the DAG edge
+  most consumers draw).
+
+The export is a plain-JSON dialect of OPM's structure (not the XML
+schema): stable ids, one dictionary per entity, lists of edges.  The
+checksum and note ride along as annotations so integrity metadata
+survives the round trip into other tools.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+from repro.provenance.records import Operation, ProvenanceRecord
+
+__all__ = ["to_opm", "to_opm_json"]
+
+
+def _artifact_id(object_id: str, seq_id: int) -> str:
+    return f"artifact:{object_id}#{seq_id}"
+
+
+def _process_id(record: ProvenanceRecord) -> str:
+    return f"process:{record.object_id}#{record.seq_id}"
+
+
+def _agent_id(participant_id: str) -> str:
+    return f"agent:{participant_id}"
+
+
+def _input_artifact_id(record: ProvenanceRecord, input_object_id: str,
+                       chains: Dict[str, List[ProvenanceRecord]]) -> str:
+    """The artifact (state) of an input as consumed by ``record``.
+
+    For same-object updates that is the previous state; for aggregation
+    inputs it is the input object's state matching the recorded digest
+    (falling back to the latest earlier state).
+    """
+    if input_object_id == record.object_id:
+        return _artifact_id(input_object_id, record.seq_id - 1)
+    chain = chains.get(input_object_id, [])
+    recorded = next(
+        (s for s in record.inputs if s.object_id == input_object_id), None
+    )
+    best_seq = None
+    for r in chain:
+        if r.seq_id >= record.seq_id:
+            break
+        if recorded is not None and r.output.digest == recorded.digest:
+            best_seq = r.seq_id
+        elif best_seq is None:
+            best_seq = r.seq_id
+        elif recorded is None:
+            best_seq = r.seq_id
+    return _artifact_id(input_object_id, best_seq if best_seq is not None else 0)
+
+
+def to_opm(records: Iterable[ProvenanceRecord]) -> Dict[str, object]:
+    """Map a record set onto OPM entities and dependencies."""
+    records = sorted(records, key=lambda r: (r.object_id, r.seq_id))
+    chains: Dict[str, List[ProvenanceRecord]] = {}
+    for record in records:
+        chains.setdefault(record.object_id, []).append(record)
+
+    artifacts: Dict[str, Dict[str, object]] = {}
+    processes: Dict[str, Dict[str, object]] = {}
+    agents: Dict[str, Dict[str, object]] = {}
+    used: List[Dict[str, str]] = []
+    was_generated_by: List[Dict[str, str]] = []
+    was_controlled_by: List[Dict[str, str]] = []
+    was_derived_from: List[Dict[str, str]] = []
+
+    for record in records:
+        output_artifact = _artifact_id(record.object_id, record.seq_id)
+        artifact_entry: Dict[str, object] = {
+            "id": output_artifact,
+            "object": record.object_id,
+            "seq": record.seq_id,
+            "digest": record.output.digest.hex(),
+        }
+        if record.output.has_value:
+            artifact_entry["value"] = record.output.value
+        artifacts[output_artifact] = artifact_entry
+
+        process = _process_id(record)
+        process_entry: Dict[str, object] = {
+            "id": process,
+            "operation": record.operation.value,
+            "inherited": record.inherited,
+            "annotations": {"checksum": record.checksum.hex()},
+        }
+        if record.note:
+            process_entry["annotations"]["note"] = record.note
+        processes[process] = process_entry
+
+        agent = _agent_id(record.participant_id)
+        agents[agent] = {"id": agent, "participant": record.participant_id}
+        was_controlled_by.append({"process": process, "agent": agent})
+        was_generated_by.append({"artifact": output_artifact, "process": process})
+
+        if record.operation is Operation.AGGREGATE:
+            input_ids = record.input_ids
+        elif record.inputs:
+            input_ids = (record.object_id,)
+        else:
+            input_ids = ()
+        for input_object in input_ids:
+            input_artifact = _input_artifact_id(record, input_object, chains)
+            used.append({"process": process, "artifact": input_artifact})
+            was_derived_from.append(
+                {"derived": output_artifact, "source": input_artifact}
+            )
+            # Aggregation inputs from outside the record set still appear
+            # as (source) artifacts so the graph is closed.
+            artifacts.setdefault(
+                input_artifact,
+                {
+                    "id": input_artifact,
+                    "object": input_object,
+                    "seq": int(input_artifact.rsplit("#", 1)[1]),
+                },
+            )
+
+    return {
+        "format": "opm-json-v1",
+        "artifacts": sorted(artifacts.values(), key=lambda a: a["id"]),
+        "processes": sorted(processes.values(), key=lambda p: p["id"]),
+        "agents": sorted(agents.values(), key=lambda a: a["id"]),
+        "used": used,
+        "wasGeneratedBy": was_generated_by,
+        "wasControlledBy": was_controlled_by,
+        "wasDerivedFrom": was_derived_from,
+    }
+
+
+def to_opm_json(records: Iterable[ProvenanceRecord], indent: int = 2) -> str:
+    """JSON text form of :func:`to_opm`."""
+    return json.dumps(to_opm(records), indent=indent)

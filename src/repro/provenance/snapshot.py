@@ -1,0 +1,123 @@
+"""Immutable subtree snapshots.
+
+A data recipient receives a *data object* — in the compound model, a whole
+subtree — alongside its provenance object.  :class:`SubtreeSnapshot` is
+that shippable capture: the preorder list of atomic-object triples, with
+enough structure to rebuild a forest (and therefore recompute the
+compound hash) on the recipient's side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.backend.interface import ForestStore
+from repro.exceptions import ShipmentError
+from repro.model.objects import AtomicObject
+from repro.model.tree import Forest
+from repro.model.values import decode_value, encode_value
+
+__all__ = ["SubtreeSnapshot"]
+
+
+@dataclass(frozen=True)
+class SubtreeSnapshot:
+    """A point-in-time capture of ``subtree(root_id)``.
+
+    ``nodes`` are in preorder with children in the global total order, so
+    rebuilding the forest by inserting them in sequence is always valid
+    (every parent precedes its children).
+    """
+
+    root_id: str
+    nodes: Tuple[AtomicObject, ...]
+
+    @classmethod
+    def capture(cls, store: ForestStore, root_id: str) -> "SubtreeSnapshot":
+        """Snapshot ``subtree(root_id)`` from a live store."""
+        return cls(root_id=root_id, nodes=tuple(store.subtree_nodes(root_id)))
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes in the snapshot."""
+        return len(self.nodes)
+
+    def value_of(self, object_id: str) -> object:
+        """Return the snapshotted value of one node.
+
+        Raises:
+            ShipmentError: If the id is not part of the snapshot.
+        """
+        for node in self.nodes:
+            if node.object_id == object_id:
+                return node.value
+        raise ShipmentError(f"object {object_id!r} not in snapshot of {self.root_id!r}")
+
+    def to_forest(self) -> Forest:
+        """Rebuild an in-memory forest holding exactly this subtree.
+
+        The snapshot root becomes a root of the new forest (its original
+        parent, if any, is not part of the capture).
+        """
+        forest = Forest()
+        for node in self.nodes:
+            parent = node.parent if node.object_id != self.root_id else None
+            forest.insert(node.object_id, node.value, parent)
+        return forest
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form."""
+        rows: List[Dict[str, object]] = []
+        for node in self.nodes:
+            rows.append(
+                {
+                    "id": node.object_id,
+                    "value": encode_value(node.value).hex(),
+                    "parent": node.parent,
+                }
+            )
+        return {"root_id": self.root_id, "nodes": rows}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SubtreeSnapshot":
+        """Inverse of :meth:`to_dict`.
+
+        Rebuilds child tuples from parent pointers; the resulting
+        snapshot is structurally normalised regardless of input order.
+
+        Raises:
+            ShipmentError: On malformed input.
+        """
+        try:
+            root_id = str(data["root_id"])
+            staged = [
+                (str(row["id"]), decode_value(bytes.fromhex(row["value"])), row["parent"])
+                for row in data["nodes"]
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ShipmentError(f"malformed subtree snapshot: {exc}") from exc
+
+        forest = Forest()
+        pending = list(staged)
+        # Insert parents-first; bounded passes guard against cyclic input.
+        for _ in range(len(pending) + 1):
+            still: List[tuple] = []
+            for object_id, value, parent in pending:
+                if object_id == root_id:
+                    forest.insert(object_id, value, None)
+                elif parent in forest:
+                    forest.insert(object_id, value, parent)
+                else:
+                    still.append((object_id, value, parent))
+            if not still:
+                break
+            if len(still) == len(pending):
+                raise ShipmentError("snapshot nodes do not form a tree")
+            pending = still
+        if root_id not in forest:
+            raise ShipmentError(f"snapshot missing its root {root_id!r}")
+        return cls.capture(forest, root_id)
+
+    def __len__(self) -> int:
+        return len(self.nodes)

@@ -1,0 +1,249 @@
+"""The provenance database.
+
+The paper's experimental setup keeps provenance in its own relational
+database, one row per record: ``(SeqID, Participant, Oid, Checksum
+binary(128))`` (§5.1).  Both implementations here store full
+:class:`~repro.provenance.records.ProvenanceRecord` payloads but account
+space in the paper's units via :meth:`ProvenanceStore.space_bytes`.
+
+Chains are *local* per object (§3.2): the store indexes records by output
+object id, and tracks each object's latest record so checksum generation
+can link ``C_i`` to ``C_{i-1}`` in O(1).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from typing import Dict, Iterator, List, Optional, Protocol, Tuple, runtime_checkable
+
+from repro.exceptions import BackendError, ProvenanceError, SequenceError
+from repro.provenance.records import ProvenanceRecord
+
+__all__ = ["ProvenanceStore", "InMemoryProvenanceStore", "SQLiteProvenanceStore"]
+
+
+@runtime_checkable
+class ProvenanceStore(Protocol):
+    """Interface of the provenance database."""
+
+    def append(self, record: ProvenanceRecord) -> None:
+        """Store a new record (keys must not repeat, seq must not regress)."""
+        ...
+
+    def records_for(self, object_id: str) -> Tuple[ProvenanceRecord, ...]:
+        """All records whose output is ``object_id``, ordered by seq."""
+        ...
+
+    def latest(self, object_id: str) -> Optional[ProvenanceRecord]:
+        """The most recent record for ``object_id``, or None."""
+        ...
+
+    def get(self, object_id: str, seq_id: int) -> Optional[ProvenanceRecord]:
+        """The record with key ``(object_id, seq_id)``, or None."""
+        ...
+
+    def all_records(self) -> Iterator[ProvenanceRecord]:
+        """All records, grouped by object, ordered by seq."""
+        ...
+
+    def object_ids(self) -> Tuple[str, ...]:
+        """All output object ids with at least one record, sorted."""
+        ...
+
+    def __len__(self) -> int: ...
+
+    def space_bytes(self) -> int:
+        """Total size of the paper-style checksum rows (Fig 9/11 metric)."""
+        ...
+
+    def purge_object(self, object_id: str) -> int:
+        """Remove an object's whole chain; returns records removed.
+
+        Only :mod:`repro.provenance.compaction` should call this — it
+        checks that no live provenance still references the chain.
+        """
+        ...
+
+
+def _check_append(
+    record: ProvenanceRecord, latest: Optional[ProvenanceRecord]
+) -> None:
+    """Shared append validation: per-object seq ids strictly increase."""
+    if latest is not None and record.seq_id <= latest.seq_id:
+        raise SequenceError(
+            f"record for {record.object_id!r} has seq {record.seq_id} "
+            f"<= latest {latest.seq_id}"
+        )
+
+
+class InMemoryProvenanceStore:
+    """Dictionary-backed provenance store."""
+
+    def __init__(self) -> None:
+        self._chains: Dict[str, List[ProvenanceRecord]] = {}
+        self._count = 0
+        self._space = 0
+
+    def append(self, record: ProvenanceRecord) -> None:
+        chain = self._chains.setdefault(record.object_id, [])
+        _check_append(record, chain[-1] if chain else None)
+        chain.append(record)
+        self._count += 1
+        self._space += record.storage_bytes()
+
+    def records_for(self, object_id: str) -> Tuple[ProvenanceRecord, ...]:
+        return tuple(self._chains.get(object_id, ()))
+
+    def latest(self, object_id: str) -> Optional[ProvenanceRecord]:
+        chain = self._chains.get(object_id)
+        return chain[-1] if chain else None
+
+    def get(self, object_id: str, seq_id: int) -> Optional[ProvenanceRecord]:
+        for record in self._chains.get(object_id, ()):
+            if record.seq_id == seq_id:
+                return record
+        return None
+
+    def all_records(self) -> Iterator[ProvenanceRecord]:
+        for object_id in sorted(self._chains):
+            yield from self._chains[object_id]
+
+    def object_ids(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._chains))
+
+    def __len__(self) -> int:
+        return self._count
+
+    def space_bytes(self) -> int:
+        return self._space
+
+    def purge_object(self, object_id: str) -> int:
+        chain = self._chains.pop(object_id, [])
+        self._count -= len(chain)
+        self._space -= sum(record.storage_bytes() for record in chain)
+        return len(chain)
+
+    def __repr__(self) -> str:
+        return f"InMemoryProvenanceStore(records={self._count})"
+
+
+class SQLiteProvenanceStore:
+    """SQLite-backed provenance store.
+
+    Schema mirrors the paper's row layout plus the serialized record
+    payload (a JSON blob) so full records round-trip:
+
+        provenance(object_id, seq_id, participant, checksum, payload)
+    """
+
+    _SCHEMA = """
+    CREATE TABLE IF NOT EXISTS provenance (
+        object_id   TEXT NOT NULL,
+        seq_id      INTEGER NOT NULL,
+        participant TEXT NOT NULL,
+        checksum    BLOB NOT NULL,
+        payload     TEXT NOT NULL,
+        PRIMARY KEY (object_id, seq_id)
+    );
+    """
+
+    def __init__(self, path: str = ":memory:"):
+        try:
+            self._conn = sqlite3.connect(path)
+        except sqlite3.Error as exc:
+            raise BackendError(f"cannot open provenance database {path!r}: {exc}") from exc
+        self._conn.executescript(self._SCHEMA)
+        self._conn.execute("PRAGMA synchronous = OFF")
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._conn.close()
+
+    def __enter__(self) -> "SQLiteProvenanceStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def append(self, record: ProvenanceRecord) -> None:
+        _check_append(record, self.latest(record.object_id))
+        try:
+            self._conn.execute(
+                "INSERT INTO provenance(object_id, seq_id, participant, checksum, payload)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (
+                    record.object_id,
+                    record.seq_id,
+                    record.participant_id,
+                    record.checksum,
+                    json.dumps(record.to_dict()),
+                ),
+            )
+        except sqlite3.IntegrityError as exc:
+            raise SequenceError(
+                f"duplicate record key ({record.object_id!r}, {record.seq_id})"
+            ) from exc
+        self._conn.commit()
+
+    def records_for(self, object_id: str) -> Tuple[ProvenanceRecord, ...]:
+        rows = self._conn.execute(
+            "SELECT payload FROM provenance WHERE object_id = ? ORDER BY seq_id",
+            (object_id,),
+        ).fetchall()
+        return tuple(self._load(row) for row in rows)
+
+    def latest(self, object_id: str) -> Optional[ProvenanceRecord]:
+        row = self._conn.execute(
+            "SELECT payload FROM provenance WHERE object_id = ?"
+            " ORDER BY seq_id DESC LIMIT 1",
+            (object_id,),
+        ).fetchone()
+        return self._load(row) if row else None
+
+    def get(self, object_id: str, seq_id: int) -> Optional[ProvenanceRecord]:
+        row = self._conn.execute(
+            "SELECT payload FROM provenance WHERE object_id = ? AND seq_id = ?",
+            (object_id, seq_id),
+        ).fetchone()
+        return self._load(row) if row else None
+
+    def all_records(self) -> Iterator[ProvenanceRecord]:
+        rows = self._conn.execute(
+            "SELECT payload FROM provenance ORDER BY object_id, seq_id"
+        )
+        for row in rows:
+            yield self._load(row)
+
+    def object_ids(self) -> Tuple[str, ...]:
+        rows = self._conn.execute(
+            "SELECT DISTINCT object_id FROM provenance ORDER BY object_id"
+        ).fetchall()
+        return tuple(row[0] for row in rows)
+
+    def __len__(self) -> int:
+        (count,) = self._conn.execute("SELECT COUNT(*) FROM provenance").fetchone()
+        return count
+
+    def space_bytes(self) -> int:
+        row = self._conn.execute(
+            "SELECT COALESCE(SUM(12 + LENGTH(checksum)), 0) FROM provenance"
+        ).fetchone()
+        return row[0]
+
+    def purge_object(self, object_id: str) -> int:
+        cursor = self._conn.execute(
+            "DELETE FROM provenance WHERE object_id = ?", (object_id,)
+        )
+        self._conn.commit()
+        return cursor.rowcount
+
+    @staticmethod
+    def _load(row) -> ProvenanceRecord:
+        try:
+            return ProvenanceRecord.from_dict(json.loads(row[0]))
+        except (json.JSONDecodeError, ProvenanceError) as exc:
+            raise ProvenanceError(f"corrupt provenance payload: {exc}") from exc
+
+    def __repr__(self) -> str:
+        return f"SQLiteProvenanceStore(records={len(self)})"

@@ -1,0 +1,36 @@
+"""Provenance queries.
+
+"Problems of recording, storing, and *querying* provenance information
+are increasingly important" (§1).  This package answers the standard
+lineage questions over the checksum-protected records:
+
+- :mod:`repro.query.lineage` — where did an object come from (sources,
+  derivation paths, contributing participants) and what does it feed?
+- :mod:`repro.query.filters` — record-set filtering by participant,
+  operation, object prefix, and sequence range.
+- :mod:`repro.query.history` — historical state: value history, state
+  as-of a sequence id, "when was this set to X?".
+"""
+
+from repro.query.filters import RecordFilter
+from repro.query.history import HistoryEntry, find_change, state_at, value_history
+from repro.query.lineage import (
+    contribution_of,
+    derivation_depth,
+    derives_from,
+    downstream_objects,
+    lineage_summary,
+)
+
+__all__ = [
+    "RecordFilter",
+    "HistoryEntry",
+    "value_history",
+    "state_at",
+    "find_change",
+    "derives_from",
+    "downstream_objects",
+    "contribution_of",
+    "derivation_depth",
+    "lineage_summary",
+]

@@ -1,0 +1,89 @@
+"""Composable record-set filtering.
+
+:class:`RecordFilter` is a small immutable builder over the obvious
+predicates — participant, operation, object prefix, seq range, inherited
+flag — applied lazily to any record iterable (store, shipment, DAG).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator, Optional, Tuple
+
+from repro.provenance.records import Operation, ProvenanceRecord
+
+__all__ = ["RecordFilter"]
+
+
+@dataclass(frozen=True)
+class RecordFilter:
+    """An immutable conjunction of record predicates.
+
+    Build with the ``by_*`` methods (each returns a new filter), apply
+    with :meth:`apply` or by calling the filter::
+
+        updates_by_alice = RecordFilter().by_participant("alice").by_operation(Operation.UPDATE)
+        for record in updates_by_alice(store.all_records()):
+            ...
+    """
+
+    participant_id: Optional[str] = None
+    operation: Optional[Operation] = None
+    object_prefix: Optional[str] = None
+    min_seq: Optional[int] = None
+    max_seq: Optional[int] = None
+    inherited: Optional[bool] = None
+
+    def by_participant(self, participant_id: str) -> "RecordFilter":
+        """Keep records signed by ``participant_id``."""
+        return replace(self, participant_id=participant_id)
+
+    def by_operation(self, operation: Operation) -> "RecordFilter":
+        """Keep records documenting ``operation``."""
+        return replace(self, operation=operation)
+
+    def by_object_prefix(self, prefix: str) -> "RecordFilter":
+        """Keep records whose output object id starts with ``prefix``.
+
+        With the relational id scheme (``db/table/row/cell``) this scopes
+        a query to a table or a row.
+        """
+        return replace(self, object_prefix=prefix)
+
+    def by_seq_range(self, min_seq: int, max_seq: int) -> "RecordFilter":
+        """Keep records with ``min_seq <= seq_id <= max_seq``."""
+        return replace(self, min_seq=min_seq, max_seq=max_seq)
+
+    def only_inherited(self, inherited: bool = True) -> "RecordFilter":
+        """Keep only inherited (or only actual) records."""
+        return replace(self, inherited=inherited)
+
+    # ------------------------------------------------------------------
+
+    def matches(self, record: ProvenanceRecord) -> bool:
+        """True if ``record`` passes every configured predicate."""
+        if self.participant_id is not None and record.participant_id != self.participant_id:
+            return False
+        if self.operation is not None and record.operation is not self.operation:
+            return False
+        if self.object_prefix is not None and not record.object_id.startswith(
+            self.object_prefix
+        ):
+            return False
+        if self.min_seq is not None and record.seq_id < self.min_seq:
+            return False
+        if self.max_seq is not None and record.seq_id > self.max_seq:
+            return False
+        if self.inherited is not None and record.inherited != self.inherited:
+            return False
+        return True
+
+    def apply(self, records: Iterable[ProvenanceRecord]) -> Iterator[ProvenanceRecord]:
+        """Lazily yield matching records."""
+        return (record for record in records if self.matches(record))
+
+    def collect(self, records: Iterable[ProvenanceRecord]) -> Tuple[ProvenanceRecord, ...]:
+        """Materialise matching records."""
+        return tuple(self.apply(records))
+
+    __call__ = apply

@@ -1,0 +1,108 @@
+"""Historical state queries: what did an object look like at seq *k*?
+
+Provenance records capture every state transition, so an object's value
+history is reconstructible from its chain alone — no separate temporal
+database needed.  Digests are always available; concrete values are
+available when records carried them inline (``carry_values``, the
+default) and were not redacted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.exceptions import MissingProvenanceError
+from repro.model.values import Value
+from repro.provenance.records import ObjectState, Operation, ProvenanceRecord
+
+__all__ = ["HistoryEntry", "value_history", "state_at", "find_change"]
+
+
+@dataclass(frozen=True)
+class HistoryEntry:
+    """One step of an object's recorded history."""
+
+    seq_id: int
+    participant_id: str
+    operation: Operation
+    digest: bytes
+    value: Value = None
+    has_value: bool = False
+    inherited: bool = False
+    note: str = ""
+
+    def __str__(self) -> str:
+        shown = repr(self.value) if self.has_value else f"<{self.digest.hex()[:12]}…>"
+        suffix = f"  — {self.note}" if self.note else ""
+        return (
+            f"#{self.seq_id} {self.operation.value} by "
+            f"{self.participant_id}: {shown}{suffix}"
+        )
+
+
+def _chain(
+    records: Iterable[ProvenanceRecord], object_id: str
+) -> List[ProvenanceRecord]:
+    chain = sorted(
+        (r for r in records if r.object_id == object_id), key=lambda r: r.seq_id
+    )
+    if not chain:
+        raise MissingProvenanceError(f"no provenance records for {object_id!r}")
+    return chain
+
+
+def value_history(
+    records: Iterable[ProvenanceRecord], object_id: str
+) -> Tuple[HistoryEntry, ...]:
+    """The object's state after each recorded operation, oldest first."""
+    return tuple(
+        HistoryEntry(
+            seq_id=record.seq_id,
+            participant_id=record.participant_id,
+            operation=record.operation,
+            digest=record.output.digest,
+            value=record.output.value,
+            has_value=record.output.has_value,
+            inherited=record.inherited,
+            note=record.note,
+        )
+        for record in _chain(records, object_id)
+    )
+
+
+def state_at(
+    records: Iterable[ProvenanceRecord], object_id: str, seq_id: int
+) -> ObjectState:
+    """The object's recorded state as of ``seq_id`` (latest <= seq_id).
+
+    Raises:
+        MissingProvenanceError: If the object has no record at or before
+            ``seq_id``.
+    """
+    best: Optional[ProvenanceRecord] = None
+    for record in _chain(records, object_id):
+        if record.seq_id <= seq_id:
+            best = record
+    if best is None:
+        raise MissingProvenanceError(
+            f"{object_id!r} has no recorded state at or before seq {seq_id}"
+        )
+    return best.output
+
+
+def find_change(
+    records: Iterable[ProvenanceRecord],
+    object_id: str,
+    value: Value,
+) -> Tuple[HistoryEntry, ...]:
+    """Every history entry where the object's value became ``value``.
+
+    The auditor's question "when (and by whom) was this set to X?".
+    Matches only entries that carried values inline.
+    """
+    return tuple(
+        entry
+        for entry in value_history(records, object_id)
+        if entry.has_value and entry.value == value
+    )

@@ -1,0 +1,114 @@
+"""Lineage queries over the provenance DAG.
+
+These are thin, well-named wrappers over :class:`ProvenanceDAG` traversals
+— the questions a data recipient or auditor actually asks: *where did
+this come from*, *who touched it*, *what else is affected*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import networkx as nx
+
+from repro.provenance.dag import ProvenanceDAG
+from repro.provenance.records import Operation
+
+__all__ = [
+    "derives_from",
+    "downstream_objects",
+    "contribution_of",
+    "derivation_depth",
+    "lineage_summary",
+    "LineageSummary",
+]
+
+
+def derives_from(dag: ProvenanceDAG, object_id: str, source_id: str) -> bool:
+    """True if ``object_id``'s history depends on ``source_id``.
+
+    Either the object *is* the source, or some aggregation in its
+    ancestry consumed the source (directly or transitively).
+    """
+    if object_id == source_id:
+        return dag.terminal(object_id) is not None
+    return any(record.object_id == source_id for record in dag.ancestry(object_id))
+
+
+def downstream_objects(dag: ProvenanceDAG, object_id: str) -> Tuple[str, ...]:
+    """Objects whose provenance depends on ``object_id`` (excluding it).
+
+    The impact set: if ``object_id`` turns out to be corrupt or
+    fraudulent, these are the derived objects that inherit the taint.
+    """
+    terminal = dag.terminal(object_id)
+    if terminal is None:
+        return ()
+    first = dag.chain(object_id)[0]
+    descendants = nx.descendants(dag.graph, first.key)
+    out = {
+        key[0]
+        for key in descendants
+        if key[0] != object_id
+    }
+    return tuple(sorted(out))
+
+
+def contribution_of(dag: ProvenanceDAG, object_id: str) -> Dict[str, int]:
+    """Per-participant record counts in the object's ancestry."""
+    counts: Dict[str, int] = {}
+    for record in dag.ancestry(object_id):
+        counts[record.participant_id] = counts.get(record.participant_id, 0) + 1
+    return counts
+
+
+def derivation_depth(dag: ProvenanceDAG, object_id: str) -> int:
+    """Longest derivation path (in records) ending at the object's terminal.
+
+    0 for untracked objects; 1 for a freshly inserted object; grows with
+    every update and across aggregations.
+    """
+    terminal = dag.terminal(object_id)
+    if terminal is None:
+        return 0
+    keys = {record.key for record in dag.ancestry(object_id)}
+    sub = dag.graph.subgraph(keys)
+    return nx.dag_longest_path_length(sub) + 1
+
+
+@dataclass(frozen=True)
+class LineageSummary:
+    """Answer to "where has this data been?" for one object."""
+
+    object_id: str
+    record_count: int
+    participants: Tuple[str, ...]
+    sources: Tuple[str, ...]
+    aggregations: int
+    linear: bool
+    depth: int
+
+    def __str__(self) -> str:
+        shape = "linear" if self.linear else "non-linear (DAG)"
+        return (
+            f"{self.object_id}: {self.record_count} records, depth {self.depth}, "
+            f"{shape}; sources={list(self.sources)}; "
+            f"participants={list(self.participants)}"
+        )
+
+
+def lineage_summary(dag: ProvenanceDAG, object_id: str) -> LineageSummary:
+    """Aggregate lineage facts for one object."""
+    ancestry = dag.ancestry(object_id)
+    return LineageSummary(
+        object_id=object_id,
+        record_count=len(ancestry),
+        participants=dag.contributing_participants(object_id),
+        sources=dag.source_objects(object_id),
+        aggregations=sum(
+            1 for record in ancestry if record.operation is Operation.AGGREGATE
+        ),
+        linear=dag.is_linear(object_id),
+        depth=derivation_depth(dag, object_id),
+    )

@@ -1,0 +1,23 @@
+"""A minimal SQL dialect over the provenance-tracked relational view.
+
+The paper's substrate is a relational database; this package lets users
+drive the depth-4 forest (root → tables → rows → cells) with familiar
+statements, every write flowing through the checksum collector:
+
+    CREATE TABLE patients (age, weight)
+    INSERT INTO patients (age, weight) VALUES (52, 81)
+    UPDATE patients SET age = 53 WHERE rowid = 0
+    UPDATE patients SET weight = 0 WHERE age = 52
+    DELETE FROM patients WHERE rowid = 0
+    SELECT age, weight FROM patients WHERE weight = 81
+
+Deliberately small: one table per statement, equality-only WHERE, no
+joins, no expressions — the point is provenance-tracked DML, not a query
+engine.  See :mod:`repro.sql.parser` for the grammar and
+:mod:`repro.sql.executor` for execution semantics.
+"""
+
+from repro.sql.executor import SQLExecutor, SQLResult
+from repro.sql.parser import SQLSyntaxError, parse
+
+__all__ = ["parse", "SQLSyntaxError", "SQLExecutor", "SQLResult"]

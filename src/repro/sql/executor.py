@@ -1,0 +1,178 @@
+"""Execution of the minimal SQL dialect over a relational view.
+
+Every DML statement becomes relational-view operations — and therefore,
+when the view's executor is a participant session, signed provenance
+records at cell/row/table/root granularity.  Multi-row UPDATE and DELETE
+statements run as one complex operation each (§4.4), exactly like the
+paper's workload generator treats batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import WorkloadError
+from repro.model.relational import RelationalView
+from repro.model.values import Value
+from repro.sql.parser import (
+    CreateTable,
+    Delete,
+    Insert,
+    Select,
+    SQLSyntaxError,
+    Update,
+    Where,
+    parse,
+)
+
+__all__ = ["SQLResult", "SQLExecutor"]
+
+
+@dataclass(frozen=True)
+class SQLResult:
+    """Outcome of one statement."""
+
+    statement: str  # "create" | "insert" | "update" | "delete" | "select"
+    rowcount: int
+    columns: Tuple[str, ...] = ()
+    rows: Tuple[Tuple[Value, ...], ...] = ()
+    rowids: Tuple[int, ...] = ()
+
+    def render(self) -> str:
+        """Human-readable form (the CLI prints this)."""
+        if self.statement == "select":
+            if not self.rows:
+                return "(0 rows)"
+            header = ("rowid",) + self.columns
+            widths = [len(h) for h in header]
+            body = []
+            for rowid, row in zip(self.rowids, self.rows):
+                cells = [str(rowid)] + [repr(v) for v in row]
+                widths = [max(w, len(c)) for w, c in zip(widths, cells)]
+                body.append(cells)
+            lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+            lines.extend(
+                "  ".join(c.ljust(w) for c, w in zip(cells, widths)) for cells in body
+            )
+            lines.append(f"({len(self.rows)} rows)")
+            return "\n".join(lines)
+        return f"{self.statement}: {self.rowcount} row(s) affected"
+
+
+class SQLExecutor:
+    """Executes dialect statements against one relational view.
+
+    Args:
+        view: The target view; pass one built over a participant session
+            for provenance-tracked execution.
+    """
+
+    def __init__(self, view: RelationalView):
+        self.view = view
+
+    def execute(self, statement: str, note: str = "") -> SQLResult:
+        """Parse and execute one statement.
+
+        ``note`` is attached to the provenance of write statements when
+        the underlying executor supports notes (participant sessions do).
+
+        Raises:
+            SQLSyntaxError: On statements outside the dialect.
+            WorkloadError / UnknownObjectError: On semantic errors.
+        """
+        parsed = parse(statement)
+        if isinstance(parsed, CreateTable):
+            return self._create(parsed)
+        if isinstance(parsed, Insert):
+            return self._insert(parsed)
+        if isinstance(parsed, Update):
+            return self._update(parsed, note)
+        if isinstance(parsed, Delete):
+            return self._delete(parsed, note)
+        if isinstance(parsed, Select):
+            return self._select(parsed)
+        raise SQLSyntaxError(f"unhandled statement {parsed!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+
+    def _create(self, stmt: CreateTable) -> SQLResult:
+        self.view.create_table(stmt.table, stmt.columns)
+        return SQLResult(statement="create", rowcount=0)
+
+    def _insert(self, stmt: Insert) -> SQLResult:
+        row_key = self.view.insert_row(stmt.table, dict(zip(stmt.columns, stmt.values)))
+        return SQLResult(statement="insert", rowcount=1, rowids=(row_key,))
+
+    def _matching_rows(self, table: str, where: Optional[Where]) -> List[int]:
+        keys = self.view.row_keys(table)
+        if where is None:
+            return keys
+        if where.by_rowid:
+            rowid = where.value
+            if not isinstance(rowid, int) or isinstance(rowid, bool):
+                raise WorkloadError(f"ROWID filter needs an integer, got {rowid!r}")
+            return [rowid] if rowid in keys else []
+        if where.column not in self.view.columns(table):
+            raise WorkloadError(
+                f"unknown column {where.column!r} in table {table!r}"
+            )
+        return [
+            key
+            for key in keys
+            if self.view.get_cell(table, key, where.column) == where.value
+        ]
+
+    def _update(self, stmt: Update, note: str) -> SQLResult:
+        columns = self.view.columns(stmt.table)
+        for column, _ in stmt.assignments:
+            if column not in columns:
+                raise WorkloadError(
+                    f"unknown column {column!r} in table {stmt.table!r}"
+                )
+        matches = self._matching_rows(stmt.table, stmt.where)
+        with self._grouped(note):
+            for key in matches:
+                for column, value in stmt.assignments:
+                    self.view.update_cell(stmt.table, key, column, value)
+        return SQLResult(
+            statement="update", rowcount=len(matches), rowids=tuple(matches)
+        )
+
+    def _delete(self, stmt: Delete, note: str) -> SQLResult:
+        matches = self._matching_rows(stmt.table, stmt.where)
+        with self._grouped(note):
+            for key in matches:
+                self.view.delete_row(stmt.table, key)
+        return SQLResult(
+            statement="delete", rowcount=len(matches), rowids=tuple(matches)
+        )
+
+    def _select(self, stmt: Select) -> SQLResult:
+        table_columns = self.view.columns(stmt.table)
+        columns = stmt.columns or table_columns
+        unknown = set(columns) - set(table_columns)
+        if unknown:
+            raise WorkloadError(
+                f"unknown columns in table {stmt.table!r}: {sorted(unknown)}"
+            )
+        matches = self._matching_rows(stmt.table, stmt.where)
+        rows: List[Tuple[Value, ...]] = []
+        for key in matches:
+            record: Dict[str, Value] = self.view.get_row(stmt.table, key)
+            rows.append(tuple(record.get(column) for column in columns))
+        return SQLResult(
+            statement="select",
+            rowcount=len(rows),
+            columns=tuple(columns),
+            rows=tuple(rows),
+            rowids=tuple(matches),
+        )
+
+    def _grouped(self, note: str):
+        """One complex operation for the whole statement."""
+        executor = self.view.executor
+        try:
+            return executor.complex_operation(note=note)
+        except TypeError:  # plain engines take no note
+            return executor.complex_operation()

@@ -1,0 +1,279 @@
+"""Parser for the minimal SQL dialect.
+
+Grammar (keywords case-insensitive, identifiers ``[A-Za-z_][A-Za-z0-9_]*``):
+
+.. code-block:: text
+
+    statement   := create | insert | update | delete | select
+    create      := CREATE TABLE ident "(" ident ("," ident)* ")"
+    insert      := INSERT INTO ident "(" ident ("," ident)* ")"
+                   VALUES "(" literal ("," literal)* ")"
+    update      := UPDATE ident SET assignment ("," assignment)* [where]
+    delete      := DELETE FROM ident [where]
+    select      := SELECT ("*" | ident ("," ident)*) FROM ident [where]
+    assignment  := ident "=" literal
+    where       := WHERE (ROWID | ident) "=" literal
+    literal     := integer | float | string | NULL | TRUE | FALSE
+
+Strings take single quotes with ``''`` escaping.  Statements parse into
+plain dataclasses; execution lives in :mod:`repro.sql.executor`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.exceptions import ReproError
+from repro.model.values import Value
+
+__all__ = [
+    "SQLSyntaxError",
+    "parse",
+    "CreateTable",
+    "Insert",
+    "Update",
+    "Delete",
+    "Select",
+    "Where",
+]
+
+
+class SQLSyntaxError(ReproError):
+    """Raised for statements the dialect cannot parse."""
+
+
+_TOKEN = re.compile(
+    r"""
+    \s*(
+        '(?:[^']|'')*'          # string literal
+      | -?\d+\.\d+              # float
+      | -?\d+                   # integer
+      | [A-Za-z_][A-Za-z0-9_]*  # keyword / identifier
+      | \*
+      | [(),=]
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "create", "table", "insert", "into", "values", "update", "set",
+    "delete", "from", "select", "where", "null", "true", "false", "rowid",
+}
+
+
+@dataclass(frozen=True)
+class Where:
+    """Equality filter: by ``rowid`` or by one column's value."""
+
+    column: Optional[str]  # None means rowid
+    value: Value
+
+    @property
+    def by_rowid(self) -> bool:
+        return self.column is None
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    table: str
+    columns: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: Tuple[str, ...]
+    values: Tuple[Value, ...]
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: Tuple[Tuple[str, Value], ...]
+    where: Optional[Where] = None
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Optional[Where] = None
+
+
+@dataclass(frozen=True)
+class Select:
+    table: str
+    columns: Tuple[str, ...] = field(default_factory=tuple)  # empty = "*"
+    where: Optional[Where] = None
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self.text = text
+        self.items: List[str] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN.match(text, position)
+            if match is None:
+                if text[position:].strip(" ;\n\t") == "":
+                    break
+                raise SQLSyntaxError(
+                    f"cannot tokenise near: {text[position:position + 20]!r}"
+                )
+            self.items.append(match.group(1))
+            position = match.end()
+        self.index = 0
+
+    def peek(self) -> Optional[str]:
+        return self.items[self.index] if self.index < len(self.items) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise SQLSyntaxError("unexpected end of statement")
+        self.index += 1
+        return token
+
+    def expect_keyword(self, keyword: str) -> None:
+        token = self.next()
+        if token.lower() != keyword:
+            raise SQLSyntaxError(f"expected {keyword.upper()}, found {token!r}")
+
+    def expect(self, symbol: str) -> None:
+        token = self.next()
+        if token != symbol:
+            raise SQLSyntaxError(f"expected {symbol!r}, found {token!r}")
+
+    def identifier(self) -> str:
+        token = self.next()
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", token) or token.lower() in _KEYWORDS:
+            raise SQLSyntaxError(f"expected an identifier, found {token!r}")
+        return token
+
+    def literal(self) -> Value:
+        token = self.next()
+        lowered = token.lower()
+        if lowered == "null":
+            return None
+        if lowered == "true":
+            return True
+        if lowered == "false":
+            return False
+        if token.startswith("'"):
+            return token[1:-1].replace("''", "'")
+        if re.fullmatch(r"-?\d+\.\d+", token):
+            return float(token)
+        if re.fullmatch(r"-?\d+", token):
+            return int(token)
+        raise SQLSyntaxError(f"expected a literal, found {token!r}")
+
+    def done(self) -> None:
+        if self.peek() is not None:
+            raise SQLSyntaxError(f"unexpected trailing input: {self.peek()!r}")
+
+
+def _identifier_list(tokens: _Tokens) -> Tuple[str, ...]:
+    tokens.expect("(")
+    out = [tokens.identifier()]
+    while tokens.peek() == ",":
+        tokens.next()
+        out.append(tokens.identifier())
+    tokens.expect(")")
+    return tuple(out)
+
+
+def _literal_list(tokens: _Tokens) -> Tuple[Value, ...]:
+    tokens.expect("(")
+    out = [tokens.literal()]
+    while tokens.peek() == ",":
+        tokens.next()
+        out.append(tokens.literal())
+    tokens.expect(")")
+    return tuple(out)
+
+
+def _maybe_where(tokens: _Tokens) -> Optional[Where]:
+    if tokens.peek() is None or tokens.peek().lower() != "where":
+        return None
+    tokens.next()
+    token = tokens.next()
+    if token.lower() == "rowid":
+        column = None
+    elif re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", token):
+        column = token
+    else:
+        raise SQLSyntaxError(f"expected ROWID or a column name, found {token!r}")
+    tokens.expect("=")
+    return Where(column=column, value=tokens.literal())
+
+
+def parse(statement: str):
+    """Parse one statement; returns the matching dataclass.
+
+    Raises:
+        SQLSyntaxError: If the statement is outside the dialect.
+    """
+    tokens = _Tokens(statement)
+    head = tokens.next().lower()
+
+    if head == "create":
+        tokens.expect_keyword("table")
+        table = tokens.identifier()
+        columns = _identifier_list(tokens)
+        tokens.done()
+        return CreateTable(table=table, columns=columns)
+
+    if head == "insert":
+        tokens.expect_keyword("into")
+        table = tokens.identifier()
+        columns = _identifier_list(tokens)
+        tokens.expect_keyword("values")
+        values = _literal_list(tokens)
+        tokens.done()
+        if len(columns) != len(values):
+            raise SQLSyntaxError(
+                f"{len(columns)} columns but {len(values)} values"
+            )
+        return Insert(table=table, columns=columns, values=values)
+
+    if head == "update":
+        table = tokens.identifier()
+        tokens.expect_keyword("set")
+        assignments = [(tokens.identifier(), _expect_eq_literal(tokens))]
+        while tokens.peek() == ",":
+            tokens.next()
+            assignments.append((tokens.identifier(), _expect_eq_literal(tokens)))
+        where = _maybe_where(tokens)
+        tokens.done()
+        return Update(table=table, assignments=tuple(assignments), where=where)
+
+    if head == "delete":
+        tokens.expect_keyword("from")
+        table = tokens.identifier()
+        where = _maybe_where(tokens)
+        tokens.done()
+        return Delete(table=table, where=where)
+
+    if head == "select":
+        if tokens.peek() == "*":
+            tokens.next()
+            columns: Tuple[str, ...] = ()
+        else:
+            columns = (tokens.identifier(),)
+            while tokens.peek() == ",":
+                tokens.next()
+                columns = columns + (tokens.identifier(),)
+        tokens.expect_keyword("from")
+        table = tokens.identifier()
+        where = _maybe_where(tokens)
+        tokens.done()
+        return Select(table=table, columns=columns, where=where)
+
+    raise SQLSyntaxError(f"unsupported statement kind {head.upper()!r}")
+
+
+def _expect_eq_literal(tokens: _Tokens) -> Value:
+    tokens.expect("=")
+    return tokens.literal()

@@ -1,0 +1,237 @@
+"""Complex-operation workloads (Table 2).
+
+Each function drives one of the paper's experimental workloads against a
+:class:`~repro.model.relational.RelationalView` whose executor may be a
+plain engine (hashing-only experiments) or a provenance session (full
+overhead experiments).  Every workload runs as a *single* complex
+operation, matching Table 2's "Complex Operations for Each Experiment".
+
+- **Setup A** — pure update sweeps with growing touched-cell counts
+  (drives Fig 7's Basic-vs-Economical comparison).
+- **Setup B** — homogeneous 500-op batches: all-deletes, all-inserts,
+  and two update distributions (Figs 8/9).
+- **Setup C** — delete/insert/update mixes with rising delete share
+  (Figs 10/11).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.exceptions import WorkloadError
+from repro.model.relational import RelationalView
+
+__all__ = [
+    "setup_a_points",
+    "apply_update_sweep",
+    "apply_row_inserts",
+    "apply_row_deletes",
+    "OperationMix",
+    "SETUP_B_OPERATIONS",
+    "SETUP_C_MIXES",
+    "apply_mixed_operations",
+]
+
+#: Value range for freshly written synthetic cells.
+_VALUE_RANGE = 1_000_000
+
+
+def setup_a_points(scale: float = 1.0) -> Tuple[Tuple[str, int, int], ...]:
+    """Setup A's sweep points as ``(label, updates, rows_touched)``.
+
+    Full scale: 1 update on 1 cell; ``400n`` updates in ``400n`` rows for
+    n = 1..10; ``4000n`` updates in 4000 rows for n = 2..8.  ``scale``
+    shrinks the counts proportionally (min 1) for quick runs.
+    """
+
+    def s(count: int) -> int:
+        return max(1, round(count * scale))
+
+    points: List[Tuple[str, int, int]] = [("1 update / 1 row", 1, 1)]
+    for n in range(1, 11):
+        points.append((f"{400 * n} updates / {400 * n} rows", s(400 * n), s(400 * n)))
+    for n in range(2, 9):
+        points.append((f"{4000 * n} updates / 4000 rows", s(4000 * n), s(4000)))
+    return tuple(points)
+
+
+def apply_update_sweep(
+    view: RelationalView,
+    table: str,
+    n_updates: int,
+    n_rows: int,
+    seed: int = 0,
+) -> int:
+    """Update ``n_updates`` distinct cells spread over the first ``n_rows``
+    rows, as one complex operation.  Returns the number of cells updated.
+
+    Cells are assigned row-major round-robin (one cell per row before a
+    second cell anywhere), matching the paper's "N updates on N cells in
+    M rows" phrasing.
+
+    Raises:
+        WorkloadError: If the table cannot supply that many distinct cells.
+    """
+    columns = view.columns(table)
+    keys = view.row_keys(table)[:n_rows]
+    if len(keys) < n_rows:
+        raise WorkloadError(
+            f"table {table!r} has {len(keys)} rows, need {n_rows}"
+        )
+    if n_updates > n_rows * len(columns):
+        raise WorkloadError(
+            f"cannot update {n_updates} distinct cells in {n_rows} rows of "
+            f"{len(columns)} columns"
+        )
+    rng = random.Random(seed)
+    with view.executor.complex_operation():
+        for i in range(n_updates):
+            row_key = keys[i % n_rows]
+            column = columns[(i // n_rows) % len(columns)]
+            view.update_cell(table, row_key, column, rng.randrange(_VALUE_RANGE))
+    return n_updates
+
+
+def apply_row_inserts(
+    view: RelationalView, table: str, n_rows: int, seed: int = 0
+) -> List[int]:
+    """Insert ``n_rows`` full rows as one complex operation."""
+    columns = view.columns(table)
+    rng = random.Random(seed)
+    keys: List[int] = []
+    with view.executor.complex_operation():
+        for _ in range(n_rows):
+            keys.append(
+                view.insert_row(
+                    table,
+                    {column: rng.randrange(_VALUE_RANGE) for column in columns},
+                )
+            )
+    return keys
+
+
+def apply_row_deletes(
+    view: RelationalView, table: str, n_rows: int, seed: int = 0
+) -> List[int]:
+    """Delete ``n_rows`` random rows (cells first) as one complex operation.
+
+    Raises:
+        WorkloadError: If the table has fewer than ``n_rows`` rows.
+    """
+    keys = view.row_keys(table)
+    if len(keys) < n_rows:
+        raise WorkloadError(f"table {table!r} has {len(keys)} rows, need {n_rows}")
+    rng = random.Random(seed)
+    victims = rng.sample(keys, n_rows)
+    with view.executor.complex_operation():
+        for key in victims:
+            view.delete_row(table, key)
+    return victims
+
+
+@dataclass(frozen=True)
+class OperationMix:
+    """A Setup B/C workload: counts of each primitive kind."""
+
+    deletes: int
+    inserts: int
+    updates: int
+
+    @property
+    def total(self) -> int:
+        return self.deletes + self.inserts + self.updates
+
+    @property
+    def delete_fraction(self) -> float:
+        """Share of deletes — the x-axis of Figs 10/11."""
+        return self.deletes / self.total if self.total else 0.0
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.deletes}d/{self.inserts}i/{self.updates}u "
+            f"({self.delete_fraction:.1%} deletes)"
+        )
+
+    def scaled(self, scale: float) -> "OperationMix":
+        """A proportionally smaller mix (each non-zero count >= 1)."""
+        if scale <= 0:
+            raise WorkloadError(f"scale must be positive, got {scale}")
+
+        def s(count: int) -> int:
+            return max(1, round(count * scale)) if count else 0
+
+        return OperationMix(s(self.deletes), s(self.inserts), s(self.updates))
+
+
+#: Setup B (Table 2): the four homogeneous workloads, as
+#: ``(key, row-deletes, row-inserts, cell-updates, rows-touched-by-updates)``.
+SETUP_B_OPERATIONS: Tuple[Tuple[str, int, int, int, int], ...] = (
+    ("all-deletes", 500, 0, 0, 0),
+    ("all-inserts", 0, 500, 0, 0),
+    ("updates-500-rows", 0, 0, 4000, 500),
+    ("updates-4000-rows", 0, 0, 4000, 4000),
+)
+
+#: Setup C (Table 2): mixes of 500 primitives with rising delete share.
+SETUP_C_MIXES: Tuple[OperationMix, ...] = (
+    OperationMix(deletes=96, inserts=189, updates=215),
+    OperationMix(deletes=183, inserts=152, updates=165),
+    OperationMix(deletes=285, inserts=106, updates=109),
+    OperationMix(deletes=391, inserts=49, updates=60),
+)
+
+
+def apply_mixed_operations(
+    view: RelationalView,
+    table: str,
+    mix: OperationMix,
+    seed: int = 0,
+) -> Tuple[int, int, int]:
+    """Run one Setup C mix as a single complex operation.
+
+    Deletes remove random live rows, inserts add full rows, updates touch
+    random cells of live rows; the three kinds are interleaved in a
+    seeded shuffle.  Returns the ``(deletes, inserts, updates)`` actually
+    performed.
+
+    Raises:
+        WorkloadError: If the table runs out of rows to delete/update.
+    """
+    rng = random.Random(seed)
+    columns = view.columns(table)
+    live = view.row_keys(table)
+    if mix.deletes > len(live):
+        raise WorkloadError(
+            f"mix deletes {mix.deletes} rows but table has {len(live)}"
+        )
+    plan = (
+        ["delete"] * mix.deletes + ["insert"] * mix.inserts + ["update"] * mix.updates
+    )
+    rng.shuffle(plan)
+
+    performed = [0, 0, 0]
+    with view.executor.complex_operation():
+        for kind in plan:
+            if kind == "delete":
+                victim = live.pop(rng.randrange(len(live)))
+                view.delete_row(table, victim)
+                performed[0] += 1
+            elif kind == "insert":
+                key = view.insert_row(
+                    table,
+                    {column: rng.randrange(_VALUE_RANGE) for column in columns},
+                )
+                live.append(key)
+                performed[1] += 1
+            else:
+                if not live:
+                    raise WorkloadError("no live rows left to update")
+                row_key = live[rng.randrange(len(live))]
+                view.update_cell(
+                    table, row_key, rng.choice(columns), rng.randrange(_VALUE_RANGE)
+                )
+                performed[2] += 1
+    return tuple(performed)

@@ -1,0 +1,185 @@
+"""Synthetic back-end databases (Table 1).
+
+The paper's evaluation uses four synthetic all-integer tables:
+
+    ===== ========== ========
+    table attributes rows
+    ===== ========== ========
+    1     8          4000
+    2     9          3000
+    3     10         2000
+    4     5          5000
+    ===== ========== ========
+
+combined into four databases {1}, {1,2}, {1,2,3}, {1,2,3,4}.  Node counts
+are cells + rows + one node per table + one root.  (Table 1(b)'s printed
+counts differ from this arithmetic by a few nodes for the multi-table
+combinations; we report exact counts — see EXPERIMENTS.md.)
+
+``scale`` parameters let benchmarks shrink the workloads proportionally
+for CI-speed runs while preserving shape.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.exceptions import WorkloadError
+from repro.model.relational import RelationalView
+from repro.model.tree import Forest
+
+__all__ = [
+    "TableSpec",
+    "PAPER_TABLES",
+    "PAPER_COMBINATIONS",
+    "node_count",
+    "build_forest",
+    "populate_session",
+    "title_table_rows",
+]
+
+#: Upper bound (exclusive) for the synthetic integer attribute values.
+_VALUE_RANGE = 1_000_000
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """Shape of one synthetic table."""
+
+    number: int
+    attributes: int
+    rows: int
+
+    @property
+    def name(self) -> str:
+        """Table name used in the forest (``t<number>``)."""
+        return f"t{self.number}"
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        """Column names ``a1..aN``."""
+        return tuple(f"a{i}" for i in range(1, self.attributes + 1))
+
+    @property
+    def nodes(self) -> int:
+        """Nodes this table contributes: cells + rows + the table node."""
+        return self.rows * self.attributes + self.rows + 1
+
+    def scaled(self, scale: float) -> "TableSpec":
+        """A proportionally smaller copy (row count scaled, >= 1)."""
+        if scale <= 0:
+            raise WorkloadError(f"scale must be positive, got {scale}")
+        return TableSpec(
+            number=self.number,
+            attributes=self.attributes,
+            rows=max(1, round(self.rows * scale)),
+        )
+
+
+#: Table 1(a).
+PAPER_TABLES: Tuple[TableSpec, ...] = (
+    TableSpec(1, 8, 4000),
+    TableSpec(2, 9, 3000),
+    TableSpec(3, 10, 2000),
+    TableSpec(4, 5, 5000),
+)
+
+#: Table 1(b)'s database combinations (by table number).
+PAPER_COMBINATIONS: Tuple[Tuple[int, ...], ...] = (
+    (1,),
+    (1, 2),
+    (1, 2, 3),
+    (1, 2, 3, 4),
+)
+
+
+def tables_for(combination: Sequence[int], scale: float = 1.0) -> Tuple[TableSpec, ...]:
+    """The (optionally scaled) specs for one Table 1(b) combination."""
+    by_number = {spec.number: spec for spec in PAPER_TABLES}
+    try:
+        specs = tuple(by_number[number] for number in combination)
+    except KeyError as exc:
+        raise WorkloadError(f"unknown table number {exc.args[0]}") from None
+    if scale != 1.0:
+        specs = tuple(spec.scaled(scale) for spec in specs)
+    return specs
+
+
+def node_count(specs: Iterable[TableSpec]) -> int:
+    """Total forest nodes for a database built from ``specs`` (incl. root)."""
+    return 1 + sum(spec.nodes for spec in specs)
+
+
+def build_forest(
+    specs: Iterable[TableSpec],
+    seed: int = 0,
+    root_id: str = "db",
+) -> Forest:
+    """Materialise a synthetic database directly into a forest.
+
+    No provenance, no crypto — this is the fast path for hashing-only
+    experiments (Fig 6/7).  For a provenance-tracked database use
+    :func:`populate_session`.
+    """
+    rng = random.Random(seed)
+    forest = Forest()
+    forest.insert(root_id, None)
+    for spec in specs:
+        table_id = f"{root_id}/{spec.name}"
+        forest.insert(table_id, ",".join(spec.columns), root_id)
+        for row in range(spec.rows):
+            row_id = f"{table_id}/r{row}"
+            forest.insert(row_id, None, table_id)
+            for column in spec.columns:
+                forest.insert(
+                    f"{row_id}/{column}", rng.randrange(_VALUE_RANGE), row_id
+                )
+    return forest
+
+
+def populate_session(
+    session,
+    specs: Iterable[TableSpec],
+    seed: int = 0,
+    root_id: str = "db",
+) -> RelationalView:
+    """Build the synthetic database through a provenance-tracked session.
+
+    Every row insert is one complex operation, exactly as the evaluation's
+    workload generator would drive the real system.  Returns the
+    relational view for running Setup A/B/C operations.
+    """
+    rng = random.Random(seed)
+    view = RelationalView(session, root_id=root_id)
+    for spec in specs:
+        view.create_table(spec.name, spec.columns)
+        for _ in range(spec.rows):
+            view.insert_row(
+                spec.name,
+                {column: rng.randrange(_VALUE_RANGE) for column in spec.columns},
+            )
+    return view
+
+
+def title_table_rows(
+    row_count: int,
+    table_id: str = "bigdb/title",
+    seed: int = 0,
+) -> Iterator[Tuple[str, None, List[Tuple[str, object]]]]:
+    """Stream the §5.2 "Title" table: (Document ID, Title) per row.
+
+    Yields ``(row_id, row_value, cells)`` tuples for
+    :class:`~repro.core.merkle.StreamingDatabaseHasher` without ever
+    materialising the table (the paper's real table had 18,962,041 rows;
+    pass any ``row_count`` — memory stays O(1)).
+    """
+    rng = random.Random(seed)
+    for row in range(row_count):
+        row_id = f"{table_id}/r{row}"
+        cells = [
+            (f"{row_id}/doc_id", row),
+            (f"{row_id}/title", f"Document {row}: {rng.randrange(1_000_000):06d}"),
+        ]
+        yield row_id, None, cells

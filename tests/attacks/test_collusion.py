@@ -1,0 +1,89 @@
+"""Unit tests for collusion attacks (R6/R7) and the documented boundary."""
+
+import pytest
+
+from repro.attacks import collusion
+from repro.attacks.scenarios import build_world
+from repro.exceptions import ProvenanceError
+
+
+@pytest.fixture
+def world():
+    # Fresh world per test: collusion scenarios extend chains.
+    return build_world()
+
+
+def verify(world, shipment):
+    return shipment.verify_with_ca(world.db.ca.public_key, world.db.ca.name)
+
+
+class TestRemoveBetween:
+    def test_detected_with_honest_successor(self, world):
+        # Extend the chain with an honest record after Eve's, then excise
+        # Alice's seq-3 record between Mallory (2) and Eve (4).
+        world.db.session(world.alice).update("x", 15)
+        shipment = world.db.ship("x")
+        forged = collusion.remove_between(shipment, "x", 3, world.eve)
+        report = verify(world, forged)
+        assert not report.ok
+        # Alice's honest seq-5 record no longer chains: gap at seq 4.
+        assert "R2" in report.requirement_codes()
+
+    def test_requires_sandwich(self, world):
+        shipment = world.db.ship("y")  # y has only seq 0..1
+        with pytest.raises(ProvenanceError):
+            collusion.remove_between(shipment, "y", 1, world.eve)
+
+    def test_rewritten_record_is_internally_valid(self, world):
+        """The colluder's re-signed record itself verifies — detection
+        comes from the surrounding chain, not the forged record."""
+        world.db.session(world.alice).update("x", 15)
+        shipment = world.db.ship("x")
+        forged = collusion.remove_between(shipment, "x", 3, world.eve)
+        rewritten = next(r for r in forged.records if r.seq_id == 3)
+        assert rewritten.participant_id == "eve"
+
+
+class TestInsertBetween:
+    def test_detected(self, world):
+        forged = collusion.insert_between(
+            world.shipment, "x", 2, world.mallory, "alice", 42
+        )
+        report = verify(world, forged)
+        assert not report.ok
+
+    def test_scapegoat_never_validly_signed(self, world):
+        forged = collusion.insert_between(
+            world.shipment, "x", 2, world.mallory, "alice", 42
+        )
+        spliced = [
+            r
+            for r in forged.records
+            if r.key == ("x", 3) and r.participant_id == "alice"
+        ]
+        assert spliced  # the forged record claims alice...
+        report = verify(world, forged)
+        assert not report.ok  # ...but alice's key rejects it
+
+
+class TestTailRewriteBoundary:
+    """The documented limitation: colluders owning the chain tail can
+    truncate history undetectably (as in Hasan et al.)."""
+
+    def test_tail_rewrite_not_detected(self, world):
+        forged = collusion.tail_rewrite(world.shipment, "x", 3, world.eve)
+        report = verify(world, forged)
+        assert report.ok  # pinned: this is the scheme's known boundary
+
+    def test_tail_rewrite_erases_victim(self, world):
+        forged = collusion.tail_rewrite(world.shipment, "x", 3, world.eve)
+        participants = {r.participant_id for r in forged.records}
+        assert "alice" in participants  # earlier records remain
+        seqs = sorted(r.seq_id for r in forged.records if r.object_id == "x")
+        assert seqs == [0, 1, 2, 3]  # one record shorter than the truth
+
+    def test_tail_rewrite_requires_tail(self, world):
+        world.db.session(world.alice).update("x", 15)
+        shipment = world.db.ship("x")
+        with pytest.raises(ProvenanceError):
+            collusion.tail_rewrite(shipment, "x", 3, world.eve)

@@ -1,0 +1,49 @@
+"""Security-requirement tests: every attack behaves as the paper claims.
+
+Each scenario returns ``expect_detected``; R1–R8 attacks must be caught,
+and the tail-rewrite boundary case must (documentedly) pass verification.
+"""
+
+import pytest
+
+from repro.attacks.scenarios import all_scenarios, build_world, scenarios_for
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world()
+
+
+@pytest.mark.parametrize("scenario", all_scenarios(), ids=lambda s: s.name)
+def test_scenario_detection_matches_claim(scenario, world):
+    tampered, report = scenario.execute(world)
+    detected = not report.ok
+    assert detected == scenario.expect_detected, (
+        f"{scenario.requirement} ({scenario.name}): expected "
+        f"detected={scenario.expect_detected}, got {report.summary()}"
+    )
+
+
+def test_every_requirement_has_a_scenario():
+    requirements = {s.requirement for s in all_scenarios()}
+    for code in ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"):
+        assert any(r.startswith(code) for r in requirements), f"missing {code}"
+
+
+def test_scenarios_for_prefix():
+    assert len(scenarios_for("R1")) == 2
+    assert len(scenarios_for("R7")) == 2  # detected case + boundary
+    assert scenarios_for("R9") == ()
+
+
+def test_clean_world_verifies(world):
+    report = world.shipment.verify_with_ca(world.db.ca.public_key, world.db.ca.name)
+    assert report.ok
+
+
+def test_detected_scenarios_name_a_requirement(world):
+    for scenario in all_scenarios():
+        if not scenario.expect_detected:
+            continue
+        _, report = scenario.execute(world)
+        assert report.requirement_codes(), scenario.name

@@ -1,0 +1,86 @@
+"""Unit tests for snapshot diffing."""
+
+import pytest
+
+from repro.audit.diff import diff_snapshots, explain_delivery
+from repro.provenance.snapshot import SubtreeSnapshot
+
+
+@pytest.fixture
+def world(tedb, participants):
+    session = tedb.session(participants["p1"])
+    session.insert("t", None)
+    session.insert("t/a", 1, "t")
+    session.insert("t/b", 2, "t")
+    return tedb, session
+
+
+def snap(db):
+    return SubtreeSnapshot.capture(db.store, "t")
+
+
+class TestDiffSnapshots:
+    def test_unchanged(self, world):
+        db, _ = world
+        diff = diff_snapshots(snap(db), snap(db))
+        assert diff.unchanged
+        assert "unchanged" in str(diff)
+
+    def test_value_change(self, world):
+        db, session = world
+        old = snap(db)
+        session.update("t/a", 10)
+        diff = diff_snapshots(old, snap(db))
+        (entry,) = diff.entries
+        assert entry.kind == "changed"
+        assert (entry.old_value, entry.new_value) == (1, 10)
+        assert "1 -> 10" in str(entry)
+
+    def test_addition_and_removal(self, world):
+        db, session = world
+        old = snap(db)
+        session.insert("t/c", 3, "t")
+        session.delete("t/b")
+        diff = diff_snapshots(old, snap(db))
+        assert [e.object_id for e in diff.by_kind("added")] == ["t/c"]
+        assert [e.object_id for e in diff.by_kind("removed")] == ["t/b"]
+
+    def test_ordering_removed_added_changed(self, world):
+        db, session = world
+        old = snap(db)
+        session.delete("t/b")
+        session.insert("t/c", 3, "t")
+        session.update("t/a", 5)
+        kinds = [e.kind for e in diff_snapshots(old, snap(db)).entries]
+        assert kinds == ["removed", "added", "changed"]
+
+    def test_multiple_changes_sorted_by_id(self, world):
+        db, session = world
+        old = snap(db)
+        session.update("t/b", 20)
+        session.update("t/a", 10)
+        changed = diff_snapshots(old, snap(db)).by_kind("changed")
+        assert [e.object_id for e in changed] == ["t/a", "t/b"]
+
+
+class TestExplainDelivery:
+    def test_changes_with_records(self, world):
+        db, session = world
+        old = snap(db)
+        records = session.update("t/a", 10)
+        text = explain_delivery(old, snap(db), records)
+        assert "1 -> 10" in text
+        assert "documented by:" in text
+        assert "p1" in text
+
+    def test_changes_without_records_warn(self, world):
+        db, session = world
+        old = snap(db)
+        session.update("t/a", 10)
+        text = explain_delivery(old, snap(db), [])
+        assert "WARNING" in text
+
+    def test_no_changes_no_warning(self, world):
+        db, _ = world
+        text = explain_delivery(snap(db), snap(db), [])
+        assert "WARNING" not in text

@@ -1,0 +1,67 @@
+"""Unit tests for the DOT exporter."""
+
+import pytest
+
+from repro.audit.dot import to_dot
+
+
+@pytest.fixture
+def dag(fig2_world):
+    return fig2_world.dag()
+
+
+class TestToDot:
+    def test_valid_dot_shape(self, dag):
+        text = to_dot(dag)
+        assert text.startswith("digraph provenance {")
+        assert text.rstrip().endswith("}")
+        assert "rankdir=LR" in text
+
+    def test_every_record_is_a_node(self, dag):
+        text = to_dot(dag)
+        for key in (("A", 0), ("B", 1), ("C", 2), ("D", 3)):
+            assert f'"{key[0]}#{key[1]}"' in text
+
+    def test_aggregation_edges_dashed(self, dag):
+        text = to_dot(dag)
+        assert text.count("style=dashed") == 4  # 2 inputs x 2 aggregations
+
+    def test_chain_edges_solid(self, dag):
+        text = to_dot(dag)
+        assert '"A#0" -> "A#1"' in text
+
+    def test_target_restriction(self, dag):
+        text = to_dot(dag, target_id="B")
+        assert '"B#0"' in text and '"B#1"' in text
+        assert '"A#0"' not in text
+        assert "style=dashed" not in text
+
+    def test_labels_carry_participant_and_value(self, dag):
+        text = to_dot(dag)
+        assert "by p2" in text
+        assert "'a1'" in text
+
+    def test_notes_optional(self, tedb, participants):
+        session = tedb.session(participants["p1"])
+        session.insert("x", 1, note="the \"big\" load")
+        dag = tedb.dag()
+        without = to_dot(dag)
+        with_notes = to_dot(dag, include_notes=True)
+        assert "big" not in without
+        assert "big" in with_notes
+        # quotes in notes must be escaped, not break the DOT syntax
+        assert '\\"big\\"' in with_notes
+
+    def test_colors_assigned_per_object(self, dag):
+        text = to_dot(dag)
+        # Fig 2 has 4 objects; at least 4 distinct fill colours used.
+        import re
+
+        colors = set(re.findall(r'fillcolor="(#\w+)"', text))
+        assert len(colors) == 4
+
+    def test_empty_dag(self):
+        from repro.provenance.dag import ProvenanceDAG
+
+        text = to_dot(ProvenanceDAG([]))
+        assert text.startswith("digraph")

@@ -1,0 +1,74 @@
+"""Unit tests for the audit renderings."""
+
+import pytest
+
+from repro.audit.inspector import ChainInspector, audit_trail, render_report
+
+
+@pytest.fixture
+def records(fig2_world):
+    return tuple(fig2_world.provenance_store.all_records())
+
+
+class TestChainInspector:
+    def test_render_chain(self, records):
+        text = ChainInspector(records).render_chain("A")
+        assert "provenance of A" in text
+        assert text.count("#") == 3  # three records
+        assert "p2" in text and "p1" in text
+
+    def test_render_unknown_chain(self, records):
+        assert "no provenance records" in ChainInspector(records).render_chain("zz")
+
+    def test_render_all_covers_every_object(self, records):
+        text = ChainInspector(records).render_all()
+        for object_id in ("A", "B", "C", "D"):
+            assert f"provenance of {object_id}" in text
+
+    def test_aggregate_rendering_lists_sources(self, records):
+        text = ChainInspector(records).render_chain("D")
+        assert "aggregate" in text
+        assert "A=" in text and "C=" in text
+
+    def test_inherited_marker(self, fig2_world, participants):
+        s = fig2_world.session(participants["p1"])
+        s.insert("tree", None)
+        s.insert("tree/leaf", 1, "tree")
+        text = ChainInspector(fig2_world.provenance_of("tree")).render_chain("tree")
+        assert "(inherited)" in text
+
+    def test_compound_states_summarised(self, fig2_world):
+        text = ChainInspector(fig2_world.provenance_of("D")).render_chain("D")
+        assert "<compound:" in text
+
+
+class TestRenderReport:
+    def test_clean_report(self, fig2_world):
+        text = render_report(fig2_world.verify("D"))
+        assert "VERIFIED" in text
+        assert "7 records" in text
+
+    def test_failed_report_lists_failures(self, fig2_world):
+        import dataclasses
+
+        shipment = fig2_world.ship("A")
+        forged = dataclasses.replace(shipment, records=shipment.records[1:])
+        report = forged.verify(fig2_world.keystore())
+        text = render_report(report)
+        assert "TAMPERING DETECTED" in text
+        assert "[R2]" in text
+
+
+class TestAuditTrail:
+    def test_trail_contents(self, fig2_world):
+        text = audit_trail(fig2_world.dag(), "D")
+        assert "history of D (7 records)" in text
+        assert "contributing participants: p1, p2, p3" in text
+        assert "source objects: A, B" in text
+
+    def test_trail_with_report(self, fig2_world):
+        text = audit_trail(fig2_world.dag(), "D", fig2_world.verify("D"))
+        assert text.startswith("VERIFIED")
+
+    def test_trail_untracked(self, fig2_world):
+        assert "no recorded history" in audit_trail(fig2_world.dag(), "ghost")

@@ -1,0 +1,183 @@
+"""Unit tests for the database engine and complex operations."""
+
+import pytest
+
+from repro.backend.engine import DatabaseEngine
+from repro.backend.events import (
+    AggregateEvent,
+    ComplexOperationEvent,
+    DeleteEvent,
+    InsertEvent,
+    UpdateEvent,
+)
+from repro.backend.memory import InMemoryStore
+from repro.exceptions import TransactionError, UnknownObjectError
+
+
+@pytest.fixture
+def engine():
+    return DatabaseEngine(InMemoryStore())
+
+
+@pytest.fixture
+def events(engine):
+    collected = []
+    engine.add_listener(collected.append)
+    return collected
+
+
+class TestPrimitives:
+    def test_insert_event_carries_context(self, engine, events):
+        engine.insert("db", None)
+        engine.insert("db/x", 5, "db")
+        assert events[1] == InsertEvent("db/x", value=5, parent="db", ancestors=("db",))
+        assert engine.store.value("db/x") == 5
+
+    def test_update_event_has_old_and_new(self, engine, events):
+        engine.insert("a", 1)
+        engine.update("a", 2)
+        event = events[-1]
+        assert isinstance(event, UpdateEvent)
+        assert (event.old_value, event.new_value) == (1, 2)
+
+    def test_delete_event_has_pre_op_ancestors(self, engine, events):
+        engine.insert("db", None)
+        engine.insert("db/x", 5, "db")
+        engine.delete("db/x")
+        event = events[-1]
+        assert isinstance(event, DeleteEvent)
+        assert event.old_value == 5
+        assert event.ancestors == ("db",)
+        assert "db/x" not in engine.store
+
+    def test_event_kind_names(self, engine, events):
+        engine.insert("a", 1)
+        engine.update("a", 2)
+        engine.delete("a")
+        assert [e.kind for e in events] == ["insert", "update", "delete"]
+
+
+class TestAggregate:
+    def test_default_copy_aggregation(self, engine, events):
+        engine.insert("A", "a")
+        engine.insert("A/x", 1, "A")
+        engine.insert("B", "b")
+        event = engine.aggregate(["B", "A"], "C")
+        assert isinstance(event, AggregateEvent)
+        assert event.input_roots == ("A", "B")  # sorted into global order
+        assert engine.store.value("C/A/x") == 1
+        assert engine.store.value("C/B") == "b"
+        # inputs still present
+        assert "A" in engine.store and "B" in engine.store
+        assert set(event.created_ids) == {"C", "C/A", "C/A/x", "C/B"}
+
+    def test_custom_builder(self, engine):
+        engine.insert("A", 10)
+        engine.insert("B", 20)
+
+        def summing_builder(eng, inputs, output_id):
+            total = sum(eng.store.value(i) for i in inputs)
+            eng.store.insert(output_id, total, None)
+            return [output_id]
+
+        event = engine.aggregate(["A", "B"], "SUM", builder=summing_builder)
+        assert engine.store.value("SUM") == 30
+        assert event.created_ids == ("SUM",)
+
+    def test_missing_input_rejected(self, engine):
+        with pytest.raises(UnknownObjectError):
+            engine.aggregate(["ghost"], "out")
+
+    def test_aggregate_inside_complex_op_rejected(self, engine):
+        engine.insert("A", 1)
+        with pytest.raises(TransactionError):
+            with engine.complex_operation():
+                engine.aggregate(["A"], "B")
+
+
+class TestComplexOperations:
+    def test_events_buffered_and_emitted_once(self, engine, events):
+        with engine.complex_operation():
+            engine.insert("db", None)
+            engine.insert("db/x", 1, "db")
+            engine.update("db/x", 2)
+        assert len(events) == 1
+        complex_event = events[0]
+        assert isinstance(complex_event, ComplexOperationEvent)
+        assert len(complex_event) == 3
+        assert [e.kind for e in complex_event.events] == ["insert", "insert", "update"]
+
+    def test_empty_complex_op_emits_nothing(self, engine, events):
+        with engine.complex_operation():
+            pass
+        assert events == []
+
+    def test_nesting_joins_outer_operation(self, engine, events):
+        with engine.complex_operation():
+            engine.insert("a", 1)
+            with engine.complex_operation():
+                engine.insert("b", 2)
+            engine.insert("c", 3)
+        assert len(events) == 1  # one ComplexOperationEvent
+        assert len(events[0]) == 3
+
+    def test_exception_abandons_buffer(self, engine, events):
+        with pytest.raises(ValueError):
+            with engine.complex_operation():
+                engine.insert("a", 1)
+                raise ValueError("boom")
+        assert events == []  # nothing emitted
+        assert "a" in engine.store  # store changes are not rolled back
+        # engine is usable again
+        with engine.complex_operation():
+            engine.update("a", 2)
+        assert len(events) == 1
+
+    def test_in_complex_operation_flag(self, engine):
+        assert not engine.in_complex_operation
+        with engine.complex_operation():
+            assert engine.in_complex_operation
+        assert not engine.in_complex_operation
+
+
+class TestRelationalViewOverEngine:
+    def test_full_lifecycle(self, engine):
+        from repro.model.relational import RelationalView
+
+        view = RelationalView(engine)
+        view.create_table("patients", ["age", "weight"])
+        key = view.insert_row("patients", {"age": 52, "weight": 81})
+        assert view.get_row("patients", key) == {"age": 52, "weight": 81}
+        view.update_cell("patients", key, "age", 53)
+        assert view.get_cell("patients", key, "age") == 53
+        view.delete_row("patients", key)
+        assert view.row_count("patients") == 0
+
+    def test_row_keys_monotonic(self, engine):
+        from repro.model.relational import RelationalView
+
+        view = RelationalView(engine)
+        view.create_table("t", ["c"])
+        keys = [view.insert_row("t", {"c": i}) for i in range(5)]
+        assert keys == [0, 1, 2, 3, 4]
+        view.delete_row("t", 4)
+        assert view.insert_row("t", {"c": 9}) == 5  # keys never reused
+
+    def test_unknown_column_rejected(self, engine):
+        from repro.exceptions import WorkloadError
+        from repro.model.relational import RelationalView
+
+        view = RelationalView(engine)
+        view.create_table("t", ["c"])
+        with pytest.raises(WorkloadError):
+            view.insert_row("t", {"nope": 1})
+
+    def test_counter_resumes_from_existing_rows(self, engine):
+        from repro.model.relational import RelationalView
+
+        view = RelationalView(engine)
+        view.create_table("t", ["c"])
+        view.insert_row("t", {"c": 1})
+        # A fresh view over the same store must not reuse keys.
+        view2 = RelationalView(engine)
+        assert view2.insert_row("t", {"c": 2}) == 1

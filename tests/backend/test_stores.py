@@ -1,0 +1,127 @@
+"""Conformance tests run against every store implementation.
+
+The in-memory and SQLite stores must be observationally identical; the
+same test body runs against both via parametrised fixtures.
+"""
+
+import pytest
+
+from repro.backend.interface import ForestStore
+from repro.backend.memory import InMemoryStore
+from repro.backend.sqlite import SQLiteStore
+from repro.exceptions import (
+    DuplicateObjectError,
+    NotALeafError,
+    UnknownObjectError,
+)
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def store(request):
+    if request.param == "memory":
+        yield InMemoryStore()
+    else:
+        with SQLiteStore() as s:
+            yield s
+
+
+@pytest.fixture
+def populated(store):
+    store.insert("db", None)
+    store.insert("db/t", "c1,c2", "db")
+    store.insert("db/t/r0", None, "db/t")
+    store.insert("db/t/r0/c1", 10, "db/t/r0")
+    store.insert("db/t/r0/c2", 20, "db/t/r0")
+    return store
+
+
+class TestConformance:
+    def test_satisfies_protocol(self, store):
+        assert isinstance(store, ForestStore)
+
+    def test_insert_get_roundtrip(self, populated):
+        node = populated.get("db/t/r0/c1")
+        assert node.value == 10
+        assert node.parent == "db/t/r0"
+        assert node.is_leaf
+
+    def test_value_types_roundtrip(self, store):
+        store.insert("root", None)
+        for i, value in enumerate([None, True, False, -17, 3.5, "text", b"blob"]):
+            store.insert(f"root/v{i}", value, "root")
+            assert store.value(f"root/v{i}") == value
+
+    def test_duplicate_rejected(self, populated):
+        with pytest.raises(DuplicateObjectError):
+            populated.insert("db", None)
+
+    def test_missing_parent_rejected(self, store):
+        with pytest.raises(UnknownObjectError):
+            store.insert("x", 1, "missing")
+
+    def test_update_returns_old(self, populated):
+        assert populated.update("db/t/r0/c1", 11) == 10
+        assert populated.value("db/t/r0/c1") == 11
+
+    def test_delete_leaf_only(self, populated):
+        with pytest.raises(NotALeafError):
+            populated.delete("db/t/r0")
+        assert populated.delete("db/t/r0/c1") == 10
+        assert "db/t/r0/c1" not in populated
+
+    def test_unknown_object_errors(self, store):
+        for method in ("get", "value", "parent", "children" ):
+            with pytest.raises(UnknownObjectError):
+                getattr(store, method)("ghost")
+        with pytest.raises(UnknownObjectError):
+            store.update("ghost", 1)
+        with pytest.raises(UnknownObjectError):
+            store.delete("ghost")
+
+    def test_children_in_global_order(self, store):
+        store.insert("p", None)
+        for child in ("p/r10", "p/r2", "p/r1"):
+            store.insert(child, 0, "p")
+        assert store.children("p") == ("p/r1", "p/r2", "p/r10")
+
+    def test_roots_and_len(self, populated):
+        assert populated.roots() == ("db",)
+        assert len(populated) == 5
+
+    def test_ancestors_and_depth(self, populated):
+        assert populated.ancestors("db/t/r0/c1") == ["db/t/r0", "db/t", "db"]
+        assert populated.depth("db/t/r0/c1") == 3
+        assert populated.root_of("db/t/r0/c2") == "db"
+
+    def test_iter_subtree_preorder(self, populated):
+        assert list(populated.iter_subtree("db/t/r0")) == [
+            "db/t/r0",
+            "db/t/r0/c1",
+            "db/t/r0/c2",
+        ]
+
+    def test_subtree_size(self, populated):
+        assert populated.subtree_size("db") == 5
+        assert populated.subtree_size("db/t/r0") == 3
+
+    def test_delete_subtree(self, populated):
+        populated.delete_subtree("db/t/r0")
+        assert len(populated) == 2
+        assert populated.children("db/t") == ()
+
+
+class TestSQLiteSpecific:
+    def test_persistence_across_connections(self, tmp_path):
+        path = str(tmp_path / "backend.db")
+        with SQLiteStore(path) as s:
+            s.insert("db", None)
+            s.insert("db/x", 42, "db")
+        with SQLiteStore(path) as s:
+            assert s.value("db/x") == 42
+            assert s.roots() == ("db",)
+
+    def test_bad_path_raises_backend_error(self):
+        from repro.exceptions import BackendError
+
+        with pytest.raises(BackendError):
+            SQLiteStore("/nonexistent-dir-xyz/foo.db")

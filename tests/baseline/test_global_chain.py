@@ -1,0 +1,99 @@
+"""Unit tests for the global-chain baseline (§3.2's rejected design)."""
+
+import threading
+
+import pytest
+
+from repro.baseline.global_chain import GlobalChainProvenance
+from repro.exceptions import UnknownObjectError
+
+
+@pytest.fixture
+def chain(participants):
+    provenance = GlobalChainProvenance()
+    p1, p2 = participants["p1"], participants["p2"]
+    provenance.record(p1, "a", 1)
+    provenance.record(p2, "b", 10)
+    provenance.record(p1, "a", 2)
+    provenance.record(p2, "b", 20)
+    return provenance
+
+
+class TestChain:
+    def test_global_sequence(self, chain):
+        assert [r.global_seq for r in chain.records()] == [0, 1, 2, 3]
+        assert len(chain) == 4
+
+    def test_values(self, chain):
+        assert chain.value("a") == 2
+        assert chain.value("b") == 20
+        with pytest.raises(UnknownObjectError):
+            chain.value("ghost")
+
+    def test_lock_acquisitions_counted(self, chain):
+        assert chain.lock_acquisitions == 4
+
+    def test_interleaved_objects_share_one_chain(self, chain):
+        # a's second record chains to b's first — the global coupling.
+        objects_in_order = [r.object_id for r in chain.records()]
+        assert objects_in_order == ["a", "b", "a", "b"]
+
+
+class TestVerification:
+    def test_clean_chain_all_verifiable(self, chain, keystore):
+        assert chain.verifiable_objects(keystore) == {"a", "b"}
+
+    def test_corruption_poisons_everything_after(self, chain, keystore):
+        chain.corrupt(1)  # b's first record
+        survivors = chain.verifiable_objects(keystore)
+        # b is corrupt; a's second record follows the corruption => a also lost.
+        assert survivors == set()
+
+    def test_corruption_at_tail_spares_prior_objects(self, participants, keystore):
+        chain = GlobalChainProvenance()
+        chain.record(participants["p1"], "a", 1)
+        chain.record(participants["p1"], "b", 1)
+        chain.corrupt(1)
+        assert chain.verifiable_objects(keystore) == {"a"}
+
+    def test_failure_isolation_contrast_with_local(self, tedb, participants, keystore):
+        """The §3.2 argument, head to head: corrupt one object's record;
+        local chains keep every other object verifiable."""
+        from repro.core.verifier import Verifier
+
+        session = tedb.session(participants["p1"])
+        for i in range(5):
+            session.insert(f"obj{i}", i)
+            session.update(f"obj{i}", i * 10)
+        verifier = Verifier(keystore)
+        # Corrupt obj0's chain (simulate storage corruption).
+        records = list(tedb.provenance_of("obj0"))
+        records[1] = records[1].with_checksum(b"\x00" * len(records[1].checksum))
+        assert not verifier.verify_records(records).ok
+        for i in range(1, 5):
+            assert verifier.verify_records(tedb.provenance_of(f"obj{i}")).ok
+
+
+class TestConcurrency:
+    def test_parallel_appends_serialise_correctly(self, participants, keystore):
+        """Appends from many threads must still form one valid chain."""
+        chain = GlobalChainProvenance()
+        p1 = participants["p1"]
+        errors = []
+
+        def worker(worker_id):
+            try:
+                for i in range(10):
+                    chain.record(p1, f"w{worker_id}", i)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(w,)) for w in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(chain) == 40
+        assert [r.global_seq for r in chain.records()] == list(range(40))
+        assert chain.verifiable_objects(keystore) == {f"w{i}" for i in range(4)}

@@ -1,0 +1,101 @@
+"""Unit tests for the Hasan-style linear-chain baseline."""
+
+import dataclasses
+
+import pytest
+
+from repro.baseline.linear_chain import LinearChainProvenance
+from repro.exceptions import (
+    DuplicateObjectError,
+    InvalidSignature,
+    UnknownObjectError,
+)
+
+
+@pytest.fixture
+def chain(participants):
+    provenance = LinearChainProvenance()
+    p1, p2 = participants["p1"], participants["p2"]
+    provenance.insert(p1, "file", "v1")
+    provenance.update(p2, "file", "v2")
+    provenance.update(p1, "file", "v3")
+    return provenance
+
+
+class TestOperations:
+    def test_linear_history(self, chain):
+        records = chain.chain("file")
+        assert [r.seq_id for r in records] == [0, 1, 2]
+        assert chain.value("file") == "v3"
+        assert chain.history_length("file") == 3
+
+    def test_duplicate_insert_rejected(self, chain, participants):
+        with pytest.raises(DuplicateObjectError):
+            chain.insert(participants["p1"], "file", "again")
+
+    def test_update_unknown_rejected(self, chain, participants):
+        with pytest.raises(UnknownObjectError):
+            chain.update(participants["p1"], "ghost", 1)
+
+    def test_value_unknown_rejected(self, chain):
+        with pytest.raises(UnknownObjectError):
+            chain.value("ghost")
+
+
+class TestVerification:
+    def test_clean_chain_verifies(self, chain, keystore):
+        assert chain.verify("file", "v3", chain.chain("file"), keystore)
+
+    def test_wrong_value_rejected(self, chain, keystore):
+        with pytest.raises(InvalidSignature):
+            chain.verify("file", "forged", chain.chain("file"), keystore)
+
+    def test_tampered_record_rejected(self, chain, keystore):
+        records = list(chain.chain("file"))
+        records[1] = dataclasses.replace(records[1], output_value="evil")
+        with pytest.raises(InvalidSignature):
+            chain.verify("file", "v3", records, keystore)
+
+    def test_removed_record_rejected(self, chain, keystore):
+        records = [chain.chain("file")[0], chain.chain("file")[2]]
+        with pytest.raises(InvalidSignature):
+            chain.verify("file", "v3", records, keystore)
+
+    def test_missing_genesis_rejected(self, chain, keystore):
+        with pytest.raises(InvalidSignature):
+            chain.verify("file", "v3", chain.chain("file")[1:], keystore)
+
+    def test_empty_chain_rejected(self, chain, keystore):
+        with pytest.raises(InvalidSignature):
+            chain.verify("file", "v3", (), keystore)
+
+    def test_foreign_record_rejected(self, chain, keystore, participants):
+        chain.insert(participants["p1"], "other", 1)
+        mixed = chain.chain("file")[:1] + chain.chain("other")
+        with pytest.raises(InvalidSignature):
+            chain.verify("file", "v3", mixed, keystore)
+
+
+class TestAggregationGap:
+    """§1.1's motivation: the baseline discards history on aggregation."""
+
+    def test_combine_discards_history(self, chain, participants):
+        chain.insert(participants["p2"], "other", "o1")
+        chain.combine(participants["p3"], ["file", "other"], "merged", "m1")
+        # The merged object has exactly ONE record: its own genesis.
+        assert chain.history_length("merged") == 1
+
+    def test_dag_scheme_preserves_history(self, tedb, participants):
+        """Side-by-side: the paper's scheme keeps the full closure."""
+        s = tedb.session(participants["p1"])
+        s.insert("file", "v1")
+        s.update("file", "v2")
+        s.insert("other", "o1")
+        s.aggregate(["file", "other"], "merged")
+        closure = tedb.provenance_object("merged")
+        assert len(closure) == 4  # 2 for file, 1 for other, 1 aggregate
+        assert {r.object_id for r in closure} == {"file", "other", "merged"}
+
+    def test_combine_checks_inputs_exist(self, chain, participants):
+        with pytest.raises(UnknownObjectError):
+            chain.combine(participants["p1"], ["ghost"], "m", 1)

@@ -1,0 +1,49 @@
+"""Unit tests for terminal bar charts."""
+
+import pytest
+
+from repro.bench.charts import bar_chart
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        text = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        a_line, b_line = text.splitlines()
+        assert b_line.count("█") == 10
+        assert a_line.count("█") == 5
+
+    def test_title_and_unit(self):
+        text = bar_chart(["x"], [3.0], unit="ms", title="Fig N")
+        assert text.startswith("Fig N")
+        assert "3 ms" in text
+
+    def test_labels_aligned(self):
+        text = bar_chart(["short", "much-longer"], [1, 1])
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_zero_values(self):
+        text = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "a" in text and "b" in text
+
+    def test_partial_cells(self):
+        text = bar_chart(["a", "b"], [1.0, 8.0], width=4)
+        a_line = text.splitlines()[0]
+        assert "▌" in a_line  # 0.5 cells
+
+    def test_empty(self):
+        assert bar_chart([], []) == "(no data)"
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+
+    def test_monotone_shape_readable(self):
+        # The Fig 11 read: strictly shrinking bars.
+        text = bar_chart(
+            ["19.2%", "36.6%", "57.0%", "78.2%"],
+            [30100, 23660, 16660, 8120],
+            unit="B",
+        )
+        lengths = [line.count("█") for line in text.splitlines()]
+        assert lengths == sorted(lengths, reverse=True)

@@ -1,0 +1,166 @@
+"""Smoke + shape tests for every paper experiment (tiny scale).
+
+These assert the qualitative claims — the *shapes* the paper reports —
+hold in this implementation, not the absolute numbers.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    PAPER_TABLE1B_COUNTS,
+    bench_participant,
+    run_ablation_chaining,
+    run_ablation_grouping,
+    run_ablation_signature,
+    run_fig6,
+    run_fig7,
+    run_fig8_fig9,
+    run_fig10_fig11,
+    run_streaming,
+    run_table1b,
+)
+from repro.exceptions import WorkloadError
+
+SCALE = 0.02
+RUNS = 2
+KEY_BITS = 512
+
+
+class TestBenchParticipant:
+    def test_schemes(self):
+        assert bench_participant(scheme="rsa", key_bits=512).signature_size == 64
+        assert bench_participant(scheme="hmac").signature_size == 20
+        assert bench_participant(scheme="null").signature_size == 20
+
+    def test_paper_checksum_size(self):
+        assert bench_participant(scheme="rsa", key_bits=1024).signature_size == 128
+
+    def test_unknown_scheme(self):
+        with pytest.raises(WorkloadError):
+            bench_participant(scheme="quantum")
+
+
+class TestTable1b:
+    def test_exact_single_table_count(self):
+        result = run_table1b()
+        first = result.rows[0]
+        assert first[1] == first[2] == 36002
+
+    def test_all_combinations_present(self):
+        result = run_table1b(verify_build=False)
+        assert len(result.rows) == len(PAPER_TABLE1B_COUNTS)
+        for row in result.rows:
+            assert abs(row[3]) <= 3  # computed vs printed delta
+
+
+class TestFig6Shape:
+    def test_linear_in_nodes(self):
+        result = run_fig6(scale=SCALE, runs=RUNS)
+        nodes = [row[1] for row in result.rows]
+        assert nodes == sorted(nodes)
+        assert nodes[-1] > 3 * nodes[0]
+
+    def test_chart_attached(self):
+        result = run_fig6(scale=SCALE, runs=1)
+        assert result.charts
+        title, labels, values, unit = result.charts[0]
+        assert len(labels) == len(values) == len(result.rows)
+        assert unit == "ms"
+        assert "█" in result.render()
+
+
+class TestFig7Shape:
+    def test_economical_beats_basic_for_small_updates(self):
+        result = run_fig7(scale=SCALE, runs=RUNS, max_points=3)
+        # columns: workload, basic, economical, basic nodes, econ nodes
+        for row in result.rows:
+            basic_nodes, econ_nodes = row[3], row[4]
+            assert econ_nodes < basic_nodes
+
+    def test_economical_cost_grows_with_updates(self):
+        result = run_fig7(scale=SCALE, runs=RUNS, max_points=6)
+        econ_nodes = [row[4] for row in result.rows]
+        assert econ_nodes[0] < econ_nodes[-1]
+
+    def test_basic_cost_constant(self):
+        result = run_fig7(scale=SCALE, runs=RUNS, max_points=6)
+        basic_nodes = [row[3] for row in result.rows]
+        assert len(set(basic_nodes)) == 1
+
+
+class TestFig8Fig9Shape:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_fig8_fig9(scale=SCALE, runs=RUNS, key_bits=KEY_BITS)
+
+    def test_deletes_store_least(self, results):
+        _, space = results
+        by_key = {row[0]: row[1] for row in space.rows}
+        assert by_key["all-deletes"] < by_key["all-inserts"]
+        assert by_key["all-deletes"] < by_key["updates-500-rows"]
+        assert by_key["all-deletes"] <= 2  # table + root only
+
+    def test_inserts_similar_to_updates(self, results):
+        _, space = results
+        by_key = {row[0]: row[1] for row in space.rows}
+        assert by_key["all-inserts"] == by_key["updates-500-rows"]
+
+    def test_spread_updates_cost_more(self, results):
+        _, space = results
+        by_key = {row[0]: row[1] for row in space.rows}
+        assert by_key["updates-4000-rows"] > by_key["updates-500-rows"]
+
+    def test_time_rows_complete(self, results):
+        time_result, _ = results
+        assert len(time_result.rows) == 4
+
+
+class TestFig10Fig11Shape:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_fig10_fig11(scale=SCALE, runs=RUNS, key_bits=KEY_BITS)
+
+    def test_space_falls_with_delete_share(self, results):
+        _, space = results
+        byte_counts = [row[2] for row in space.rows]
+        assert byte_counts == sorted(byte_counts, reverse=True)
+
+    def test_records_fall_with_delete_share(self, results):
+        _, space = results
+        record_counts = [row[1] for row in space.rows]
+        assert record_counts == sorted(record_counts, reverse=True)
+
+
+class TestStreaming:
+    def test_per_node_metric(self):
+        result = run_streaming(rows=2000)
+        values = dict(zip((r[0] for r in result.rows), (r[1] for r in result.rows)))
+        assert values["rows"] == 2000
+        assert values["nodes hashed"] == 2000 * 3 + 2
+        assert len(values["digest"]) == 40
+
+    def test_digest_independent_of_run(self):
+        a = dict(run_streaming(rows=500).rows)["digest"]
+        b = dict(run_streaming(rows=500).rows)["digest"]
+        assert a == b
+
+
+class TestAblations:
+    def test_chaining_isolation(self):
+        result = run_ablation_chaining(n_objects=6, updates_per_object=3)
+        local_row, global_row = result.rows
+        assert local_row[2] == 1            # exactly the corrupted object
+        assert global_row[2] > local_row[2]  # global poisons more
+        assert global_row[3] > 0             # lock acquisitions observed
+
+    def test_signature_costs_ordered(self):
+        result = run_ablation_signature(scale=SCALE, runs=RUNS, key_bits=KEY_BITS)
+        schemes = [row[0] for row in result.rows]
+        assert schemes == ["rsa", "hmac", "null"]
+        sizes = {row[0]: row[3] for row in result.rows}
+        assert sizes["rsa"] == KEY_BITS // 8
+
+    def test_grouping_reduces_records(self):
+        result = run_ablation_grouping(scale=SCALE)
+        by_mode = {row[0]: row[2] for row in result.rows}
+        assert by_mode["complex (one group)"] < by_mode["per-primitive"]

@@ -1,0 +1,36 @@
+"""Smoke test for the experiment runner script itself."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+class TestRunAll:
+    def test_quick_mode_produces_every_artefact(self):
+        completed = subprocess.run(
+            [sys.executable, str(REPO / "benchmarks" / "run_all.py"), "--quick"],
+            capture_output=True,
+            text=True,
+            timeout=420,
+        )
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        out = completed.stdout
+        for marker in (
+            "tab1b:",
+            "fig6:",
+            "fig7:",
+            "fig8:",
+            "fig9:",
+            "fig10:",
+            "fig11:",
+            "stream:",
+            "ablation-chaining:",
+            "ablation-signature:",
+            "ablation-grouping:",
+            "total wall time",
+        ):
+            assert marker in out, f"missing {marker}"
+        # The figures' bar charts render.
+        assert "█" in out

@@ -1,0 +1,63 @@
+"""The §5.2 memory claim, asserted: streaming hashing is O(row).
+
+The whole point of row-at-a-time hashing is databases "much larger than
+available memory".  This test measures allocation peaks with tracemalloc
+and requires the streaming hasher's footprint to stay far below a
+materialised build of the same table — and to stay flat as the table
+grows.
+"""
+
+import tracemalloc
+
+from repro.core.merkle import StreamingDatabaseHasher
+from repro.model.tree import Forest
+from repro.workloads.synthetic import title_table_rows
+
+ROWS = 8_000
+
+
+def _streaming_peak(rows: int) -> int:
+    tracemalloc.start()
+    hasher = StreamingDatabaseHasher()
+    hasher.hash_database(
+        "bigdb", None, [("bigdb/title", "doc_id,title", title_table_rows(rows))]
+    )
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak
+
+
+def _materialised_peak(rows: int) -> int:
+    tracemalloc.start()
+    forest = Forest()
+    forest.insert("bigdb", None)
+    forest.insert("bigdb/title", "doc_id,title", "bigdb")
+    for row_id, row_value, cells in title_table_rows(rows):
+        forest.insert(row_id, row_value, "bigdb/title")
+        for cell_id, value in cells:
+            forest.insert(cell_id, value, row_id)
+    from repro.core.merkle import subtree_digest
+
+    subtree_digest(forest, "bigdb")
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak
+
+
+class TestStreamingMemory:
+    def test_streaming_far_below_materialised(self):
+        streaming = _streaming_peak(ROWS)
+        materialised = _materialised_peak(ROWS)
+        # The materialised build holds the whole table; streaming holds a
+        # row.  Require at least an order of magnitude between them.
+        assert streaming * 10 < materialised, (
+            f"streaming peak {streaming} vs materialised {materialised}"
+        )
+
+    def test_streaming_peak_flat_in_table_size(self):
+        small = _streaming_peak(1_000)
+        large = _streaming_peak(8_000)
+        # 8x the rows must not mean anywhere near 8x the memory.
+        assert large < small * 3, (
+            f"peak grew from {small} to {large} over an 8x row increase"
+        )

@@ -1,0 +1,86 @@
+"""Shared fixtures.
+
+Key generation is the slowest thing the test suite does, so key pairs, the
+certificate authority, and enrolled participants are session-scoped and
+derived from a fixed seed: every run exercises identical key material.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.pki import CertificateAuthority, KeyStore, Participant
+from repro.crypto.rsa import generate_keypair
+
+#: Small keys keep the suite fast; RSA math is identical at any size.
+TEST_KEY_BITS = 512
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def keypair(rng):
+    return generate_keypair(TEST_KEY_BITS, rng=rng)
+
+
+@pytest.fixture(scope="session")
+def other_keypair(rng):
+    return generate_keypair(TEST_KEY_BITS, rng=rng)
+
+
+@pytest.fixture(scope="session")
+def ca(rng):
+    return CertificateAuthority(key_bits=TEST_KEY_BITS, rng=rng)
+
+
+@pytest.fixture(scope="session")
+def participants(ca, rng):
+    """Three enrolled participants: p1, p2, p3 (as in the paper's Fig 3)."""
+    return {
+        name: Participant.enroll(name, ca, key_bits=TEST_KEY_BITS, rng=rng)
+        for name in ("p1", "p2", "p3")
+    }
+
+
+@pytest.fixture(scope="session")
+def keystore(ca, participants):
+    store = KeyStore.trusting(ca)
+    store.add_certificates(p.certificate for p in participants.values())
+    return store
+
+
+@pytest.fixture
+def tedb(ca):
+    """A fresh tamper-evident database sharing the session CA."""
+    from repro.core.system import TamperEvidentDatabase
+
+    return TamperEvidentDatabase(ca=ca, key_bits=TEST_KEY_BITS)
+
+
+@pytest.fixture
+def fig2_world(tedb, participants):
+    """The paper's running example (Fig 2 / Fig 3).
+
+    p2 inserts A and B; A is updated twice, B once; A's *original* value
+    cannot be re-aggregated after updates in a state-based system, so —
+    as in the figure — C aggregates A (at value a1... by the time of the
+    aggregation in the figure A had moved on; here we aggregate current
+    states, which preserves the DAG shape) and a later aggregation forms
+    D from A and C.
+    """
+    p1, p2, p3 = participants["p1"], participants["p2"], participants["p3"]
+    s1, s2, s3 = tedb.session(p1), tedb.session(p2), tedb.session(p3)
+
+    s2.insert("A", "a1")      # seq 0, p2
+    s2.insert("B", "b1")      # seq 0, p2
+    s1.update("A", "a2")      # seq 1, p1
+    s2.update("B", "b2")      # seq 1, p2
+    s3.aggregate(["A", "B"], "C")   # seq 2, p3
+    s2.update("A", "a3")      # seq 2, p2
+    s1.aggregate(["A", "C"], "D")   # seq 3, p1
+    return tedb

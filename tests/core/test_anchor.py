@@ -1,0 +1,136 @@
+"""Anchoring tests: the tail-truncation boundary, closed.
+
+Without anchors, colluders owning a chain's tail can truncate history
+undetectably (pinned in ``test_collusion.py``).  With one anchored
+checksum past the victim record, the same attack must be detected.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.attacks import collusion
+from repro.attacks.scenarios import build_world
+from repro.core.anchor import AnchorReceipt, AnchorService, verify_with_anchors
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.signatures import RSASignatureScheme
+from repro.exceptions import VerificationError
+
+
+@pytest.fixture(scope="module")
+def anchored_world():
+    import random
+
+    world = build_world()
+    keypair = generate_keypair(512, rng=random.Random(0xA11C))
+    service = AnchorService(RSASignatureScheme(keypair.private))
+    # The recipient (e.g. a regulator) had the terminal state anchored
+    # while the history was still honest.
+    service.anchor_latest(world.db, "x")
+    return world, service
+
+
+def keystore(world):
+    store = world.db.keystore()
+    return store
+
+
+class TestAnchorService:
+    def test_receipts_accumulate(self, anchored_world):
+        world, service = anchored_world
+        receipts = service.receipts_for("x")
+        assert len(receipts) >= 1
+        assert receipts[0].seq_id == 4  # the honest terminal record
+        assert receipts[0].counter >= 1
+
+    def test_receipt_roundtrip(self, anchored_world):
+        _, service = anchored_world
+        receipt = service.receipts_for("x")[0]
+        assert AnchorReceipt.from_dict(receipt.to_dict()) == receipt
+
+    def test_malformed_receipt_rejected(self):
+        with pytest.raises(VerificationError):
+            AnchorReceipt.from_dict({"object_id": "x"})
+
+    def test_anchor_unknown_object_rejected(self, anchored_world):
+        world, service = anchored_world
+        with pytest.raises(VerificationError):
+            service.anchor_latest(world.db, "ghost")
+
+
+class TestAnchoredVerification:
+    def test_honest_shipment_passes(self, anchored_world):
+        world, service = anchored_world
+        report = verify_with_anchors(
+            world.shipment,
+            keystore(world),
+            service.receipts_for("x"),
+            service.verifier(),
+        )
+        assert report.ok, report.summary()
+
+    def test_tail_rewrite_now_detected(self, anchored_world):
+        """The documented boundary case, closed by one anchor."""
+        world, service = anchored_world
+        forged = collusion.tail_rewrite(world.shipment, "x", 3, world.eve)
+        # Plain verification still cannot see it...
+        assert forged.verify(keystore(world)).ok
+        # ...but the anchored terminal record is gone from the chain.
+        report = verify_with_anchors(
+            forged, keystore(world), service.receipts_for("x"), service.verifier()
+        )
+        assert not report.ok
+        assert "R7" in report.requirement_codes()
+
+    def test_rewrite_at_anchored_seq_detected(self, anchored_world):
+        """Forging a *different* record at the anchored seq is caught by
+        the checksum mismatch."""
+        world, service = anchored_world
+        receipt = service.receipts_for("x")[0]
+        victim = next(
+            r for r in world.shipment.records if r.key == ("x", receipt.seq_id)
+        )
+        forged_record = victim.with_checksum(b"\x01" * len(victim.checksum))
+        records = tuple(
+            forged_record if r.key == victim.key else r
+            for r in world.shipment.records
+        )
+        forged = dataclasses.replace(world.shipment, records=records)
+        report = verify_with_anchors(
+            forged, keystore(world), service.receipts_for("x"), service.verifier()
+        )
+        assert not report.ok
+        assert "R7" in report.requirement_codes()
+
+    def test_fabricated_receipt_rejected(self, anchored_world):
+        """An attacker cannot invent anchors: the service signature fails."""
+        world, service = anchored_world
+        genuine = service.receipts_for("x")[0]
+        fake = dataclasses.replace(genuine, seq_id=99)
+        report = verify_with_anchors(
+            world.shipment, keystore(world), [fake], service.verifier()
+        )
+        assert not report.ok
+        assert any(f.requirement == "ANCHOR" for f in report.failures)
+
+    def test_receipts_for_other_objects_ignored(self, anchored_world):
+        world, service = anchored_world
+        service.anchor_latest(world.db, "y")
+        report = verify_with_anchors(
+            world.shipment,
+            keystore(world),
+            service.receipts_for("y"),  # y is not in x's shipment
+            service.verifier(),
+        )
+        assert report.ok
+
+    def test_underlying_tampering_still_reported(self, anchored_world):
+        from repro.attacks import tampering
+
+        world, service = anchored_world
+        forged = tampering.remove_record(world.shipment, "x", 2)
+        report = verify_with_anchors(
+            forged, keystore(world), service.receipts_for("x"), service.verifier()
+        )
+        assert not report.ok
+        assert "R2" in report.requirement_codes()

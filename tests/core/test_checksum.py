@@ -1,0 +1,161 @@
+"""Unit tests for the checksum payload constructions (§3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import checksum as payloads
+from repro.exceptions import ProvenanceError
+from repro.provenance.records import ObjectState, Operation, ProvenanceRecord
+
+D1, D2, D3 = b"\x01" * 20, b"\x02" * 20, b"\x03" * 20
+C1, C2 = b"\xaa" * 64, b"\xbb" * 64
+
+
+def record(op, seq, inputs, output_digest=D2, object_id="A"):
+    return ProvenanceRecord(
+        object_id=object_id,
+        seq_id=seq,
+        participant_id="p",
+        operation=op,
+        inputs=inputs,
+        output=ObjectState(object_id=object_id, digest=output_digest),
+        checksum=b"",
+    )
+
+
+def state(object_id="A", digest=D1):
+    return ObjectState(object_id=object_id, digest=digest)
+
+
+class TestPayloadPrimitives:
+    def test_insert_payload_deterministic(self):
+        assert payloads.insert_payload(D1) == payloads.insert_payload(D1)
+        assert payloads.insert_payload(D1) != payloads.insert_payload(D2)
+
+    def test_update_payload_binds_everything(self):
+        base = payloads.update_payload(D1, D2, C1)
+        assert base != payloads.update_payload(D3, D2, C1)  # input
+        assert base != payloads.update_payload(D1, D3, C1)  # output
+        assert base != payloads.update_payload(D1, D2, C2)  # prev checksum
+
+    def test_cross_operation_domain_separation(self):
+        # The same digests must never produce the same payload for
+        # different operation kinds.
+        ins = payloads.insert_payload(D2)
+        upd = payloads.update_payload(payloads.ZERO, D2, payloads.ZERO)
+        agg = payloads.aggregate_payload([payloads.ZERO], D2, [payloads.ZERO])
+        assert len({ins, upd, agg}) == 3
+
+    def test_no_concatenation_ambiguity(self):
+        # Moving a byte across a part boundary must change the payload.
+        a = payloads.update_payload(b"\x01\x02", b"\x03", C1)
+        b = payloads.update_payload(b"\x01", b"\x02\x03", C1)
+        assert a != b
+
+    def test_aggregate_payload_orders_and_counts(self):
+        base = payloads.aggregate_payload([D1, D2], D3, [C1, C2])
+        swapped = payloads.aggregate_payload([D2, D1], D3, [C2, C1])
+        assert base != swapped  # global order is load-bearing
+
+    def test_aggregate_requires_matched_lengths(self):
+        with pytest.raises(ProvenanceError):
+            payloads.aggregate_payload([D1, D2], D3, [C1])
+        with pytest.raises(ProvenanceError):
+            payloads.aggregate_payload([], D3, [])
+
+    @given(st.binary(min_size=1, max_size=40), st.binary(min_size=1, max_size=40))
+    def test_update_payload_injective_on_inputs(self, a, b):
+        if a != b:
+            assert payloads.update_payload(a, D2, C1) != payloads.update_payload(
+                b, D2, C1
+            )
+
+
+class TestRecordPayload:
+    def test_genesis_insert(self):
+        r = record(Operation.INSERT, 0, ())
+        assert payloads.insert_payload(D2) in payloads.record_payload(r, ())
+
+    def test_genesis_with_prev_rejected(self):
+        r = record(Operation.INSERT, 0, ())
+        with pytest.raises(ProvenanceError):
+            payloads.record_payload(r, (C1,))
+
+    def test_genesis_with_inputs_rejected(self):
+        r = record(Operation.INSERT, 0, (state(),))
+        with pytest.raises(ProvenanceError):
+            payloads.record_payload(r, ())
+
+    def test_update(self):
+        r = record(Operation.UPDATE, 1, (state(),))
+        assert payloads.update_payload(D1, D2, C1) in payloads.record_payload(r, (C1,))
+
+    def test_complex_is_update_shaped(self):
+        r = record(Operation.COMPLEX, 4, (state(),))
+        assert payloads.update_payload(D1, D2, C1) in payloads.record_payload(r, (C1,))
+
+    def test_context_binds_seq_and_operation(self):
+        # Hardening: the same formula inputs at a different seq or with a
+        # relabelled operation must sign differently.
+        base = payloads.record_payload(record(Operation.UPDATE, 1, (state(),)), (C1,))
+        bumped = payloads.record_payload(record(Operation.UPDATE, 2, (state(),)), (C1,))
+        relabelled = payloads.record_payload(
+            record(Operation.COMPLEX, 1, (state(),)), (C1,)
+        )
+        assert len({base, bumped, relabelled}) == 3
+
+    def test_context_binds_object_and_inheritance(self):
+        import dataclasses
+
+        r = record(Operation.UPDATE, 1, (state(),))
+        inherited = dataclasses.replace(r, inherited=True)
+        assert payloads.record_payload(r, (C1,)) != payloads.record_payload(
+            inherited, (C1,)
+        )
+
+    def test_update_needs_exactly_one_prev(self):
+        r = record(Operation.UPDATE, 1, (state(),))
+        with pytest.raises(ProvenanceError):
+            payloads.record_payload(r, ())
+        with pytest.raises(ProvenanceError):
+            payloads.record_payload(r, (C1, C2))
+
+    def test_update_input_must_be_self(self):
+        r = record(Operation.UPDATE, 1, (state(object_id="B"),))
+        with pytest.raises(ProvenanceError):
+            payloads.record_payload(r, (C1,))
+
+    def test_reinsertion_after_delete(self):
+        r = record(Operation.INSERT, 3, ())
+        expected = payloads.update_payload(payloads.ZERO, D2, C1)
+        assert expected in payloads.record_payload(r, (C1,))
+
+    def test_aggregate(self):
+        r = record(
+            Operation.AGGREGATE,
+            2,
+            (state("X", D1), state("Y", D3)),
+            output_digest=D2,
+        )
+        expected = payloads.aggregate_payload([D1, D3], D2, [C1, C2])
+        assert expected in payloads.record_payload(r, (C1, C2))
+
+    def test_fig3_checksum_structure(self):
+        """Example 3 / Fig 3: C7 = S(h(h(A,a3)|h(C,c1)) | h(D,d1) | C5|C6)."""
+        c7_payload = payloads.record_payload(
+            record(
+                Operation.AGGREGATE,
+                3,
+                (state("A", D1), state("C", D3)),
+                output_digest=D2,
+                object_id="D",
+            ),
+            (C1, C2),
+        )
+        from repro.crypto.hashing import hash_concat
+
+        combined = hash_concat([D1, D3])
+        assert combined in c7_payload
+        assert D2 in c7_payload
+        assert C1 in c7_payload and C2 in c7_payload

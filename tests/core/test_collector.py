@@ -1,0 +1,281 @@
+"""Unit tests for checksummed provenance collection.
+
+Collection semantics under test (§2.1, §4.2, §4.4):
+- seq ids: insert 0, update prev+1, aggregate max(inputs)+1;
+- inheritance: one inherited record per surviving ancestor;
+- inherited-checksum counts: delete => x records, insert/update => x+1;
+- complex grouping: one record per touched object for the whole group.
+"""
+
+import pytest
+
+from repro.exceptions import MissingProvenanceError, ProvenanceError
+from repro.provenance.records import Operation
+
+
+@pytest.fixture
+def session(tedb, participants):
+    return tedb.session(participants["p1"])
+
+
+@pytest.fixture
+def deep(session):
+    """db -> t -> r -> c (depth 3 leaf, x=3 ancestors)."""
+    session.insert("db", None)
+    session.insert("db/t", None, "db")
+    session.insert("db/t/r", None, "db/t")
+    session.insert("db/t/r/c", 1, "db/t/r")
+    return session
+
+
+class TestSeqIdRules:
+    def test_insert_starts_at_zero(self, tedb, session):
+        (record,) = session.insert("x", 1)
+        assert record.seq_id == 0
+        assert record.operation is Operation.INSERT
+
+    def test_update_increments(self, tedb, session):
+        session.insert("x", 1)
+        (record,) = session.update("x", 2)
+        assert record.seq_id == 1
+        (record,) = session.update("x", 3)
+        assert record.seq_id == 2
+
+    def test_aggregate_is_max_plus_one(self, tedb, session):
+        session.insert("a", 1)          # a: seq 0
+        session.insert("b", 1)          # b: seq 0
+        session.update("b", 2)          # b: seq 1
+        session.update("b", 3)          # b: seq 2
+        record = session.aggregate(["a", "b"], "c")
+        assert record.seq_id == 3       # max(0, 2) + 1
+        assert record.operation is Operation.AGGREGATE
+
+    def test_fig2_sequence_ids(self, fig2_world):
+        store = fig2_world.provenance_store
+        assert store.latest("A").seq_id == 2
+        assert store.latest("B").seq_id == 1
+        assert store.latest("C").seq_id == 2   # max(A#1, B#1) + 1
+        assert store.latest("D").seq_id == 3   # max(A#2, C#2) + 1
+
+
+class TestInheritance:
+    def test_update_produces_x_plus_1_records(self, tedb, deep):
+        records = deep.update("db/t/r/c", 2)
+        assert len(records) == 4  # cell + 3 ancestors
+        assert [r.object_id for r in records] == ["db/t/r/c", "db/t/r", "db/t", "db"]
+        assert [r.inherited for r in records] == [False, True, True, True]
+
+    def test_insert_produces_x_plus_1_records(self, tedb, deep):
+        records = deep.insert("db/t/r/c2", 5, "db/t/r")
+        assert len(records) == 4
+        assert records[0].operation is Operation.INSERT
+        assert all(r.operation is Operation.UPDATE for r in records[1:])
+
+    def test_delete_produces_x_records(self, tedb, deep):
+        records = deep.delete("db/t/r/c")
+        assert len(records) == 3  # ancestors only; the leaf is gone
+        assert all(r.inherited for r in records)
+        assert [r.object_id for r in records] == ["db/t/r", "db/t", "db"]
+
+    def test_inherited_records_carry_subtree_digests(self, tedb, deep):
+        from repro.core.merkle import subtree_digest
+
+        records = deep.update("db/t/r/c", 7)
+        root_record = records[-1]
+        assert root_record.object_id == "db"
+        assert root_record.output.digest == subtree_digest(tedb.store, "db")
+        assert root_record.output.node_count == 4
+
+    def test_root_insert_has_no_inherited_records(self, tedb, session):
+        records = session.insert("solo", 1)
+        assert len(records) == 1
+
+    def test_delete_of_root_leaf_produces_nothing(self, tedb, session):
+        session.insert("solo", 1)
+        records = session.delete("solo")
+        assert records == ()
+
+
+class TestComplexOperations:
+    def test_one_record_per_object(self, tedb, deep):
+        with deep.complex_operation():
+            deep.update("db/t/r/c", 2)
+            deep.update("db/t/r/c", 3)
+            deep.update("db/t/r/c", 4)
+        records = deep.last_records
+        assert len(records) == 4  # c + 3 ancestors, once each
+        cell_record = records[0]
+        assert cell_record.operation is Operation.COMPLEX
+        assert cell_record.inputs[0].value == 1  # state at op start
+        assert cell_record.output.value == 4     # state at op end
+
+    def test_insert_then_delete_in_op_leaves_no_record(self, tedb, deep):
+        with deep.complex_operation():
+            deep.insert("db/t/r/tmp", 9, "db/t/r")
+            deep.delete("db/t/r/tmp")
+        assert all(r.object_id != "db/t/r/tmp" for r in deep.last_records)
+        # ancestors still get records (they were touched)
+        assert {r.object_id for r in deep.last_records} == {"db/t/r", "db/t", "db"}
+
+    def test_fresh_insert_in_complex_is_insert_record(self, tedb, deep):
+        with deep.complex_operation():
+            deep.insert("db/t/r2", None, "db/t")
+            deep.insert("db/t/r2/c", 1, "db/t/r2")
+        by_id = {r.object_id: r for r in deep.last_records}
+        assert by_id["db/t/r2"].operation is Operation.INSERT
+        assert by_id["db/t/r2"].seq_id == 0
+        assert by_id["db/t"].operation is Operation.COMPLEX
+
+    def test_empty_complex_op(self, tedb, session):
+        with session.complex_operation():
+            pass
+        assert session.last_records == ()
+
+    def test_exception_abandons_collection(self, tedb, deep):
+        before = len(tedb.provenance_store)
+        with pytest.raises(RuntimeError):
+            with deep.complex_operation():
+                deep.update("db/t/r/c", 100)
+                raise RuntimeError("boom")
+        assert len(tedb.provenance_store) == before
+
+    def test_setup_b_record_counts_scaled(self, tedb, participants):
+        """Paper's Fig 9 accounting at 1/100 scale: 40 updates in 40 rows
+        => 40 cells + 40 rows + table + root records."""
+        from repro.model.relational import RelationalView
+        from repro.workloads.operations import apply_update_sweep
+        from repro.workloads.synthetic import populate_session, tables_for
+
+        session = tedb.session(participants["p1"])
+        view = populate_session(session, tables_for((1,), scale=0.01))
+        before = len(tedb.provenance_store)
+        apply_update_sweep(view, "t1", 40, 40)
+        assert len(tedb.provenance_store) - before == 40 + 40 + 1 + 1
+
+
+class TestAggregation:
+    def test_record_inputs_in_global_order(self, tedb, session):
+        session.insert("b", 2)
+        session.insert("a", 1)
+        record = session.aggregate(["b", "a"], "agg")
+        assert record.input_ids == ("a", "b")
+
+    def test_inputs_remain(self, tedb, session):
+        session.insert("a", 1)
+        session.aggregate(["a"], "agg")
+        assert "a" in tedb.store
+        assert tedb.store.value("agg/a") == 1
+
+    def test_aggregate_of_compound_subtrees(self, tedb, deep):
+        record = deep.aggregate(["db/t/r"], "extract")
+        assert record.inputs[0].node_count == 2  # r + c
+        assert tedb.store.value("extract/r/c") == 1
+
+    def test_missing_input_provenance_rejected(self, tedb, session):
+        # An object created behind the collector's back has no chain.
+        tedb.store.insert("rogue", 1)
+        with pytest.raises(MissingProvenanceError):
+            session.aggregate(["rogue"], "agg")
+
+    def test_bootstrap_attests_untracked_inputs(self, ca, participants):
+        from repro.core.system import TamperEvidentDatabase
+
+        db = TamperEvidentDatabase(ca=ca, bootstrap_missing=True)
+        db.store.insert("legacy", 41)
+        session = db.session(participants["p1"])
+        record = session.aggregate(["legacy"], "agg")
+        genesis = db.provenance_store.records_for("legacy")
+        assert len(genesis) == 1
+        assert genesis[0].seq_id == 0
+        assert record.seq_id == 1
+
+
+class TestStrictMode:
+    def test_out_of_band_mutation_detected_with_basic_hashing(self, ca, participants):
+        """Basic hashing re-reads the tree, so strict mode catches
+        out-of-band mutations at collection time."""
+        from repro.core.system import TamperEvidentDatabase
+
+        db = TamperEvidentDatabase(ca=ca, hashing="basic")
+        session = db.session(participants["p1"])
+        session.insert("x", 1)
+        db.store.update("x", 999)  # bypasses the session
+        with pytest.raises(ProvenanceError):
+            session.update("x", 2)
+
+    def test_out_of_band_mutation_caught_at_verification_with_economical(
+        self, tedb, participants
+    ):
+        """Economical hashing trusts its cache (exclusive-writer
+        assumption), so an out-of-band change surfaces at verification —
+        the recipient's R4 check — rather than at collection."""
+        session = tedb.session(participants["p1"])
+        session.insert("x", 1)
+        tedb.store.update("x", 999)
+        report = tedb.verify("x")
+        assert not report.ok
+        assert "R4" in report.requirement_codes()
+
+    def test_untracked_update_rejected_without_bootstrap(self, tedb, session):
+        tedb.store.insert("rogue", 1)
+        with pytest.raises(MissingProvenanceError):
+            session.update("rogue", 2)
+
+    def test_bootstrap_mode_attests_then_updates(self, ca, participants):
+        from repro.core.system import TamperEvidentDatabase
+
+        db = TamperEvidentDatabase(ca=ca, bootstrap_missing=True)
+        db.store.insert("legacy", 41)
+        session = db.session(participants["p2"])
+        records = session.update("legacy", 42)
+        chain = db.provenance_store.records_for("legacy")
+        assert [r.seq_id for r in chain] == [0, 1]
+        assert chain[0].operation is Operation.INSERT
+        # The returned batch includes the synthesised genesis record.
+        assert [r.seq_id for r in records] == [0, 1]
+
+
+class TestReinsertion:
+    def test_chain_continues_after_delete(self, tedb, session):
+        session.insert("parent", None)
+        session.insert("parent/x", 1, "parent")
+        session.delete("parent/x")
+        records = session.insert("parent/x", 2, "parent")
+        record = records[0]
+        assert record.operation is Operation.INSERT
+        assert record.seq_id > 0  # continues the old chain
+        assert tedb.verify("parent").ok
+
+    def test_reinserted_object_verifies(self, tedb, session):
+        session.insert("p", None)
+        session.insert("p/x", 1, "p")
+        session.delete("p/x")
+        session.insert("p/x", 2, "p")
+        session.update("p/x", 3)
+        report = tedb.verify("p/x")
+        assert report.ok, report.summary()
+
+
+class TestRecordMetadata:
+    def test_participant_and_scheme_recorded(self, tedb, participants):
+        session = tedb.session(participants["p3"])
+        (record,) = session.insert("x", 1)
+        assert record.participant_id == "p3"
+        assert record.scheme == "rsa-pkcs1v15"
+        assert record.hash_algorithm == "sha1"
+
+    def test_leaf_values_inlined(self, tedb, session):
+        session.insert("x", "hello")
+        (record,) = session.update("x", "world")
+        assert record.inputs[0].value == "hello"
+        assert record.output.value == "world"
+        assert record.inputs[0].has_value and record.output.has_value
+
+    def test_carry_values_disabled(self, ca, participants):
+        from repro.core.system import TamperEvidentDatabase
+
+        db = TamperEvidentDatabase(ca=ca, carry_values=False)
+        session = db.session(participants["p1"])
+        (record,) = session.insert("x", "secret")
+        assert not record.output.has_value
+        assert db.verify("x").ok  # digests alone suffice

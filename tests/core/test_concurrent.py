@@ -1,0 +1,196 @@
+"""Concurrency tests: parallel chain construction under local chaining.
+
+§3.2: "the participants can construct provenance chains (and checksums)
+for the two objects in parallel".  These tests hammer a shared database
+from multiple threads and require every resulting chain to verify.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.concurrent import ConcurrentSession, TreeLockManager, concurrent_sessions
+from repro.core.system import TamperEvidentDatabase
+from repro.exceptions import TransactionError
+
+THREADS = 4
+OPS_PER_THREAD = 15
+
+
+@pytest.fixture
+def world(ca, participants):
+    db = TamperEvidentDatabase(ca=ca)
+    sessions = concurrent_sessions(db, list(participants.values()) * 2)
+    return db, sessions[:THREADS]
+
+
+def run_threads(workers):
+    errors = []
+
+    def guard(fn):
+        def wrapped():
+            try:
+                fn()
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        return wrapped
+
+    threads = [threading.Thread(target=guard(w)) for w in workers]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+
+
+class TestParallelChains:
+    def test_disjoint_objects_in_parallel(self, world):
+        db, sessions = world
+
+        def worker(index):
+            session = sessions[index]
+
+            def work():
+                session.insert(f"obj{index}", 0)
+                for i in range(OPS_PER_THREAD):
+                    session.update(f"obj{index}", i)
+
+            return work
+
+        run_threads([worker(i) for i in range(THREADS)])
+        for i in range(THREADS):
+            report = db.verify(f"obj{i}")
+            assert report.ok, report.summary()
+            assert len(db.provenance_of(f"obj{i}")) == OPS_PER_THREAD + 1
+
+    def test_contended_single_object(self, world):
+        db, sessions = world
+        sessions[0].insert("shared", -1)
+
+        def worker(index):
+            session = sessions[index]
+
+            def work():
+                for i in range(OPS_PER_THREAD):
+                    session.update("shared", index * 1000 + i)
+
+            return work
+
+        run_threads([worker(i) for i in range(THREADS)])
+        chain = db.provenance_of("shared")
+        assert len(chain) == THREADS * OPS_PER_THREAD + 1
+        assert [r.seq_id for r in chain] == list(range(len(chain)))
+        assert db.verify("shared").ok
+
+    def test_parallel_subtree_growth(self, world):
+        db, sessions = world
+        sessions[0].insert("tree0", None)
+        sessions[1].insert("tree1", None)
+
+        def worker(index):
+            session = sessions[index]
+            tree = f"tree{index % 2}"
+
+            def work():
+                for i in range(OPS_PER_THREAD):
+                    session.insert(f"{tree}/t{index}_{i}", i, tree)
+
+            return work
+
+        run_threads([worker(i) for i in range(THREADS)])
+        for tree in ("tree0", "tree1"):
+            report = db.verify(tree)
+            assert report.ok, report.summary()
+            expected = 2 * OPS_PER_THREAD
+            assert db.store.subtree_size(tree) == expected + 1
+
+    def test_parallel_aggregations(self, world):
+        db, sessions = world
+        for i in range(THREADS):
+            sessions[0].insert(f"src{i}", i)
+
+        def worker(index):
+            session = sessions[index]
+
+            def work():
+                session.aggregate([f"src{index}"], f"derived{index}")
+
+            return work
+
+        run_threads([worker(i) for i in range(THREADS)])
+        for i in range(THREADS):
+            assert db.verify(f"derived{i}").ok
+
+    def test_mixed_root_creation(self, world):
+        db, sessions = world
+
+        def worker(index):
+            session = sessions[index]
+
+            def work():
+                for i in range(OPS_PER_THREAD):
+                    session.insert(f"root_{index}_{i}", i)
+
+            return work
+
+        run_threads([worker(i) for i in range(THREADS)])
+        assert len(db.store.roots()) == THREADS * OPS_PER_THREAD
+
+
+class TestComplexOperations:
+    def test_declared_roots(self, world):
+        db, sessions = world
+        sessions[0].insert("t", None)
+        with sessions[0].complex_operation(roots=["t"]) as s:
+            s.insert("t/a", 1, "t")
+            s.insert("t/b", 2, "t")
+        assert db.verify("t").ok
+
+    def test_undeclared_root_rejected(self, world):
+        db, sessions = world
+        sessions[0].insert("t", None)
+        sessions[0].insert("u", None)
+        with pytest.raises(TransactionError):
+            with sessions[0].complex_operation(roots=["t"]) as s:
+                s.insert("u/c", 1, "u")  # touches undeclared tree 'u'
+
+    def test_parallel_complex_ops_on_distinct_trees(self, world):
+        db, sessions = world
+        for i in range(THREADS):
+            sessions[0].insert(f"ct{i}", None)
+
+        def worker(index):
+            session = sessions[index]
+
+            def work():
+                with session.complex_operation(roots=[f"ct{index}"]) as s:
+                    for i in range(5):
+                        s.insert(f"ct{index}/n{i}", i, f"ct{index}")
+
+            return work
+
+        run_threads([worker(i) for i in range(THREADS)])
+        for i in range(THREADS):
+            assert db.verify(f"ct{i}").ok
+
+
+class TestLockManager:
+    def test_same_lock_for_same_root(self):
+        locks = TreeLockManager()
+        assert locks.lock_for("a") is locks.lock_for("a")
+        assert locks.lock_for("a") is not locks.lock_for("b")
+
+    def test_holding_orders_and_releases(self):
+        locks = TreeLockManager()
+        with locks.holding(["b", "a"]):
+            assert locks.lock_for("a").locked()
+            assert locks.lock_for("b").locked()
+        assert not locks.lock_for("a").locked()
+        assert not locks.lock_for("b").locked()
+
+    def test_reentrant_structural(self):
+        locks = TreeLockManager()
+        with locks.holding([], structural=True):
+            with locks.structural:  # RLock: no deadlock
+                pass

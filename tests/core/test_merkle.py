@@ -1,0 +1,334 @@
+"""Unit and property tests for compound (Merkle) hashing."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend.engine import DatabaseEngine
+from repro.core.merkle import (
+    BasicHashing,
+    EconomicalHashing,
+    StreamingDatabaseHasher,
+    subtree_digest,
+    tree_digests,
+)
+from repro.exceptions import ProvenanceError
+from repro.model.tree import Forest
+
+
+@pytest.fixture
+def fig4_forest():
+    """The paper's Fig 4 compound object: A -> {B -> {D}, C}."""
+    f = Forest()
+    f.insert("A", "a")
+    f.insert("B", "b", parent="A")
+    f.insert("C", "c", parent="A")
+    f.insert("D", "d", parent="B")
+    return f
+
+
+class TestSubtreeDigest:
+    def test_deterministic(self, fig4_forest):
+        assert subtree_digest(fig4_forest, "A") == subtree_digest(fig4_forest, "A")
+
+    def test_value_change_changes_root(self, fig4_forest):
+        before = subtree_digest(fig4_forest, "A")
+        fig4_forest.update("D", "d'")
+        assert subtree_digest(fig4_forest, "A") != before
+
+    def test_structure_change_changes_root(self, fig4_forest):
+        before = subtree_digest(fig4_forest, "A")
+        fig4_forest.insert("E", "e", parent="C")
+        assert subtree_digest(fig4_forest, "A") != before
+
+    def test_sibling_subtree_unaffected(self, fig4_forest):
+        before_c = subtree_digest(fig4_forest, "C")
+        fig4_forest.update("D", "d'")
+        assert subtree_digest(fig4_forest, "C") == before_c
+
+    def test_reuse_property(self, fig4_forest):
+        """Fig 5: h_A is computable from h_B and h_C (reuse across records)."""
+        digests = tree_digests(fig4_forest, "A")
+        assert digests["B"] == subtree_digest(fig4_forest, "B")
+        assert digests["D"] == subtree_digest(fig4_forest, "D")
+
+    def test_position_independence(self, fig4_forest):
+        """A subtree hashes identically wherever it sits (aggregation reuse)."""
+        other = Forest()
+        other.insert("X", None)
+        other.insert("B", "b", parent="X")  # same ids/values, new parent
+        other.insert("D", "d", parent="B")
+        assert subtree_digest(other, "B") == subtree_digest(fig4_forest, "B")
+
+    def test_algorithm_parameter(self, fig4_forest):
+        sha1 = subtree_digest(fig4_forest, "A", "sha1")
+        sha256 = subtree_digest(fig4_forest, "A", "sha256")
+        assert len(sha1) == 20 and len(sha256) == 32
+
+    def test_deep_tree_no_recursion_limit(self):
+        forest = Forest()
+        forest.insert("n0", 0)
+        for i in range(1, 5000):
+            forest.insert(f"n{i}", i, parent=f"n{i - 1}")
+        digest = subtree_digest(forest, "n0")
+        assert len(digest) == 20
+
+
+def _apply_ops(forest, engine, ops):
+    """Apply (kind, ...) op tuples; returns captured events."""
+    events = []
+    for op in ops:
+        if op[0] == "insert":
+            events.append(engine.insert(op[1], op[2], op[3]))
+        elif op[0] == "update":
+            events.append(engine.update(op[1], op[2]))
+        else:
+            events.append(engine.delete(op[1]))
+    return events
+
+
+class TestStrategyEquivalence:
+    """Basic and Economical must produce identical digests (§4.3)."""
+
+    def run_both(self, ops_rounds):
+        results = []
+        for strategy in (BasicHashing(), EconomicalHashing()):
+            forest = Forest()
+            forest.insert("root", None)
+            forest.insert("root/a", 1, "root")
+            forest.insert("root/b", 2, "root")
+            engine = DatabaseEngine(forest)
+            digests = []
+            for ops in ops_rounds:
+                ctx = strategy.begin(forest)
+                ctx.ensure_tree("root")
+                events = _apply_ops(forest, engine, ops)
+                ctx.commit(events)
+                digests.append(ctx.after_digest("root"))
+            results.append(digests)
+        return results
+
+    def test_update_rounds(self):
+        basic, econ = self.run_both(
+            [
+                [("update", "root/a", 10)],
+                [("update", "root/b", 20), ("update", "root/a", 11)],
+            ]
+        )
+        assert basic == econ
+
+    def test_insert_and_delete(self):
+        basic, econ = self.run_both(
+            [
+                [("insert", "root/c", 3, "root")],
+                [("delete", "root/c")],
+                [("insert", "root/c", 4, "root"), ("update", "root/a", 5)],
+            ]
+        )
+        assert basic == econ
+
+    def test_delete_then_reinsert_same_op(self):
+        basic, econ = self.run_both(
+            [[("delete", "root/a"), ("insert", "root/a", 99, "root")]]
+        )
+        assert basic == econ
+
+    def test_economical_hashes_fewer_nodes(self):
+        forest = Forest()
+        forest.insert("root", None)
+        for i in range(100):
+            forest.insert(f"root/n{i}", i, "root")
+        engine = DatabaseEngine(forest)
+
+        econ = EconomicalHashing()
+        ctx = econ.begin(forest)
+        ctx.ensure_tree("root")
+        primed = econ.nodes_hashed
+        assert primed == 101
+        events = [engine.update("root/n5", -5)]
+        ctx.commit(events)
+        # one changed leaf + the root path
+        assert econ.nodes_hashed - primed == 2
+
+        basic = BasicHashing()
+        ctx2 = basic.begin(forest)
+        ctx2.ensure_tree("root")
+        events = [engine.update("root/n6", -6)]
+        before = basic.nodes_hashed
+        ctx2.commit(events)
+        assert basic.nodes_hashed - before == 101  # full rehash
+
+    def test_before_and_after_views(self):
+        forest = Forest()
+        forest.insert("r", None)
+        forest.insert("r/x", 1, "r")
+        engine = DatabaseEngine(forest)
+        for strategy in (BasicHashing(), EconomicalHashing()):
+            ctx = strategy.begin(forest if strategy.name == "basic" else forest)
+            ctx.ensure_tree("r")
+            before_root = ctx.before_digest("r")
+            events = [engine.update("r/x", 2)]
+            ctx.commit(events)
+            assert ctx.before_digest("r") == before_root
+            assert ctx.after_digest("r") != before_root
+            assert ctx.before_size("r") == 2
+            assert ctx.after_size("r") == 2
+            # restore for the second strategy
+            engine.update("r/x", 1)
+            if strategy.name == "economical":
+                break
+
+    def test_after_before_commit_rejected(self):
+        forest = Forest()
+        forest.insert("r", 1)
+        for strategy in (BasicHashing(), EconomicalHashing()):
+            ctx = strategy.begin(forest)
+            ctx.ensure_tree("r")
+            with pytest.raises(ProvenanceError):
+                ctx.after_digest("r")
+
+    def test_new_object_has_no_before(self):
+        forest = Forest()
+        engine = DatabaseEngine(forest)
+        for strategy in (BasicHashing(), EconomicalHashing()):
+            ctx = strategy.begin(forest)
+            if "fresh" in forest:
+                engine.delete("fresh")
+            events = [engine.insert("fresh", 1, None)]
+            ctx.commit(events)
+            assert ctx.before_digest("fresh") is None
+            assert ctx.before_size("fresh") == 0
+            assert len(ctx.after_digest("fresh")) == 20
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2**30), min_size=1, max_size=25))
+    def test_random_sequences_agree(self, seeds):
+        """Property: both strategies agree on every root digest after any
+        random primitive sequence, applied in random operation groupings."""
+        final_digests = []
+        for strategy in (BasicHashing(), EconomicalHashing()):
+            rng = random.Random(99)
+            forest = Forest()
+            forest.insert("root", None)
+            engine = DatabaseEngine(forest)
+            alive = ["root"]
+            serial = 0
+            pending = []
+            for seed in seeds:
+                kind = seed % 3
+                if kind == 0 or len(alive) < 2:
+                    parent = rng.choice(alive)
+                    new_id = f"{parent}/n{serial}"
+                    serial += 1
+                    pending.append(("insert", new_id, seed, parent))
+                    alive.append(new_id)
+                elif kind == 1:
+                    pending.append(("update", rng.choice(alive), seed))
+                else:
+                    leaves = [
+                        x
+                        for x in alive
+                        if x != "root" and x in forest and forest.is_leaf(x)
+                    ]
+                    # exclude ids that pending inserts will parent under
+                    parents_of_pending = {o[3] for o in pending if o[0] == "insert"}
+                    leaves = [x for x in leaves if x not in parents_of_pending]
+                    if leaves:
+                        victim = rng.choice(leaves)
+                        # flush pending ops first so deletes stay leaf-valid
+                        ctx = strategy.begin(forest)
+                        ctx.ensure_tree("root")
+                        events = _apply_ops(forest, engine, pending)
+                        pending = []
+                        events.append(engine.delete(victim))
+                        alive.remove(victim)
+                        ctx.commit(events)
+            if pending:
+                ctx = strategy.begin(forest)
+                ctx.ensure_tree("root")
+                events = _apply_ops(forest, engine, pending)
+                ctx.commit(events)
+            final_digests.append(subtree_digest(forest, "root"))
+        assert final_digests[0] == final_digests[1]
+
+
+class TestCurrentStateQueries:
+    def test_current_digest_matches_subtree_digest(self, fig4_forest):
+        for strategy in (BasicHashing(), EconomicalHashing()):
+            assert strategy.current_digest(fig4_forest, "A") == subtree_digest(
+                fig4_forest, "A"
+            )
+
+    def test_current_size(self, fig4_forest):
+        for strategy in (BasicHashing(), EconomicalHashing()):
+            assert strategy.current_size(fig4_forest, "A") == 4
+            assert strategy.current_size(fig4_forest, "C") == 1
+
+    def test_economical_current_uses_cache(self, fig4_forest):
+        strategy = EconomicalHashing()
+        strategy.current_digest(fig4_forest, "A")
+        primed = strategy.nodes_hashed
+        strategy.current_digest(fig4_forest, "A")  # cached: no rehash
+        assert strategy.nodes_hashed == primed
+
+    def test_unknown_object(self, fig4_forest):
+        from repro.exceptions import UnknownObjectError
+
+        strategy = EconomicalHashing()
+        with pytest.raises(UnknownObjectError):
+            strategy.current_digest(fig4_forest, "ghost")
+        with pytest.raises(UnknownObjectError):
+            strategy.current_size(fig4_forest, "ghost")
+
+
+class TestStreamingHasher:
+    def test_matches_materialised(self):
+        from repro.workloads.synthetic import title_table_rows
+
+        rows = 50
+        forest = Forest()
+        forest.insert("bigdb", None)
+        forest.insert("bigdb/title", "doc_id,title", "bigdb")
+        for row_id, row_value, cells in title_table_rows(rows):
+            forest.insert(row_id, row_value, "bigdb/title")
+            for cell_id, value in cells:
+                forest.insert(cell_id, value, row_id)
+
+        hasher = StreamingDatabaseHasher()
+        streamed = hasher.hash_database(
+            "bigdb", None, [("bigdb/title", "doc_id,title", title_table_rows(rows))]
+        )
+        assert streamed == subtree_digest(forest, "bigdb")
+        assert hasher.nodes_hashed == len(forest)
+
+    def test_multi_table_database(self):
+        def rows_for(table_id, n):
+            for i in range(n):
+                row_id = f"{table_id}/r{i}"
+                yield row_id, None, [(f"{row_id}/v", i)]
+
+        hasher = StreamingDatabaseHasher()
+        digest = hasher.hash_database(
+            "db",
+            None,
+            [("db/t1", "v", rows_for("db/t1", 3)), ("db/t2", "v", rows_for("db/t2", 2))],
+        )
+        forest = Forest()
+        forest.insert("db", None)
+        for table, n in (("db/t1", 3), ("db/t2", 2)):
+            forest.insert(table, "v", "db")
+            for row_id, row_value, cells in rows_for(table, n):
+                forest.insert(row_id, row_value, table)
+                for cell_id, value in cells:
+                    forest.insert(cell_id, value, row_id)
+        assert digest == subtree_digest(forest, "db")
+
+    def test_row_order_matters(self):
+        hasher = StreamingDatabaseHasher()
+        rows_fwd = [("t/r0", None, [("t/r0/v", 0)]), ("t/r1", None, [("t/r1/v", 1)])]
+        rows_rev = list(reversed(rows_fwd))
+        a = hasher.hash_table("t", None, rows_fwd)
+        b = hasher.hash_table("t", None, rows_rev)
+        assert a != b  # caller must supply global order

@@ -1,0 +1,106 @@
+"""Tests for white-box operation notes (paper footnote 4 extension).
+
+Notes describe the operation in human terms ("amended transcription
+error", the SQL text, ...).  They are part of the signed checksum
+payload, so they are exactly as tamper-evident as the recorded states.
+"""
+
+import dataclasses
+
+import pytest
+
+
+@pytest.fixture
+def session(tedb, participants):
+    return tedb.session(participants["p1"])
+
+
+class TestNoteCollection:
+    def test_primitive_note_recorded(self, tedb, session):
+        session.insert("x", 1, note="initial intake")
+        (record,) = session.update("x", 2, note="corrected transcription error")
+        assert record.note == "corrected transcription error"
+        chain = tedb.provenance_of("x")
+        assert chain[0].note == "initial intake"
+
+    def test_note_propagates_to_inherited_records(self, tedb, session):
+        session.insert("t", None)
+        records = session.insert("t/c", 1, "t", note="loaded from CSV")
+        assert all(r.note == "loaded from CSV" for r in records)
+
+    def test_aggregate_note(self, tedb, session):
+        session.insert("a", 1)
+        session.insert("b", 2)
+        record = session.aggregate(["a", "b"], "c", note="quarterly rollup")
+        assert record.note == "quarterly rollup"
+
+    def test_complex_operation_note(self, tedb, session):
+        session.insert("t", None)
+        with session.complex_operation(note="nightly batch"):
+            session.insert("t/a", 1, "t")
+            session.insert("t/b", 2, "t")
+        assert all(r.note == "nightly batch" for r in session.last_records)
+
+    def test_primitive_notes_merge_inside_complex(self, tedb, session):
+        session.insert("t", None)
+        with session.complex_operation():
+            session.insert("t/a", 1, "t", note="step one")
+            session.insert("t/b", 2, "t", note="step two")
+        assert session.last_records[0].note == "step one; step two"
+
+    def test_empty_note_default(self, tedb, session):
+        (record,) = session.insert("x", 1)
+        assert record.note == ""
+        assert "note" not in record.to_dict()
+
+
+class TestNoteIntegrity:
+    def test_noted_history_verifies(self, tedb, session):
+        session.insert("x", 1, note="created")
+        session.update("x", 2, note="reviewed")
+        report = tedb.verify("x")
+        assert report.ok, report.summary()
+
+    def test_note_roundtrips_through_shipment(self, tedb, session):
+        from repro.core.shipment import Shipment
+
+        session.insert("x", 1, note="created")
+        shipment = Shipment.from_json(tedb.ship("x").to_json())
+        assert shipment.records[0].note == "created"
+        assert shipment.verify(tedb.keystore()).ok
+
+    def test_tampered_note_detected(self, tedb, session):
+        session.insert("x", 1)
+        session.update("x", 2, note="legitimate correction")
+        shipment = tedb.ship("x")
+        records = tuple(
+            dataclasses.replace(r, note="totally routine edit")
+            if r.note
+            else r
+            for r in shipment.records
+        )
+        forged = dataclasses.replace(shipment, records=records)
+        report = forged.verify(tedb.keystore())
+        assert not report.ok
+        assert "R1" in report.requirement_codes()
+
+    def test_removed_note_detected(self, tedb, session):
+        session.insert("x", 1)
+        session.update("x", 2, note="under protest")
+        shipment = tedb.ship("x")
+        records = tuple(
+            dataclasses.replace(r, note="") if r.note else r
+            for r in shipment.records
+        )
+        forged = dataclasses.replace(shipment, records=records)
+        assert not forged.verify(tedb.keystore()).ok
+
+    def test_added_note_detected(self, tedb, session):
+        session.insert("x", 1)
+        session.update("x", 2)
+        shipment = tedb.ship("x")
+        records = tuple(
+            dataclasses.replace(r, note="looks fine to me") for r in shipment.records
+        )
+        forged = dataclasses.replace(shipment, records=records)
+        assert not forged.verify(tedb.keystore()).ok

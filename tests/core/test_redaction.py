@@ -1,0 +1,110 @@
+"""Unit tests for selective disclosure (value redaction)."""
+
+import pytest
+
+from repro.core.redaction import (
+    redact_object_values,
+    redact_participant_values,
+    redact_values,
+)
+from repro.exceptions import ShipmentError
+
+
+@pytest.fixture
+def world(tedb, participants):
+    s1 = tedb.session(participants["p1"])
+    s2 = tedb.session(participants["p2"])
+    s1.insert("salary", 120_000)
+    s2.update("salary", 130_000)
+    s1.insert("grade", "A")
+    s2.aggregate(["salary", "grade"], "packet")
+    return tedb, tedb.ship("packet")
+
+
+class TestRedaction:
+    def test_redacted_shipment_still_verifies(self, world):
+        tedb, shipment = world
+        redacted = redact_object_values(shipment, "salary")
+        report = redacted.verify(tedb.keystore())
+        assert report.ok, report.summary()
+
+    def test_values_actually_removed(self, world):
+        _, shipment = world
+        redacted = redact_object_values(shipment, "salary")
+        for record in redacted.records:
+            for state in (*record.inputs, record.output):
+                if state.object_id == "salary":
+                    assert not state.has_value
+                    assert state.value is None
+
+    def test_digests_untouched(self, world):
+        _, shipment = world
+        redacted = redact_object_values(shipment, "salary")
+        originals = {r.key: r for r in shipment.records}
+        for record in redacted.records:
+            assert record.checksum == originals[record.key].checksum
+            assert record.output.digest == originals[record.key].output.digest
+
+    def test_unmatched_records_identical(self, world):
+        _, shipment = world
+        redacted = redact_object_values(shipment, "salary")
+        for original, copy in zip(shipment.records, redacted.records):
+            if all(
+                s.object_id != "salary" for s in (*original.inputs, original.output)
+            ):
+                assert original == copy
+
+    def test_by_participant(self, world):
+        tedb, shipment = world
+        redacted = redact_participant_values(shipment, "p1")
+        assert redacted.verify(tedb.keystore()).ok
+        for record in redacted.records:
+            if record.participant_id == "p1":
+                assert not record.output.has_value
+
+    def test_roundtrips_through_json(self, world):
+        from repro.core.shipment import Shipment
+
+        tedb, shipment = world
+        redacted = redact_object_values(shipment, "salary")
+        restored = Shipment.from_json(redacted.to_json())
+        assert restored.verify(tedb.keystore()).ok
+
+    def test_cannot_redact_delivered_value(self, tedb, participants):
+        s = tedb.session(participants["p1"])
+        s.insert("doc", "contents")
+        shipment = tedb.ship("doc")
+        with pytest.raises(ShipmentError):
+            redact_object_values(shipment, "doc")
+
+    def test_snapshot_never_touched(self, world):
+        _, shipment = world
+        redacted = redact_object_values(shipment, "salary")
+        assert redacted.snapshot == shipment.snapshot
+
+    def test_tampering_after_redaction_still_detected(self, world):
+        import dataclasses
+
+        tedb, shipment = world
+        redacted = redact_object_values(shipment, "salary")
+        victim = redacted.records[0]
+        forged = dataclasses.replace(
+            victim,
+            output=dataclasses.replace(victim.output, digest=b"\x00" * 20),
+        )
+        records = tuple(
+            forged if r.key == victim.key else r for r in redacted.records
+        )
+        broken = dataclasses.replace(redacted, records=records)
+        assert not broken.verify(tedb.keystore()).ok
+
+    def test_custom_predicate(self, world):
+        tedb, shipment = world
+        # Withhold only input-side values, keep outputs.
+        redacted = redact_values(
+            shipment,
+            lambda record, state: state in record.inputs,
+        )
+        assert redacted.verify(tedb.keystore()).ok
+        for record in redacted.records:
+            assert all(not s.has_value for s in record.inputs)

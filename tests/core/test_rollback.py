@@ -1,0 +1,162 @@
+"""Atomicity tests: failed operations leave no trace.
+
+A store mutation without a matching provenance record is
+indistinguishable from an R4 attack at the next verification, so when
+provenance collection fails, the session must roll the store back — and
+the provenance store must never keep a partial record batch.
+"""
+
+import pytest
+
+from repro.core.system import TamperEvidentDatabase
+from repro.exceptions import MissingProvenanceError, ProvenanceError
+
+
+@pytest.fixture
+def session(tedb, participants):
+    return tedb.session(participants["p1"])
+
+
+def world_state(db):
+    data = {
+        object_id: db.store.value(object_id)
+        for root in db.store.roots()
+        for object_id in db.store.iter_subtree(root)
+    }
+    return data, len(db.provenance_store)
+
+
+class TestPrimitiveRollback:
+    def test_untracked_update_rolls_back(self, tedb, session):
+        tedb.store.insert("rogue", 1)
+        before = world_state(tedb)
+        with pytest.raises(MissingProvenanceError):
+            session.update("rogue", 2)
+        assert world_state(tedb) == before
+        assert tedb.store.value("rogue") == 1  # value restored
+
+    def test_untracked_delete_with_basic_hashing_rolls_back(self, ca, participants):
+        # Basic hashing walks the real tree, so the untracked child makes
+        # the parent's before-state mismatch its chain -> strict failure,
+        # and the delete must be rolled back.
+        db = TamperEvidentDatabase(ca=ca, hashing="basic")
+        session = db.session(participants["p1"])
+        session.insert("parent", None)
+        db.store.insert("parent/rogue", 7, "parent")
+        with pytest.raises(ProvenanceError):
+            session.delete("parent/rogue")
+        assert db.store.value("parent/rogue") == 7
+
+    def test_untracked_delete_with_economical_cache_is_invisible(self, tedb, session):
+        # Pinned semantics: the economical cache never saw the rogue
+        # object, so deleting it succeeds and history stays consistent
+        # (the exclusive-writer assumption, documented in the collector).
+        session.insert("parent", None)
+        tedb.store.insert("parent/rogue", 7, "parent")
+        session.delete("parent/rogue")
+        assert "parent/rogue" not in tedb.store
+        assert tedb.verify("parent").ok
+
+    def test_store_still_consistent_after_rollback(self, tedb, session):
+        session.insert("x", 1)
+        tedb.store.insert("rogue", 1)
+        with pytest.raises(MissingProvenanceError):
+            session.update("rogue", 2)
+        # Tracked objects still work and verify.
+        session.update("x", 2)
+        assert tedb.verify("x").ok
+
+    def test_basic_hashing_strict_violation_rolls_back(self, ca, participants):
+        db = TamperEvidentDatabase(ca=ca, hashing="basic")
+        session = db.session(participants["p1"])
+        session.insert("x", 1)
+        db.store.update("x", 999)  # out-of-band
+        with pytest.raises(ProvenanceError):
+            session.update("x", 2)
+        # The session's own mutation was rolled back; the out-of-band 999
+        # remains (the session never owned that change).
+        assert db.store.value("x") == 999
+
+
+class TestAggregateRollback:
+    def test_failed_aggregate_removes_created_subtree(self, tedb, session):
+        tedb.store.insert("rogue", 1)  # no provenance, bootstrap off
+        before = world_state(tedb)
+        with pytest.raises(MissingProvenanceError):
+            session.aggregate(["rogue"], "derived")
+        assert "derived" not in tedb.store
+        assert world_state(tedb) == before
+
+    def test_partial_bootstrap_not_persisted(self, tedb, session):
+        """Two untracked inputs, bootstrap disabled: neither input's
+        genesis record may survive the failure."""
+        tedb.store.insert("rogue1", 1)
+        tedb.store.insert("rogue2", 2)
+        with pytest.raises(MissingProvenanceError):
+            session.aggregate(["rogue1", "rogue2"], "derived")
+        assert len(tedb.provenance_store) == 0
+
+
+class TestComplexRollback:
+    def test_exception_in_block_rolls_back_store(self, tedb, session):
+        session.insert("t", None)
+        before = world_state(tedb)
+        with pytest.raises(RuntimeError):
+            with session.complex_operation():
+                session.insert("t/a", 1, "t")
+                session.insert("t/b", 2, "t")
+                raise RuntimeError("boom")
+        assert world_state(tedb) == before
+        assert "t/a" not in tedb.store and "t/b" not in tedb.store
+
+    def test_mixed_ops_rolled_back_in_order(self, tedb, session):
+        session.insert("t", None)
+        session.insert("t/a", 1, "t")
+        with pytest.raises(RuntimeError):
+            with session.complex_operation():
+                session.update("t/a", 99)
+                session.delete("t/a")
+                session.insert("t/a", 77, "t")
+                raise RuntimeError("boom")
+        assert tedb.store.value("t/a") == 1  # original value restored
+        assert tedb.verify("t").ok
+
+    def test_collection_failure_after_block_rolls_back(self, ca, participants):
+        db = TamperEvidentDatabase(ca=ca, hashing="basic")
+        session = db.session(participants["p1"])
+        session.insert("t", None)
+        db.store.insert("t/rogue", 5, "t")  # untracked: strict failure
+        with pytest.raises(ProvenanceError):
+            with session.complex_operation():
+                session.update("t/rogue", 6)
+        assert db.store.value("t/rogue") == 5
+
+    def test_hash_cache_consistent_after_rollback(self, tedb, session):
+        """The economical cache must not keep digests of the rolled-back
+        state — follow-up operations and verification stay correct."""
+        session.insert("t", None)
+        session.insert("t/a", 1, "t")
+        with pytest.raises(RuntimeError):
+            with session.complex_operation():
+                session.update("t/a", 50)
+                raise RuntimeError("boom")
+        # New legitimate operation after the rollback:
+        session.update("t/a", 2)
+        report = tedb.verify("t")
+        assert report.ok, report.summary()
+        chain = tedb.provenance_of("t/a")
+        # seq 0 insert, seq 1 the post-rollback update; nothing from 50.
+        assert [r.seq_id for r in chain] == [0, 1]
+        assert chain[1].inputs[0].value == 1
+        assert chain[1].output.value == 2
+
+    def test_session_usable_after_rollback(self, tedb, session):
+        session.insert("x", 1)
+        with pytest.raises(RuntimeError):
+            with session.complex_operation():
+                session.update("x", 9)
+                raise RuntimeError("boom")
+        with session.complex_operation():
+            session.update("x", 2)
+        assert tedb.store.value("x") == 2
+        assert tedb.verify("x").ok

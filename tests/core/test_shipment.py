@@ -1,0 +1,98 @@
+"""Unit tests for shipments (data + provenance + certificates)."""
+
+import json
+
+import pytest
+
+from repro.core.shipment import Shipment
+from repro.exceptions import CertificateError, ShipmentError
+
+
+@pytest.fixture
+def shipment(fig2_world):
+    return fig2_world.ship("D")
+
+
+class TestBuild:
+    def test_contents(self, fig2_world, shipment):
+        assert shipment.target_id == "D"
+        assert shipment.snapshot.root_id == "D"
+        assert {r.object_id for r in shipment.records} == {"A", "B", "C", "D"}
+        subjects = {c.subject for c in shipment.certificates}
+        assert subjects == {"p1", "p2", "p3"}
+
+    def test_unknown_object_rejected(self, fig2_world):
+        with pytest.raises(ShipmentError):
+            fig2_world.ship("nope")
+
+    def test_len_is_record_count(self, shipment):
+        assert len(shipment) == len(shipment.records)
+
+    def test_snapshot_matches_store(self, fig2_world, shipment):
+        assert shipment.snapshot.node_count == fig2_world.store.subtree_size("D")
+
+
+class TestVerification:
+    def test_verify_with_keystore(self, fig2_world, shipment):
+        assert shipment.verify(fig2_world.keystore()).ok
+
+    def test_verify_with_ca_only(self, fig2_world, shipment):
+        report = shipment.verify_with_ca(fig2_world.ca.public_key, fig2_world.ca.name)
+        assert report.ok
+
+    def test_forged_certificate_in_shipment_reported(
+        self, fig2_world, shipment, other_keypair
+    ):
+        import dataclasses
+
+        bad_cert = dataclasses.replace(
+            shipment.certificates[0], public_key=other_keypair.public
+        )
+        forged = dataclasses.replace(
+            shipment, certificates=(bad_cert,) + shipment.certificates[1:]
+        )
+        report = forged.verify_with_ca(fig2_world.ca.public_key, fig2_world.ca.name)
+        assert not report.ok
+        assert "PKI" in report.requirement_codes()
+
+    def test_wrong_ca_key_reported(self, shipment, other_keypair):
+        report = shipment.verify_with_ca(other_keypair.public)
+        assert not report.ok
+        assert report.requirement_codes() == ("PKI",)
+
+
+class TestWireFormat:
+    def test_json_roundtrip(self, fig2_world, shipment):
+        blob = shipment.to_json()
+        restored = Shipment.from_json(blob)
+        assert restored == shipment
+        assert restored.verify_with_ca(
+            fig2_world.ca.public_key, fig2_world.ca.name
+        ).ok
+
+    def test_json_is_plain_json(self, shipment):
+        data = json.loads(shipment.to_json())
+        assert data["format"] == "repro-shipment-v1"
+        assert data["target_id"] == "D"
+
+    def test_wrong_format_rejected(self, shipment):
+        data = json.loads(shipment.to_json())
+        data["format"] = "v999"
+        with pytest.raises(ShipmentError):
+            Shipment.from_json(json.dumps(data))
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ShipmentError):
+            Shipment.from_json("not json at all {")
+        with pytest.raises(ShipmentError):
+            Shipment.from_json(json.dumps({"format": "repro-shipment-v1"}))
+
+    def test_tampering_in_transit_detected(self, fig2_world, shipment):
+        data = json.loads(shipment.to_json())
+        # Flip one value in the shipped snapshot.
+        from repro.model.values import encode_value
+
+        data["snapshot"]["nodes"][0]["value"] = encode_value("evil").hex()
+        tampered = Shipment.from_json(json.dumps(data))
+        report = tampered.verify_with_ca(fig2_world.ca.public_key, fig2_world.ca.name)
+        assert not report.ok

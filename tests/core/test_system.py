@@ -1,0 +1,158 @@
+"""Unit tests for the TamperEvidentDatabase façade and sessions."""
+
+import pytest
+
+from repro.core.merkle import BasicHashing, EconomicalHashing
+from repro.core.system import TamperEvidentDatabase
+from repro.exceptions import ProvenanceError, TransactionError, UnknownObjectError
+
+
+@pytest.fixture
+def session(tedb, participants):
+    return tedb.session(participants["p1"])
+
+
+class TestConstruction:
+    def test_defaults(self, tedb):
+        assert tedb.hashing.name == "economical"
+        assert tedb.hash_algorithm == "sha1"
+        assert len(tedb.store) == 0
+        assert len(tedb.provenance_store) == 0
+
+    def test_hashing_selection(self, ca):
+        assert TamperEvidentDatabase(ca=ca, hashing="basic").hashing.name == "basic"
+        strategy = EconomicalHashing("sha256")
+        db = TamperEvidentDatabase(ca=ca, hashing=strategy, hash_algorithm="sha256")
+        assert db.hashing is strategy
+
+    def test_unknown_hashing_rejected(self, ca):
+        with pytest.raises(ProvenanceError):
+            TamperEvidentDatabase(ca=ca, hashing="quantum")
+
+    def test_repr(self, tedb):
+        assert "economical" in repr(tedb)
+
+    def test_enroll_issues_certificate(self, tedb):
+        p = tedb.enroll("newbie")
+        assert p.certificate is not None
+        assert tedb.ca.verify_certificate(p.certificate)
+
+    def test_keystore_covers_enrolled(self, tedb):
+        tedb.enroll("someone")
+        assert "someone" in tedb.keystore()
+
+
+class TestSessionPrimitives:
+    def test_insert_update_delete_roundtrip(self, tedb, session):
+        session.insert("x", 1)
+        session.update("x", 2)
+        assert tedb.store.value("x") == 2
+        session.insert("x/child", 3, "x")
+        session.delete("x/child")
+        assert "x/child" not in tedb.store
+
+    def test_store_errors_propagate(self, session):
+        with pytest.raises(UnknownObjectError):
+            session.update("ghost", 1)
+        with pytest.raises(UnknownObjectError):
+            session.delete("ghost")
+
+    def test_failed_primitive_collects_nothing(self, tedb, session):
+        before = len(tedb.provenance_store)
+        with pytest.raises(UnknownObjectError):
+            session.insert("orphan", 1, parent="ghost")
+        assert len(tedb.provenance_store) == before
+
+    def test_aggregate_in_complex_rejected(self, tedb, session):
+        session.insert("a", 1)
+        with pytest.raises(TransactionError):
+            with session.complex_operation():
+                session.aggregate(["a"], "b")
+
+    def test_nested_complex_joins(self, tedb, session):
+        session.insert("root", None)
+        with session.complex_operation():
+            session.insert("root/a", 1, "root")
+            with session.complex_operation():
+                session.insert("root/b", 2, "root")
+        # one complex group: a, b, and one inherited root record
+        assert {r.object_id for r in session.last_records} == {
+            "root/a",
+            "root/b",
+            "root",
+        }
+
+    def test_two_participants_interleave(self, tedb, participants):
+        s1 = tedb.session(participants["p1"])
+        s2 = tedb.session(participants["p2"])
+        s1.insert("x", 1)
+        s2.update("x", 2)
+        s1.update("x", 3)
+        chain = tedb.provenance_of("x")
+        assert [r.participant_id for r in chain] == ["p1", "p2", "p1"]
+        assert tedb.verify("x").ok
+
+
+class TestProvenanceReads:
+    def test_provenance_of_returns_own_chain(self, fig2_world):
+        chain = fig2_world.provenance_of("A")
+        assert [r.seq_id for r in chain] == [0, 1, 2]
+
+    def test_provenance_object_is_closure(self, fig2_world):
+        closure = fig2_world.provenance_object("D")
+        objects = {r.object_id for r in closure}
+        assert objects == {"A", "B", "C", "D"}
+
+    def test_ship_and_verify(self, fig2_world):
+        report = fig2_world.verify("D")
+        assert report.ok, report.summary()
+
+    def test_verify_unknown_object(self, tedb):
+        from repro.exceptions import ShipmentError
+
+        with pytest.raises(ShipmentError):
+            tedb.verify("ghost")
+
+
+class TestBasicHashingEndToEnd:
+    """The whole pipeline must also work under the Basic strategy."""
+
+    def test_full_flow(self, ca, participants):
+        db = TamperEvidentDatabase(ca=ca, hashing="basic")
+        s = db.session(participants["p1"])
+        s.insert("db", None)
+        s.insert("db/t", None, "db")
+        with s.complex_operation():
+            s.insert("db/t/r", None, "db/t")
+            s.insert("db/t/r/c", 5, "db/t/r")
+        s.update("db/t/r/c", 6)
+        s.aggregate(["db/t/r"], "extract")
+        assert db.verify("db").ok
+        assert db.verify("extract").ok
+
+    def test_basic_and_economical_agree_on_digests(self, ca, participants):
+        results = []
+        for hashing in ("basic", "economical"):
+            db = TamperEvidentDatabase(ca=ca, hashing=hashing)
+            s = db.session(participants["p1"])
+            s.insert("r", None)
+            s.insert("r/a", 1, "r")
+            s.update("r/a", 2)
+            results.append(db.provenance_store.latest("r").output.digest)
+        assert results[0] == results[1]
+
+
+class TestSessionAsExecutor:
+    def test_relational_view_over_session(self, tedb, session):
+        from repro.model.relational import RelationalView
+
+        view = RelationalView(session)
+        view.create_table("patients", ["age", "weight"])
+        key = view.insert_row("patients", {"age": 52, "weight": 80})
+        view.update_cell("patients", key, "age", 53)
+        # Full fine-grained provenance: cell, row, table, root all tracked.
+        assert tedb.provenance_of(view.cell_id("patients", key, "age"))
+        assert tedb.provenance_of(view.row_id("patients", key))
+        assert tedb.provenance_of(view.table_id("patients"))
+        assert tedb.provenance_of("db")
+        assert tedb.verify("db").ok

@@ -1,0 +1,177 @@
+"""Unit tests for the data-recipient verification procedure (§3)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.shipment import Shipment
+from repro.core.verifier import VerificationFailure, Verifier
+from repro.provenance.snapshot import SubtreeSnapshot
+
+
+@pytest.fixture
+def world(fig2_world, keystore):
+    return fig2_world, Verifier(keystore)
+
+
+class TestCleanVerification:
+    def test_every_object_verifies(self, world):
+        db, verifier = world
+        for object_id in ("A", "B", "C", "D"):
+            shipment = db.ship(object_id)
+            report = verifier.verify(
+                shipment.snapshot, shipment.records, shipment.target_id
+            )
+            assert report.ok, f"{object_id}: {report.summary()}"
+
+    def test_report_counts(self, world):
+        db, verifier = world
+        shipment = db.ship("D")
+        report = verifier.verify(shipment.snapshot, shipment.records, "D")
+        assert report.records_checked == len(shipment.records)
+        assert report.objects_checked == 4
+        assert report.target_id == "D"
+        assert "VERIFIED" in report.summary()
+
+    def test_verify_records_only(self, world):
+        db, verifier = world
+        assert verifier.verify_records(db.provenance_of("A")).ok
+
+
+class TestFailureModes:
+    def _verify(self, world, shipment):
+        _, verifier = world
+        return verifier.verify(shipment.snapshot, shipment.records, shipment.target_id)
+
+    def test_empty_records(self, world):
+        db, verifier = world
+        shipment = db.ship("A")
+        report = verifier.verify(shipment.snapshot, (), "A")
+        assert not report.ok
+        assert "R4" in report.requirement_codes()
+
+    def test_wrong_snapshot_object(self, world):
+        db, _ = world
+        shipment = db.ship("A")
+        other = db.ship("B")
+        forged = dataclasses.replace(shipment, snapshot=other.snapshot)
+        report = self._verify(world, forged)
+        assert "R5" in report.requirement_codes()
+
+    def test_stale_snapshot(self, world, participants):
+        db, _ = world
+        shipment = db.ship("A")
+        db.session(participants["p2"]).update("A", "a4")
+        # Old snapshot with NEW records: data no longer matches terminal.
+        stale = dataclasses.replace(shipment, records=tuple(db.provenance_of("A")))
+        report = self._verify(world, stale)
+        assert "R4" in report.requirement_codes()
+
+    def test_truncated_chain_start(self, world):
+        db, _ = world
+        shipment = db.ship("A")
+        forged = dataclasses.replace(shipment, records=shipment.records[1:])
+        report = self._verify(world, forged)
+        assert "R2" in report.requirement_codes()
+
+    def test_duplicate_seq(self, world):
+        db, _ = world
+        shipment = db.ship("A")
+        forged = dataclasses.replace(
+            shipment, records=shipment.records + (shipment.records[-1],)
+        )
+        report = self._verify(world, forged)
+        assert "R3" in report.requirement_codes()
+
+    def test_unknown_participant(self, world, ca):
+        db, _ = world
+        shipment = db.ship("A")
+        victim = shipment.records[0]
+        forged_record = dataclasses.replace(victim, participant_id="stranger")
+        records = tuple(
+            forged_record if r.key == victim.key else r for r in shipment.records
+        )
+        forged = dataclasses.replace(shipment, records=records)
+        report = self._verify(world, forged)
+        assert "PKI" in report.requirement_codes()
+
+    def test_aggregate_missing_input_chain(self, world):
+        db, _ = world
+        shipment = db.ship("D")
+        # Drop B's entire chain: D's ancestry is no longer verifiable.
+        records = tuple(r for r in shipment.records if r.object_id != "B")
+        forged = dataclasses.replace(shipment, records=records)
+        report = self._verify(world, forged)
+        assert not report.ok
+        assert "R2" in report.requirement_codes()
+
+    def test_aggregate_input_state_mismatch(self, world):
+        db, _ = world
+        shipment = db.ship("C")
+        agg = next(r for r in shipment.records if r.object_id == "C")
+        forged_input = dataclasses.replace(agg.inputs[0], digest=b"\x00" * 20)
+        forged_agg = dataclasses.replace(
+            agg, inputs=(forged_input,) + agg.inputs[1:]
+        )
+        records = tuple(
+            forged_agg if r.key == agg.key else r for r in shipment.records
+        )
+        report = self._verify(world, dataclasses.replace(shipment, records=records))
+        assert "R1" in report.requirement_codes()
+
+    def test_ambiguous_digest_identical_predecessors(self, world, participants):
+        """Regression: an aggregation input later updated back to an
+        identical value (seq still below the aggregate's) creates two
+        digest-identical candidate predecessors; the verifier must accept
+        the combination the signer actually used."""
+        db, verifier = world
+        s = db.session(participants["p1"])
+        s.insert("base", 7)
+        s.insert("extra", 1)
+        s.update("extra", 2)  # pushes the aggregate's seq above base's updates
+        s.aggregate(["base", "extra"], "combo")
+        s.update("base", 7)  # same value again: digest-identical state at seq 1
+        shipment = db.ship("combo")
+        report = verifier.verify(shipment.snapshot, shipment.records, "combo")
+        assert report.ok, report.summary()
+
+    def test_heavily_ambiguous_predecessors_still_verify(self, world, participants):
+        """Stress the bounded ambiguity search: two aggregation inputs
+        each accumulate many digest-identical states after the
+        aggregation.  The all-oldest fast path must find the signer's
+        combination without walking the whole cartesian product."""
+        db, verifier = world
+        s = db.session(participants["p2"])
+        s.insert("left", 1)
+        s.insert("right", 2)
+        s.insert("bump", 0)
+        for i in range(12):  # push the future aggregate's seq high
+            s.update("bump", i)
+        s.aggregate(["bump", "left", "right"], "fusion")
+        for _ in range(9):  # 9 digest-identical states per input, seq < 13
+            s.update("left", 1)
+            s.update("right", 2)
+        shipment = db.ship("fusion")
+        report = verifier.verify(shipment.snapshot, shipment.records, "fusion")
+        assert report.ok, report.summary()
+
+    def test_multiple_failures_all_reported(self, world):
+        db, _ = world
+        shipment = db.ship("D")
+        records = tuple(
+            r for r in shipment.records if r.key not in (("A", 1), ("B", 0))
+        )
+        report = self._verify(world, dataclasses.replace(shipment, records=records))
+        assert len(report.failures) >= 2
+
+
+class TestFailureRendering:
+    def test_failure_str(self):
+        failure = VerificationFailure("R1", "x", "bad signature", seq_id=3)
+        assert str(failure) == "[R1] x#3: bad signature"
+
+    def test_summary_truncates(self, world):
+        db, verifier = world
+        shipment = db.ship("D")
+        report = verifier.verify(shipment.snapshot, (), "D")
+        assert "TAMPERING DETECTED" in report.summary()

@@ -1,0 +1,66 @@
+"""Unit tests for the hash-algorithm registry."""
+
+import hashlib
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import (
+    DEFAULT_HASH,
+    HashAlgorithm,
+    available_algorithms,
+    get_algorithm,
+    hash_bytes,
+    hash_concat,
+    register_algorithm,
+)
+from repro.exceptions import UnknownHashAlgorithm
+
+
+class TestRegistry:
+    def test_builtins_available(self):
+        names = available_algorithms()
+        for expected in ("md5", "sha1", "sha256", "sha512"):
+            assert expected in names
+
+    def test_default_is_paper_algorithm(self):
+        # Java MessageDigest("SHA") == SHA-1 with 20-byte digests.
+        assert DEFAULT_HASH == "sha1"
+        assert get_algorithm(DEFAULT_HASH).digest_size == 20
+
+    def test_lookup_case_insensitive(self):
+        assert get_algorithm("SHA1") is get_algorithm("sha1")
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownHashAlgorithm):
+            get_algorithm("whirlpool-9000")
+
+    def test_register_custom(self):
+        alg = HashAlgorithm("test-sha1-alias", hashlib.sha1, 20)
+        register_algorithm(alg)
+        assert get_algorithm("test-sha1-alias").digest(b"x") == hashlib.sha1(b"x").digest()
+
+
+class TestHashing:
+    def test_hash_bytes_matches_hashlib(self):
+        assert hash_bytes(b"data", "sha256") == hashlib.sha256(b"data").digest()
+
+    def test_digest_size(self):
+        assert len(hash_bytes(b"x", "sha1")) == 20
+        assert len(hash_bytes(b"x", "sha256")) == 32
+
+    @given(st.lists(st.binary(max_size=64), max_size=8))
+    def test_hash_concat_equals_joined(self, parts):
+        assert hash_concat(parts, "sha1") == hash_bytes(b"".join(parts), "sha1")
+
+    def test_hash_concat_streaming_large(self):
+        chunks = (b"c" * 1000 for _ in range(100))
+        assert hash_concat(chunks) == hash_bytes(b"c" * 100_000)
+
+    def test_incremental_interface(self):
+        alg = get_algorithm("sha1")
+        h = alg.new()
+        h.update(b"ab")
+        h.update(b"cd")
+        assert h.digest() == alg.digest(b"abcd")

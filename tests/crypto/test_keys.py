@@ -1,0 +1,61 @@
+"""Unit tests for key serialization."""
+
+import json
+
+import pytest
+
+from repro.crypto.keys import (
+    private_key_from_dict,
+    private_key_to_dict,
+    public_key_from_dict,
+    public_key_to_dict,
+)
+from repro.exceptions import CryptoError
+
+
+class TestPublicKeySerialization:
+    def test_roundtrip(self, keypair):
+        data = public_key_to_dict(keypair.public)
+        assert public_key_from_dict(data) == keypair.public
+
+    def test_json_safe(self, keypair):
+        blob = json.dumps(public_key_to_dict(keypair.public))
+        assert public_key_from_dict(json.loads(blob)) == keypair.public
+
+    def test_wrong_kind_rejected(self, keypair):
+        data = public_key_to_dict(keypair.public)
+        data["kind"] = "rsa-private"
+        with pytest.raises(CryptoError):
+            public_key_from_dict(data)
+
+    def test_missing_field_rejected(self, keypair):
+        data = public_key_to_dict(keypair.public)
+        del data["e"]
+        with pytest.raises(CryptoError):
+            public_key_from_dict(data)
+
+    def test_garbage_value_rejected(self, keypair):
+        data = public_key_to_dict(keypair.public)
+        data["n"] = "not-hex"
+        with pytest.raises(CryptoError):
+            public_key_from_dict(data)
+
+
+class TestPrivateKeySerialization:
+    def test_roundtrip_including_crt(self, keypair):
+        data = private_key_to_dict(keypair.private)
+        restored = private_key_from_dict(data)
+        assert restored == keypair.private  # CRT params re-derived equal
+
+    def test_restored_key_signs(self, keypair):
+        from repro.crypto.signatures import RSASignatureScheme
+
+        restored = private_key_from_dict(private_key_to_dict(keypair.private))
+        scheme = RSASignatureScheme(restored)
+        assert scheme.verify(b"m", scheme.sign(b"m"))
+
+    def test_wrong_kind_rejected(self, keypair):
+        data = private_key_to_dict(keypair.private)
+        data["kind"] = "rsa-public"
+        with pytest.raises(CryptoError):
+            private_key_from_dict(data)

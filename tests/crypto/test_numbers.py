@@ -1,0 +1,108 @@
+"""Unit tests for modular arithmetic and primality testing."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.numbers import egcd, generate_prime, invmod, is_probable_prime
+from repro.exceptions import KeyGenerationError
+
+KNOWN_PRIMES = [2, 3, 5, 7, 11, 101, 997, 7919, 104729, 2**31 - 1, 2**61 - 1]
+KNOWN_COMPOSITES = [1, 4, 9, 100, 561, 1105, 1729, 2465, 6601, 8911,  # Carmichael
+                    2**32 - 1, 2**61 + 1]
+
+
+class TestEgcd:
+    def test_coprime(self):
+        g, x, y = egcd(17, 31)
+        assert g == 1
+        assert 17 * x + 31 * y == 1
+
+    def test_common_factor(self):
+        g, x, y = egcd(12, 18)
+        assert g == 6
+        assert 12 * x + 18 * y == 6
+
+    def test_zero(self):
+        assert egcd(0, 5)[0] == 5
+        assert egcd(5, 0)[0] == 5
+
+    @given(st.integers(min_value=0, max_value=10**12), st.integers(min_value=0, max_value=10**12))
+    def test_bezout_identity(self, a, b):
+        g, x, y = egcd(a, b)
+        assert g == math.gcd(a, b)
+        assert a * x + b * y == g
+
+
+class TestInvmod:
+    def test_simple(self):
+        assert invmod(3, 11) == 4  # 3*4 = 12 ≡ 1 (mod 11)
+
+    def test_not_invertible(self):
+        with pytest.raises(KeyGenerationError):
+            invmod(6, 9)
+
+    @given(st.integers(min_value=2, max_value=10**9))
+    def test_inverse_property(self, a):
+        m = 1_000_000_007  # prime modulus: everything nonzero is invertible
+        a = a % m or 1
+        inv = invmod(a, m)
+        assert (a * inv) % m == 1
+        assert 0 <= inv < m
+
+
+class TestMillerRabin:
+    @pytest.mark.parametrize("p", KNOWN_PRIMES)
+    def test_known_primes(self, p):
+        assert is_probable_prime(p)
+
+    @pytest.mark.parametrize("c", KNOWN_COMPOSITES)
+    def test_known_composites(self, c):
+        assert not is_probable_prime(c)
+
+    def test_negative_and_zero(self):
+        assert not is_probable_prime(0)
+        assert not is_probable_prime(1)
+        assert not is_probable_prime(-7)
+
+    def test_large_prime(self):
+        # 2^127 - 1 is a Mersenne prime (above the deterministic bound).
+        assert is_probable_prime(2**127 - 1, rng=random.Random(1))
+
+    def test_large_composite(self):
+        assert not is_probable_prime((2**127 - 1) * (2**89 - 1), rng=random.Random(1))
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=2, max_value=50_000))
+    def test_agrees_with_trial_division(self, n):
+        by_trial = all(n % d for d in range(2, int(n**0.5) + 1))
+        assert is_probable_prime(n) == by_trial
+
+
+class TestGeneratePrime:
+    def test_bit_length_exact(self):
+        rng = random.Random(7)
+        for bits in (8, 16, 64, 256):
+            p = generate_prime(bits, rng=rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_top_two_bits_set(self):
+        p = generate_prime(64, rng=random.Random(3))
+        assert (p >> 62) & 0b11 == 0b11
+
+    def test_oddness(self):
+        p = generate_prime(32, rng=random.Random(5))
+        assert p % 2 == 1
+
+    def test_too_small_rejected(self):
+        with pytest.raises(KeyGenerationError):
+            generate_prime(4)
+
+    def test_reproducible_with_seed(self):
+        assert generate_prime(64, rng=random.Random(9)) == generate_prime(
+            64, rng=random.Random(9)
+        )

@@ -1,0 +1,66 @@
+"""Unit tests for EMSA-PKCS1-v1_5 encoding."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto import pkcs1
+from repro.exceptions import SignatureError, UnknownHashAlgorithm
+
+
+class TestEncode:
+    def test_structure_sha1(self):
+        em = pkcs1.encode(b"hello", 64, "sha1")
+        assert len(em) == 64
+        assert em[:2] == b"\x00\x01"
+        # padding runs until the 0x00 separator
+        sep = em.index(b"\x00", 2)
+        assert set(em[2:sep]) == {0xFF}
+        assert em[sep + 1 :].endswith(hashlib.sha1(b"hello").digest())
+
+    def test_digest_info_prefix_present(self):
+        em = pkcs1.encode(b"m", 64, "sha1")
+        assert pkcs1.digest_info_prefix("sha1") in em
+
+    @pytest.mark.parametrize("alg,factory", [
+        ("md5", hashlib.md5),
+        ("sha1", hashlib.sha1),
+        ("sha256", hashlib.sha256),
+        ("sha512", hashlib.sha512),
+    ])
+    def test_all_algorithms_embed_their_digest(self, alg, factory):
+        em = pkcs1.encode(b"msg", 128, alg)
+        assert em.endswith(factory(b"msg").digest())
+
+    def test_deterministic(self):
+        assert pkcs1.encode(b"x", 64) == pkcs1.encode(b"x", 64)
+
+    def test_distinct_messages_distinct_encodings(self):
+        assert pkcs1.encode(b"x", 64) != pkcs1.encode(b"y", 64)
+
+    def test_modulus_too_small(self):
+        with pytest.raises(SignatureError):
+            pkcs1.encode(b"m", 16, "sha256")
+
+    def test_minimum_padding_enforced(self):
+        # smallest legal em_len = len(DigestInfo+digest) + 8 + 3
+        t_len = len(pkcs1.digest_info_prefix("sha1")) + 20
+        smallest = t_len + pkcs1.MIN_PADDING_LEN + 3
+        em = pkcs1.encode(b"m", smallest, "sha1")
+        assert len(em) == smallest
+        with pytest.raises(SignatureError):
+            pkcs1.encode(b"m", smallest - 1, "sha1")
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(UnknownHashAlgorithm):
+            pkcs1.encode(b"m", 64, "sha3-971")
+
+    def test_known_vector_sha1(self):
+        # RFC 3447-style structure check against an independently computed value.
+        em = pkcs1.encode(b"abc", 48, "sha1")
+        expected = (
+            b"\x00\x01" + b"\xff" * 10 + b"\x00"
+            + bytes.fromhex("3021300906052b0e03021a05000414")
+            + hashlib.sha1(b"abc").digest()
+        )
+        assert em == expected

@@ -1,0 +1,110 @@
+"""Key-rotation tests: old records stay verifiable after re-enrollment."""
+
+import pytest
+
+from repro.crypto.pki import CertificateAuthority, KeyStore, Participant
+from repro.crypto.signatures import MultiKeyVerifier
+from repro.exceptions import CryptoError
+
+
+class TestMultiKeyVerifier:
+    def test_any_key_accepts(self, keypair, other_keypair):
+        from repro.crypto.signatures import RSASignatureScheme, RSASignatureVerifier
+
+        old = RSASignatureScheme(keypair.private)
+        new = RSASignatureScheme(other_keypair.private)
+        multi = MultiKeyVerifier(
+            (RSASignatureVerifier(other_keypair.public), RSASignatureVerifier(keypair.public))
+        )
+        assert multi.verify(b"m", old.sign(b"m"))
+        assert multi.verify(b"m", new.sign(b"m"))
+        assert not multi.verify(b"x", old.sign(b"m"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(CryptoError):
+            MultiKeyVerifier(())
+
+
+class TestCertificateRotation:
+    def test_ca_keeps_all_generations(self, rng):
+        ca = CertificateAuthority(key_bits=512, rng=rng)
+        first = Participant.enroll("rotator", ca, key_bits=512, rng=rng)
+        second = Participant.enroll("rotator", ca, key_bits=512, rng=rng)
+        certs = ca.certificates_for("rotator")
+        assert len(certs) == 2
+        assert certs[0].serial < certs[1].serial
+        assert ca.certificate_for("rotator") == certs[-1]  # current
+        assert first.certificate in certs and second.certificate in certs
+
+    def test_keystore_tries_all_generations(self, rng):
+        ca = CertificateAuthority(key_bits=512, rng=rng)
+        old = Participant.enroll("rotator", ca, key_bits=512, rng=rng)
+        new = Participant.enroll("rotator", ca, key_bits=512, rng=rng)
+        store = KeyStore.trusting(ca)
+        store.add_certificates(ca.issued_certificates())
+        verifier = store.verifier_for("rotator")
+        assert verifier.verify(b"m", old.sign(b"m"))
+        assert verifier.verify(b"m", new.sign(b"m"))
+
+    def test_duplicate_certificate_add_is_idempotent(self, rng):
+        ca = CertificateAuthority(key_bits=512, rng=rng)
+        p = Participant.enroll("solo", ca, key_bits=512, rng=rng)
+        store = KeyStore.trusting(ca)
+        store.add_certificate(p.certificate)
+        store.add_certificate(p.certificate)
+        assert len(store.verifier_for("solo").verifiers) == 1
+
+
+class TestSystemLevelRotation:
+    def test_history_spanning_a_rotation_verifies(self, rng):
+        from repro.core.system import TamperEvidentDatabase
+
+        ca = CertificateAuthority(key_bits=512, rng=rng)
+        db = TamperEvidentDatabase(ca=ca, key_bits=512, rng=rng)
+        alice_v1 = db.enroll("alice")
+        db.session(alice_v1).insert("x", 1)
+        db.session(alice_v1).update("x", 2)
+
+        alice_v2 = db.enroll("alice")  # rotation: new keys, same identity
+        db.session(alice_v2).update("x", 3)
+
+        report = db.verify("x")
+        assert report.ok, report.summary()
+
+    def test_rotated_shipment_carries_all_certificates(self, rng):
+        from repro.core.system import TamperEvidentDatabase
+
+        ca = CertificateAuthority(key_bits=512, rng=rng)
+        db = TamperEvidentDatabase(ca=ca, key_bits=512, rng=rng)
+        alice_v1 = db.enroll("alice")
+        db.session(alice_v1).insert("x", 1)
+        alice_v2 = db.enroll("alice")
+        db.session(alice_v2).update("x", 2)
+
+        shipment = db.ship("x")
+        serials = {c.serial for c in shipment.certificates if c.subject == "alice"}
+        assert len(serials) == 2
+        assert shipment.verify_with_ca(ca.public_key, ca.name).ok
+
+    def test_old_key_signature_rejected_for_forgery(self, rng):
+        """Rotation must not weaken anything: a signature by an entirely
+        different participant still fails under the rotated identity."""
+        from repro.core.system import TamperEvidentDatabase
+
+        ca = CertificateAuthority(key_bits=512, rng=rng)
+        db = TamperEvidentDatabase(ca=ca, key_bits=512, rng=rng)
+        alice = db.enroll("alice")
+        db.enroll("alice")  # rotation
+        mallory = db.enroll("mallory")
+        db.session(alice).insert("x", 1)
+
+        import dataclasses
+
+        shipment = db.ship("x")
+        record = shipment.records[0]
+        forged = dataclasses.replace(record, participant_id="mallory")
+        records = (forged,)
+        broken = dataclasses.replace(shipment, records=records)
+        assert mallory.participant_id == "mallory"
+        report = broken.verify_with_ca(ca.public_key, ca.name)
+        assert not report.ok

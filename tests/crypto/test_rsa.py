@@ -1,0 +1,70 @@
+"""Unit tests for RSA key generation and the raw permutation."""
+
+import random
+
+import pytest
+
+from repro.crypto.rsa import RSAPrivateKey, generate_keypair
+from repro.exceptions import CryptoError, KeyGenerationError
+
+
+class TestKeyGeneration:
+    def test_modulus_bit_length(self, keypair):
+        assert keypair.public.n.bit_length() == 512
+
+    def test_paper_key_size_signature_bytes(self):
+        # The paper's provenance table stores Checksum binary(128): 1024-bit RSA.
+        kp = generate_keypair(1024, rng=random.Random(42))
+        assert kp.public.byte_size == 128
+
+    def test_public_matches_private(self, keypair):
+        assert keypair.private.public_key() == keypair.public
+
+    def test_invalid_bits(self):
+        with pytest.raises(KeyGenerationError):
+            generate_keypair(63)
+        with pytest.raises(KeyGenerationError):
+            generate_keypair(65)
+
+    def test_invalid_exponent(self):
+        with pytest.raises(KeyGenerationError):
+            generate_keypair(128, e=4)
+        with pytest.raises(KeyGenerationError):
+            generate_keypair(128, e=1)
+
+    def test_reproducible_with_seed(self):
+        a = generate_keypair(128, rng=random.Random(11))
+        b = generate_keypair(128, rng=random.Random(11))
+        assert a.private == b.private
+
+    def test_inconsistent_private_key_rejected(self):
+        with pytest.raises(KeyGenerationError):
+            RSAPrivateKey(n=15, e=3, d=3, p=3, q=7)  # 3*7 != 15
+
+
+class TestRawPermutation:
+    def test_roundtrip(self, keypair):
+        for m in (0, 1, 2, 12345, keypair.public.n - 1):
+            c = keypair.public.encrypt_int(m)
+            assert keypair.private.decrypt_int(c) == m
+
+    def test_signature_direction_roundtrip(self, keypair):
+        # sign = private op, verify = public op
+        m = 0xDEADBEEF
+        s = keypair.private.decrypt_int(m)
+        assert keypair.public.encrypt_int(s) == m
+
+    def test_out_of_range_rejected(self, keypair):
+        with pytest.raises(CryptoError):
+            keypair.public.encrypt_int(keypair.public.n)
+        with pytest.raises(CryptoError):
+            keypair.private.decrypt_int(-1)
+
+    def test_crt_matches_plain_exponentiation(self, keypair):
+        priv = keypair.private
+        c = 987654321
+        assert priv.decrypt_int(c) == pow(c, priv.d, priv.n)
+
+    def test_fingerprint_stable_and_distinct(self, keypair, other_keypair):
+        assert keypair.public.fingerprint() == keypair.public.fingerprint()
+        assert keypair.public.fingerprint() != other_keypair.public.fingerprint()

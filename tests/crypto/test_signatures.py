@@ -1,0 +1,104 @@
+"""Unit tests for the signature schemes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.signatures import (
+    HMACSignatureScheme,
+    NullSignatureScheme,
+    RSASignatureScheme,
+    RSASignatureVerifier,
+    SignatureScheme,
+)
+from repro.exceptions import CryptoError
+
+
+@pytest.fixture(scope="module")
+def rsa_scheme(keypair):
+    return RSASignatureScheme(keypair.private)
+
+
+class TestRSASignatureScheme:
+    def test_sign_verify_roundtrip(self, rsa_scheme):
+        sig = rsa_scheme.sign(b"provenance record")
+        assert rsa_scheme.verify(b"provenance record", sig)
+
+    def test_tampered_message_fails(self, rsa_scheme):
+        sig = rsa_scheme.sign(b"original")
+        assert not rsa_scheme.verify(b"tampered", sig)
+
+    def test_tampered_signature_fails(self, rsa_scheme):
+        sig = bytearray(rsa_scheme.sign(b"m"))
+        sig[0] ^= 0x01
+        assert not rsa_scheme.verify(b"m", bytes(sig))
+
+    def test_signature_size_is_modulus_size(self, rsa_scheme, keypair):
+        assert rsa_scheme.signature_size == keypair.public.byte_size
+        assert len(rsa_scheme.sign(b"m")) == rsa_scheme.signature_size
+
+    def test_wrong_key_fails(self, rsa_scheme, other_keypair):
+        sig = rsa_scheme.sign(b"m")
+        other = RSASignatureVerifier(other_keypair.public)
+        assert not other.verify(b"m", sig)
+
+    def test_public_verifier_only_needs_public_key(self, rsa_scheme, keypair):
+        sig = rsa_scheme.sign(b"m")
+        verifier = RSASignatureVerifier(keypair.public)
+        assert verifier.verify(b"m", sig)
+
+    def test_wrong_length_signature_rejected(self, rsa_scheme):
+        assert not rsa_scheme.verify(b"m", b"short")
+        assert not rsa_scheme.verify(b"m", b"\x00" * (rsa_scheme.signature_size + 1))
+
+    def test_oversized_int_signature_rejected(self, rsa_scheme, keypair):
+        bad = (keypair.public.n + 1).to_bytes(keypair.public.byte_size + 1, "big")
+        assert not rsa_scheme.verify(b"m", bad[-keypair.public.byte_size :] or bad)
+
+    def test_satisfies_protocol(self, rsa_scheme):
+        assert isinstance(rsa_scheme, SignatureScheme)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.binary(max_size=256))
+    def test_roundtrip_arbitrary_messages(self, rsa_scheme, message):
+        assert rsa_scheme.verify(message, rsa_scheme.sign(message))
+
+
+class TestHMACSignatureScheme:
+    def test_roundtrip(self):
+        scheme = HMACSignatureScheme(b"secret")
+        sig = scheme.sign(b"m")
+        assert scheme.verify(b"m", sig)
+        assert not scheme.verify(b"other", sig)
+
+    def test_signature_size(self):
+        assert HMACSignatureScheme(b"k", "sha1").signature_size == 20
+        assert HMACSignatureScheme(b"k", "sha256").signature_size == 32
+
+    def test_different_keys_disagree(self):
+        a = HMACSignatureScheme(b"a").sign(b"m")
+        b = HMACSignatureScheme(b"b").sign(b"m")
+        assert a != b
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(CryptoError):
+            HMACSignatureScheme(b"")
+
+    def test_satisfies_protocol(self):
+        assert isinstance(HMACSignatureScheme(b"k"), SignatureScheme)
+
+
+class TestNullSignatureScheme:
+    def test_roundtrip(self):
+        scheme = NullSignatureScheme()
+        sig = scheme.sign(b"m")
+        assert scheme.verify(b"m", sig)
+        assert not scheme.verify(b"x", sig)
+
+    def test_is_plain_digest(self):
+        import hashlib
+
+        assert NullSignatureScheme("sha256").sign(b"m") == hashlib.sha256(b"m").digest()
+
+    def test_satisfies_protocol(self):
+        assert isinstance(NullSignatureScheme(), SignatureScheme)

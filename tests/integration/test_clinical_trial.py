@@ -1,0 +1,178 @@
+"""Integration test: the paper's Example 1 (TrustUsRx clinical trial).
+
+PCP Paul collects ages and weights; the Perfect Saints Clinic produces
+endocrine measurements, one of which PCP Pamela amends; GoodStewards Labs
+determines white-cell counts; TrustUsRx aggregates everything and ships
+the result to the FDA, which verifies the provenance.
+"""
+
+import pytest
+
+from repro.core.shipment import Shipment
+from repro.core.system import TamperEvidentDatabase
+from repro.model.relational import RelationalView
+from repro.provenance.records import Operation
+
+
+@pytest.fixture(scope="module")
+def trial(ca):
+    db = TamperEvidentDatabase(ca=ca, key_bits=512)
+    paul = db.enroll("pcp-paul")
+    clinic = db.enroll("perfect-saints-clinic")
+    pamela = db.enroll("pcp-pamela")
+    labs = db.enroll("goodstewards-labs")
+    trustusrx = db.enroll("trustusrx")
+
+    # Paul records the demographics table.
+    paul_view = RelationalView(db.session(paul), root_id="paul-db")
+    paul_view.create_table("patients", ["age", "weight"])
+    for age, weight in ((52, 81), (47, 70), (61, 95)):
+        paul_view.insert_row("patients", {"age": age, "weight": weight})
+
+    # The clinic measures endocrine activity per patient.
+    clinic_view = RelationalView(db.session(clinic), root_id="clinic-db")
+    clinic_view.create_table("endocrine", ["patient", "level"])
+    for patient, level in ((4553, 1.2), (4554, 0.9), (4555, 3.1)):
+        clinic_view.insert_row("endocrine", {"patient": patient, "level": level})
+
+    # Pamela amends patient #4555's endocrine value.
+    pamela_view = RelationalView(db.session(pamela), root_id="clinic-db")
+    pamela_view.update_cell("endocrine", 2, "level", 1.4)
+
+    # The labs report white counts.
+    labs_view = RelationalView(db.session(labs), root_id="labs-db")
+    labs_view.create_table("white_counts", ["patient", "count"])
+    for patient, count in ((4553, 6100), (4554, 7200), (4555, 5800)):
+        labs_view.insert_row("white_counts", {"patient": patient, "count": count})
+
+    # TrustUsRx aggregates all three databases into the submission.
+    db.session(trustusrx).aggregate(
+        ["paul-db", "clinic-db", "labs-db"], "fda-submission"
+    )
+    return db, {
+        "paul": paul,
+        "clinic": clinic,
+        "pamela": pamela,
+        "labs": labs,
+        "trustusrx": trustusrx,
+    }
+
+
+class TestSubmission:
+    def test_fda_verifies_clean_submission(self, trial):
+        db, _ = trial
+        shipment = db.ship("fda-submission")
+        report = shipment.verify_with_ca(db.ca.public_key, db.ca.name)
+        assert report.ok, report.summary()
+
+    def test_all_participants_in_provenance(self, trial):
+        db, _ = trial
+        dag = db.dag()
+        contributors = dag.contributing_participants("fda-submission")
+        assert contributors == (
+            "goodstewards-labs",
+            "pcp-pamela",
+            "pcp-paul",
+            "perfect-saints-clinic",
+            "trustusrx",
+        )
+
+    def test_pamelas_amendment_visible_in_closure(self, trial):
+        # The submission's closure carries Pamela's inherited record on
+        # the clinic database root (she changed its compound state).
+        db, _ = trial
+        closure = db.provenance_object("fda-submission")
+        pamela_records = [r for r in closure if r.participant_id == "pcp-pamela"]
+        assert pamela_records
+        assert all(r.object_id == "clinic-db" for r in pamela_records)
+
+    def test_pamelas_amendment_visible_at_cell_granularity(self, trial):
+        # Fine-grained provenance: the amended cell has its own chain.
+        db, _ = trial
+        cell_id = "clinic-db/endocrine/r2/level"
+        chain = db.provenance_of(cell_id)
+        amendment = [r for r in chain if r.participant_id == "pcp-pamela"]
+        assert len(amendment) == 1
+        assert amendment[0].inputs[0].value == 3.1
+        assert amendment[0].output.value == 1.4
+
+    def test_sources_traced_to_three_databases(self, trial):
+        db, _ = trial
+        dag = db.dag()
+        sources = dag.source_objects("fda-submission")
+        roots = {s.split("/")[0] for s in sources}
+        assert roots == {"paul-db", "clinic-db", "labs-db"}
+
+    def test_submission_is_non_linear(self, trial):
+        db, _ = trial
+        assert not db.dag().is_linear("fda-submission")
+
+    def test_aggregated_values_preserved(self, trial):
+        db, _ = trial
+        snapshot = db.ship("fda-submission").snapshot
+        assert snapshot.value_of("fda-submission/clinic-db/endocrine/r2/level") == 1.4
+
+
+class TestFDADetectsFraud:
+    CELL = "clinic-db/endocrine/r2/level"
+
+    def test_company_rewrites_amended_value(self, trial):
+        """TrustUsRx ships the amended cell but rewrites the displayed
+        value back to the original; the inline-value check catches it."""
+        import dataclasses
+
+        db, _ = trial
+        shipment = db.ship(self.CELL)
+        records = list(shipment.records)
+        for i, record in enumerate(records):
+            if record.participant_id == "pcp-pamela":
+                forged_output = dataclasses.replace(record.output, value=3.1)
+                records[i] = dataclasses.replace(record, output=forged_output)
+        forged = dataclasses.replace(shipment, records=tuple(records))
+        report = forged.verify_with_ca(db.ca.public_key, db.ca.name)
+        assert not report.ok
+        assert "R1" in report.requirement_codes()
+
+    def test_company_rewrites_amended_digest(self, trial):
+        import dataclasses
+
+        from repro.crypto.hashing import hash_bytes
+        from repro.model.values import encode_node
+
+        db, _ = trial
+        shipment = db.ship(self.CELL)
+        records = list(shipment.records)
+        changed = False
+        for i, record in enumerate(records):
+            if record.participant_id == "pcp-pamela":
+                fake = hash_bytes(encode_node(self.CELL, 3.1))
+                forged_output = dataclasses.replace(
+                    record.output, digest=fake, value=3.1
+                )
+                records[i] = dataclasses.replace(record, output=forged_output)
+                changed = True
+        assert changed
+        forged = dataclasses.replace(shipment, records=tuple(records))
+        report = forged.verify_with_ca(db.ca.public_key, db.ca.name)
+        assert not report.ok
+        assert "R1" in report.requirement_codes()
+
+    def test_company_drops_pamela_entirely(self, trial):
+        import dataclasses
+
+        db, _ = trial
+        shipment = db.ship("fda-submission")
+        records = tuple(
+            r for r in shipment.records if r.participant_id != "pcp-pamela"
+        )
+        forged = dataclasses.replace(shipment, records=records)
+        report = forged.verify_with_ca(db.ca.public_key, db.ca.name)
+        assert not report.ok
+
+    def test_audit_trail_readable(self, trial):
+        from repro.audit.inspector import audit_trail
+
+        db, _ = trial
+        text = audit_trail(db.dag(), "fda-submission", db.verify("fda-submission"))
+        assert "VERIFIED" in text
+        assert "pcp-pamela" in text

@@ -1,0 +1,138 @@
+"""End-to-end integration: full stack over SQLite, Fig 3 reproduction,
+cross-hashing-strategy equivalence, and the shipment round trip between
+two independent processes (simulated)."""
+
+import json
+import random
+
+import pytest
+
+from repro.backend.sqlite import SQLiteStore
+from repro.core.shipment import Shipment
+from repro.core.system import TamperEvidentDatabase
+from repro.crypto.pki import KeyStore
+from repro.provenance.store import SQLiteProvenanceStore
+
+
+class TestFullSQLiteStack:
+    """Both the back-end and provenance databases on SQLite (§5.1 setup)."""
+
+    def test_persisted_world_survives_reopen(self, ca, participants, tmp_path):
+        backend_path = str(tmp_path / "backend.db")
+        prov_path = str(tmp_path / "prov.db")
+
+        with SQLiteStore(backend_path) as store, SQLiteProvenanceStore(prov_path) as prov:
+            db = TamperEvidentDatabase(store=store, provenance_store=prov, ca=ca)
+            s = db.session(participants["p1"])
+            s.insert("db", None)
+            s.insert("db/t", None, "db")
+            with s.complex_operation():
+                s.insert("db/t/r", None, "db/t")
+                s.insert("db/t/r/c", 7, "db/t/r")
+            s.update("db/t/r/c", 8)
+            assert db.verify("db").ok
+
+        # Re-open: data and provenance must still verify together.
+        with SQLiteStore(backend_path) as store, SQLiteProvenanceStore(prov_path) as prov:
+            db = TamperEvidentDatabase(store=store, provenance_store=prov, ca=ca)
+            assert db.store.value("db/t/r/c") == 8
+            report = db.verify("db")
+            assert report.ok, report.summary()
+
+    def test_mixed_stores(self, ca, participants):
+        # In-memory backend + SQLite provenance is a supported combination.
+        with SQLiteProvenanceStore() as prov:
+            db = TamperEvidentDatabase(provenance_store=prov, ca=ca)
+            s = db.session(participants["p2"])
+            s.insert("x", 1)
+            s.update("x", 2)
+            assert db.verify("x").ok
+
+
+class TestFig3Reproduction:
+    """The worked example of Fig 3, end to end, with checksum structure."""
+
+    def test_record_table_matches_figure(self, fig2_world):
+        store = fig2_world.provenance_store
+        rows = [
+            ("A", 0, "p2", "insert", 0),
+            ("B", 0, "p2", "insert", 0),
+            ("A", 1, "p1", "update", 1),
+            ("B", 1, "p2", "update", 1),
+            ("A", 2, "p2", "update", 1),
+            ("C", 2, "p3", "aggregate", 2),
+            ("D", 3, "p1", "aggregate", 2),
+        ]
+        for object_id, seq, participant, op, n_inputs in rows:
+            record = store.get(object_id, seq)
+            assert record is not None, (object_id, seq)
+            assert record.participant_id == participant
+            assert record.operation.value == op
+            assert len(record.inputs) == n_inputs
+
+    def test_checksum_sizes_match_key(self, fig2_world):
+        for record in fig2_world.provenance_store.all_records():
+            assert len(record.checksum) == 512 // 8  # test keys are 512-bit
+
+    def test_every_object_ships_and_verifies(self, fig2_world):
+        for object_id in ("A", "B", "C", "D"):
+            shipment = fig2_world.ship(object_id)
+            assert shipment.verify_with_ca(
+                fig2_world.ca.public_key, fig2_world.ca.name
+            ).ok
+
+
+class TestRecipientBoundary:
+    """The recipient rebuilds everything from JSON + the CA key alone."""
+
+    def test_offline_verification(self, fig2_world):
+        blob = fig2_world.ship("D").to_json()
+        ca_key = fig2_world.ca.public_key
+        ca_name = fig2_world.ca.name
+        # --- recipient side: no access to the database object ---
+        shipment = Shipment.from_json(blob)
+        report = shipment.verify_with_ca(ca_key, ca_name)
+        assert report.ok
+        assert shipment.snapshot.value_of("D") is None  # aggregate root
+        assert len(shipment.certificates) == 3
+
+    def test_recipient_keystore_is_minimal(self, fig2_world):
+        shipment = fig2_world.ship("B")
+        keystore = KeyStore(fig2_world.ca.public_key, fig2_world.ca.name)
+        keystore.add_certificates(shipment.certificates)
+        # only p2 contributed to B
+        assert keystore.participants() == ("p2",)
+        assert shipment.verify(keystore).ok
+
+    def test_blob_is_self_contained_json(self, fig2_world):
+        data = json.loads(fig2_world.ship("A").to_json())
+        assert set(data) == {"format", "target_id", "snapshot", "records", "certificates"}
+
+
+class TestScaleSmoke:
+    """A moderately sized randomized world stays verifiable throughout."""
+
+    def test_random_workload_always_verifies(self, ca, participants):
+        rng = random.Random(42)
+        db = TamperEvidentDatabase(ca=ca)
+        sessions = [db.session(p) for p in participants.values()]
+        roots = []
+        for i in range(8):
+            s = rng.choice(sessions)
+            s.insert(f"root{i}", i)
+            roots.append(f"root{i}")
+        for _ in range(60):
+            s = rng.choice(sessions)
+            action = rng.random()
+            if action < 0.6:
+                s.update(rng.choice(roots), rng.randrange(10**6))
+            elif action < 0.8 and len(roots) >= 2:
+                out = f"agg{len(roots)}"
+                s.aggregate(rng.sample(roots, 2), out)
+                roots.append(out)
+            else:
+                target = rng.choice(roots)
+                s.insert(f"{target}/leaf{rng.randrange(10**6)}", 1, target)
+        for root in roots:
+            report = db.verify(root)
+            assert report.ok, f"{root}: {report.summary()}"

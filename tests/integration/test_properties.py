@@ -1,0 +1,205 @@
+"""System-level property tests.
+
+Two umbrella properties the whole design hangs on:
+
+1. **Soundness** — any history produced through the legitimate API
+   verifies (stateful machine driving random primitives).
+2. **Tamper-evidence** — any single mutation of a shipped record's
+   load-bearing field makes verification fail (fuzzed field flips).
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.core.shipment import Shipment
+from repro.core.system import TamperEvidentDatabase
+from repro.crypto.pki import CertificateAuthority, Participant
+
+# One module-level PKI: key generation is the expensive part.
+_CA = CertificateAuthority(key_bits=512)
+_P1 = Participant.enroll("m1", _CA, key_bits=512)
+_P2 = Participant.enroll("m2", _CA, key_bits=512)
+
+
+class ProvenanceMachine(RuleBasedStateMachine):
+    """Random legitimate histories must always verify."""
+
+    def __init__(self):
+        super().__init__()
+        self.db = TamperEvidentDatabase(ca=_CA)
+        self.sessions = [self.db.session(_P1), self.db.session(_P2)]
+        self.serial = 0
+        self.alive = []
+
+    def _new_id(self, prefix="n"):
+        self.serial += 1
+        return f"{prefix}{self.serial}"
+
+    @initialize()
+    def seed_objects(self):
+        self.sessions[0].insert("seed0", 0)
+        self.sessions[1].insert("seed1", 1)
+        self.alive = ["seed0", "seed1"]
+
+    @rule(who=st.integers(0, 1), value=st.integers(0, 10**6))
+    def insert_root(self, who, value):
+        object_id = self._new_id("root")
+        self.sessions[who].insert(object_id, value)
+        self.alive.append(object_id)
+
+    @rule(who=st.integers(0, 1), pick=st.integers(0, 10**6), value=st.integers())
+    def insert_child(self, who, pick, value):
+        parent = self.alive[pick % len(self.alive)]
+        object_id = f"{parent}/{self._new_id('c')}"
+        self.sessions[who].insert(object_id, value, parent)
+        self.alive.append(object_id)
+
+    @rule(who=st.integers(0, 1), pick=st.integers(0, 10**6), value=st.integers())
+    def update(self, who, pick, value):
+        self.sessions[who].update(self.alive[pick % len(self.alive)], value)
+
+    @rule(who=st.integers(0, 1), pick=st.integers(0, 10**6))
+    def delete_leaf(self, who, pick):
+        store = self.db.store
+        leaves = [
+            x for x in self.alive if store.is_leaf(x) and store.parent(x) is not None
+        ]
+        if not leaves:
+            return
+        victim = leaves[pick % len(leaves)]
+        self.sessions[who].delete(victim)
+        self.alive.remove(victim)
+
+    @rule(who=st.integers(0, 1), a=st.integers(0, 10**6), b=st.integers(0, 10**6))
+    def aggregate(self, who, a, b):
+        roots = sorted({self.db.store.root_of(x) for x in self.alive})
+        first = roots[a % len(roots)]
+        second = roots[b % len(roots)]
+        inputs = [first] if first == second else [first, second]
+        output = self._new_id("agg")
+        self.sessions[who].aggregate(inputs, output)
+        self.alive.append(output)
+
+    @rule(who=st.integers(0, 1), pick=st.integers(0, 10**6),
+          values=st.lists(st.integers(), min_size=1, max_size=3))
+    def complex_batch(self, who, pick, values):
+        parent = self.alive[pick % len(self.alive)]
+        session = self.sessions[who]
+        with session.complex_operation():
+            for value in values:
+                object_id = f"{parent}/{self._new_id('b')}"
+                session.insert(object_id, value, parent)
+                self.alive.append(object_id)
+
+    @invariant()
+    def every_root_verifies(self):
+        for root in self.db.store.roots():
+            report = self.db.verify(root)
+            assert report.ok, f"{root}: {report.summary()}"
+
+
+ProvenanceMachine.TestCase.settings = settings(
+    max_examples=12,
+    stateful_step_count=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+TestProvenanceMachine = ProvenanceMachine.TestCase
+
+
+@pytest.fixture(scope="module")
+def shipped():
+    db = TamperEvidentDatabase(ca=_CA)
+    s1, s2 = db.session(_P1), db.session(_P2)
+    s1.insert("x", 10)
+    s2.update("x", 20, note="second opinion")
+    s1.insert("y", 5)
+    s2.aggregate(["x", "y"], "z")
+    s1.update("x", 30)
+    return db, db.ship("z")
+
+
+def _mutate_record(record, field_index, payload):
+    """Apply one of a closed set of single-field mutations."""
+    mutations = [
+        lambda r: dataclasses.replace(r, participant_id="m1" if r.participant_id != "m1" else "m2"),
+        lambda r: dataclasses.replace(r, seq_id=r.seq_id + 1),
+        lambda r: dataclasses.replace(
+            r, checksum=bytes([r.checksum[0] ^ (payload or 1)]) + r.checksum[1:]
+        ),
+        lambda r: dataclasses.replace(
+            r,
+            output=dataclasses.replace(
+                r.output, digest=bytes([r.output.digest[0] ^ (payload or 1)]) + r.output.digest[1:]
+            ),
+        ),
+        lambda r: dataclasses.replace(r, note=r.note + "X"),
+        lambda r: dataclasses.replace(r, operation=_flip_operation(r.operation)),
+    ]
+    return mutations[field_index % len(mutations)](record)
+
+
+def _flip_operation(operation):
+    from repro.provenance.records import Operation
+
+    order = [Operation.INSERT, Operation.UPDATE, Operation.COMPLEX, Operation.AGGREGATE]
+    return order[(order.index(operation) + 1) % len(order)]
+
+
+class TestSingleMutationDetection:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        record_index=st.integers(min_value=0, max_value=100),
+        field_index=st.integers(min_value=0, max_value=5),
+        payload=st.integers(min_value=0, max_value=255),
+    )
+    def test_any_record_field_flip_is_detected(
+        self, shipped, record_index, field_index, payload
+    ):
+        db, shipment = shipped
+        records = list(shipment.records)
+        index = record_index % len(records)
+        mutated = _mutate_record(records[index], field_index, payload)
+        if mutated == records[index]:
+            return  # identity mutation (e.g. XOR with 0)
+        records[index] = mutated
+        forged = dataclasses.replace(shipment, records=tuple(records))
+        report = forged.verify(db.keystore())
+        assert not report.ok, (
+            f"undetected mutation of record {records[index].key}, "
+            f"field {field_index}"
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        node_index=st.integers(min_value=0, max_value=100),
+        new_value=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_any_snapshot_value_change_is_detected(
+        self, shipped, node_index, new_value
+    ):
+        db, shipment = shipped
+        forest = shipment.snapshot.to_forest()
+        ids = sorted(forest.iter_subtree(shipment.snapshot.root_id))
+        victim = ids[node_index % len(ids)]
+        if forest.value(victim) == new_value:
+            return
+        forest.update(victim, new_value)
+        from repro.provenance.snapshot import SubtreeSnapshot
+
+        forged = dataclasses.replace(
+            shipment,
+            snapshot=SubtreeSnapshot.capture(forest, shipment.snapshot.root_id),
+        )
+        report = forged.verify(db.keystore())
+        assert not report.ok
+
+    def test_json_reencoding_alone_is_not_detected(self, shipped):
+        """Sanity: serialisation round trips are not false positives."""
+        db, shipment = shipped
+        restored = Shipment.from_json(shipment.to_json())
+        assert restored.verify(db.keystore()).ok

@@ -1,0 +1,111 @@
+"""Wire-format robustness: hostile bytes never crash the recipient.
+
+A data recipient parses shipments from an untrusted channel.  Whatever
+arrives — truncations, bit flips, structural mutations, garbage — the
+recipient must see either a clean :class:`ShipmentError` or a parsed
+shipment whose *verification* then gives the verdict.  Unhandled
+exceptions (KeyError, TypeError, binascii errors, ...) are treated as
+bugs.
+"""
+
+import json
+import random
+
+import pytest
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.core.shipment import Shipment
+from repro.core.system import TamperEvidentDatabase
+from repro.crypto.pki import CertificateAuthority, Participant
+from repro.exceptions import ReproError
+
+_CA = CertificateAuthority(key_bits=512, rng=random.Random(21))
+_P = Participant.enroll("w1", _CA, key_bits=512, rng=random.Random(22))
+
+
+@pytest.fixture(scope="module")
+def blob():
+    db = TamperEvidentDatabase(ca=_CA)
+    s = db.session(_P)
+    s.insert("t", None)
+    s.insert("t/c", 42, "t", note="loaded")
+    s.update("t/c", 43)
+    return db.ship("t").to_json()
+
+
+def parse_and_verify(text: str):
+    """The recipient's whole pipeline; returns the outcome kind."""
+    try:
+        shipment = Shipment.from_json(text)
+    except ReproError:
+        return "rejected"
+    report = shipment.verify_with_ca(_CA.public_key, _CA.name)
+    return "verified" if report.ok else "tampering-detected"
+
+
+class TestTextLevelFuzz:
+    @settings(max_examples=80, deadline=None)
+    @given(cut=st.integers(min_value=0, max_value=4000))
+    def test_truncations_never_crash(self, blob, cut):
+        outcome = parse_and_verify(blob[: cut % (len(blob) + 1)])
+        assert outcome in ("rejected", "tampering-detected", "verified")
+        if cut % (len(blob) + 1) < len(blob):
+            assert outcome != "verified"
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        position=st.integers(min_value=0, max_value=10**6),
+        replacement=st.characters(min_codepoint=32, max_codepoint=126),
+    )
+    def test_single_character_mutations_never_crash(self, blob, position, replacement):
+        index = position % len(blob)
+        mutated = blob[:index] + replacement + blob[index + 1 :]
+        outcome = parse_and_verify(mutated)
+        assert outcome in ("rejected", "tampering-detected", "verified")
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(max_size=200))
+    @example("")
+    @example("{}")
+    @example("[]")
+    @example('{"format": "repro-shipment-v1"}')
+    def test_arbitrary_text_rejected_cleanly(self, text):
+        assert parse_and_verify(text) == "rejected"
+
+
+class TestStructureLevelFuzz:
+    def _mutate(self, blob, path, value):
+        data = json.loads(blob)
+        target = data
+        for key in path[:-1]:
+            target = target[key]
+        target[path[-1]] = value
+        return json.dumps(data)
+
+    @pytest.mark.parametrize("path,value", [
+        (("target_id",), 123),
+        (("records",), "not-a-list"),
+        (("records", 0), {"object_id": "t"}),
+        (("records", 0, "seq_id"), "NaN-ish"),
+        (("records", 0, "checksum"), "zz-not-hex"),
+        (("records", 0, "operation"), "explode"),
+        (("records", 0, "inputs"), [{"bad": True}]),
+        (("snapshot",), {}),
+        (("snapshot", "nodes"), [{"id": "x"}]),
+        (("snapshot", "nodes", 0, "value"), "not-hex"),
+        (("certificates", 0, "signature"), "not-hex"),
+        (("certificates", 0), {}),
+    ])
+    def test_structural_mutations_never_crash(self, blob, path, value):
+        outcome = parse_and_verify(self._mutate(blob, path, value))
+        assert outcome in ("rejected", "tampering-detected")
+
+    def test_clean_blob_verifies(self, blob):
+        assert parse_and_verify(blob) == "verified"
+
+    def test_swapped_record_order_still_verifies(self, blob):
+        # Record order in the wire format is not semantic.
+        data = json.loads(blob)
+        data["records"] = list(reversed(data["records"]))
+        assert parse_and_verify(json.dumps(data)) == "verified"

@@ -1,0 +1,47 @@
+"""Unit tests for the global total order."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.ordering import ordering_key, sort_ids
+
+ids = st.text(min_size=1, max_size=20)
+
+
+class TestOrderingKey:
+    def test_numeric_runs_compare_numerically(self):
+        assert sort_ids(["r10", "r2", "r1"]) == ["r1", "r2", "r10"]
+
+    def test_mixed_structure(self):
+        assert sort_ids(["db/t1/r10", "db/t1/r9", "db/t1/r100"]) == [
+            "db/t1/r9",
+            "db/t1/r10",
+            "db/t1/r100",
+        ]
+
+    def test_leading_zeros_still_total(self):
+        # "a01" and "a1" numerically tie; the raw-id tiebreaker decides.
+        assert ordering_key("a01") != ordering_key("a1")
+        assert len(set(sort_ids(["a01", "a1"]))) == 2
+
+    def test_pure_text(self):
+        assert sort_ids(["beta", "alpha", "gamma"]) == ["alpha", "beta", "gamma"]
+
+    @given(st.lists(ids, min_size=1, max_size=30))
+    def test_sort_is_deterministic_permutation(self, values):
+        import random
+
+        shuffled = list(values)
+        random.Random(7).shuffle(shuffled)
+        assert sort_ids(shuffled) == sort_ids(values)
+        assert sorted(sort_ids(values)) == sorted(values)
+
+    @given(ids, ids)
+    def test_total_order(self, a, b):
+        ka, kb = ordering_key(a), ordering_key(b)
+        if a == b:
+            assert ka == kb
+        else:
+            assert ka != kb
+        # comparability (no TypeError): keys are tuples of uniform shape
+        assert (ka < kb) or (ka > kb) or (ka == kb)

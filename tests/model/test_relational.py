@@ -1,0 +1,150 @@
+"""Direct unit tests for the relational façade (engine-backed)."""
+
+import pytest
+
+from repro.backend.engine import DatabaseEngine
+from repro.backend.memory import InMemoryStore
+from repro.exceptions import (
+    DuplicateObjectError,
+    UnknownObjectError,
+    WorkloadError,
+)
+from repro.model.relational import PrimitiveExecutor, RelationalView
+
+
+@pytest.fixture
+def view():
+    return RelationalView(DatabaseEngine(InMemoryStore()))
+
+
+class TestIds:
+    def test_id_scheme(self, view):
+        assert view.table_id("t") == "db/t"
+        assert view.row_id("t", 7) == "db/t/r7"
+        assert view.cell_id("t", 7, "age") == "db/t/r7/age"
+
+    def test_custom_root(self):
+        v = RelationalView(DatabaseEngine(InMemoryStore()), root_id="warehouse")
+        assert v.table_id("t") == "warehouse/t"
+        assert "warehouse" in v.store
+
+    def test_executor_satisfies_protocol(self, view):
+        assert isinstance(view.executor, PrimitiveExecutor)
+
+
+class TestDDL:
+    def test_create_table_stores_columns(self, view):
+        view.create_table("t", ["a", "b"])
+        assert view.columns("t") == ("a", "b")
+        assert view.tables() == ("t",)
+
+    def test_duplicate_table_rejected(self, view):
+        view.create_table("t", ["a"])
+        with pytest.raises(DuplicateObjectError):
+            view.create_table("t", ["a"])
+
+    def test_empty_columns_rejected(self, view):
+        with pytest.raises(WorkloadError):
+            view.create_table("t", [])
+
+    def test_duplicate_columns_rejected(self, view):
+        with pytest.raises(WorkloadError):
+            view.create_table("t", ["a", "a"])
+
+    def test_columns_of_missing_table(self, view):
+        with pytest.raises(UnknownObjectError):
+            view.columns("ghost")
+
+    def test_multiple_tables_sorted(self, view):
+        view.create_table("zeta", ["a"])
+        view.create_table("alpha", ["a"])
+        assert view.tables() == ("alpha", "zeta")
+
+
+class TestDML:
+    @pytest.fixture
+    def t(self, view):
+        view.create_table("t", ["a", "b"])
+        return view
+
+    def test_partial_insert_defaults_none(self, t):
+        key = t.insert_row("t", {"a": 1})
+        assert t.get_row("t", key) == {"a": 1, "b": None}
+
+    def test_get_cell_and_update(self, t):
+        key = t.insert_row("t", {"a": 1, "b": 2})
+        t.update_cell("t", key, "b", 20)
+        assert t.get_cell("t", key, "b") == 20
+
+    def test_row_keys_sorted_numerically(self, t):
+        for i in range(12):
+            t.insert_row("t", {"a": i})
+        assert t.row_keys("t") == list(range(12))
+
+    def test_delete_row_removes_cells(self, t):
+        key = t.insert_row("t", {"a": 1, "b": 2})
+        t.delete_row("t", key)
+        assert t.cell_id("t", key, "a") not in t.store
+        with pytest.raises(UnknownObjectError):
+            t.get_row("t", key)
+
+    def test_delete_missing_row(self, t):
+        with pytest.raises(UnknownObjectError):
+            t.delete_row("t", 99)
+
+    def test_get_missing_row(self, t):
+        with pytest.raises(UnknownObjectError):
+            t.get_row("t", 99)
+
+    def test_repr(self, t):
+        assert "t" in repr(t)
+
+
+class TestEvents:
+    def test_event_kind_property(self):
+        from repro.backend.events import (
+            AggregateEvent,
+            ComplexOperationEvent,
+            DeleteEvent,
+            InsertEvent,
+            UpdateEvent,
+        )
+
+        assert InsertEvent("x").kind == "insert"
+        assert UpdateEvent("x").kind == "update"
+        assert DeleteEvent("x").kind == "delete"
+        assert AggregateEvent("x").kind == "aggregate"
+        assert ComplexOperationEvent(events=()).kind == "complex"
+
+    def test_events_frozen(self):
+        from repro.backend.events import InsertEvent
+
+        event = InsertEvent("x", value=1)
+        with pytest.raises(Exception):
+            event.value = 2
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        import inspect
+
+        from repro import exceptions
+
+        for name, obj in vars(exceptions).items():
+            if inspect.isclass(obj) and issubclass(obj, Exception):
+                assert issubclass(obj, exceptions.ReproError), name
+
+    def test_unknown_object_is_keyerror_with_clean_message(self):
+        from repro.exceptions import UnknownObjectError
+
+        error = UnknownObjectError("object 'x' does not exist")
+        assert isinstance(error, KeyError)
+        assert str(error) == "object 'x' does not exist"  # no KeyError quoting
+
+    def test_domain_errors_catchable_at_base(self):
+        from repro.exceptions import ReproError
+        from repro.sql.parser import SQLSyntaxError, parse
+
+        with pytest.raises(ReproError):
+            parse("DROP TABLE t")
+        assert issubclass(SQLSyntaxError, ReproError)

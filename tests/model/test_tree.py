@@ -1,0 +1,170 @@
+"""Unit tests for the in-memory forest."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import (
+    DuplicateObjectError,
+    NotALeafError,
+    UnknownObjectError,
+)
+from repro.model.tree import Forest
+
+
+@pytest.fixture
+def small_forest():
+    """The compound object of the paper's Fig 4: A -> {B -> {D}, C}."""
+    f = Forest()
+    f.insert("A", "a")
+    f.insert("B", "b", parent="A")
+    f.insert("C", "c", parent="A")
+    f.insert("D", "d", parent="B")
+    return f
+
+
+class TestPrimitives:
+    def test_insert_and_get(self, small_forest):
+        node = small_forest.get("B")
+        assert node.value == "b"
+        assert node.parent == "A"
+        assert node.children == ("D",)
+
+    def test_duplicate_insert_rejected(self, small_forest):
+        with pytest.raises(DuplicateObjectError):
+            small_forest.insert("A", "again")
+
+    def test_insert_missing_parent_rejected(self):
+        f = Forest()
+        with pytest.raises(UnknownObjectError):
+            f.insert("X", 1, parent="nope")
+
+    def test_update_returns_old_value(self, small_forest):
+        assert small_forest.update("D", "d2") == "d"
+        assert small_forest.value("D") == "d2"
+
+    def test_update_unknown_rejected(self, small_forest):
+        with pytest.raises(UnknownObjectError):
+            small_forest.update("Z", 1)
+
+    def test_delete_leaf(self, small_forest):
+        assert small_forest.delete("D") == "d"
+        assert "D" not in small_forest
+        assert small_forest.children("B") == ()
+
+    def test_delete_interior_rejected(self, small_forest):
+        with pytest.raises(NotALeafError):
+            small_forest.delete("B")
+
+    def test_delete_root_leaf(self):
+        f = Forest()
+        f.insert("solo", 1)
+        f.delete("solo")
+        assert len(f) == 0
+        assert f.roots() == ()
+
+
+class TestStructureQueries:
+    def test_len_and_contains(self, small_forest):
+        assert len(small_forest) == 4
+        assert "A" in small_forest
+        assert "Z" not in small_forest
+
+    def test_roots(self, small_forest):
+        small_forest.insert("E", "e")
+        assert small_forest.roots() == ("A", "E")
+
+    def test_children_sorted_by_global_order(self):
+        f = Forest()
+        f.insert("p", None)
+        for child in ("p/r10", "p/r2", "p/r1"):
+            f.insert(child, 0, parent="p")
+        assert f.children("p") == ("p/r1", "p/r2", "p/r10")
+
+    def test_ancestors_bottom_up(self, small_forest):
+        assert small_forest.ancestors("D") == ["B", "A"]
+        assert small_forest.ancestors("A") == []
+
+    def test_root_of(self, small_forest):
+        assert small_forest.root_of("D") == "A"
+        assert small_forest.root_of("A") == "A"
+
+    def test_depth(self, small_forest):
+        assert small_forest.depth("A") == 0
+        assert small_forest.depth("D") == 2
+
+    def test_iter_subtree_preorder(self, small_forest):
+        assert list(small_forest.iter_subtree("A")) == ["A", "B", "D", "C"]
+        assert list(small_forest.iter_subtree("B")) == ["B", "D"]
+
+    def test_subtree_size(self, small_forest):
+        assert small_forest.subtree_size("A") == 4
+        assert small_forest.subtree_size("C") == 1
+
+    def test_is_leaf(self, small_forest):
+        assert small_forest.is_leaf("D")
+        assert not small_forest.is_leaf("A")
+
+
+class TestBulkHelpers:
+    def test_delete_subtree(self, small_forest):
+        deleted = small_forest.delete_subtree("B")
+        assert deleted == ["D", "B"]  # children before parents
+        assert len(small_forest) == 2
+
+    def test_copy_subtree_into(self, small_forest):
+        target = Forest()
+        target.insert("agg", None)
+        created = target.copy_subtree_into(small_forest, "A", "agg/A", new_parent="agg")
+        assert created[0] == "agg/A"
+        assert target.subtree_size("agg") == 5
+        assert target.value("agg/A/B/D") == "d"
+        # source untouched
+        assert small_forest.subtree_size("A") == 4
+
+
+@st.composite
+def op_sequences(draw):
+    """Random valid primitive sequences over a bounded id space."""
+    n_ops = draw(st.integers(min_value=1, max_value=40))
+    return [draw(st.integers(min_value=0, max_value=999)) for _ in range(n_ops)]
+
+
+class TestPropertyInvariants:
+    @settings(max_examples=50)
+    @given(op_sequences())
+    def test_structure_invariants_hold(self, seeds):
+        """After any primitive sequence: parents exist, children agree,
+        roots are exactly parentless nodes, and sizes are consistent."""
+        import random
+
+        rng = random.Random(1234)
+        f = Forest()
+        alive = []
+        for serial, seed in enumerate(seeds):
+            choice = seed % 3
+            if choice == 0 or not alive:  # insert
+                new_id = f"n{serial}"
+                parent = rng.choice(alive) if alive and seed % 2 else None
+                f.insert(new_id, seed, parent)
+                alive.append(new_id)
+            elif choice == 1:  # update
+                f.update(rng.choice(alive), seed)
+            else:  # delete a leaf if any
+                leaves = [x for x in alive if f.is_leaf(x)]
+                if leaves:
+                    victim = rng.choice(leaves)
+                    f.delete(victim)
+                    alive.remove(victim)
+
+        assert len(f) == len(alive)
+        for object_id in alive:
+            node = f.get(object_id)
+            if node.parent is None:
+                assert object_id in f.roots()
+            else:
+                assert object_id in f.children(node.parent)
+            for child in node.children:
+                assert f.parent(child) == object_id
+        total = sum(f.subtree_size(r) for r in f.roots())
+        assert total == len(f)

@@ -1,0 +1,117 @@
+"""Unit tests for canonical value/node encoding."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidValueError
+from repro.model.values import (
+    decode_value,
+    encode_child_link,
+    encode_node,
+    encode_value,
+)
+
+SUPPORTED_VALUES = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**128), max_value=2**128),
+    st.floats(allow_nan=False),
+    st.text(max_size=64),
+    st.binary(max_size=64),
+)
+
+
+class TestEncodeValue:
+    def test_deterministic(self):
+        assert encode_value(42) == encode_value(42)
+
+    @pytest.mark.parametrize("a,b", [
+        (1, 1.0),          # int vs float
+        (1, True),         # int vs bool
+        (0, False),
+        (1, "1"),          # int vs str
+        ("1", b"1"),       # str vs bytes
+        (None, ""),        # none vs empty string
+        (None, b""),
+        (0, None),
+    ])
+    def test_cross_type_injectivity(self, a, b):
+        assert encode_value(a) != encode_value(b)
+
+    def test_negative_integers(self):
+        assert encode_value(-1) != encode_value(1)
+        assert decode_value(encode_value(-(2**64))) == -(2**64)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(InvalidValueError):
+            encode_value([1, 2])
+        with pytest.raises(InvalidValueError):
+            encode_value({"a": 1})
+
+    @given(SUPPORTED_VALUES)
+    def test_roundtrip(self, value):
+        decoded = decode_value(encode_value(value))
+        if isinstance(value, float):
+            assert decoded == value or (math.isnan(value) and math.isnan(decoded))
+        else:
+            assert decoded == value
+            assert type(decoded) is type(value) or isinstance(value, (bytearray, memoryview))
+
+    @given(SUPPORTED_VALUES, SUPPORTED_VALUES)
+    def test_injective(self, a, b):
+        if a != b or type(a) is not type(b):
+            assert encode_value(a) != encode_value(b)
+
+    def test_decode_garbage_rejected(self):
+        with pytest.raises(InvalidValueError):
+            decode_value(b"")
+        with pytest.raises(InvalidValueError):
+            decode_value(b"I\x00\x00\x00\x05ab")  # truncated payload
+        with pytest.raises(InvalidValueError):
+            decode_value(b"Z\x00\x00\x00\x00")  # unknown tag
+
+    def test_decode_trailing_bytes_rejected(self):
+        with pytest.raises(InvalidValueError):
+            decode_value(encode_value(1) + b"x")
+
+
+class TestEncodeNode:
+    def test_binds_id_and_value(self):
+        # Same value, different ids -> different encodings (basis of R5).
+        assert encode_node("A", 7) != encode_node("B", 7)
+        assert encode_node("A", 7) != encode_node("A", 8)
+
+    def test_no_concatenation_ambiguity(self):
+        # ("AB", "C...") must differ from ("A", "BC...")-style splits.
+        assert encode_node("AB", "C") != encode_node("A", "BC")
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(InvalidValueError):
+            encode_node("", 1)
+
+    def test_non_string_id_rejected(self):
+        with pytest.raises(InvalidValueError):
+            encode_node(17, 1)
+
+
+class TestEncodeChildLink:
+    def test_binds_id_and_digest(self):
+        d = b"\x01" * 20
+        assert encode_child_link("B", d) != encode_child_link("C", d)
+        assert encode_child_link("B", d) != encode_child_link("B", b"\x02" * 20)
+
+    def test_sequence_unambiguous(self):
+        # One child "BC" vs two children "B","C": the concatenated link
+        # sequences must differ (length-prefixed ids + framed digests).
+        d = b"\x00" * 20
+        one = encode_child_link("BC", d)
+        two = encode_child_link("B", d) + encode_child_link("C", d)
+        assert one != two
+        assert not two.startswith(one)
+
+    def test_deterministic(self):
+        d = b"\x07" * 20
+        assert encode_child_link("x", d) == encode_child_link("x", d)

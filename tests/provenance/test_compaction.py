@@ -1,0 +1,112 @@
+"""Unit tests for provenance compaction (footnote 3's optimisation)."""
+
+import pytest
+
+from repro.provenance.compaction import compact, compactable_objects
+
+
+@pytest.fixture
+def session(tedb, participants):
+    return tedb.session(participants["p1"])
+
+
+class TestCompactableObjects:
+    def test_nothing_compactable_when_all_live(self, tedb, session):
+        session.insert("a", 1)
+        session.insert("b", 2)
+        assert compactable_objects(tedb.provenance_store, tedb.store) == ()
+
+    def test_deleted_unreferenced_chain_is_compactable(self, tedb, session):
+        session.insert("p", None)
+        session.insert("p/x", 1, "p")
+        session.delete("p/x")
+        assert compactable_objects(tedb.provenance_store, tedb.store) == ("p/x",)
+
+    def test_aggregation_input_chain_retained(self, tedb, session):
+        session.insert("src", 1)
+        session.aggregate(["src"], "derived")
+        # Delete the source object entirely (it is a root leaf).
+        session.delete("src")
+        # derived still derives from src: its chain must survive.
+        assert compactable_objects(tedb.provenance_store, tedb.store) == ()
+
+    def test_chain_compactable_once_derivative_also_deleted(self, tedb, session):
+        session.insert("src", 1)
+        session.aggregate(["src"], "derived")
+        session.delete("src")
+        # Remove derived's tree too (cells first).
+        for object_id in reversed(list(tedb.store.iter_subtree("derived"))):
+            session.delete(object_id)
+        compactable = compactable_objects(tedb.provenance_store, tedb.store)
+        assert set(compactable) == {"src", "derived"}
+
+    def test_transitive_retention(self, tedb, session):
+        session.insert("a", 1)
+        session.aggregate(["a"], "b")
+        session.aggregate(["b"], "c")
+        session.delete("a")
+        for object_id in reversed(list(tedb.store.iter_subtree("b"))):
+            session.delete(object_id)
+        # c is live and derives from b which derives from a: keep both.
+        assert compactable_objects(tedb.provenance_store, tedb.store) == ()
+
+
+class TestCompact:
+    def test_compact_reclaims_space(self, tedb, session):
+        session.insert("p", None)
+        session.insert("p/x", 1, "p")
+        session.update("p/x", 2)
+        session.delete("p/x")
+        before_records = len(tedb.provenance_store)
+        before_bytes = tedb.provenance_store.space_bytes()
+        stats = compact(tedb.provenance_store, tedb.store)
+        assert stats.objects_purged == ("p/x",)
+        assert stats.records_removed == 2  # p/x's insert + update (deletes add none)
+        assert len(tedb.provenance_store) == before_records - stats.records_removed
+        assert tedb.provenance_store.space_bytes() < before_bytes
+        assert "purged 1 chains" in str(stats)
+
+    def test_survivors_still_verify_after_compaction(self, tedb, session):
+        session.insert("keep", 1)
+        session.insert("p", None)
+        session.insert("p/x", 1, "p")
+        session.delete("p/x")
+        session.update("keep", 2)
+        compact(tedb.provenance_store, tedb.store)
+        assert tedb.verify("keep").ok
+        assert tedb.verify("p").ok  # ancestor chain untouched
+
+    def test_aggregate_closure_still_verifies_after_source_delete(
+        self, tedb, session
+    ):
+        session.insert("src", 1)
+        session.aggregate(["src"], "derived")
+        session.delete("src")
+        stats = compact(tedb.provenance_store, tedb.store)
+        assert stats.objects_purged == ()  # nothing safe to purge
+        assert tedb.verify("derived").ok
+
+    def test_compact_idempotent(self, tedb, session):
+        session.insert("p", None)
+        session.insert("p/x", 1, "p")
+        session.delete("p/x")
+        first = compact(tedb.provenance_store, tedb.store)
+        second = compact(tedb.provenance_store, tedb.store)
+        assert first.records_removed > 0
+        assert second.records_removed == 0
+        assert second.objects_purged == ()
+
+    def test_sqlite_store_compaction(self, ca, participants):
+        from repro.core.system import TamperEvidentDatabase
+        from repro.provenance.store import SQLiteProvenanceStore
+
+        with SQLiteProvenanceStore() as prov:
+            db = TamperEvidentDatabase(ca=ca, provenance_store=prov)
+            s = db.session(participants["p1"])
+            s.insert("p", None)
+            s.insert("p/x", 1, "p")
+            s.delete("p/x")
+            stats = compact(prov, db.store)
+            assert stats.objects_purged == ("p/x",)
+            assert prov.records_for("p/x") == ()
+            assert db.verify("p").ok

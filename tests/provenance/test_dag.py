@@ -1,0 +1,124 @@
+"""Unit tests for the provenance DAG (Definition 1, Fig 2)."""
+
+import pytest
+
+from repro.exceptions import BrokenChainError
+from repro.provenance.dag import ProvenanceDAG
+from repro.provenance.records import ObjectState, Operation, ProvenanceRecord
+
+
+def rec(object_id, seq, op=Operation.UPDATE, inputs=(), participant="p"):
+    digest = bytes([seq % 251]) * 20
+    input_states = tuple(
+        ObjectState(object_id=i, digest=b"\x11" * 20) for i in inputs
+    )
+    if op is Operation.UPDATE and not input_states:
+        input_states = (ObjectState(object_id=object_id, digest=digest),)
+    return ProvenanceRecord(
+        object_id=object_id,
+        seq_id=seq,
+        participant_id=participant,
+        operation=op,
+        inputs=input_states,
+        output=ObjectState(object_id=object_id, digest=digest),
+        checksum=b"\x01" * 8,
+    )
+
+
+@pytest.fixture
+def fig2_records():
+    """The record set of the paper's Fig 2 / Fig 3 (7 records)."""
+    return [
+        rec("A", 0, Operation.INSERT, participant="p2"),
+        rec("B", 0, Operation.INSERT, participant="p2"),
+        rec("A", 1, participant="p1"),
+        rec("B", 1, participant="p2"),
+        rec("A", 2, participant="p2"),
+        rec("C", 2, Operation.AGGREGATE, inputs=("A", "B"), participant="p3"),
+        rec("D", 3, Operation.AGGREGATE, inputs=("A", "C"), participant="p1"),
+    ]
+
+
+class TestConstruction:
+    def test_counts(self, fig2_records):
+        dag = ProvenanceDAG(fig2_records)
+        assert len(dag) == 7
+        assert ("A", 1) in dag
+        assert ("A", 9) not in dag
+
+    def test_duplicate_keys_rejected(self, fig2_records):
+        with pytest.raises(BrokenChainError):
+            ProvenanceDAG(fig2_records + [rec("A", 0, Operation.INSERT)])
+
+    def test_record_lookup(self, fig2_records):
+        dag = ProvenanceDAG(fig2_records)
+        assert dag.record(("C", 2)).operation is Operation.AGGREGATE
+        with pytest.raises(BrokenChainError):
+            dag.record(("Z", 0))
+
+
+class TestStructure:
+    def test_chain(self, fig2_records):
+        dag = ProvenanceDAG(fig2_records)
+        assert [r.seq_id for r in dag.chain("A")] == [0, 1, 2]
+        assert dag.chain("nope") == ()
+
+    def test_terminal(self, fig2_records):
+        dag = ProvenanceDAG(fig2_records)
+        assert dag.terminal("A").seq_id == 2
+        assert dag.terminal("D").seq_id == 3
+        assert dag.terminal("nope") is None
+
+    def test_aggregation_edges_use_latest_before(self, fig2_records):
+        dag = ProvenanceDAG(fig2_records)
+        # C (seq 2) aggregated A at A's seq<2 state, i.e. ("A", 1).
+        assert (("A", 1), ("C", 2)) in dag.graph.edges
+        # D (seq 3) consumed A's seq-2 state.
+        assert (("A", 2), ("D", 3)) in dag.graph.edges
+        assert (("C", 2), ("D", 3)) in dag.graph.edges
+
+    def test_ancestry_closure(self, fig2_records):
+        dag = ProvenanceDAG(fig2_records)
+        ancestry = dag.ancestry("D")
+        assert len(ancestry) == 7  # the whole history contributes to D
+        # topological: genesis records come before the aggregate of D
+        keys = [r.key for r in ancestry]
+        assert keys.index(("A", 0)) < keys.index(("C", 2)) < keys.index(("D", 3))
+
+    def test_ancestry_of_simple_object(self, fig2_records):
+        dag = ProvenanceDAG(fig2_records)
+        assert [r.key for r in dag.ancestry("B")] == [("B", 0), ("B", 1)]
+        assert dag.ancestry("nope") == ()
+
+    def test_is_linear(self, fig2_records):
+        dag = ProvenanceDAG(fig2_records)
+        assert dag.is_linear("A")
+        assert dag.is_linear("B")
+        assert not dag.is_linear("C")
+        assert not dag.is_linear("D")
+
+    def test_contributing_participants(self, fig2_records):
+        dag = ProvenanceDAG(fig2_records)
+        assert dag.contributing_participants("D") == ("p1", "p2", "p3")
+        assert dag.contributing_participants("B") == ("p2",)
+
+    def test_source_objects(self, fig2_records):
+        dag = ProvenanceDAG(fig2_records)
+        assert dag.source_objects("D") == ("A", "B")
+        assert dag.source_objects("A") == ("A",)
+
+    def test_topological_records(self, fig2_records):
+        dag = ProvenanceDAG(fig2_records)
+        ordered = dag.topological_records()
+        assert len(ordered) == 7
+        positions = {r.key: i for i, r in enumerate(ordered)}
+        assert positions[("A", 0)] < positions[("A", 1)] < positions[("A", 2)]
+        assert positions[("B", 1)] < positions[("C", 2)] < positions[("D", 3)]
+
+
+class TestLiveSystemDAG:
+    def test_dag_from_fig2_world(self, fig2_world):
+        dag = fig2_world.dag()
+        assert not dag.is_linear("D")
+        assert dag.source_objects("D") == ("A", "B")
+        assert dag.contributing_participants("D") == ("p1", "p2", "p3")

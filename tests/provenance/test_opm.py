@@ -1,0 +1,83 @@
+"""Unit tests for the OPM export."""
+
+import json
+
+import pytest
+
+from repro.provenance.opm import to_opm, to_opm_json
+
+
+@pytest.fixture
+def opm(fig2_world):
+    return to_opm(fig2_world.provenance_store.all_records())
+
+
+class TestEntities:
+    def test_artifacts_one_per_state(self, opm):
+        ids = {a["id"] for a in opm["artifacts"]}
+        # 7 records => 7 output states (inputs all come from those states)
+        assert ids == {
+            "artifact:A#0", "artifact:A#1", "artifact:A#2",
+            "artifact:B#0", "artifact:B#1",
+            "artifact:C#2", "artifact:D#3",
+        }
+
+    def test_processes_one_per_record(self, opm):
+        assert len(opm["processes"]) == 7
+
+    def test_agents(self, opm):
+        assert {a["participant"] for a in opm["agents"]} == {"p1", "p2", "p3"}
+
+    def test_checksum_annotation_preserved(self, opm):
+        for process in opm["processes"]:
+            assert len(process["annotations"]["checksum"]) > 0
+
+    def test_values_carried_on_artifacts(self, opm):
+        by_id = {a["id"]: a for a in opm["artifacts"]}
+        assert by_id["artifact:A#0"]["value"] == "a1"
+
+
+class TestDependencies:
+    def test_generated_by_covers_every_artifact_with_a_record(self, opm):
+        generated = {e["artifact"] for e in opm["wasGeneratedBy"]}
+        assert "artifact:D#3" in generated
+        assert len(generated) == 7
+
+    def test_update_derivation(self, opm):
+        assert {"derived": "artifact:A#1", "source": "artifact:A#0"} in opm[
+            "wasDerivedFrom"
+        ]
+
+    def test_aggregation_derivation_uses_consumed_states(self, opm):
+        derived = opm["wasDerivedFrom"]
+        # C (seq 2) consumed A#1 and B#1 (the states before seq 2).
+        assert {"derived": "artifact:C#2", "source": "artifact:A#1"} in derived
+        assert {"derived": "artifact:C#2", "source": "artifact:B#1"} in derived
+        # D (seq 3) consumed A#2 and C#2.
+        assert {"derived": "artifact:D#3", "source": "artifact:A#2"} in derived
+        assert {"derived": "artifact:D#3", "source": "artifact:C#2"} in derived
+
+    def test_controlled_by(self, opm):
+        assert {"process": "process:C#2", "agent": "agent:p3"} in opm[
+            "wasControlledBy"
+        ]
+
+    def test_used_mirrors_derivations(self, opm):
+        assert len(opm["used"]) == len(opm["wasDerivedFrom"])
+
+
+class TestJson:
+    def test_valid_json(self, fig2_world):
+        blob = to_opm_json(fig2_world.provenance_store.all_records())
+        data = json.loads(blob)
+        assert data["format"] == "opm-json-v1"
+
+    def test_note_annotation(self, tedb, participants):
+        session = tedb.session(participants["p1"])
+        session.insert("x", 1, note="white-box description")
+        data = to_opm(tedb.provenance_store.all_records())
+        assert data["processes"][0]["annotations"]["note"] == "white-box description"
+
+    def test_empty_records(self):
+        data = to_opm([])
+        assert data["artifacts"] == [] and data["processes"] == []

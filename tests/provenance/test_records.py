@@ -1,0 +1,105 @@
+"""Unit tests for provenance records and object states."""
+
+import pytest
+
+from repro.exceptions import ProvenanceError
+from repro.provenance.records import ObjectState, Operation, ProvenanceRecord
+
+
+def make_state(object_id="A", digest=b"\x01" * 20, **kwargs):
+    return ObjectState(object_id=object_id, digest=digest, **kwargs)
+
+
+def make_record(**overrides):
+    defaults = dict(
+        object_id="A",
+        seq_id=1,
+        participant_id="p1",
+        operation=Operation.UPDATE,
+        inputs=(make_state(),),
+        output=make_state(digest=b"\x02" * 20),
+        checksum=b"\xab" * 64,
+    )
+    defaults.update(overrides)
+    return ProvenanceRecord(**defaults)
+
+
+class TestObjectState:
+    def test_roundtrip_with_value(self):
+        state = make_state(value=42, has_value=True, node_count=1)
+        assert ObjectState.from_dict(state.to_dict()) == state
+
+    def test_roundtrip_compound(self):
+        state = make_state(node_count=36002)
+        restored = ObjectState.from_dict(state.to_dict())
+        assert restored == state
+        assert not restored.has_value
+
+    def test_none_value_distinguished_from_no_value(self):
+        with_none = make_state(value=None, has_value=True)
+        without = make_state()
+        assert ObjectState.from_dict(with_none.to_dict()).has_value
+        assert not ObjectState.from_dict(without.to_dict()).has_value
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ProvenanceError):
+            ObjectState.from_dict({"object_id": "A"})
+
+
+class TestProvenanceRecord:
+    def test_key_and_input_ids(self):
+        record = make_record()
+        assert record.key == ("A", 1)
+        assert record.input_ids == ("A",)
+
+    def test_output_object_must_match(self):
+        with pytest.raises(ProvenanceError):
+            make_record(output=make_state(object_id="B"))
+
+    def test_negative_seq_rejected(self):
+        with pytest.raises(ProvenanceError):
+            make_record(seq_id=-1)
+
+    def test_is_genesis(self):
+        assert make_record(
+            operation=Operation.INSERT, seq_id=0, inputs=()
+        ).is_genesis
+        assert make_record(
+            operation=Operation.AGGREGATE, seq_id=3
+        ).is_genesis
+        assert not make_record().is_genesis
+
+    def test_with_checksum(self):
+        record = make_record(checksum=b"")
+        signed = record.with_checksum(b"\x01" * 64)
+        assert signed.checksum == b"\x01" * 64
+        assert record.checksum == b""  # original unchanged
+
+    def test_storage_bytes_matches_paper_row(self):
+        # (SeqID int, Participant int, Oid int, Checksum binary(128))
+        record = make_record(checksum=b"\x00" * 128)
+        assert record.storage_bytes() == 140
+
+    def test_roundtrip(self):
+        record = make_record(
+            operation=Operation.AGGREGATE,
+            inputs=(make_state("X"), make_state("Y", value=3, has_value=True)),
+            output=make_state("A", node_count=7),
+            inherited=True,
+        )
+        assert ProvenanceRecord.from_dict(record.to_dict()) == record
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ProvenanceError):
+            ProvenanceRecord.from_dict({"object_id": "A"})
+        bad = make_record().to_dict()
+        bad["operation"] = "frobnicate"
+        with pytest.raises(ProvenanceError):
+            ProvenanceRecord.from_dict(bad)
+
+    def test_describe_mentions_parts(self):
+        text = make_record(inherited=True).describe()
+        assert "A" in text and "p1" in text and "inherited" in text
+
+    def test_operation_str(self):
+        assert str(Operation.AGGREGATE) == "aggregate"

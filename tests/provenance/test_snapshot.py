@@ -1,0 +1,90 @@
+"""Unit tests for subtree snapshots."""
+
+import pytest
+
+from repro.exceptions import ShipmentError
+from repro.model.tree import Forest
+from repro.provenance.snapshot import SubtreeSnapshot
+
+
+@pytest.fixture
+def forest():
+    f = Forest()
+    f.insert("A", "a")
+    f.insert("B", "b", parent="A")
+    f.insert("C", "c", parent="A")
+    f.insert("D", "d", parent="B")
+    return f
+
+
+class TestCapture:
+    def test_capture_preorder(self, forest):
+        snap = SubtreeSnapshot.capture(forest, "A")
+        assert [n.object_id for n in snap.nodes] == ["A", "B", "D", "C"]
+        assert snap.node_count == 4
+
+    def test_capture_subtree_only(self, forest):
+        snap = SubtreeSnapshot.capture(forest, "B")
+        assert [n.object_id for n in snap.nodes] == ["B", "D"]
+
+    def test_immutable_against_later_changes(self, forest):
+        snap = SubtreeSnapshot.capture(forest, "A")
+        forest.update("D", "changed")
+        assert snap.value_of("D") == "d"
+
+    def test_value_of_unknown(self, forest):
+        snap = SubtreeSnapshot.capture(forest, "B")
+        with pytest.raises(ShipmentError):
+            snap.value_of("C")
+
+
+class TestToForest:
+    def test_rebuild_matches(self, forest):
+        snap = SubtreeSnapshot.capture(forest, "A")
+        rebuilt = snap.to_forest()
+        assert len(rebuilt) == 4
+        assert rebuilt.value("D") == "d"
+        assert rebuilt.children("A") == ("B", "C")
+
+    def test_rebuilt_subtree_root_has_no_parent(self, forest):
+        snap = SubtreeSnapshot.capture(forest, "B")
+        rebuilt = snap.to_forest()
+        assert rebuilt.get("B").parent is None
+
+    def test_digest_preserved_through_rebuild(self, forest):
+        from repro.core.merkle import subtree_digest
+
+        snap = SubtreeSnapshot.capture(forest, "A")
+        assert subtree_digest(snap.to_forest(), "A") == subtree_digest(forest, "A")
+
+
+class TestSerialization:
+    def test_roundtrip(self, forest):
+        snap = SubtreeSnapshot.capture(forest, "A")
+        restored = SubtreeSnapshot.from_dict(snap.to_dict())
+        assert restored == snap
+
+    def test_roundtrip_normalises_node_order(self, forest):
+        snap = SubtreeSnapshot.capture(forest, "A")
+        data = snap.to_dict()
+        data["nodes"] = list(reversed(data["nodes"]))
+        restored = SubtreeSnapshot.from_dict(data)
+        assert restored == snap
+
+    def test_missing_root_rejected(self, forest):
+        snap = SubtreeSnapshot.capture(forest, "A")
+        data = snap.to_dict()
+        data["nodes"] = [n for n in data["nodes"] if n["id"] != "A"]
+        with pytest.raises(ShipmentError):
+            SubtreeSnapshot.from_dict(data)
+
+    def test_orphan_nodes_rejected(self, forest):
+        snap = SubtreeSnapshot.capture(forest, "A")
+        data = snap.to_dict()
+        data["nodes"].append({"id": "ghost", "value": "4e00000000", "parent": "nowhere"})
+        with pytest.raises(ShipmentError):
+            SubtreeSnapshot.from_dict(data)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ShipmentError):
+            SubtreeSnapshot.from_dict({"root_id": "A", "nodes": [{"id": "A"}]})

@@ -1,0 +1,129 @@
+"""Conformance tests for both provenance store implementations."""
+
+import pytest
+
+from repro.exceptions import SequenceError
+from repro.provenance.records import ObjectState, Operation, ProvenanceRecord
+from repro.provenance.store import (
+    InMemoryProvenanceStore,
+    ProvenanceStore,
+    SQLiteProvenanceStore,
+)
+
+
+def record_for(object_id, seq_id, participant="p1", operation=Operation.UPDATE):
+    digest = bytes([seq_id % 256]) * 20
+    inputs = (
+        ()
+        if operation is Operation.INSERT
+        else (ObjectState(object_id=object_id, digest=digest),)
+    )
+    return ProvenanceRecord(
+        object_id=object_id,
+        seq_id=seq_id,
+        participant_id=participant,
+        operation=operation,
+        inputs=inputs,
+        output=ObjectState(object_id=object_id, digest=digest),
+        checksum=b"\xcd" * 64,
+    )
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def store(request):
+    if request.param == "memory":
+        yield InMemoryProvenanceStore()
+    else:
+        with SQLiteProvenanceStore() as s:
+            yield s
+
+
+class TestConformance:
+    def test_satisfies_protocol(self, store):
+        assert isinstance(store, ProvenanceStore)
+
+    def test_append_and_chain(self, store):
+        store.append(record_for("A", 0, operation=Operation.INSERT))
+        store.append(record_for("A", 1))
+        chain = store.records_for("A")
+        assert [r.seq_id for r in chain] == [0, 1]
+
+    def test_latest(self, store):
+        assert store.latest("A") is None
+        store.append(record_for("A", 0, operation=Operation.INSERT))
+        store.append(record_for("A", 1))
+        assert store.latest("A").seq_id == 1
+
+    def test_get_by_key(self, store):
+        store.append(record_for("A", 0, operation=Operation.INSERT))
+        assert store.get("A", 0).seq_id == 0
+        assert store.get("A", 5) is None
+        assert store.get("B", 0) is None
+
+    def test_seq_must_increase(self, store):
+        store.append(record_for("A", 3))
+        with pytest.raises(SequenceError):
+            store.append(record_for("A", 3))
+        with pytest.raises(SequenceError):
+            store.append(record_for("A", 2))
+
+    def test_gaps_allowed(self, store):
+        # Aggregates legitimately start chains above 0 and jump seq ids.
+        store.append(record_for("A", 0, operation=Operation.INSERT))
+        store.append(record_for("A", 5))
+        assert store.latest("A").seq_id == 5
+
+    def test_independent_objects(self, store):
+        store.append(record_for("A", 0, operation=Operation.INSERT))
+        store.append(record_for("B", 0, operation=Operation.INSERT))
+        assert store.object_ids() == ("A", "B")
+        assert len(store.records_for("A")) == 1
+
+    def test_all_records_ordering(self, store):
+        store.append(record_for("B", 0, operation=Operation.INSERT))
+        store.append(record_for("A", 0, operation=Operation.INSERT))
+        store.append(record_for("A", 1))
+        keys = [r.key for r in store.all_records()]
+        assert keys == [("A", 0), ("A", 1), ("B", 0)]
+
+    def test_len_and_space(self, store):
+        assert len(store) == 0
+        assert store.space_bytes() == 0
+        store.append(record_for("A", 0, operation=Operation.INSERT))
+        store.append(record_for("A", 1))
+        assert len(store) == 2
+        # 12 bytes of ints + 64-byte checksum per record
+        assert store.space_bytes() == 2 * (12 + 64)
+
+    def test_record_payload_roundtrips(self, store):
+        original = record_for("A", 0, operation=Operation.INSERT)
+        store.append(original)
+        assert store.records_for("A")[0] == original
+
+
+class TestSQLiteSpecific:
+    def test_persistence(self, tmp_path):
+        path = str(tmp_path / "prov.db")
+        with SQLiteProvenanceStore(path) as s:
+            s.append(record_for("A", 0, operation=Operation.INSERT))
+        with SQLiteProvenanceStore(path) as s:
+            assert len(s) == 1
+            assert s.latest("A").seq_id == 0
+
+    def test_duplicate_key_maps_to_sequence_error(self, tmp_path):
+        # Covers the DB-level primary-key path as well as the seq check.
+        with SQLiteProvenanceStore() as s:
+            s.append(record_for("A", 1))
+            with pytest.raises(SequenceError):
+                s.append(record_for("A", 1))
+
+    def test_end_to_end_with_sqlite_provenance(self, ca, participants):
+        """The full system runs with a SQLite provenance database."""
+        from repro.core.system import TamperEvidentDatabase
+
+        with SQLiteProvenanceStore() as prov:
+            db = TamperEvidentDatabase(ca=ca, provenance_store=prov)
+            s = db.session(participants["p1"])
+            s.insert("x", 1)
+            s.update("x", 2)
+            assert db.verify("x").ok

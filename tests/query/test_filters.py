@@ -1,0 +1,69 @@
+"""Unit tests for record filtering."""
+
+import pytest
+
+from repro.provenance.records import Operation
+from repro.query.filters import RecordFilter
+
+
+@pytest.fixture
+def records(fig2_world):
+    return tuple(fig2_world.provenance_store.all_records())
+
+
+class TestPredicates:
+    def test_by_participant(self, records):
+        mine = RecordFilter().by_participant("p3").collect(records)
+        assert {r.object_id for r in mine} == {"C"}
+
+    def test_by_operation(self, records):
+        aggs = RecordFilter().by_operation(Operation.AGGREGATE).collect(records)
+        assert {r.object_id for r in aggs} == {"C", "D"}
+        inserts = RecordFilter().by_operation(Operation.INSERT).collect(records)
+        assert {r.object_id for r in inserts} == {"A", "B"}
+
+    def test_by_object_prefix(self, records):
+        assert all(
+            r.object_id == "A"
+            for r in RecordFilter().by_object_prefix("A").apply(records)
+        )
+
+    def test_by_seq_range(self, records):
+        in_range = RecordFilter().by_seq_range(1, 2).collect(records)
+        assert all(1 <= r.seq_id <= 2 for r in in_range)
+        assert len(in_range) == 4  # A#1, B#1, A#2, C#2
+
+    def test_only_inherited(self, fig2_world, participants, records):
+        # fig2 world has no compound objects; build one inherited record.
+        s = fig2_world.session(participants["p1"])
+        s.insert("tree", None)
+        s.insert("tree/leaf", 1, "tree")
+        all_records = tuple(fig2_world.provenance_store.all_records())
+        inherited = RecordFilter().only_inherited().collect(all_records)
+        assert {r.object_id for r in inherited} == {"tree"}
+        actual = RecordFilter().only_inherited(False).collect(all_records)
+        assert len(actual) == len(all_records) - len(inherited)
+
+
+class TestComposition:
+    def test_conjunction(self, records):
+        f = RecordFilter().by_participant("p2").by_operation(Operation.UPDATE)
+        hits = f.collect(records)
+        assert {(r.object_id, r.seq_id) for r in hits} == {("B", 1), ("A", 2)}
+
+    def test_builders_are_pure(self):
+        base = RecordFilter()
+        derived = base.by_participant("p1")
+        assert base.participant_id is None
+        assert derived.participant_id == "p1"
+
+    def test_callable_form(self, records):
+        f = RecordFilter().by_operation(Operation.AGGREGATE)
+        assert len(list(f(records))) == 2
+
+    def test_empty_filter_passes_all(self, records):
+        assert RecordFilter().collect(records) == records
+
+    def test_lazy_apply(self, records):
+        gen = RecordFilter().apply(iter(records))
+        assert next(gen) is not None

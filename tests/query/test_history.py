@@ -1,0 +1,80 @@
+"""Unit tests for historical state queries."""
+
+import pytest
+
+from repro.exceptions import MissingProvenanceError
+from repro.provenance.records import Operation
+from repro.query.history import find_change, state_at, value_history
+
+
+@pytest.fixture
+def chain(tedb, participants):
+    s1 = tedb.session(participants["p1"])
+    s2 = tedb.session(participants["p2"])
+    s1.insert("doc", "draft", note="initial")
+    s2.update("doc", "reviewed")
+    s1.update("doc", "final")
+    s2.update("doc", "reviewed")  # value revisited
+    return tedb.provenance_of("doc")
+
+
+class TestValueHistory:
+    def test_full_history(self, chain):
+        history = value_history(chain, "doc")
+        assert [h.value for h in history] == ["draft", "reviewed", "final", "reviewed"]
+        assert [h.seq_id for h in history] == [0, 1, 2, 3]
+        assert history[0].operation is Operation.INSERT
+        assert history[0].note == "initial"
+
+    def test_participants_attributed(self, chain):
+        history = value_history(chain, "doc")
+        assert [h.participant_id for h in history] == ["p1", "p2", "p1", "p2"]
+
+    def test_unknown_object(self, chain):
+        with pytest.raises(MissingProvenanceError):
+            value_history(chain, "ghost")
+
+    def test_str_rendering(self, chain):
+        text = str(value_history(chain, "doc")[0])
+        assert "#0 insert by p1" in text and "initial" in text
+
+    def test_compound_history_shows_digests(self, tedb, participants):
+        s = tedb.session(participants["p1"])
+        s.insert("t", None)
+        s.insert("t/c", 1, "t")
+        history = value_history(tedb.provenance_of("t"), "t")
+        assert not history[-1].has_value  # compound state
+        assert "<" in str(history[-1])
+
+
+class TestStateAt:
+    def test_exact_and_floor(self, chain):
+        assert state_at(chain, "doc", 0).value == "draft"
+        assert state_at(chain, "doc", 2).value == "final"
+        assert state_at(chain, "doc", 99).value == "reviewed"
+
+    def test_before_genesis(self, chain):
+        with pytest.raises(MissingProvenanceError):
+            state_at(chain, "doc", -1)
+
+    def test_aggregate_created_object(self, fig2_world):
+        records = fig2_world.provenance_object("D")
+        state = state_at(records, "C", 5)
+        assert state.object_id == "C"
+
+
+class TestFindChange:
+    def test_finds_all_occurrences(self, chain):
+        hits = find_change(chain, "doc", "reviewed")
+        assert [h.seq_id for h in hits] == [1, 3]
+        assert all(h.participant_id == "p2" for h in hits)
+
+    def test_no_match(self, chain):
+        assert find_change(chain, "doc", "nonexistent") == ()
+
+    def test_none_value_matchable(self, tedb, participants):
+        s = tedb.session(participants["p1"])
+        s.insert("x", None)
+        s.update("x", 1)
+        hits = find_change(tedb.provenance_of("x"), "x", None)
+        assert [h.seq_id for h in hits] == [0]

@@ -1,0 +1,83 @@
+"""Unit tests for lineage queries over the Fig 2 world."""
+
+import pytest
+
+from repro.query.lineage import (
+    contribution_of,
+    derivation_depth,
+    derives_from,
+    downstream_objects,
+    lineage_summary,
+)
+
+
+@pytest.fixture
+def dag(fig2_world):
+    return fig2_world.dag()
+
+
+class TestDerivesFrom:
+    def test_through_aggregations(self, dag):
+        assert derives_from(dag, "D", "A")
+        assert derives_from(dag, "D", "B")
+        assert derives_from(dag, "D", "C")
+        assert derives_from(dag, "C", "B")
+
+    def test_self(self, dag):
+        assert derives_from(dag, "A", "A")
+
+    def test_negative(self, dag):
+        assert not derives_from(dag, "A", "B")
+        assert not derives_from(dag, "C", "D")  # direction matters
+
+    def test_untracked(self, dag):
+        assert not derives_from(dag, "ghost", "A")
+
+
+class TestDownstream:
+    def test_impact_set(self, dag):
+        assert downstream_objects(dag, "A") == ("C", "D")
+        assert downstream_objects(dag, "B") == ("C", "D")
+        assert downstream_objects(dag, "C") == ("D",)
+        assert downstream_objects(dag, "D") == ()
+
+    def test_untracked(self, dag):
+        assert downstream_objects(dag, "ghost") == ()
+
+
+class TestContribution:
+    def test_counts(self, dag):
+        counts = contribution_of(dag, "D")
+        assert counts["p2"] == 4  # A#0, B#0, B#1, A#2
+        assert counts["p1"] == 2  # A#1, D#3
+        assert counts["p3"] == 1  # C#2
+        assert sum(counts.values()) == 7
+
+
+class TestDepth:
+    def test_depths(self, dag):
+        assert derivation_depth(dag, "A") == 3   # A0 -> A1 -> A2
+        assert derivation_depth(dag, "B") == 2
+        assert derivation_depth(dag, "C") == 3   # B0 -> B1 -> C2
+        assert derivation_depth(dag, "D") == 4   # A0 -> A1 -> A2 -> D3
+        assert derivation_depth(dag, "ghost") == 0
+
+
+class TestSummary:
+    def test_summary_fields(self, dag):
+        summary = lineage_summary(dag, "D")
+        assert summary.record_count == 7
+        assert summary.participants == ("p1", "p2", "p3")
+        assert summary.sources == ("A", "B")
+        assert summary.aggregations == 2
+        assert not summary.linear
+        assert summary.depth == 4
+
+    def test_summary_linear_object(self, dag):
+        summary = lineage_summary(dag, "B")
+        assert summary.linear
+        assert summary.aggregations == 0
+        assert "linear" in str(summary)
+
+    def test_summary_str_mentions_dag(self, dag):
+        assert "non-linear" in str(lineage_summary(dag, "D"))

@@ -1,0 +1,133 @@
+"""Integration tests: SQL execution with full provenance tracking."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.model.relational import RelationalView
+from repro.sql.executor import SQLExecutor
+
+
+@pytest.fixture
+def executor(tedb, participants):
+    session = tedb.session(participants["p1"])
+    sql = SQLExecutor(RelationalView(session))
+    sql.execute("CREATE TABLE patients (age, weight)")
+    sql.execute("INSERT INTO patients (age, weight) VALUES (52, 81)")
+    sql.execute("INSERT INTO patients (age, weight) VALUES (47, 70)")
+    sql.execute("INSERT INTO patients (age, weight) VALUES (61, 95)")
+    return tedb, sql
+
+
+class TestDDLAndDML:
+    def test_create_and_insert(self, executor):
+        tedb, sql = executor
+        result = sql.execute("SELECT * FROM patients")
+        assert result.rowcount == 3
+        assert result.columns == ("age", "weight")
+
+    def test_insert_returns_rowid(self, executor):
+        _, sql = executor
+        result = sql.execute("INSERT INTO patients (age, weight) VALUES (30, 60)")
+        assert result.rowids == (3,)
+
+    def test_update_by_rowid(self, executor):
+        _, sql = executor
+        result = sql.execute("UPDATE patients SET age = 53 WHERE rowid = 0")
+        assert result.rowcount == 1
+        rows = sql.execute("SELECT age FROM patients WHERE rowid = 0")
+        assert rows.rows == ((53,),)
+
+    def test_update_by_column_hits_all_matches(self, executor):
+        _, sql = executor
+        sql.execute("INSERT INTO patients (age, weight) VALUES (52, 99)")
+        result = sql.execute("UPDATE patients SET weight = 0 WHERE age = 52")
+        assert result.rowcount == 2
+
+    def test_update_without_where_hits_everything(self, executor):
+        _, sql = executor
+        assert sql.execute("UPDATE patients SET age = 0").rowcount == 3
+
+    def test_delete(self, executor):
+        _, sql = executor
+        assert sql.execute("DELETE FROM patients WHERE rowid = 1").rowcount == 1
+        assert sql.execute("SELECT * FROM patients").rowcount == 2
+
+    def test_delete_by_value(self, executor):
+        _, sql = executor
+        assert sql.execute("DELETE FROM patients WHERE weight = 81").rowcount == 1
+
+    def test_select_projection(self, executor):
+        _, sql = executor
+        result = sql.execute("SELECT weight FROM patients WHERE age = 47")
+        assert result.rows == ((70,),)
+        assert "weight" in result.render()
+
+    def test_select_no_match(self, executor):
+        _, sql = executor
+        result = sql.execute("SELECT * FROM patients WHERE age = 999")
+        assert result.rowcount == 0
+        assert "(0 rows)" in result.render()
+
+    def test_unknown_column_rejected(self, executor):
+        _, sql = executor
+        with pytest.raises(WorkloadError):
+            sql.execute("UPDATE patients SET bogus = 1")
+        with pytest.raises(WorkloadError):
+            sql.execute("SELECT bogus FROM patients")
+        with pytest.raises(WorkloadError):
+            sql.execute("DELETE FROM patients WHERE bogus = 1")
+
+    def test_rowid_filter_needs_int(self, executor):
+        _, sql = executor
+        with pytest.raises(WorkloadError):
+            sql.execute("UPDATE patients SET age = 1 WHERE rowid = 'x'")
+
+
+class TestProvenanceBehindSQL:
+    def test_everything_verifies(self, executor):
+        tedb, sql = executor
+        sql.execute("UPDATE patients SET age = 53 WHERE rowid = 0")
+        sql.execute("DELETE FROM patients WHERE rowid = 2")
+        report = tedb.verify("db")
+        assert report.ok, report.summary()
+
+    def test_cell_chain_records_sql_change(self, executor):
+        tedb, sql = executor
+        sql.execute("UPDATE patients SET age = 53 WHERE rowid = 0")
+        chain = tedb.provenance_of("db/patients/r0/age")
+        assert chain[-1].output.value == 53
+        assert chain[-1].inputs[0].value == 52
+
+    def test_note_attached_to_statement(self, executor):
+        tedb, sql = executor
+        sql.execute(
+            "UPDATE patients SET age = 53 WHERE rowid = 0",
+            note="age corrected per chart",
+        )
+        chain = tedb.provenance_of("db/patients/r0/age")
+        assert chain[-1].note == "age corrected per chart"
+
+    def test_multi_row_update_is_one_complex_operation(self, executor):
+        tedb, sql = executor
+        before = len(tedb.provenance_store)
+        sql.execute("UPDATE patients SET weight = 1")
+        # 3 cells + 3 rows + table + root = 8 records, once each.
+        assert len(tedb.provenance_store) - before == 8
+
+    def test_selects_leave_no_records(self, executor):
+        tedb, sql = executor
+        before = len(tedb.provenance_store)
+        sql.execute("SELECT * FROM patients")
+        assert len(tedb.provenance_store) == before
+
+
+class TestOverPlainEngine:
+    def test_untracked_execution(self):
+        from repro.backend.engine import DatabaseEngine
+        from repro.backend.memory import InMemoryStore
+
+        sql = SQLExecutor(RelationalView(DatabaseEngine(InMemoryStore())))
+        sql.execute("CREATE TABLE t (a)")
+        sql.execute("INSERT INTO t (a) VALUES (1)")
+        sql.execute("UPDATE t SET a = 2")
+        assert sql.execute("SELECT a FROM t").rows == ((2,),)

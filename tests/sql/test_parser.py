@@ -1,0 +1,113 @@
+"""Unit tests for the SQL-dialect parser."""
+
+import pytest
+
+from repro.sql.parser import (
+    CreateTable,
+    Delete,
+    Insert,
+    Select,
+    SQLSyntaxError,
+    Update,
+    Where,
+    parse,
+)
+
+
+class TestCreate:
+    def test_basic(self):
+        stmt = parse("CREATE TABLE patients (age, weight)")
+        assert stmt == CreateTable(table="patients", columns=("age", "weight"))
+
+    def test_case_insensitive_keywords(self):
+        assert parse("create table t (c)").table == "t"
+
+    def test_missing_columns(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("CREATE TABLE t ()")
+
+    def test_keyword_as_identifier_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("CREATE TABLE select (c)")
+
+
+class TestInsert:
+    def test_literals(self):
+        stmt = parse(
+            "INSERT INTO t (a, b, c, d, e) VALUES (1, -2.5, 'x', NULL, TRUE)"
+        )
+        assert stmt.values == (1, -2.5, "x", None, True)
+
+    def test_string_escaping(self):
+        stmt = parse("INSERT INTO t (a) VALUES ('it''s')")
+        assert stmt.values == ("it's",)
+
+    def test_count_mismatch(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("INSERT INTO t (a, b) VALUES (1)")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("INSERT INTO t (a) VALUES (1) extra")
+
+    def test_trailing_semicolon_ok(self):
+        assert isinstance(parse("INSERT INTO t (a) VALUES (1);"), Insert)
+
+
+class TestUpdate:
+    def test_multi_assignment_with_rowid(self):
+        stmt = parse("UPDATE t SET a = 1, b = 'x' WHERE rowid = 3")
+        assert stmt.assignments == (("a", 1), ("b", "x"))
+        assert stmt.where == Where(column=None, value=3)
+        assert stmt.where.by_rowid
+
+    def test_column_where(self):
+        stmt = parse("UPDATE t SET a = 1 WHERE b = 'y'")
+        assert stmt.where == Where(column="b", value="y")
+
+    def test_no_where(self):
+        assert parse("UPDATE t SET a = 1").where is None
+
+    def test_missing_set(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("UPDATE t a = 1")
+
+
+class TestDeleteAndSelect:
+    def test_delete(self):
+        stmt = parse("DELETE FROM t WHERE rowid = 0")
+        assert isinstance(stmt, Delete)
+        assert stmt.where.by_rowid
+
+    def test_delete_all(self):
+        assert parse("DELETE FROM t").where is None
+
+    def test_select_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert isinstance(stmt, Select)
+        assert stmt.columns == ()
+
+    def test_select_projection_and_where(self):
+        stmt = parse("SELECT a, b FROM t WHERE c = 5")
+        assert stmt.columns == ("a", "b")
+        assert stmt.where == Where(column="c", value=5)
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "",
+        "DROP TABLE t",
+        "SELECT FROM t",
+        "INSERT INTO t VALUES (1)",
+        "UPDATE t SET a = ",
+        "SELECT * FROM t WHERE a > 5",
+        "CREATE TABLE t (a,)",
+        'SELECT * FROM t WHERE a = "double-quoted"',
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises(SQLSyntaxError):
+            parse(bad)
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("INSERT INTO t (a) VALUES ('oops)")

@@ -1,0 +1,175 @@
+"""Unit tests for the Table 2 operation workloads (Setups A/B/C)."""
+
+import pytest
+
+from repro.backend.engine import DatabaseEngine
+from repro.backend.memory import InMemoryStore
+from repro.exceptions import WorkloadError
+from repro.model.relational import RelationalView
+from repro.workloads.operations import (
+    SETUP_B_OPERATIONS,
+    SETUP_C_MIXES,
+    OperationMix,
+    apply_mixed_operations,
+    apply_row_deletes,
+    apply_row_inserts,
+    apply_update_sweep,
+    setup_a_points,
+)
+from repro.workloads.synthetic import TableSpec, populate_session
+
+
+@pytest.fixture
+def view():
+    engine = DatabaseEngine(InMemoryStore())
+    return populate_session(engine, (TableSpec(1, 8, 40),))
+
+
+class TestSetupAPoints:
+    def test_full_scale_points(self):
+        points = setup_a_points()
+        assert points[0] == ("1 update / 1 row", 1, 1)
+        assert ("4000 updates / 4000 rows", 4000, 4000) in points
+        assert ("32000 updates / 4000 rows", 32000, 4000) in points
+        assert len(points) == 1 + 10 + 7
+
+    def test_scaled_points_monotone(self):
+        points = setup_a_points(scale=0.01)
+        counts = [p[1] for p in points[1:11]]
+        assert counts == sorted(counts)
+        assert all(p[1] >= 1 for p in points)
+
+
+class TestUpdateSweep:
+    def test_updates_distinct_cells(self, view):
+        before = {
+            (k, c): view.get_cell("t1", k, c)
+            for k in view.row_keys("t1")
+            for c in view.columns("t1")
+        }
+        apply_update_sweep(view, "t1", 20, 20, seed=1)
+        after = {
+            (k, c): view.get_cell("t1", k, c)
+            for k in view.row_keys("t1")
+            for c in view.columns("t1")
+        }
+        changed = [key for key in before if before[key] != after[key]]
+        assert len(changed) == 20
+        # one cell per row before any second cell (row-major round-robin)
+        assert len({k for k, _ in changed}) == 20
+
+    def test_multiple_cells_per_row(self, view):
+        apply_update_sweep(view, "t1", 20, 10, seed=1)
+        assert view.row_count("t1") == 40  # structure untouched
+
+    def test_too_many_cells_rejected(self, view):
+        with pytest.raises(WorkloadError):
+            apply_update_sweep(view, "t1", 40 * 8 + 1, 40)
+
+    def test_not_enough_rows_rejected(self, view):
+        with pytest.raises(WorkloadError):
+            apply_update_sweep(view, "t1", 10, 100)
+
+
+class TestInsertsAndDeletes:
+    def test_inserts_add_rows(self, view):
+        keys = apply_row_inserts(view, "t1", 5)
+        assert len(keys) == 5
+        assert view.row_count("t1") == 45
+
+    def test_deletes_remove_rows(self, view):
+        victims = apply_row_deletes(view, "t1", 5, seed=2)
+        assert len(set(victims)) == 5
+        assert view.row_count("t1") == 35
+        for victim in victims:
+            assert view.row_id("t1", victim) not in view.store
+
+    def test_delete_more_than_exists_rejected(self, view):
+        with pytest.raises(WorkloadError):
+            apply_row_deletes(view, "t1", 41)
+
+    def test_setup_b_rows_sum(self):
+        keys = [op[0] for op in SETUP_B_OPERATIONS]
+        assert keys == [
+            "all-deletes",
+            "all-inserts",
+            "updates-500-rows",
+            "updates-4000-rows",
+        ]
+
+
+class TestMixes:
+    def test_paper_mixes_total_500(self):
+        for mix in SETUP_C_MIXES:
+            assert mix.total == 500
+
+    def test_delete_fractions_match_paper(self):
+        fractions = [round(m.delete_fraction, 3) for m in SETUP_C_MIXES]
+        assert fractions == [0.192, 0.366, 0.57, 0.782]
+
+    def test_mix_scaling(self):
+        mix = SETUP_C_MIXES[0].scaled(0.01)
+        assert mix.deletes == 1 and mix.inserts == 2 and mix.updates == 2
+        with pytest.raises(WorkloadError):
+            SETUP_C_MIXES[0].scaled(-1)
+
+    def test_label(self):
+        assert "19.2% deletes" in SETUP_C_MIXES[0].label
+
+    def test_apply_mixed_operations(self, view):
+        mix = OperationMix(deletes=5, inserts=7, updates=9)
+        performed = apply_mixed_operations(view, "t1", mix, seed=3)
+        assert performed == (5, 7, 9)
+        assert view.row_count("t1") == 40 - 5 + 7
+
+    def test_apply_mixed_deterministic(self):
+        from repro.core.merkle import subtree_digest
+
+        digests = []
+        for _ in range(2):
+            engine = DatabaseEngine(InMemoryStore())
+            v = populate_session(engine, (TableSpec(1, 4, 20),))
+            apply_mixed_operations(v, "t1", OperationMix(3, 3, 3), seed=5)
+            digests.append(subtree_digest(engine.store, "db"))
+        assert digests[0] == digests[1]
+
+    def test_too_many_deletes_rejected(self, view):
+        with pytest.raises(WorkloadError):
+            apply_mixed_operations(view, "t1", OperationMix(100, 0, 0))
+
+
+class TestProvenancedWorkloads:
+    """Workloads through a provenance session yield the paper's record
+    accounting (the numbers behind Figs 8-11)."""
+
+    @pytest.fixture
+    def tracked(self, tedb, participants):
+        session = tedb.session(participants["p1"])
+        view = populate_session(session, (TableSpec(1, 8, 20),))
+        return tedb, session, view
+
+    def test_delete_records_are_ancestors_only(self, tracked):
+        tedb, _, view = tracked
+        before = len(tedb.provenance_store)
+        apply_row_deletes(view, "t1", 5)
+        # One complex op: only table + root survive of the touched set.
+        assert len(tedb.provenance_store) - before == 2
+
+    def test_insert_records_count(self, tracked):
+        tedb, _, view = tracked
+        before = len(tedb.provenance_store)
+        apply_row_inserts(view, "t1", 5)
+        # 5 rows + 40 cells + table + root
+        assert len(tedb.provenance_store) - before == 5 + 40 + 2
+
+    def test_update_records_count(self, tracked):
+        tedb, _, view = tracked
+        before = len(tedb.provenance_store)
+        apply_update_sweep(view, "t1", 16, 8)
+        # 16 cells + 8 rows + table + root
+        assert len(tedb.provenance_store) - before == 16 + 8 + 2
+
+    def test_verification_still_passes_after_mixes(self, tracked):
+        tedb, _, view = tracked
+        apply_mixed_operations(view, "t1", OperationMix(2, 3, 4), seed=7)
+        assert tedb.verify("db").ok

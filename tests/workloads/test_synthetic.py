@@ -1,0 +1,122 @@
+"""Unit tests for the Table 1 synthetic-database generators."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads.synthetic import (
+    PAPER_COMBINATIONS,
+    PAPER_TABLES,
+    TableSpec,
+    build_forest,
+    node_count,
+    tables_for,
+    title_table_rows,
+)
+
+
+class TestTableSpec:
+    def test_paper_tables(self):
+        assert [(t.attributes, t.rows) for t in PAPER_TABLES] == [
+            (8, 4000),
+            (9, 3000),
+            (10, 2000),
+            (5, 5000),
+        ]
+
+    def test_nodes_arithmetic(self):
+        t1 = PAPER_TABLES[0]
+        assert t1.nodes == 4000 * 8 + 4000 + 1  # cells + rows + table node
+
+    def test_table1_node_count_matches_paper(self):
+        # {1}: 36002 is printed in Table 1(b) and matches exactly.
+        assert node_count(tables_for((1,))) == 36002
+
+    def test_multi_table_counts_near_paper(self):
+        # Printed values are off by <=3 from the Table 1(a) arithmetic.
+        printed = {(1, 2): 66000, (1, 2, 3): 88004, (1, 2, 3, 4): 118006}
+        for combination, value in printed.items():
+            assert abs(node_count(tables_for(combination)) - value) <= 3
+
+    def test_scaled(self):
+        scaled = PAPER_TABLES[0].scaled(0.01)
+        assert scaled.rows == 40
+        assert scaled.attributes == 8
+        with pytest.raises(WorkloadError):
+            PAPER_TABLES[0].scaled(0)
+
+    def test_columns(self):
+        assert PAPER_TABLES[3].columns == ("a1", "a2", "a3", "a4", "a5")
+
+    def test_unknown_combination(self):
+        with pytest.raises(WorkloadError):
+            tables_for((9,))
+
+
+class TestBuildForest:
+    def test_node_count_matches_arithmetic(self):
+        specs = tables_for((1, 2), scale=0.01)
+        forest = build_forest(specs)
+        assert len(forest) == node_count(specs)
+
+    def test_structure_depth_4(self):
+        forest = build_forest(tables_for((1,), scale=0.005))
+        cell = "db/t1/r0/a1"
+        assert forest.depth(cell) == 3
+        assert forest.ancestors(cell) == ["db/t1/r0", "db/t1", "db"]
+
+    def test_all_integer_values(self):
+        forest = build_forest(tables_for((1,), scale=0.005))
+        for row in forest.children("db/t1")[:3]:
+            for cell in forest.children(row):
+                assert isinstance(forest.value(cell), int)
+
+    def test_deterministic_by_seed(self):
+        from repro.core.merkle import subtree_digest
+
+        specs = tables_for((1,), scale=0.005)
+        a = subtree_digest(build_forest(specs, seed=1), "db")
+        b = subtree_digest(build_forest(specs, seed=1), "db")
+        c = subtree_digest(build_forest(specs, seed=2), "db")
+        assert a == b
+        assert a != c
+
+    def test_combinations_cover_paper(self):
+        assert PAPER_COMBINATIONS == ((1,), (1, 2), (1, 2, 3), (1, 2, 3, 4))
+
+
+class TestPopulateSession:
+    def test_provenanced_build(self, tedb, participants):
+        from repro.workloads.synthetic import populate_session
+
+        specs = (TableSpec(1, 3, 5),)
+        view = populate_session(tedb.session(participants["p1"]), specs)
+        assert view.row_count("t1") == 5
+        assert len(tedb.store) == node_count(specs)
+        # root insert + table insert(+inherited) + 5 rows complex ops
+        assert len(tedb.provenance_store) > 5
+        assert tedb.verify("db").ok
+
+
+class TestTitleTable:
+    def test_row_stream_shape(self):
+        rows = list(title_table_rows(3))
+        assert len(rows) == 3
+        row_id, row_value, cells = rows[0]
+        assert row_id.endswith("/r0")
+        assert row_value is None
+        assert [c[0].rsplit("/", 1)[1] for c in cells] == ["doc_id", "title"]
+
+    def test_doc_ids_sequential(self):
+        rows = list(title_table_rows(5))
+        doc_ids = [cells[0][1] for _, _, cells in rows]
+        assert doc_ids == [0, 1, 2, 3, 4]
+
+    def test_deterministic(self):
+        a = [cells[1][1] for _, _, cells in title_table_rows(4, seed=3)]
+        b = [cells[1][1] for _, _, cells in title_table_rows(4, seed=3)]
+        assert a == b
+
+    def test_lazy(self):
+        stream = title_table_rows(10**9)  # must not materialise
+        first = next(stream)
+        assert first[0].endswith("/r0")
