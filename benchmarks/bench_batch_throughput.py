@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Batched write path + parallel verification throughput.
+
+Usage::
+
+    python benchmarks/bench_batch_throughput.py [--records 10000] [--workers 4]
+                                                [--runs 3] [--json PATH]
+                                                [--quick]
+
+Measures records/sec for the three SQLite append paths (the seed's
+per-record write path, the current per-record ``append``, and
+``append_many``) on a Fig-8-style workload, plus serial vs parallel chain
+verification on a signed multi-object world.  Results are printed as a
+paper-style table and dumped to ``BENCH_throughput.json`` so future PRs
+have a throughput trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.experiments import run_batch_throughput
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--records", type=int, default=10_000,
+                        help="records in the append workload (default 10000)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="process count for parallel verify (default 4)")
+    parser.add_argument("--runs", type=int, default=3,
+                        help="timing repetitions; best-of is reported")
+    parser.add_argument("--batch-size", type=int, default=1_000,
+                        help="records per append_many call (default 1000)")
+    parser.add_argument("--verify-objects", type=int, default=1_500,
+                        help="objects in the verification world")
+    parser.add_argument("--verify-updates", type=int, default=3,
+                        help="updates per object in the verification world")
+    parser.add_argument("--key-bits", type=int, default=512,
+                        help="RSA modulus bits for the verification world")
+    parser.add_argument("--json", default=None,
+                        help="where to write the metrics (default "
+                             "BENCH_throughput.json, or skipped under "
+                             "--quick; '-' to skip)")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny everything, for smoke-testing")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.records, args.runs = 2_000, 1
+        args.verify_objects, args.verify_updates = 150, 2
+        args.batch_size = 500
+    if args.json is None:
+        # Quick smoke runs must not clobber the committed full-scale numbers.
+        args.json = "-" if args.quick else "BENCH_throughput.json"
+
+    result = run_batch_throughput(
+        n_records=args.records,
+        workers=args.workers,
+        runs=args.runs,
+        batch_size=args.batch_size,
+        verify_objects=args.verify_objects,
+        verify_updates=args.verify_updates,
+        key_bits=args.key_bits,
+    )
+    print(result.render())
+    if args.json != "-":
+        with open(args.json, "w") as fh:
+            json.dump(result.metrics, fh, indent=2)
+        print(f"\nmetrics written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@ shrinks everything for a fast sanity pass.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -20,6 +21,7 @@ from repro.bench.experiments import (
     run_ablation_chaining,
     run_ablation_grouping,
     run_ablation_signature,
+    run_batch_throughput,
     run_fig6,
     run_fig7,
     run_fig8_fig9,
@@ -39,13 +41,24 @@ def main(argv=None) -> int:
                         help="RSA modulus bits (paper: 1024)")
     parser.add_argument("--stream-rows", type=int, default=100_000,
                         help="rows for the streaming scale test")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="process count for the parallel-verify bench")
+    parser.add_argument("--throughput-json", default=None,
+                        help="where the batch-throughput metrics are written "
+                             "(default BENCH_throughput.json, or skipped under "
+                             "--quick; '-' to skip)")
     parser.add_argument("--quick", action="store_true",
                         help="tiny everything, for smoke-testing")
     args = parser.parse_args(argv)
 
+    throughput_records, throughput_objects = 10_000, 1_500
     if args.quick:
         args.scale, args.runs, args.key_bits = 0.02, 2, 512
         args.stream_rows = 5_000
+        throughput_records, throughput_objects = 2_000, 150
+    if args.throughput_json is None:
+        # Quick smoke runs must not clobber the committed full-scale numbers.
+        args.throughput_json = "-" if args.quick else "BENCH_throughput.json"
 
     started = time.perf_counter()
     print(run_table1b().render(), "\n")
@@ -63,6 +76,19 @@ def main(argv=None) -> int:
     )
     print(fig10.render(), "\n")
     print(fig11.render(), "\n")
+
+    throughput = run_batch_throughput(
+        n_records=throughput_records,
+        workers=args.workers,
+        runs=args.runs,
+        verify_objects=throughput_objects,
+        key_bits=args.key_bits if not args.quick else 512,
+    )
+    print(throughput.render(), "\n")
+    if args.throughput_json != "-":
+        with open(args.throughput_json, "w") as fh:
+            json.dump(throughput.metrics, fh, indent=2)
+        print(f"throughput metrics written to {args.throughput_json}\n")
 
     print(run_streaming(rows=args.stream_rows).render(), "\n")
     print(run_ablation_chaining().render(), "\n")

@@ -18,6 +18,7 @@ storing checksums — are the same.
 from __future__ import annotations
 
 import sqlite3
+from contextlib import contextmanager
 from typing import Iterator, List, Optional, Tuple
 
 from repro.exceptions import (
@@ -56,8 +57,11 @@ class SQLiteStore:
         except sqlite3.Error as exc:
             raise BackendError(f"cannot open SQLite database {path!r}: {exc}") from exc
         self._conn.executescript(_SCHEMA)
-        # Durability is not under test; keep the store fast.
+        # Durability is not under test; keep the store fast.  WAL turns
+        # commits into log appends (a no-op for :memory: databases).
+        self._conn.execute("PRAGMA journal_mode = WAL")
         self._conn.execute("PRAGMA synchronous = OFF")
+        self._bulk_depth = 0
 
     def close(self) -> None:
         """Close the underlying connection."""
@@ -68,6 +72,34 @@ class SQLiteStore:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    def _commit(self) -> None:
+        if self._bulk_depth == 0:
+            self._conn.commit()
+
+    @contextmanager
+    def bulk(self) -> Iterator["SQLiteStore"]:
+        """Batch many mutations into one transaction.
+
+        Workload loaders issue tens of thousands of single-row writes;
+        committing each one separately dominates load time.  Inside a
+        ``bulk()`` block the per-call commits are deferred and the whole
+        block commits once on exit (and rolls back if it raises, so a
+        failed load leaves no partial forest).  Re-entrant: nested blocks
+        join the outermost transaction.
+        """
+        self._bulk_depth += 1
+        try:
+            yield self
+        except BaseException:
+            self._bulk_depth -= 1
+            if self._bulk_depth == 0:
+                self._conn.rollback()
+            raise
+        else:
+            self._bulk_depth -= 1
+            if self._bulk_depth == 0:
+                self._conn.commit()
 
     # ------------------------------------------------------------------
     # primitives
@@ -83,7 +115,7 @@ class SQLiteStore:
             "INSERT INTO nodes(object_id, parent, value) VALUES (?, ?, ?)",
             (object_id, parent, encode_value(value)),
         )
-        self._conn.commit()
+        self._commit()
 
     def update(self, object_id: str, value: Value) -> Value:
         """Update an object's value; returns the old value."""
@@ -92,7 +124,7 @@ class SQLiteStore:
             "UPDATE nodes SET value = ? WHERE object_id = ?",
             (encode_value(value), object_id),
         )
-        self._conn.commit()
+        self._commit()
         return old
 
     def delete(self, object_id: str) -> Value:
@@ -103,7 +135,7 @@ class SQLiteStore:
                 f"object {object_id!r} has children; only leaves can be deleted"
             )
         self._conn.execute("DELETE FROM nodes WHERE object_id = ?", (object_id,))
-        self._conn.commit()
+        self._commit()
         return old
 
     # ------------------------------------------------------------------

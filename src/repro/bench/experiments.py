@@ -26,7 +26,7 @@ import copy
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.backend.engine import DatabaseEngine
 from repro.bench.charts import bar_chart
@@ -79,6 +79,7 @@ __all__ = [
     "run_ablation_chaining",
     "run_ablation_signature",
     "run_ablation_grouping",
+    "run_batch_throughput",
 ]
 
 #: Table 1(b) as printed in the paper (see EXPERIMENTS.md for the
@@ -101,6 +102,9 @@ class ExperimentResult:
     rows: List[Tuple[object, ...]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
     charts: List[Tuple[str, List[str], List[float], str]] = field(default_factory=list)
+    #: Machine-readable companion to ``rows`` (dumped to BENCH_*.json so
+    #: future PRs have a throughput trajectory to compare against).
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     def add(self, *row: object) -> None:
         """Append one row."""
@@ -677,4 +681,264 @@ def run_ablation_grouping(scale: float = 0.05) -> ExperimentResult:
         "per-primitive: each cell update also re-records row, table and "
         "root; grouping amortises the inherited records across the batch"
     )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Batched write path + parallel verification throughput
+# ---------------------------------------------------------------------------
+
+
+def _fig8_style_records(n_records: int, checksum_bytes: int = 128) -> List:
+    """A synthetic Fig-8-shaped record stream.
+
+    Setup B fans each cell update out to the row, table and root chains
+    (§4.2), so the stream interleaves many short cell/row chains with a
+    few very hot table/root chains — the shape that stresses per-object
+    sequence tracking.  Checksums are sized like the paper's 1024-bit RSA
+    signatures (128 bytes).
+    """
+    import hashlib
+
+    from repro.provenance.records import ObjectState, Operation, ProvenanceRecord
+
+    records: List = []
+    seqs: Dict[str, int] = {}
+    digests: Dict[str, bytes] = {}
+    i = 0
+    while len(records) < n_records:
+        row = f"db/t1/r{i % 1000}"
+        for object_id in (f"{row}/a1", row, "db/t1", "db"):
+            if len(records) == n_records:
+                break
+            seq = seqs.get(object_id, -1) + 1
+            seqs[object_id] = seq
+            after = hashlib.sha1(f"{object_id}#{seq}".encode()).digest()
+            before = digests.get(object_id)
+            digests[object_id] = after
+            if seq == 0:
+                operation, inputs = Operation.INSERT, ()
+            else:
+                operation = Operation.UPDATE
+                inputs = (ObjectState(object_id=object_id, digest=before),)
+            checksum = (
+                hashlib.sha256(f"{object_id}#{seq}".encode()).digest() * 4
+            )[:checksum_bytes]
+            records.append(
+                ProvenanceRecord(
+                    object_id=object_id,
+                    seq_id=seq,
+                    participant_id="bench",
+                    operation=operation,
+                    inputs=inputs,
+                    output=ObjectState(object_id=object_id, digest=after),
+                    checksum=checksum,
+                )
+            )
+        i += 1
+    return records
+
+
+def _seed_style_append(path: str, records: Sequence) -> None:
+    """The v0 per-record write path, reproduced for the before/after row.
+
+    What `SQLiteProvenanceStore.append` did at the seed: default DELETE
+    journal (no WAL), a ``latest()`` that JSON-decodes the full payload
+    just to read ``seq_id``, then INSERT + commit — per record.
+    """
+    import json
+    import sqlite3
+
+    from repro.provenance.records import ProvenanceRecord
+    from repro.provenance.store import SQLiteProvenanceStore
+
+    conn = sqlite3.connect(path)
+    try:
+        conn.executescript(SQLiteProvenanceStore._SCHEMA)
+        conn.execute("PRAGMA synchronous = OFF")
+        for record in records:
+            row = conn.execute(
+                "SELECT payload FROM provenance WHERE object_id = ?"
+                " ORDER BY seq_id DESC LIMIT 1",
+                (record.object_id,),
+            ).fetchone()
+            if row is not None:
+                latest = ProvenanceRecord.from_dict(json.loads(row[0]))
+                assert record.seq_id > latest.seq_id
+            conn.execute(
+                "INSERT INTO provenance(object_id, seq_id, participant,"
+                " checksum, payload) VALUES (?, ?, ?, ?, ?)",
+                (
+                    record.object_id,
+                    record.seq_id,
+                    record.participant_id,
+                    record.checksum,
+                    json.dumps(record.to_dict()),
+                ),
+            )
+            conn.commit()
+    finally:
+        conn.close()
+
+
+def _verify_world(n_objects: int, updates_per_object: int, key_bits: int):
+    """A multi-object world whose chains exercise the verifier."""
+    rng = random.Random(42)
+    db = TamperEvidentDatabase(key_bits=key_bits, rng=rng)
+    participant = db.enroll("bench")
+    session = db.session(participant)
+    for i in range(n_objects):
+        session.insert(f"obj{i}", i)
+        for update in range(updates_per_object):
+            session.update(f"obj{i}", i * 1000 + update)
+    return db
+
+
+def run_batch_throughput(
+    n_records: int = 10_000,
+    workers: int = 4,
+    runs: int = 3,
+    batch_size: int = 1_000,
+    verify_objects: int = 1_500,
+    verify_updates: int = 3,
+    key_bits: int = 512,
+) -> ExperimentResult:
+    """Records/sec: per-record vs batched append, serial vs parallel verify.
+
+    The append arms replay an ``n_records`` Fig-8-style stream into an
+    on-disk SQLite provenance database three ways: the v0 per-record
+    write path (JSON-decoding ``latest()``, DELETE journal, one commit
+    per record), the current per-record :meth:`append` (chain-tail cache,
+    WAL), and :meth:`append_many` in ``batch_size`` batches.  The verify
+    arms re-check a real signed multi-object world serially and with a
+    :class:`~repro.core.verifier.ParallelVerifier`.  Timings are
+    best-of-``runs``; :attr:`ExperimentResult.metrics` carries the raw
+    numbers for ``BENCH_throughput.json``.
+    """
+    import os
+    import tempfile
+
+    from repro.core.verifier import ParallelVerifier, Verifier
+    from repro.provenance.store import SQLiteProvenanceStore
+
+    result = ExperimentResult(
+        "throughput",
+        f"Batched append + parallel verify throughput "
+        f"({n_records} records, best of {runs})",
+        ("path", "time", "records/s", "speedup"),
+    )
+
+    records = _fig8_style_records(n_records)
+
+    def best_of(fn: Callable[[str], None]) -> float:
+        samples = []
+        for run_no in range(runs):
+            with tempfile.TemporaryDirectory() as tmp:
+                path = os.path.join(tmp, f"prov-{run_no}.db")
+                start = time.perf_counter()
+                fn(path)
+                samples.append(time.perf_counter() - start)
+        return min(samples)
+
+    def per_record_current(path: str) -> None:
+        with SQLiteProvenanceStore(path) as store:
+            for record in records:
+                store.append(record)
+
+    def batched(path: str) -> None:
+        with SQLiteProvenanceStore(path) as store:
+            for i in range(0, len(records), batch_size):
+                store.append_many(records[i : i + batch_size])
+
+    seed_s = best_of(lambda path: _seed_style_append(path, records))
+    current_s = best_of(per_record_current)
+    batched_s = best_of(batched)
+
+    def rps(elapsed: float) -> float:
+        return n_records / elapsed if elapsed else float("inf")
+
+    result.add("append: per-record (v0 path)", f"{seed_s:.3f} s", f"{rps(seed_s):.0f}", "1.0x")
+    result.add(
+        "append: per-record (current)",
+        f"{current_s:.3f} s",
+        f"{rps(current_s):.0f}",
+        f"{seed_s / current_s:.1f}x",
+    )
+    result.add(
+        f"append: append_many (batch={batch_size})",
+        f"{batched_s:.3f} s",
+        f"{rps(batched_s):.0f}",
+        f"{seed_s / batched_s:.1f}x",
+    )
+
+    # ------------------------------------------------------------------
+    # verification: serial vs per-object-chain parallel
+    # ------------------------------------------------------------------
+    db = _verify_world(verify_objects, verify_updates, key_bits)
+    verify_records = list(db.provenance_store.all_records())
+    keystore = db.keystore()
+    serial_verifier = Verifier(keystore)
+    parallel_verifier = ParallelVerifier(keystore, workers=workers)
+
+    serial_s = min(
+        measure(lambda: serial_verifier.verify_records(verify_records), runs=runs).samples
+    )
+    parallel_s = min(
+        measure(lambda: parallel_verifier.verify_records(verify_records), runs=runs).samples
+    )
+    serial_report = serial_verifier.verify_records(verify_records)
+    parallel_report = parallel_verifier.verify_records(verify_records)
+    identical = serial_report == parallel_report
+
+    n_verify = len(verify_records)
+    result.add(
+        "verify: serial",
+        f"{serial_s:.3f} s",
+        f"{n_verify / serial_s:.0f}",
+        "1.0x",
+    )
+    result.add(
+        f"verify: parallel ({workers} workers)",
+        f"{parallel_s:.3f} s",
+        f"{n_verify / parallel_s:.0f}",
+        f"{serial_s / parallel_s:.2f}x",
+    )
+    cpu_count = os.cpu_count() or 1
+    result.note(
+        f"reports byte-identical: {identical}; host has {cpu_count} cpu(s) — "
+        "process-parallel verify only beats serial with >1 core"
+    )
+    result.note(
+        "v0 path = JSON-decoding latest() + DELETE journal + commit/record "
+        "(what the seed's append did); see EXPERIMENTS.md performance notes"
+    )
+
+    result.metrics = {
+        "workload": {
+            "n_records": n_records,
+            "batch_size": batch_size,
+            "verify_records": n_verify,
+            "verify_objects": verify_objects,
+            "runs": runs,
+            "key_bits": key_bits,
+        },
+        "hardware": {"cpu_count": cpu_count},
+        "append": {
+            "seed_path_s": seed_s,
+            "seed_path_rps": rps(seed_s),
+            "per_record_s": current_s,
+            "per_record_rps": rps(current_s),
+            "batched_s": batched_s,
+            "batched_rps": rps(batched_s),
+            "speedup_batched_vs_seed": seed_s / batched_s,
+            "speedup_batched_vs_per_record": current_s / batched_s,
+        },
+        "verify": {
+            "workers": workers,
+            "serial_s": serial_s,
+            "parallel_s": parallel_s,
+            "speedup": serial_s / parallel_s,
+            "reports_identical": identical,
+        },
+    }
     return result

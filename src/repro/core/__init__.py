@@ -38,13 +38,19 @@ from repro.core.merkle import (
 )
 from repro.core.shipment import Shipment
 from repro.core.system import ParticipantSession, TamperEvidentDatabase
-from repro.core.verifier import VerificationFailure, VerificationReport, Verifier
+from repro.core.verifier import (
+    ParallelVerifier,
+    VerificationFailure,
+    VerificationReport,
+    Verifier,
+)
 
 __all__ = [
     "TamperEvidentDatabase",
     "ParticipantSession",
     "ChecksumCollector",
     "Verifier",
+    "ParallelVerifier",
     "VerificationReport",
     "VerificationFailure",
     "Shipment",

@@ -376,8 +376,15 @@ class ChecksumCollector:
 
     def _flush_staging(self) -> Tuple[ProvenanceRecord, ...]:
         records = tuple(self._staged)
-        for record in records:
-            self.provenance_store.append(record)
+        append_many = getattr(self.provenance_store, "append_many", None)
+        if append_many is not None:
+            # One batch, one store transaction: a complex operation (§4.4)
+            # commits atomically, so no half-flushed batch can ever read
+            # as an R4 attack.
+            append_many(records)
+        else:  # duck-typed stores predating the batch API
+            for record in records:
+                self.provenance_store.append(record)
         self._staged.clear()
         self._staged_latest.clear()
         return records

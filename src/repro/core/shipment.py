@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.verifier import VerificationReport, Verifier
 from repro.crypto.pki import Certificate, CertificateError, KeyStore
@@ -69,14 +69,28 @@ class Shipment:
     # recipient-side verification
     # ------------------------------------------------------------------
 
-    def verify(self, keystore: KeyStore) -> VerificationReport:
-        """Verify against an already-populated trust store."""
-        return Verifier(keystore).verify(self.snapshot, self.records, self.target_id)
+    def verify(
+        self, keystore: KeyStore, workers: Optional[int] = None
+    ) -> VerificationReport:
+        """Verify against an already-populated trust store.
+
+        ``workers`` > 1 fans per-object chain verification out over a
+        process pool (:class:`~repro.core.verifier.ParallelVerifier`);
+        the report is byte-identical to the serial one.
+        """
+        if workers is not None and workers != 1:
+            from repro.core.verifier import ParallelVerifier
+
+            verifier: Verifier = ParallelVerifier(keystore, workers=workers)
+        else:
+            verifier = Verifier(keystore)
+        return verifier.verify(self.snapshot, self.records, self.target_id)
 
     def verify_with_ca(
         self,
         ca_public_key: RSAPublicKey,
         ca_name: str = "repro-root-ca",
+        workers: Optional[int] = None,
     ) -> VerificationReport:
         """Verify trusting only the CA: certificates come from the shipment.
 
@@ -97,7 +111,7 @@ class Shipment:
                 cert_failures.append(
                     VerificationFailure("PKI", self.target_id, str(exc))
                 )
-        report = self.verify(keystore)
+        report = self.verify(keystore, workers=workers)
         if not cert_failures:
             return report
         return VerificationReport(

@@ -160,12 +160,14 @@ class TamperEvidentDatabase:
 
         return Shipment.build(self, object_id)
 
-    def verify(self, object_id: str):
+    def verify(self, object_id: str, workers: Optional[int] = None):
         """Verify an object in place, as a recipient of it would.
 
-        Returns a :class:`~repro.core.verifier.VerificationReport`.
+        ``workers`` > 1 verifies per-object chains in parallel (the
+        report stays byte-identical to a serial run).  Returns a
+        :class:`~repro.core.verifier.VerificationReport`.
         """
-        return self.ship(object_id).verify(self.keystore())
+        return self.ship(object_id).verify(self.keystore(), workers=workers)
 
     # ------------------------------------------------------------------
 

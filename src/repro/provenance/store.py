@@ -15,7 +15,16 @@ from __future__ import annotations
 
 import json
 import sqlite3
-from typing import Dict, Iterator, List, Optional, Protocol, Tuple, runtime_checkable
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
 
 from repro.exceptions import BackendError, ProvenanceError, SequenceError
 from repro.provenance.records import ProvenanceRecord
@@ -29,6 +38,15 @@ class ProvenanceStore(Protocol):
 
     def append(self, record: ProvenanceRecord) -> None:
         """Store a new record (keys must not repeat, seq must not regress)."""
+        ...
+
+    def append_many(self, records: Iterable[ProvenanceRecord]) -> None:
+        """Atomically store a batch of records.
+
+        Equivalent to appending each record in order, except all-or-
+        nothing: a sequence violation anywhere in the batch raises
+        :class:`SequenceError` and leaves the store untouched.
+        """
         ...
 
     def records_for(self, object_id: str) -> Tuple[ProvenanceRecord, ...]:
@@ -66,15 +84,40 @@ class ProvenanceStore(Protocol):
         ...
 
 
-def _check_append(
-    record: ProvenanceRecord, latest: Optional[ProvenanceRecord]
-) -> None:
+#: The per-object chain tail an append is validated against: the latest
+#: ``(seq_id, checksum)`` pair.  Deliberately *not* a full record — the
+#: hot write path must not deserialize JSON payloads just to read a
+#: sequence number.
+ChainTail = Tuple[int, bytes]
+
+
+def _check_append(record: ProvenanceRecord, tail: Optional[ChainTail]) -> None:
     """Shared append validation: per-object seq ids strictly increase."""
-    if latest is not None and record.seq_id <= latest.seq_id:
+    if tail is not None and record.seq_id <= tail[0]:
         raise SequenceError(
             f"record for {record.object_id!r} has seq {record.seq_id} "
-            f"<= latest {latest.seq_id}"
+            f"<= latest {tail[0]}"
         )
+
+
+def _check_batch(
+    records: List[ProvenanceRecord],
+    tail_of,
+) -> Dict[str, ChainTail]:
+    """Validate a whole batch against ``tail_of`` plus in-batch staging.
+
+    ``tail_of(object_id)`` returns the store's current chain tail.
+    Returns the chain tails the batch leaves behind, or raises
+    :class:`SequenceError` (before anything was written).
+    """
+    staged: Dict[str, ChainTail] = {}
+    for record in records:
+        tail = staged.get(record.object_id)
+        if tail is None:
+            tail = tail_of(record.object_id)
+        _check_append(record, tail)
+        staged[record.object_id] = (record.seq_id, record.checksum)
+    return staged
 
 
 class InMemoryProvenanceStore:
@@ -87,10 +130,24 @@ class InMemoryProvenanceStore:
 
     def append(self, record: ProvenanceRecord) -> None:
         chain = self._chains.setdefault(record.object_id, [])
-        _check_append(record, chain[-1] if chain else None)
+        _check_append(record, self._tail(record.object_id))
         chain.append(record)
         self._count += 1
         self._space += record.storage_bytes()
+
+    def append_many(self, records: Iterable[ProvenanceRecord]) -> None:
+        batch = list(records)
+        _check_batch(batch, self._tail)  # validate-then-apply: atomic
+        for record in batch:
+            self._chains.setdefault(record.object_id, []).append(record)
+            self._count += 1
+            self._space += record.storage_bytes()
+
+    def _tail(self, object_id: str) -> Optional[ChainTail]:
+        chain = self._chains.get(object_id)
+        if not chain:
+            return None
+        return (chain[-1].seq_id, chain[-1].checksum)
 
     def records_for(self, object_id: str) -> Tuple[ProvenanceRecord, ...]:
         return tuple(self._chains.get(object_id, ()))
@@ -154,7 +211,18 @@ class SQLiteProvenanceStore:
         except sqlite3.Error as exc:
             raise BackendError(f"cannot open provenance database {path!r}: {exc}") from exc
         self._conn.executescript(self._SCHEMA)
+        # WAL keeps readers off the writer's back and makes commits an
+        # append to the log; synchronous=OFF skips fsync — acceptable for
+        # a provenance *cache* whose integrity is carried by the signed
+        # checksums, not by the journal (see EXPERIMENTS.md).
+        self._conn.execute("PRAGMA journal_mode = WAL")
         self._conn.execute("PRAGMA synchronous = OFF")
+        # Chain-tail cache: object_id -> (seq_id, checksum) of the newest
+        # record, or None for objects known to have no records.  Appends
+        # validate against this instead of SELECTing + JSON-decoding the
+        # full latest payload.  Assumes this store is the object's only
+        # writer (same single-collector model as the paper's §5 setup).
+        self._tail_cache: Dict[str, Optional[ChainTail]] = {}
 
     def close(self) -> None:
         """Close the underlying connection."""
@@ -166,25 +234,59 @@ class SQLiteProvenanceStore:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def append(self, record: ProvenanceRecord) -> None:
-        _check_append(record, self.latest(record.object_id))
+    _INSERT = (
+        "INSERT INTO provenance(object_id, seq_id, participant, checksum, payload)"
+        " VALUES (?, ?, ?, ?, ?)"
+    )
+
+    @staticmethod
+    def _row_of(record: ProvenanceRecord) -> Tuple[str, int, str, bytes, str]:
+        return (
+            record.object_id,
+            record.seq_id,
+            record.participant_id,
+            record.checksum,
+            json.dumps(record.to_dict(), separators=(",", ":")),
+        )
+
+    def _tail(self, object_id: str) -> Optional[ChainTail]:
+        """Latest ``(seq_id, checksum)`` without deserializing the payload."""
         try:
-            self._conn.execute(
-                "INSERT INTO provenance(object_id, seq_id, participant, checksum, payload)"
-                " VALUES (?, ?, ?, ?, ?)",
-                (
-                    record.object_id,
-                    record.seq_id,
-                    record.participant_id,
-                    record.checksum,
-                    json.dumps(record.to_dict()),
-                ),
-            )
+            return self._tail_cache[object_id]
+        except KeyError:
+            row = self._conn.execute(
+                "SELECT seq_id, checksum FROM provenance WHERE object_id = ?"
+                " ORDER BY seq_id DESC LIMIT 1",
+                (object_id,),
+            ).fetchone()
+            tail = (row[0], bytes(row[1])) if row is not None else None
+            self._tail_cache[object_id] = tail
+            return tail
+
+    def append(self, record: ProvenanceRecord) -> None:
+        _check_append(record, self._tail(record.object_id))
+        try:
+            with self._conn:
+                self._conn.execute(self._INSERT, self._row_of(record))
         except sqlite3.IntegrityError as exc:
             raise SequenceError(
                 f"duplicate record key ({record.object_id!r}, {record.seq_id})"
             ) from exc
-        self._conn.commit()
+        self._tail_cache[record.object_id] = (record.seq_id, record.checksum)
+
+    def append_many(self, records: Iterable[ProvenanceRecord]) -> None:
+        batch = list(records)
+        if not batch:
+            return
+        staged = _check_batch(batch, self._tail)
+        try:
+            with self._conn:  # one transaction: all-or-nothing
+                self._conn.executemany(
+                    self._INSERT, (self._row_of(record) for record in batch)
+                )
+        except sqlite3.IntegrityError as exc:
+            raise SequenceError(f"duplicate record key in batch: {exc}") from exc
+        self._tail_cache.update(staged)
 
     def records_for(self, object_id: str) -> Tuple[ProvenanceRecord, ...]:
         rows = self._conn.execute(
@@ -236,6 +338,7 @@ class SQLiteProvenanceStore:
             "DELETE FROM provenance WHERE object_id = ?", (object_id,)
         )
         self._conn.commit()
+        self._tail_cache.pop(object_id, None)
         return cursor.rowcount
 
     @staticmethod

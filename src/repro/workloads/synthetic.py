@@ -150,16 +150,25 @@ def populate_session(
     Every row insert is one complex operation, exactly as the evaluation's
     workload generator would drive the real system.  Returns the
     relational view for running Setup A/B/C operations.
+
+    When the session's backing store supports bulk loading (the SQLite
+    store's ``bulk()``), the whole load shares one store transaction
+    instead of committing per node.
     """
+    from contextlib import nullcontext
+
     rng = random.Random(seed)
     view = RelationalView(session, root_id=root_id)
-    for spec in specs:
-        view.create_table(spec.name, spec.columns)
-        for _ in range(spec.rows):
-            view.insert_row(
-                spec.name,
-                {column: rng.randrange(_VALUE_RANGE) for column in spec.columns},
-            )
+    store = getattr(session, "store", None)
+    bulk = getattr(store, "bulk", None)
+    with bulk() if bulk is not None else nullcontext():
+        for spec in specs:
+            view.create_table(spec.name, spec.columns)
+            for _ in range(spec.rows):
+                view.insert_row(
+                    spec.name,
+                    {column: rng.randrange(_VALUE_RANGE) for column in spec.columns},
+                )
     return view
 
 

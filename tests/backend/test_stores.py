@@ -125,3 +125,47 @@ class TestSQLiteSpecific:
 
         with pytest.raises(BackendError):
             SQLiteStore("/nonexistent-dir-xyz/foo.db")
+
+    def test_bulk_persists_on_success(self, tmp_path):
+        path = str(tmp_path / "bulk.db")
+        with SQLiteStore(path) as s:
+            with s.bulk():
+                s.insert("db", None)
+                for i in range(10):
+                    s.insert(f"db/x{i}", i, "db")
+        with SQLiteStore(path) as s:
+            assert len(s) == 11
+            assert s.value("db/x7") == 7
+
+    def test_bulk_rolls_back_on_error(self):
+        with SQLiteStore() as s:
+            s.insert("keep", 1)
+            with pytest.raises(RuntimeError):
+                with s.bulk():
+                    s.insert("db", None)
+                    s.insert("db/x", 2, "db")
+                    raise RuntimeError("loader blew up")
+            # the failed load left no partial forest
+            assert "db" not in s
+            assert "db/x" not in s
+            assert s.value("keep") == 1
+
+    def test_bulk_nested_joins_outer_transaction(self):
+        with SQLiteStore() as s:
+            with s.bulk():
+                s.insert("a", 1)
+                with s.bulk():
+                    s.insert("b", 2)
+                # inner exit must not commit the outer block early
+                assert s._bulk_depth == 1
+            assert s.value("a") == 1
+            assert s.value("b") == 2
+
+    def test_mutations_after_bulk_commit_normally(self, tmp_path):
+        path = str(tmp_path / "after.db")
+        with SQLiteStore(path) as s:
+            with s.bulk():
+                s.insert("a", 1)
+            s.insert("b", 2)
+        with SQLiteStore(path) as s:
+            assert s.value("b") == 2

@@ -1,0 +1,121 @@
+"""ParallelVerifier must be report-for-report identical to Verifier.
+
+§3.2's local chaining makes per-object chains independently verifiable;
+the parallel verifier fans them out over a process pool and merges the
+per-chain failures back in serial order.  These tests pin the contract:
+for any worker count, on clean and on tampered inputs, the
+``VerificationReport`` — failures, requirement codes, order, counts — is
+byte-identical to the serial verifier's.
+"""
+
+import pytest
+
+from repro.attacks.scenarios import all_scenarios, build_world
+from repro.core.system import TamperEvidentDatabase
+from repro.core.verifier import ParallelVerifier, Verifier
+
+WORKER_COUNTS = (1, 2, 8)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world()
+
+
+@pytest.fixture(scope="module")
+def aggregate_db(ca, participants):
+    """A database whose provenance DAG crosses chains via aggregation."""
+    db = TamperEvidentDatabase(ca=ca)
+    session = db.session(participants["p1"])
+    for i in range(6):
+        session.insert(f"src{i}", i)
+        session.update(f"src{i}", i * 10)
+    session.aggregate([f"src{i}" for i in range(6)], "agg")
+    return db
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_untampered_shipment_reports_identical(world, workers):
+    keystore = world.db.keystore()
+    serial = world.shipment.verify(keystore)
+    parallel = world.shipment.verify(keystore, workers=workers)
+    assert serial.ok
+    assert parallel == serial
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_tampered_shipment_reports_identical(world, workers):
+    # One representative record-tampering attack (R1).
+    from repro.attacks import tampering
+
+    tampered = tampering.modify_record_output(world.shipment, "x", 3, fake_value=1300)
+    serial = tampered.verify_with_ca(world.db.ca.public_key, world.db.ca.name)
+    parallel = tampered.verify_with_ca(
+        world.db.ca.public_key, world.db.ca.name, workers=workers
+    )
+    assert not serial.ok
+    assert parallel == serial
+    assert parallel.failures == serial.failures  # same failures, same order
+    assert parallel.requirement_codes() == serial.requirement_codes()
+
+
+@pytest.mark.parametrize("scenario", all_scenarios(), ids=lambda s: s.name)
+def test_all_attack_scenarios_report_identical(world, scenario):
+    """Every R1–R8 scenario: parallel == serial, detection unchanged."""
+    tampered = scenario.run(world)
+    serial = tampered.verify_with_ca(world.db.ca.public_key, world.db.ca.name)
+    parallel = tampered.verify_with_ca(
+        world.db.ca.public_key, world.db.ca.name, workers=4
+    )
+    assert parallel == serial
+    assert (not serial.ok) == scenario.expect_detected
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_aggregate_cross_chain_resolution(aggregate_db, keystore, workers):
+    """Aggregation records read *other* chains during verification; the
+    per-chain partition must still resolve their predecessors."""
+    records = list(aggregate_db.provenance_store.all_records())
+    serial = Verifier(keystore).verify_records(records)
+    parallel = ParallelVerifier(keystore, workers=workers).verify_records(records)
+    assert serial.ok
+    assert parallel == serial
+
+
+def test_verify_records_on_tampered_chain_merges_deterministically(
+    aggregate_db, keystore
+):
+    records = list(aggregate_db.provenance_store.all_records())
+    # Corrupt two records in different chains: merged failure order must
+    # match the serial sorted-object iteration, not pool completion order.
+    corrupted = []
+    for record in records:
+        if record.key in (("src1", 1), ("src4", 1)):
+            record = record.with_checksum(
+                bytes([record.checksum[0] ^ 0xFF]) + record.checksum[1:]
+            )
+        corrupted.append(record)
+    serial = Verifier(keystore).verify_records(corrupted)
+    assert not serial.ok
+    for workers in WORKER_COUNTS:
+        parallel = ParallelVerifier(keystore, workers=workers).verify_records(corrupted)
+        assert parallel == serial
+
+
+def test_database_verify_accepts_workers(tedb, participants):
+    session = tedb.session(participants["p1"])
+    session.insert("doc", "draft")
+    session.update("doc", "final")
+    serial = tedb.verify("doc")
+    parallel = tedb.verify("doc", workers=2)
+    assert serial.ok
+    assert parallel == serial
+
+
+def test_single_worker_runs_in_process(keystore, aggregate_db):
+    """workers=1 must not pay for a pool."""
+    records = list(aggregate_db.provenance_store.all_records())
+    verifier = ParallelVerifier(keystore, workers=1)
+    # no pool machinery: _run_pool would need >1 worker
+    report = verifier.verify_records(records)
+    assert report.ok

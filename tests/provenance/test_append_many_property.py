@@ -1,0 +1,131 @@
+"""Property test: ``append_many`` is equivalent to sequential ``append``.
+
+For any record sequence — valid or not — the batch API must behave like
+appending record by record, except that a failure anywhere in the batch
+leaves the store untouched (all-or-nothing), whereas the sequential loop
+stops mid-way.  Both store implementations are checked against each other
+and against the in-memory reference semantics.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SequenceError
+from repro.provenance.records import ObjectState, Operation, ProvenanceRecord
+from repro.provenance.store import InMemoryProvenanceStore, SQLiteProvenanceStore
+
+
+def _record(object_id: str, seq_id: int) -> ProvenanceRecord:
+    digest = bytes([seq_id % 251]) * 20
+    operation = Operation.INSERT if seq_id == 0 else Operation.UPDATE
+    inputs = () if seq_id == 0 else (ObjectState(object_id=object_id, digest=digest),)
+    return ProvenanceRecord(
+        object_id=object_id,
+        seq_id=seq_id,
+        participant_id="p1",
+        operation=operation,
+        inputs=inputs,
+        output=ObjectState(object_id=object_id, digest=digest),
+        checksum=bytes([seq_id % 251, len(object_id) % 251]) * 32,
+    )
+
+
+#: Sequences over a small id/seq alphabet so collisions (duplicates and
+#: regressions) are generated often.
+record_batches = st.lists(
+    st.tuples(st.sampled_from("ABC"), st.integers(min_value=0, max_value=4)),
+    max_size=12,
+).map(lambda keys: [_record(object_id, seq) for object_id, seq in keys])
+
+
+def _state(store):
+    """Full observable state of a provenance store."""
+    return (
+        len(store),
+        store.space_bytes(),
+        [record.to_dict() for record in store.all_records()],
+        [store.latest(object_id).to_dict() for object_id in store.object_ids()
+         if store.latest(object_id) is not None],
+    )
+
+
+def _sequential_outcome(records):
+    """Apply the batch record-by-record to the reference store."""
+    reference = InMemoryProvenanceStore()
+    for record in records:
+        try:
+            reference.append(record)
+        except SequenceError as exc:
+            return reference, exc
+    return reference, None
+
+
+@settings(max_examples=60, deadline=None)
+@given(record_batches)
+def test_append_many_equivalent_to_sequential_append(records):
+    reference, error = _sequential_outcome(records)
+
+    for make_store in (InMemoryProvenanceStore, SQLiteProvenanceStore):
+        store = make_store()
+        try:
+            if error is None:
+                store.append_many(records)
+                assert _state(store) == _state(reference)
+            else:
+                with pytest.raises(SequenceError):
+                    store.append_many(records)
+                # all-or-nothing: no partial writes on failure
+                assert len(store) == 0
+                assert list(store.all_records()) == []
+        finally:
+            if isinstance(store, SQLiteProvenanceStore):
+                store.close()
+
+
+@settings(max_examples=40, deadline=None)
+@given(record_batches, record_batches)
+def test_append_many_after_committed_prefix(first, second):
+    """A failing batch must not disturb previously committed records."""
+    prefix_ref, prefix_error = _sequential_outcome(first)
+    if prefix_error is not None:
+        first = []  # keep only cleanly appendable prefixes
+        prefix_ref = InMemoryProvenanceStore()
+
+    reference, error = _sequential_outcome(first + second)
+
+    for make_store in (InMemoryProvenanceStore, SQLiteProvenanceStore):
+        store = make_store()
+        try:
+            if first:
+                store.append_many(first)
+            if error is None:
+                store.append_many(second)
+                assert _state(store) == _state(reference)
+            else:
+                with pytest.raises(SequenceError):
+                    store.append_many(second)
+                # the committed prefix is intact, the failed batch absent
+                assert _state(store) == _state(prefix_ref)
+        finally:
+            if isinstance(store, SQLiteProvenanceStore):
+                store.close()
+
+
+@settings(max_examples=40, deadline=None)
+@given(record_batches)
+def test_both_stores_raise_identical_messages(records):
+    """The two implementations agree on *which* record is rejected."""
+    memory = InMemoryProvenanceStore()
+    with SQLiteProvenanceStore() as sqlite_store:
+        memory_error = sqlite_error = None
+        try:
+            memory.append_many(records)
+        except SequenceError as exc:
+            memory_error = str(exc)
+        try:
+            sqlite_store.append_many(records)
+        except SequenceError as exc:
+            sqlite_error = str(exc)
+        assert memory_error == sqlite_error
+        assert _state(memory) == _state(sqlite_store)

@@ -100,6 +100,56 @@ class TestConformance:
         store.append(original)
         assert store.records_for("A")[0] == original
 
+    def test_append_many_matches_sequential(self, store):
+        batch = [
+            record_for("A", 0, operation=Operation.INSERT),
+            record_for("B", 0, operation=Operation.INSERT),
+            record_for("A", 1),
+            record_for("A", 2),
+            record_for("B", 1),
+        ]
+        store.append_many(batch)
+        assert len(store) == 5
+        assert [r.seq_id for r in store.records_for("A")] == [0, 1, 2]
+        assert store.latest("B").seq_id == 1
+        assert store.space_bytes() == sum(r.storage_bytes() for r in batch)
+
+    def test_append_many_continues_existing_chain(self, store):
+        store.append(record_for("A", 0, operation=Operation.INSERT))
+        store.append_many([record_for("A", 1), record_for("A", 2)])
+        assert store.latest("A").seq_id == 2
+        with pytest.raises(SequenceError):
+            store.append_many([record_for("A", 2)])
+
+    def test_append_many_is_atomic_on_mid_batch_duplicate(self, store):
+        store.append(record_for("A", 0, operation=Operation.INSERT))
+        before = len(store)
+        with pytest.raises(SequenceError):
+            store.append_many(
+                [
+                    record_for("B", 0, operation=Operation.INSERT),
+                    record_for("A", 1),
+                    record_for("A", 1),  # duplicate key mid-batch
+                ]
+            )
+        # all-or-nothing: the valid prefix was not half-flushed
+        assert len(store) == before
+        assert store.records_for("B") == ()
+        assert store.latest("A").seq_id == 0
+
+    def test_append_many_empty_batch(self, store):
+        store.append_many([])
+        assert len(store) == 0
+
+    def test_append_after_append_many_sees_batch_tail(self, store):
+        store.append_many(
+            [record_for("A", 0, operation=Operation.INSERT), record_for("A", 1)]
+        )
+        with pytest.raises(SequenceError):
+            store.append(record_for("A", 1))
+        store.append(record_for("A", 2))
+        assert store.latest("A").seq_id == 2
+
 
 class TestSQLiteSpecific:
     def test_persistence(self, tmp_path):
@@ -116,6 +166,42 @@ class TestSQLiteSpecific:
             s.append(record_for("A", 1))
             with pytest.raises(SequenceError):
                 s.append(record_for("A", 1))
+
+    def test_tail_cache_survives_purge(self):
+        # purge_object must invalidate the chain-tail cache, or a purged
+        # object could never restart its chain at seq 0.
+        with SQLiteProvenanceStore() as s:
+            s.append(record_for("A", 0, operation=Operation.INSERT))
+            s.append(record_for("A", 1))
+            assert s.purge_object("A") == 2
+            s.append(record_for("A", 0, operation=Operation.INSERT))
+            assert s.latest("A").seq_id == 0
+
+    def test_tail_check_does_not_load_payload(self, monkeypatch):
+        # The hot write path must not JSON-decode the latest payload.
+        with SQLiteProvenanceStore() as s:
+            s.append(record_for("A", 0, operation=Operation.INSERT))
+
+            def boom(row):
+                raise AssertionError("append deserialized a payload")
+
+            monkeypatch.setattr(SQLiteProvenanceStore, "_load", staticmethod(boom))
+            s.append(record_for("A", 1))
+            with pytest.raises(SequenceError):
+                s.append(record_for("A", 1))
+
+    def test_tail_cache_loads_from_disk(self, tmp_path):
+        # A fresh connection (empty cache) must validate against the
+        # persisted chain, not treat every object as new.
+        path = str(tmp_path / "prov.db")
+        with SQLiteProvenanceStore(path) as s:
+            s.append(record_for("A", 0, operation=Operation.INSERT))
+            s.append(record_for("A", 1))
+        with SQLiteProvenanceStore(path) as s:
+            with pytest.raises(SequenceError):
+                s.append(record_for("A", 1))
+            s.append(record_for("A", 2))
+            assert s.latest("A").seq_id == 2
 
     def test_end_to_end_with_sqlite_provenance(self, ca, participants):
         """The full system runs with a SQLite provenance database."""

@@ -96,6 +96,24 @@ class TestPopulateSession:
         assert len(tedb.provenance_store) > 5
         assert tedb.verify("db").ok
 
+    def test_sqlite_backend_loads_in_one_bulk_transaction(self, ca, participants):
+        from unittest import mock
+
+        from repro.backend.sqlite import SQLiteStore
+        from repro.core.system import TamperEvidentDatabase
+        from repro.workloads.synthetic import populate_session
+
+        specs = (TableSpec(1, 2, 4),)
+        with SQLiteStore() as store:
+            db = TamperEvidentDatabase(ca=ca, store=store)
+            with mock.patch.object(
+                SQLiteStore, "bulk", wraps=store.bulk
+            ) as bulk:
+                populate_session(db.session(participants["p1"]), specs)
+            bulk.assert_called_once()
+            assert len(store) == node_count(specs)
+            assert db.verify("db").ok
+
 
 class TestTitleTable:
     def test_row_stream_shape(self):
