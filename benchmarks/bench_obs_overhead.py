@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Observability-layer overhead: disabled and enabled modes.
+
+Usage::
+
+    python benchmarks/bench_obs_overhead.py [--records 10000] [--runs 3]
+                                            [--json PATH] [--quick]
+
+Runs the hottest write path (batched SQLite appends) and a serial chain
+verification with observability off and on.  The disabled-mode cost
+versus a hypothetical uninstrumented build is bounded from above (sites
+fired x measured per-check cost / wall time) and **guarded at <= 2%** —
+the process exits non-zero when the guard fails, so CI catches an
+instrumentation regression that creeps into the disabled path.  Metrics
+are dumped to ``BENCH_obs_overhead.json`` for the trajectory record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.experiments import run_obs_overhead
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--records", type=int, default=10_000,
+                        help="records in the append workload (default 10000)")
+    parser.add_argument("--runs", type=int, default=3,
+                        help="timing repetitions; best-of is reported")
+    parser.add_argument("--verify-objects", type=int, default=200,
+                        help="objects in the verification world")
+    parser.add_argument("--verify-updates", type=int, default=3,
+                        help="updates per object in the verification world")
+    parser.add_argument("--key-bits", type=int, default=512,
+                        help="RSA modulus bits for the verification world")
+    parser.add_argument("--max-overhead", type=float, default=0.02,
+                        help="disabled-mode overhead guard (default 0.02 = 2%%)")
+    parser.add_argument("--json", default=None,
+                        help="where to write the metrics (default "
+                             "BENCH_obs_overhead.json, or skipped under "
+                             "--quick; '-' to skip)")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny everything, for smoke-testing")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.records, args.runs = 2_000, 1
+        args.verify_objects, args.verify_updates = 60, 2
+    if args.json is None:
+        # Quick smoke runs must not clobber the committed full-scale numbers.
+        args.json = "-" if args.quick else "BENCH_obs_overhead.json"
+
+    result = run_obs_overhead(
+        n_records=args.records,
+        runs=args.runs,
+        verify_objects=args.verify_objects,
+        verify_updates=args.verify_updates,
+        key_bits=args.key_bits,
+        max_disabled_overhead=args.max_overhead,
+    )
+    print(result.render())
+    if args.json != "-":
+        with open(args.json, "w") as fh:
+            json.dump(result.metrics, fh, indent=2)
+        print(f"\nmetrics written to {args.json}")
+    if not result.metrics["guard"]["ok"]:
+        print("error: disabled-mode overhead guard FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

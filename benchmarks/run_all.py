@@ -26,6 +26,7 @@ from repro.bench.experiments import (
     run_fig7,
     run_fig8_fig9,
     run_fig10_fig11,
+    run_obs_overhead,
     run_streaming,
     run_table1b,
 )
@@ -47,6 +48,9 @@ def main(argv=None) -> int:
                         help="where the batch-throughput metrics are written "
                              "(default BENCH_throughput.json, or skipped under "
                              "--quick; '-' to skip)")
+    parser.add_argument("--stats", action="store_true",
+                        help="run the figure workloads with observability on "
+                             "and print the collected metrics breakdown")
     parser.add_argument("--quick", action="store_true",
                         help="tiny everything, for smoke-testing")
     args = parser.parse_args(argv)
@@ -59,6 +63,13 @@ def main(argv=None) -> int:
     if args.throughput_json is None:
         # Quick smoke runs must not clobber the committed full-scale numbers.
         args.throughput_json = "-" if args.quick else "BENCH_throughput.json"
+
+    if args.stats:
+        # Observe the whole run: every figure workload below reports into
+        # the default registry, and a breakdown table closes the output.
+        from repro import obs
+
+        obs.enable(metrics=True, tracing=False, reset=True)
 
     started = time.perf_counter()
     print(run_table1b().render(), "\n")
@@ -95,7 +106,29 @@ def main(argv=None) -> int:
     print(run_ablation_signature(runs=args.runs, key_bits=args.key_bits).render(), "\n")
     print(run_ablation_grouping().render(), "\n")
 
+    if args.stats:
+        # Print before the overhead benchmark below, which manages (and
+        # resets) the observability state itself.
+        from repro import obs
+        from repro.bench.reporting import banner
+        from repro.obs.export import render_text
+
+        print(banner("metrics breakdown (instrumented run)"))
+        print(render_text(obs.snapshot()), "\n")
+        obs.disable(reset=True)
+
+    overhead = run_obs_overhead(
+        n_records=throughput_records,
+        runs=args.runs,
+        verify_objects=min(throughput_objects, 200),
+        key_bits=512,
+    )
+    print(overhead.render(), "\n")
+
     print(f"total wall time: {time.perf_counter() - started:.1f} s")
+    if not overhead.metrics["guard"]["ok"]:
+        print("error: disabled-mode overhead guard FAILED", file=sys.stderr)
+        return 1
     return 0
 
 

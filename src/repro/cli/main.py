@@ -154,6 +154,42 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("export-ca-key", help="write the CA public key as JSON")
     p.add_argument("-o", "--output", required=True)
 
+    p = sub.add_parser(
+        "stats",
+        help="run an instrumented synthetic workload and print its metrics",
+        description=(
+            "Runs a seeded in-memory insert/update/aggregate/verify workload "
+            "with observability enabled and prints the collected metrics "
+            "(counters, gauges, latency histograms). No workspace needed."
+        ),
+    )
+    p.add_argument("--objects", type=int, default=6, help="objects to create")
+    p.add_argument("--updates", type=int, default=3, help="updates per object")
+    p.add_argument("--seed", type=int, default=42, help="RNG seed for key generation")
+    p.add_argument("--key-bits", type=int, default=512)
+    p.add_argument("--workers", type=int, default=1,
+                   help="verification workers (>1 exercises the parallel path)")
+    p.add_argument("--json", action="store_true", help="emit a JSON snapshot")
+    p.add_argument("--prometheus", action="store_true",
+                   help="emit Prometheus text exposition format")
+    p.add_argument("-o", "--output", default=None,
+                   help="write to file (default: stdout)")
+
+    p = sub.add_parser(
+        "trace",
+        help="run an instrumented synthetic verify and print its span tree",
+        description=(
+            "Runs the same seeded workload as `stats` with tracing enabled "
+            "and renders the verification trace as a tree (or JSON)."
+        ),
+    )
+    p.add_argument("--objects", type=int, default=6)
+    p.add_argument("--updates", type=int, default=3)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--key-bits", type=int, default=512)
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--json", action="store_true", help="emit the trace as JSON")
+
     return parser
 
 
@@ -167,6 +203,69 @@ def _cmd_init(args) -> int:
     )
     print(f"initialised workspace at {path} (CA: {args.ca_name}, "
           f"{args.key_bits}-bit keys)")
+    return 0
+
+
+def _synthetic_workload(args):
+    """The seeded in-memory workload behind ``stats`` and ``trace``.
+
+    Deterministic for a given seed: key generation, object ids, and
+    values are all derived from ``args.seed``, so two runs produce
+    identical metric counts (timing histograms aside).
+    """
+    from repro.core.system import TamperEvidentDatabase
+
+    db = TamperEvidentDatabase(key_bits=args.key_bits, seed=args.seed)
+    participant = db.enroll("stats")
+    session = db.session(participant)
+    for i in range(args.objects):
+        session.insert(f"obj{i}", i)
+        for update in range(args.updates):
+            session.update(f"obj{i}", i * 1000 + update)
+    if args.objects >= 2:
+        session.aggregate(["obj0", "obj1"], "agg")
+    return db.verify("obj0", workers=args.workers)
+
+
+def _cmd_stats(args) -> int:
+    from repro import obs
+    from repro.obs.export import render_text, to_json, to_prometheus
+
+    obs.enable(reset=True)
+    try:
+        _synthetic_workload(args)
+        snap = obs.snapshot()
+    finally:
+        obs.disable()
+    if args.json:
+        text = to_json(snap)
+    elif args.prometheus:
+        text = to_prometheus(snap)
+    else:
+        text = render_text(snap)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text + "\n")
+        print(f"wrote metrics to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro import obs
+    from repro.obs.tracing import render_trace, trace_to_json
+
+    obs.enable(reset=True)
+    try:
+        _synthetic_workload(args)
+        root = obs.OBS.tracer.last_trace()
+    finally:
+        obs.disable()
+    if root is None:
+        print("error: no trace was recorded", file=sys.stderr)
+        return 1
+    print(trace_to_json(root) if args.json else render_trace(root))
     return 0
 
 
@@ -240,6 +339,10 @@ def _dispatch(args) -> int:
         return _cmd_init(args)
     if args.command == "verify-shipment":
         return _cmd_verify_shipment(args, args.workspace)
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
 
     with Workspace(args.workspace) as ws:
         if args.command == "enroll":

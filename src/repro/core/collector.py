@@ -23,6 +23,7 @@ from repro.core.merkle import HashingStrategy, OperationHashContext
 from repro.crypto.pki import Participant
 from repro.exceptions import MissingProvenanceError, ProvenanceError
 from repro.model.ordering import ordering_key
+from repro.obs import OBS
 from repro.provenance.records import ObjectState, Operation, ProvenanceRecord
 from repro.provenance.store import ProvenanceStore
 
@@ -140,6 +141,12 @@ class ChecksumCollector:
         # Deterministic order: deepest first, then the global object order.
         targets.sort(key=lambda o: (-self.store.depth(o), ordering_key(o)))
 
+        if OBS.enabled:
+            OBS.registry.counter(
+                "collector.operations",
+                kind="complex" if grouped else "primitive",
+            ).inc()
+
         self._begin_staging()
         try:
             for object_id in targets:
@@ -217,6 +224,8 @@ class ChecksumCollector:
         The caller must have opened ``ctx`` and ensured the trees of all
         input roots *before* executing the aggregation.
         """
+        if OBS.enabled:
+            OBS.registry.counter("collector.operations", kind="aggregate").inc()
         self._begin_staging()
         try:
             return self._collect_aggregate(participant, event, ctx, note)
@@ -376,6 +385,15 @@ class ChecksumCollector:
 
     def _flush_staging(self) -> Tuple[ProvenanceRecord, ...]:
         records = tuple(self._staged)
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.counter("collector.records.flushed").inc(len(records))
+            reg.counter("collector.records.inherited").inc(
+                sum(1 for record in records if record.inherited)
+            )
+            # Fan-out: records produced by one operation (§4.2's inherited
+            # propagation makes this > 1 for nested objects).
+            reg.histogram("collector.fanout").observe(len(records))
         append_many = getattr(self.provenance_store, "append_many", None)
         if append_many is not None:
             # One batch, one store transaction: a complex operation (§4.4)

@@ -31,6 +31,7 @@ from repro.backend.interface import ForestStore
 from repro.crypto.hashing import get_algorithm
 from repro.exceptions import ProvenanceError, UnknownObjectError
 from repro.model.values import Value, encode_child_link, encode_node
+from repro.obs import OBS
 
 __all__ = [
     "subtree_digest",
@@ -155,6 +156,13 @@ class HashingStrategy:
         #: Total node-digest computations performed (Fig 7's cost metric).
         self.nodes_hashed = 0
 
+    def _count_rehash(self, nodes: int) -> None:
+        """Account ``nodes`` digest computations (strategy-labelled)."""
+        self.nodes_hashed += nodes
+        if OBS.enabled:
+            OBS.registry.counter("merkle.rehash.nodes", strategy=self.name).inc(nodes)
+            OBS.registry.counter("merkle.walks", strategy=self.name).inc()
+
     def begin(self, store: ForestStore) -> OperationHashContext:
         """Open a before/after context for one operation on ``store``."""
         raise NotImplementedError
@@ -195,7 +203,7 @@ class _BasicContext(OperationHashContext):
             return
         self._ensured.add(root_id)
         walked = _walk_digests(self._store, root_id, self._strategy.algorithm)
-        self._strategy.nodes_hashed += len(walked)
+        self._strategy._count_rehash(len(walked))
         self._before.update(walked)
 
     def before_digest(self, object_id: str) -> Optional[bytes]:
@@ -211,7 +219,7 @@ class _BasicContext(OperationHashContext):
         self._after = {}
         for root_id in roots:
             walked = _walk_digests(self._store, root_id, self._strategy.algorithm)
-            self._strategy.nodes_hashed += len(walked)
+            self._strategy._count_rehash(len(walked))
             self._after.update(walked)
 
     def after_digest(self, object_id: str) -> bytes:
@@ -241,7 +249,7 @@ class BasicHashing(HashingStrategy):
 
     def current_digest(self, store: ForestStore, root_id: str) -> bytes:
         walked = _walk_digests(store, root_id, self.algorithm)
-        self.nodes_hashed += len(walked)
+        self._count_rehash(len(walked))
         return walked[root_id].digest
 
     def current_size(self, store: ForestStore, root_id: str) -> int:
@@ -352,16 +360,27 @@ class EconomicalHashing(HashingStrategy):
 
     def prime(self, store: ForestStore, root_id: str) -> None:
         """Ensure the cache covers ``subtree(root_id)`` (one walk if cold)."""
-        if root_id not in store or root_id in self.cache:
+        if root_id not in store:
             return
+        if root_id in self.cache:
+            if OBS.enabled:
+                OBS.registry.counter("merkle.cache.hits").inc()
+            return
+        if OBS.enabled:
+            OBS.registry.counter("merkle.cache.misses").inc()
         walked = _walk_digests(store, root_id, self.algorithm)
-        self.nodes_hashed += len(walked)
+        self._count_rehash(len(walked))
         self.cache.update(walked)
 
     def recompute(self, store: ForestStore, dirty: Set[str]) -> None:
         """Recompute digests for ``dirty`` nodes, deepest first."""
         algorithm = get_algorithm(self.algorithm)
         ordered = sorted(dirty, key=store.depth, reverse=True)
+        if OBS.enabled:
+            OBS.registry.counter(
+                "merkle.rehash.nodes", strategy=self.name
+            ).inc(len(ordered))
+            OBS.registry.histogram("merkle.dirty_path.length").observe(len(ordered))
         for object_id in ordered:
             node = store.get(object_id)
             pairs = []

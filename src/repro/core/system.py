@@ -37,6 +37,7 @@ from repro.core.merkle import (
 from repro.crypto.pki import CertificateAuthority, KeyStore, Participant
 from repro.exceptions import ProvenanceError, TransactionError
 from repro.model.values import Value
+from repro.obs import OBS
 from repro.provenance.dag import ProvenanceDAG
 from repro.provenance.records import ProvenanceRecord
 from repro.provenance.store import InMemoryProvenanceStore, ProvenanceStore
@@ -71,6 +72,11 @@ class TamperEvidentDatabase:
             of failing when they are first modified.
         key_bits: Key size for participants enrolled via :meth:`enroll`.
         rng: Random source for key generation (seed for reproducibility).
+        seed: Convenience alternative to ``rng``: builds
+            ``random.Random(seed)``.  The seed is recorded on the
+            instance (:attr:`seed`) and published as the ``db.rng.seed``
+            gauge when observability is on, so ``repro stats`` output can
+            be tied back to the exact key-generation randomness.
     """
 
     def __init__(
@@ -85,7 +91,13 @@ class TamperEvidentDatabase:
         bootstrap_missing: bool = False,
         key_bits: int = 1024,
         rng: Optional[random.Random] = None,
+        seed: Optional[int] = None,
     ):
+        if rng is None and seed is not None:
+            rng = random.Random(seed)
+        self.seed = seed
+        if OBS.enabled and seed is not None:
+            OBS.registry.gauge("db.rng.seed").set(seed)
         self.store: ForestStore = store if store is not None else InMemoryStore()
         self.provenance_store: ProvenanceStore = (
             provenance_store if provenance_store is not None else InMemoryProvenanceStore()

@@ -18,12 +18,15 @@ evidence violates.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core import checksum as payloads
 from repro.core.merkle import subtree_digest
 from repro.crypto.pki import KeyStore
 from repro.exceptions import CertificateError
+from repro.obs import OBS
 from repro.provenance.records import Operation, ProvenanceRecord
 from repro.provenance.snapshot import SubtreeSnapshot
 
@@ -68,6 +71,18 @@ class VerificationReport:
         """Sorted distinct requirement codes among the failures."""
         return tuple(sorted({f.requirement for f in self.failures}))
 
+    def failure_tally(self) -> Dict[str, int]:
+        """Failure counts keyed by requirement code (R1–R8/PKI/STRUCT).
+
+        This is the single source of the per-requirement tallies: both
+        :meth:`summary` and the ``verify.failures`` metrics counter are
+        fed from it, so the report and the metrics can never disagree.
+        """
+        tally: Dict[str, int] = {}
+        for failure in self.failures:
+            tally[failure.requirement] = tally.get(failure.requirement, 0) + 1
+        return dict(sorted(tally.items()))
+
     def summary(self) -> str:
         """One-line human-readable outcome."""
         if self.ok:
@@ -75,8 +90,11 @@ class VerificationReport:
                 f"VERIFIED: {self.records_checked} records over "
                 f"{self.objects_checked} objects"
             )
+        tallies = ", ".join(
+            f"{code} x{count}" for code, count in self.failure_tally().items()
+        )
         return (
-            f"TAMPERING DETECTED ({', '.join(self.requirement_codes())}): "
+            f"TAMPERING DETECTED ({tallies}): "
             + "; ".join(str(f) for f in self.failures[:5])
             + ("; ..." if len(self.failures) > 5 else "")
         )
@@ -121,6 +139,24 @@ class _PredecessorChoices:
                 return
 
 
+def _observe_report(report: VerificationReport) -> None:
+    """Feed a finished report into the metrics registry.
+
+    The per-requirement failure counters are derived from the report's
+    own :meth:`VerificationReport.failure_tally`, so ``repro stats`` and
+    ``report.summary()`` always tell the same story — including for
+    parallel runs, whose failures were merged before this point.
+    """
+    if not OBS.enabled:
+        return
+    reg = OBS.registry
+    reg.counter("verify.runs").inc()
+    reg.counter("verify.records").inc(report.records_checked)
+    reg.counter("verify.chains").inc(report.objects_checked)
+    for code, count in report.failure_tally().items():
+        reg.counter("verify.failures", requirement=code).inc(count)
+
+
 class _Failures:
     def __init__(self) -> None:
         self.items: List[VerificationFailure] = []
@@ -159,34 +195,40 @@ class Verifier:
             target_id: The object the provenance claims to describe;
                 defaults to the snapshot root.
         """
-        failures = _Failures()
         target = target_id if target_id is not None else snapshot.root_id
-        chains = self._index(records, failures)
+        with obs.span("verify", target=target, records=len(records)):
+            failures = _Failures()
+            chains = self._index(records, failures)
 
-        self._check_data_matches_terminal(snapshot, target, chains, failures)
-        checked = self._check_chains(chains, failures)
+            self._check_data_matches_terminal(snapshot, target, chains, failures)
+            checked = self._check_chains(chains, failures)
 
-        return VerificationReport(
-            ok=not failures.items,
-            failures=tuple(failures.items),
-            records_checked=checked,
-            objects_checked=len(chains),
-            target_id=target,
-        )
+            report = VerificationReport(
+                ok=not failures.items,
+                failures=tuple(failures.items),
+                records_checked=checked,
+                objects_checked=len(chains),
+                target_id=target,
+            )
+        _observe_report(report)
+        return report
 
     def verify_records(
         self, records: Sequence[ProvenanceRecord]
     ) -> VerificationReport:
         """Verify checksum chains only (no data object at hand)."""
-        failures = _Failures()
-        chains = self._index(records, failures)
-        checked = self._check_chains(chains, failures)
-        return VerificationReport(
-            ok=not failures.items,
-            failures=tuple(failures.items),
-            records_checked=checked,
-            objects_checked=len(chains),
-        )
+        with obs.span("verify", records=len(records)):
+            failures = _Failures()
+            chains = self._index(records, failures)
+            checked = self._check_chains(chains, failures)
+            report = VerificationReport(
+                ok=not failures.items,
+                failures=tuple(failures.items),
+                records_checked=checked,
+                objects_checked=len(chains),
+            )
+        _observe_report(report)
+        return report
 
     # ------------------------------------------------------------------
     # step 1: the data object matches the most recent record (R4/R5)
@@ -260,6 +302,21 @@ class Verifier:
         chains — so distinct chains may be checked concurrently against
         the same ``chains`` index.
         """
+        if OBS.tracing:
+            with OBS.tracer.span(
+                "verify.chain",
+                object_id=chain[0].object_id if chain else "?",
+                records=len(chain),
+            ):
+                return self._check_chain_impl(chain, chains, failures)
+        return self._check_chain_impl(chain, chains, failures)
+
+    def _check_chain_impl(
+        self,
+        chain: List[ProvenanceRecord],
+        chains: Dict[str, List[ProvenanceRecord]],
+        failures: _Failures,
+    ) -> int:
         checked = 0
         previous: Optional[ProvenanceRecord] = None
         for record in chain:
@@ -481,9 +538,12 @@ def _latest_before(
 _WORKER_STATE: Dict[str, object] = {}
 
 
-def _init_chain_worker(keystore: KeyStore, chains) -> None:
+def _init_chain_worker(keystore: KeyStore, chains, obs_config=None) -> None:
     _WORKER_STATE["verifier"] = Verifier(keystore)
     _WORKER_STATE["chains"] = chains
+    # Fork inherits the parent's observability state (partial counters,
+    # an open span stack); replace it with a clean per-worker setup.
+    obs.apply_worker_config(obs_config)
 
 
 def _check_chain_chunk(object_ids):
@@ -491,9 +551,31 @@ def _check_chain_chunk(object_ids):
     chains = _WORKER_STATE["chains"]
     failures = _Failures()
     checked = 0
-    for object_id in object_ids:
-        checked += verifier._check_chain(chains[object_id], chains, failures)
-    return failures.items, checked
+    observing = OBS.enabled
+    if observing:
+        # Fresh registry per chunk so each result carries a delta, not the
+        # worker's cumulative totals (one worker may process many chunks).
+        from repro.obs.metrics import MetricsRegistry
+
+        OBS.registry = MetricsRegistry()
+    start = perf_counter()
+    if OBS.tracing:
+        import os
+
+        with OBS.tracer.span(
+            "verify.worker", chunk_size=len(object_ids)
+        ) as span:
+            span.worker_pid = os.getpid()
+            for object_id in object_ids:
+                checked += verifier._check_chain(chains[object_id], chains, failures)
+        span_dicts = OBS.tracer.drain()
+    else:
+        for object_id in object_ids:
+            checked += verifier._check_chain(chains[object_id], chains, failures)
+        span_dicts = []
+    elapsed = perf_counter() - start
+    metrics_dump = OBS.registry.dump() if observing else None
+    return failures.items, checked, elapsed, metrics_dump, span_dicts
 
 
 class ParallelVerifier(Verifier):
@@ -535,9 +617,17 @@ class ParallelVerifier(Verifier):
             # custom scheme, ...): verification must still succeed.
             return super()._check_chains(chains, failures)
         checked = 0
-        for items, chunk_checked in chunk_results:
+        observing = OBS.enabled
+        for items, chunk_checked, elapsed, metrics_dump, span_dicts in chunk_results:
             failures.items.extend(items)
             checked += chunk_checked
+            if observing:
+                OBS.registry.counter("verify.worker.chunks").inc()
+                OBS.registry.histogram("verify.worker.chunk_seconds").observe(elapsed)
+                if metrics_dump:
+                    OBS.registry.merge(metrics_dump)
+            if span_dicts and OBS.tracing:
+                OBS.tracer.adopt(span_dicts)
         return checked
 
     def _run_pool(self, chains: Dict[str, List[ProvenanceRecord]]):
@@ -554,7 +644,7 @@ class ParallelVerifier(Verifier):
             max_workers=min(self.workers, len(chunks)),
             mp_context=mp_context,
             initializer=_init_chain_worker,
-            initargs=(self.keystore, chains),
+            initargs=(self.keystore, chains, obs.worker_config()),
         ) as pool:
             # map() preserves submission order; chunks are contiguous
             # slices of the sorted ids, so concatenating per-chunk

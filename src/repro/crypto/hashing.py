@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Tuple
 
 from repro.exceptions import UnknownHashAlgorithm
+from repro.obs import OBS
 
 __all__ = [
     "HashAlgorithm",
@@ -100,7 +101,11 @@ def available_algorithms() -> Tuple[str, ...]:
 
 def hash_bytes(data: bytes, algorithm: str = "sha1") -> bytes:
     """Hash ``data`` with the named algorithm and return the raw digest."""
-    return get_algorithm(algorithm).digest(data)
+    digest = get_algorithm(algorithm).digest(data)
+    if OBS.enabled:
+        OBS.registry.counter("hash.digests", algorithm=algorithm).inc()
+        OBS.registry.counter("hash.bytes", algorithm=algorithm).inc(len(data))
+    return digest
 
 
 def hash_concat(parts: Iterable[bytes], algorithm: str = "sha1") -> bytes:
@@ -110,7 +115,16 @@ def hash_concat(parts: Iterable[bytes], algorithm: str = "sha1") -> bytes:
     (e.g. the aggregate checksum hashes the concatenation of the input
     hashes).  Parts are fed to the hash incrementally.
     """
-    return get_algorithm(algorithm).digest_iter(parts)
+    if not OBS.enabled:
+        return get_algorithm(algorithm).digest_iter(parts)
+    h = get_algorithm(algorithm).new()
+    total = 0
+    for chunk in parts:
+        total += len(chunk)
+        h.update(chunk)
+    OBS.registry.counter("hash.digests", algorithm=algorithm).inc()
+    OBS.registry.counter("hash.bytes", algorithm=algorithm).inc(total)
+    return h.digest()
 
 
 def _register_builtins() -> None:

@@ -21,12 +21,14 @@ public material, mirroring what a data recipient actually holds.
 from __future__ import annotations
 
 import hmac
+from time import perf_counter
 from typing import Protocol, runtime_checkable
 
 from repro.crypto import pkcs1
 from repro.crypto.hashing import get_algorithm
 from repro.crypto.rsa import RSAPrivateKey, RSAPublicKey
 from repro.exceptions import CryptoError
+from repro.obs import OBS
 
 __all__ = [
     "SignatureScheme",
@@ -82,6 +84,17 @@ class RSASignatureVerifier:
 
     def verify(self, message: bytes, signature: bytes) -> bool:
         """Constant-structure verify: re-encode and compare."""
+        if OBS.enabled:
+            start = perf_counter()
+            ok = self._verify(message, signature)
+            OBS.registry.counter("crypto.verify.count", scheme=self.scheme_name).inc()
+            OBS.registry.histogram(
+                "crypto.verify.seconds", scheme=self.scheme_name
+            ).observe(perf_counter() - start)
+            return ok
+        return self._verify(message, signature)
+
+    def _verify(self, message: bytes, signature: bytes) -> bool:
         k = self.public_key.byte_size
         if len(signature) != k:
             return False
@@ -146,6 +159,17 @@ class RSASignatureScheme:
 
     def sign(self, message: bytes) -> bytes:
         """Sign ``message``; output length is always :attr:`signature_size`."""
+        if OBS.enabled:
+            start = perf_counter()
+            signature = self._sign(message)
+            OBS.registry.counter("crypto.sign.count", scheme=self.scheme_name).inc()
+            OBS.registry.histogram(
+                "crypto.sign.seconds", scheme=self.scheme_name
+            ).observe(perf_counter() - start)
+            return signature
+        return self._sign(message)
+
+    def _sign(self, message: bytes) -> bytes:
         k = self.private_key.byte_size
         em = pkcs1.encode(message, k, self.hash_algorithm)
         m = int.from_bytes(em, "big")

@@ -1,0 +1,163 @@
+"""Observability for the provenance pipeline: metrics, spans, exporters.
+
+The paper's whole evaluation (§5, Figs. 6–11) is about *overhead* — where
+checksumming spends time and space.  This package makes every run an
+experiment: hot paths (hashing, signing, Merkle rehashing, provenance
+appends, chain verification) report counters/histograms into a process-
+wide :class:`~repro.obs.metrics.MetricsRegistry` and open
+:class:`~repro.obs.tracing.Span`\\ s, but **only when enabled**.
+
+Design contract — near-zero cost when off:
+
+- The singleton :data:`OBS` is the only global.  Instrumented sites are
+  written as ``if OBS.enabled: ...`` (metrics) or ``if OBS.tracing: ...``
+  (spans); with observability disabled (the default) the *entire* cost of
+  instrumentation is that one attribute check, guarded at ≤ ~2% of hot-
+  loop time by ``benchmarks/bench_obs_overhead.py``.
+- :func:`span` returns a shared stateless no-op context manager when
+  tracing is off — no allocation on the hot path.
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()
+    ... run a workload ...
+    print(obs.export.render_text(obs.OBS.registry.snapshot()))
+    for root in obs.OBS.tracer.traces:
+        print(obs.tracing.render_trace(root))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.obs import export, tracing  # re-exported submodules
+from repro.obs.metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import Span, TraceContext, Tracer, render_trace
+
+__all__ = [
+    "OBS",
+    "enable",
+    "disable",
+    "span",
+    "snapshot",
+    "worker_config",
+    "apply_worker_config",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Tracer",
+    "Span",
+    "render_trace",
+    "DEFAULT_BUCKETS",
+    "export",
+    "tracing",
+]
+
+
+class ObsState:
+    """The process-wide observability switchboard.
+
+    ``enabled`` gates metrics, ``tracing`` gates spans; both default to
+    off.  Slots keep the hot-path attribute check a plain slot load.
+    """
+
+    __slots__ = ("enabled", "tracing", "registry", "tracer")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.tracing = False
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer()
+
+
+#: The module-level default state every instrumented site checks.
+OBS = ObsState()
+
+
+class _NoopSpan:
+    """Reusable, stateless no-op context manager for disabled tracing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+def enable(metrics: bool = True, tracing: bool = True, reset: bool = False) -> None:
+    """Turn observability on (both metrics and tracing by default).
+
+    ``reset=True`` additionally clears the registry and finished traces,
+    giving a clean measurement window.
+    """
+    if reset:
+        OBS.registry.reset()
+        OBS.tracer.reset()
+    OBS.enabled = metrics
+    OBS.tracing = tracing
+
+
+def disable(reset: bool = False) -> None:
+    """Turn observability off (back to the near-zero-cost default)."""
+    OBS.enabled = False
+    OBS.tracing = False
+    if reset:
+        OBS.registry.reset()
+        OBS.tracer.reset()
+
+
+def span(name: str, **attrs: object):
+    """A tracing span when tracing is on, a shared no-op otherwise."""
+    if OBS.tracing:
+        return OBS.tracer.span(name, **attrs)
+    return _NOOP_SPAN
+
+
+def snapshot() -> Dict[str, Dict[str, object]]:
+    """Plain-data snapshot of the default registry."""
+    return OBS.registry.snapshot()
+
+
+# ---------------------------------------------------------------------------
+# cross-process propagation (ParallelVerifier workers)
+# ---------------------------------------------------------------------------
+
+
+def worker_config() -> Optional[Dict[str, object]]:
+    """What a pool worker needs to continue this process's observability.
+
+    Returns None when observability is fully disabled, so workers skip
+    setup entirely.
+    """
+    if not (OBS.enabled or OBS.tracing):
+        return None
+    return {
+        "metrics": OBS.enabled,
+        "tracing": OBS.tracing,
+        "trace_context": OBS.tracer.context() if OBS.tracing else None,
+    }
+
+
+def apply_worker_config(config: Optional[Dict[str, object]]) -> None:
+    """Install a parent's :func:`worker_config` in a worker process.
+
+    Fork-started workers inherit the parent's registry contents and the
+    tracer's open span stack; both are replaced with fresh instances so a
+    worker only ever reports its own deltas.
+    """
+    OBS.registry = MetricsRegistry()
+    OBS.tracer = Tracer()
+    if config is None:
+        disable()
+        return
+    OBS.enabled = bool(config.get("metrics"))
+    OBS.tracing = bool(config.get("tracing"))
+    OBS.tracer.install_remote_context(config.get("trace_context"))

@@ -1,0 +1,353 @@
+"""Counters, gauges, and streaming histograms keyed by name + labels.
+
+The registry is the measurement substrate for the paper's §5 evaluation:
+every hot-path component (hashing, signing, Merkle rehashing, provenance
+appends, chain verification) increments metrics here *when observability
+is enabled*.  When disabled — the default — instrumented code never calls
+into this module at all; the only residual cost is one attribute check
+per site (``if OBS.enabled:``), which :mod:`benchmarks.bench_obs_overhead`
+guards at ≤ ~2% of hot-loop time.
+
+Histograms are fixed-bucket (geometric bucket edges spanning microseconds
+to ~10⁶, so the same default works for latencies in seconds and for batch
+sizes); quantiles are estimated by linear interpolation inside the
+containing bucket.  Worker processes carry their own registry and ship a
+picklable :meth:`MetricsRegistry.dump` back to the parent, which
+:meth:`MetricsRegistry.merge`\\ s it — parallel verification therefore
+reports the same counts as serial verification.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "format_metric",
+]
+
+#: Label set in canonical form: sorted ``(key, value)`` pairs.
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_items(labels: Dict[str, object]) -> LabelItems:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def format_metric(name: str, labels: LabelItems) -> str:
+    """Render ``name{k=v,...}`` — the key used in snapshots and exports."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, records)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({format_metric(self.name, self.labels)}={self.value})"
+
+
+class Gauge:
+    """A value that can go up and down (or be set outright)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def __repr__(self) -> str:
+        return f"Gauge({format_metric(self.name, self.labels)}={self.value})"
+
+
+def _geometric_buckets(start: float, factor: float, count: int) -> Tuple[float, ...]:
+    edges = []
+    edge = start
+    for _ in range(count):
+        edges.append(edge)
+        edge *= factor
+    return tuple(edges)
+
+
+#: Upper bucket edges covering ~1µs .. ~1.4e6 in ×2.5 steps: wide enough
+#: for RSA latencies (milliseconds), SQLite transactions, and batch sizes.
+DEFAULT_BUCKETS = _geometric_buckets(1e-6, 2.5, 30)
+
+
+class Histogram:
+    """Fixed-bucket streaming histogram with interpolated quantiles."""
+
+    __slots__ = ("name", "labels", "buckets", "bucket_counts", "count", "sum",
+                 "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelItems,
+        buckets: Optional[Tuple[float, ...]] = None,
+    ):
+        self.name = name
+        self.labels = labels
+        self.buckets: Tuple[float, ...] = (
+            tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        )
+        # one count per bucket edge plus a final +Inf bucket
+        self.bucket_counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the histogram."""
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self.bucket_counts[self._bucket_index(value)] += 1
+
+    def _bucket_index(self, value: float) -> int:
+        # Linear scan beats bisect for the short prefix real latencies hit;
+        # the histogram is only touched when observability is enabled.
+        for i, edge in enumerate(self.buckets):
+            if value <= edge:
+                return i
+        return len(self.buckets)
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-th percentile (0..100), clamped to observed min/max."""
+        if self.count == 0:
+            return 0.0
+        target = (q / 100.0) * self.count
+        cumulative = 0
+        lower = 0.0
+        for i, edge in enumerate(self.buckets):
+            in_bucket = self.bucket_counts[i]
+            if cumulative + in_bucket >= target:
+                if in_bucket == 0:
+                    return self._clamp(edge)
+                fraction = (target - cumulative) / in_bucket
+                return self._clamp(lower + (edge - lower) * fraction)
+            cumulative += in_bucket
+            lower = edge
+        return self.max if self.max is not None else lower
+
+    def _clamp(self, value: float) -> float:
+        if self.min is not None and value < self.min:
+            return self.min
+        if self.max is not None and value > self.max:
+            return self.max
+        return value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """count/sum/min/max/mean plus p50/p95/p99."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({format_metric(self.name, self.labels)}: "
+            f"count={self.count}, mean={self.mean:.3g})"
+        )
+
+
+class MetricsRegistry:
+    """Holds every live metric, keyed by ``(name, labels)``.
+
+    Accessors (:meth:`counter`, :meth:`gauge`, :meth:`histogram`) create
+    on first use and are the *only* entry points instrumented code uses —
+    :attr:`calls` counts those invocations, which is how the no-op tests
+    prove that disabled-mode hot loops never reach the registry.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, LabelItems], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelItems], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelItems], Histogram] = {}
+        #: Total accessor invocations (a meta-counter, see class docstring).
+        self.calls = 0
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """The counter for ``name`` + ``labels`` (created on first use)."""
+        self.calls += 1
+        key = (name, _label_items(labels))
+        metric = self._counters.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._counters.setdefault(key, Counter(name, key[1]))
+        return metric
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """The gauge for ``name`` + ``labels`` (created on first use)."""
+        self.calls += 1
+        key = (name, _label_items(labels))
+        metric = self._gauges.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._gauges.setdefault(key, Gauge(name, key[1]))
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Iterable[float]] = None,
+        **labels: object,
+    ) -> Histogram:
+        """The histogram for ``name`` + ``labels`` (created on first use)."""
+        self.calls += 1
+        key = (name, _label_items(labels))
+        metric = self._histograms.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._histograms.setdefault(
+                    key,
+                    Histogram(
+                        name, key[1],
+                        tuple(buckets) if buckets is not None else None,
+                    ),
+                )
+        return metric
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Plain-data view of every metric, keyed by ``name{labels}``."""
+        return {
+            "counters": {
+                format_metric(c.name, c.labels): c.value
+                for c in sorted(self._counters.values(), key=_sort_key)
+            },
+            "gauges": {
+                format_metric(g.name, g.labels): g.value
+                for g in sorted(self._gauges.values(), key=_sort_key)
+            },
+            "histograms": {
+                format_metric(h.name, h.labels): h.summary()
+                for h in sorted(self._histograms.values(), key=_sort_key)
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every metric (and the accessor-call meta-counter)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self.calls = 0
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # ------------------------------------------------------------------
+    # cross-process transport (ParallelVerifier workers)
+    # ------------------------------------------------------------------
+
+    def dump(self) -> Dict[str, list]:
+        """Picklable raw state, suitable for :meth:`merge` in the parent."""
+        return {
+            "counters": [
+                (c.name, c.labels, c.value) for c in self._counters.values()
+            ],
+            "gauges": [
+                (g.name, g.labels, g.value) for g in self._gauges.values()
+            ],
+            "histograms": [
+                (h.name, h.labels, h.buckets, list(h.bucket_counts),
+                 h.count, h.sum, h.min, h.max)
+                for h in self._histograms.values()
+            ],
+        }
+
+    def merge(self, dump: Dict[str, list]) -> None:
+        """Fold a worker's :meth:`dump` into this registry.
+
+        Counters and histogram bucket counts add; gauges take the
+        incoming value (last writer wins — workers rarely set gauges).
+        """
+        for name, labels, value in dump.get("counters", ()):
+            key = (name, tuple(labels))
+            with self._lock:
+                metric = self._counters.setdefault(key, Counter(name, key[1]))
+            metric.value += value
+        for name, labels, value in dump.get("gauges", ()):
+            key = (name, tuple(labels))
+            with self._lock:
+                metric = self._gauges.setdefault(key, Gauge(name, key[1]))
+            metric.value = value
+        for (name, labels, buckets, bucket_counts, count, total,
+             minimum, maximum) in dump.get("histograms", ()):
+            key = (name, tuple(labels))
+            with self._lock:
+                hist = self._histograms.setdefault(
+                    key, Histogram(name, key[1], tuple(buckets))
+                )
+            if hist.buckets != tuple(buckets):
+                # Incompatible layouts: fold the summary in as observations
+                # of the mean so counts at least stay truthful.
+                for _ in range(count):
+                    hist.observe(total / count if count else 0.0)
+                continue
+            for i, n in enumerate(bucket_counts):
+                hist.bucket_counts[i] += n
+            hist.count += count
+            hist.sum += total
+            if minimum is not None and (hist.min is None or minimum < hist.min):
+                hist.min = minimum
+            if maximum is not None and (hist.max is None or maximum > hist.max):
+                hist.max = maximum
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry(metrics={len(self)}, calls={self.calls})"
+
+
+def _sort_key(metric) -> Tuple[str, LabelItems]:
+    return (metric.name, metric.labels)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 import sqlite3
+from time import perf_counter
 from typing import (
     Dict,
     Iterable,
@@ -27,6 +28,7 @@ from typing import (
 )
 
 from repro.exceptions import BackendError, ProvenanceError, SequenceError
+from repro.obs import OBS
 from repro.provenance.records import ProvenanceRecord
 
 __all__ = ["ProvenanceStore", "InMemoryProvenanceStore", "SQLiteProvenanceStore"]
@@ -134,6 +136,8 @@ class InMemoryProvenanceStore:
         chain.append(record)
         self._count += 1
         self._space += record.storage_bytes()
+        if OBS.enabled:
+            OBS.registry.counter("store.append.records", store="memory").inc()
 
     def append_many(self, records: Iterable[ProvenanceRecord]) -> None:
         batch = list(records)
@@ -142,6 +146,11 @@ class InMemoryProvenanceStore:
             self._chains.setdefault(record.object_id, []).append(record)
             self._count += 1
             self._space += record.storage_bytes()
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.counter("store.append.batches", store="memory").inc()
+            reg.counter("store.append.records", store="memory").inc(len(batch))
+            reg.histogram("store.batch.size", store="memory").observe(len(batch))
 
     def _tail(self, object_id: str) -> Optional[ChainTail]:
         chain = self._chains.get(object_id)
@@ -252,8 +261,10 @@ class SQLiteProvenanceStore:
     def _tail(self, object_id: str) -> Optional[ChainTail]:
         """Latest ``(seq_id, checksum)`` without deserializing the payload."""
         try:
-            return self._tail_cache[object_id]
+            tail = self._tail_cache[object_id]
         except KeyError:
+            if OBS.enabled:
+                OBS.registry.counter("store.tail_cache.misses").inc()
             row = self._conn.execute(
                 "SELECT seq_id, checksum FROM provenance WHERE object_id = ?"
                 " ORDER BY seq_id DESC LIMIT 1",
@@ -262,9 +273,14 @@ class SQLiteProvenanceStore:
             tail = (row[0], bytes(row[1])) if row is not None else None
             self._tail_cache[object_id] = tail
             return tail
+        if OBS.enabled:
+            OBS.registry.counter("store.tail_cache.hits").inc()
+        return tail
 
     def append(self, record: ProvenanceRecord) -> None:
         _check_append(record, self._tail(record.object_id))
+        observing = OBS.enabled
+        start = perf_counter() if observing else 0.0
         try:
             with self._conn:
                 self._conn.execute(self._INSERT, self._row_of(record))
@@ -273,12 +289,18 @@ class SQLiteProvenanceStore:
                 f"duplicate record key ({record.object_id!r}, {record.seq_id})"
             ) from exc
         self._tail_cache[record.object_id] = (record.seq_id, record.checksum)
+        if observing:
+            reg = OBS.registry
+            reg.counter("store.append.records", store="sqlite").inc()
+            reg.histogram("store.txn.seconds").observe(perf_counter() - start)
 
     def append_many(self, records: Iterable[ProvenanceRecord]) -> None:
         batch = list(records)
         if not batch:
             return
         staged = _check_batch(batch, self._tail)
+        observing = OBS.enabled
+        start = perf_counter() if observing else 0.0
         try:
             with self._conn:  # one transaction: all-or-nothing
                 self._conn.executemany(
@@ -287,6 +309,12 @@ class SQLiteProvenanceStore:
         except sqlite3.IntegrityError as exc:
             raise SequenceError(f"duplicate record key in batch: {exc}") from exc
         self._tail_cache.update(staged)
+        if observing:
+            reg = OBS.registry
+            reg.counter("store.append.batches", store="sqlite").inc()
+            reg.counter("store.append.records", store="sqlite").inc(len(batch))
+            reg.histogram("store.batch.size", store="sqlite").observe(len(batch))
+            reg.histogram("store.txn.seconds").observe(perf_counter() - start)
 
     def records_for(self, object_id: str) -> Tuple[ProvenanceRecord, ...]:
         rows = self._conn.execute(

@@ -238,3 +238,62 @@ class TestShipments:
         open(out_file, "w").write(json.dumps(data))
         assert run(lab, "verify-shipment", out_file) == 1
         assert "TAMPERING" in capsys.readouterr().out
+
+
+class TestStatsAndTrace:
+    """`stats` and `trace` run a seeded synthetic workload — no workspace."""
+
+    def test_stats_table(self, capsys):
+        assert main(["stats", "--objects", "3", "--updates", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "counters" in out
+        assert "crypto.sign.count{scheme=rsa-pkcs1v15}" in out
+        assert "db.rng.seed" in out
+
+    def test_stats_json_snapshot(self, capsys):
+        assert main(["stats", "--objects", "3", "--updates", "1", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["gauges"]["db.rng.seed"] == 42
+        assert data["counters"]["verify.runs"] == 1
+
+    def test_stats_prometheus_to_file(self, tmp_path, capsys):
+        out_file = str(tmp_path / "metrics.prom")
+        assert main(["stats", "--objects", "3", "--updates", "1",
+                     "--prometheus", "-o", out_file]) == 0
+        text = open(out_file).read()
+        assert "# TYPE repro_verify_runs_total counter" in text
+        assert "repro_db_rng_seed 42" in text
+
+    def test_stats_seed_changes_metrics_identically(self, capsys):
+        """Same seed twice -> byte-identical JSON counter sections."""
+        main(["stats", "--json", "--seed", "7"])
+        first = json.loads(capsys.readouterr().out)
+        main(["stats", "--json", "--seed", "7"])
+        second = json.loads(capsys.readouterr().out)
+        assert first["counters"] == second["counters"]
+        assert first["gauges"] == second["gauges"]
+
+    def test_stats_leaves_observability_disabled(self):
+        from repro import obs
+
+        main(["stats", "--objects", "2", "--updates", "1", "--json"])
+        assert not obs.OBS.enabled and not obs.OBS.tracing
+
+    def test_trace_renders_tree(self, capsys):
+        assert main(["trace", "--objects", "3", "--updates", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("verify (")
+        assert "verify.chain" in out
+        assert "ms" in out
+
+    def test_trace_json(self, capsys):
+        assert main(["trace", "--objects", "2", "--updates", "1", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["name"] == "verify"
+        assert any(c["name"] == "verify.chain" for c in data["children"])
+
+    def test_trace_parallel_workers(self, capsys):
+        assert main(["trace", "--objects", "4", "--updates", "1",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "verify.chain" in out

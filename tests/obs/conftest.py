@@ -1,0 +1,23 @@
+"""Observability tests toggle global state; always restore the default."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture
+def obs_enabled():
+    """Metrics + tracing on, clean registry; off again afterwards."""
+    obs.enable(reset=True)
+    yield obs.OBS
+    obs.disable(reset=True)
+
+
+@pytest.fixture
+def obs_disabled():
+    """Explicitly disabled and reset (the process default)."""
+    obs.disable(reset=True)
+    yield obs.OBS
+    obs.disable(reset=True)

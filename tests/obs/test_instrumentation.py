@@ -1,0 +1,232 @@
+"""Instrumented hot paths: real workloads must report real numbers.
+
+Three properties matter beyond "the counters move":
+
+- **Determinism** — two identically-seeded runs produce identical metric
+  *counts* (timing histograms aside), so metrics are usable as workload
+  fingerprints.
+- **No-op mode** — with observability disabled (the default), hot loops
+  never reach the registry at all (``registry.calls`` stays 0).
+- **Parallel equivalence** — worker-process metrics merge back so a
+  parallel verification reports the same counts and the same span set as
+  a serial one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core.system import TamperEvidentDatabase
+from repro.core.verifier import ParallelVerifier, Verifier
+from repro.provenance.store import SQLiteProvenanceStore
+
+
+def _workload(seed: int = 7, objects: int = 4, updates: int = 2):
+    """Seeded insert/update/aggregate; returns the database."""
+    db = TamperEvidentDatabase(key_bits=512, seed=seed)
+    session = db.session(db.enroll("w"))
+    for i in range(objects):
+        session.insert(f"obj{i}", i)
+        for u in range(updates):
+            session.update(f"obj{i}", i * 100 + u)
+    session.aggregate(["obj0", "obj1"], "agg")
+    return db
+
+
+def _count_snapshot():
+    """Counters plus histogram *counts* — everything deterministic."""
+    snap = obs.snapshot()
+    return (
+        snap["counters"],
+        snap["gauges"],
+        {k: v["count"] for k, v in snap["histograms"].items()},
+    )
+
+
+class TestHotPathsReport:
+    def test_workload_populates_every_subsystem(self, obs_enabled):
+        db = _workload()
+        report = db.verify("obj0")
+        assert report.ok
+        counters = obs.snapshot()["counters"]
+        # crypto
+        assert counters["crypto.sign.count{scheme=rsa-pkcs1v15}"] > 0
+        assert counters["crypto.verify.count{scheme=rsa-pkcs1v15}"] > 0
+        assert counters["hash.digests{algorithm=sha1}"] > 0
+        assert counters["hash.bytes{algorithm=sha1}"] > 0
+        # merkle + collector
+        assert counters["merkle.rehash.nodes{strategy=economical}"] > 0
+        assert counters["collector.records.flushed"] > 0
+        assert counters["collector.operations{kind=primitive}"] > 0
+        assert counters["collector.operations{kind=aggregate}"] == 1
+        # store + verifier
+        assert counters["store.append.records{store=memory}"] > 0
+        assert counters["verify.runs"] == 1
+        assert counters["verify.records"] == report.records_checked
+
+    def test_sqlite_store_metrics(self, obs_enabled, tmp_path):
+        from repro.bench.experiments import _fig8_style_records
+
+        records = _fig8_style_records(40)
+        with SQLiteProvenanceStore(str(tmp_path / "p.db")) as store:
+            store.append_many(records[:30])
+            for record in records[30:]:
+                store.append(record)
+        snap = obs.snapshot()
+        counters = snap["counters"]
+        assert counters["store.append.batches{store=sqlite}"] == 1
+        assert counters["store.append.records{store=sqlite}"] == 40
+        assert snap["histograms"]["store.batch.size{store=sqlite}"]["count"] == 1
+        assert snap["histograms"]["store.txn.seconds"]["count"] == 11
+
+    def test_seed_gauge_surfaces(self, obs_enabled):
+        TamperEvidentDatabase(key_bits=512, seed=99)
+        assert obs.snapshot()["gauges"]["db.rng.seed"] == 99
+
+
+class TestDeterminism:
+    def test_same_seed_same_counts(self):
+        obs.enable(reset=True)
+        try:
+            db = _workload(seed=13)
+            db.verify("obj0")
+            first = _count_snapshot()
+            obs.enable(reset=True)
+            db = _workload(seed=13)
+            db.verify("obj0")
+            second = _count_snapshot()
+        finally:
+            obs.disable(reset=True)
+        assert first == second
+
+    def test_seeded_databases_are_identical(self):
+        db_a = _workload(seed=5, objects=2, updates=1)
+        db_b = _workload(seed=5, objects=2, updates=1)
+        records_a = list(db_a.provenance_store.all_records())
+        records_b = list(db_b.provenance_store.all_records())
+        assert [r.checksum for r in records_a] == [r.checksum for r in records_b]
+
+
+class TestNoopMode:
+    def test_disabled_append_loop_never_touches_registry(self, obs_disabled):
+        registry = obs.OBS.registry
+        _workload(objects=3, updates=2)  # insert/update/aggregate hot loop
+        assert registry.calls == 0
+
+    def test_disabled_full_pipeline_never_touches_registry(
+        self, obs_disabled, tmp_path
+    ):
+        from repro.bench.experiments import _fig8_style_records
+
+        registry = obs.OBS.registry
+        db = _workload(objects=3, updates=2)
+        report = db.verify("obj0", workers=1)
+        assert report.ok
+        with SQLiteProvenanceStore(str(tmp_path / "p.db")) as store:
+            store.append_many(_fig8_style_records(40))
+        assert registry.calls == 0
+        assert len(registry) == 0
+        assert obs.OBS.tracer.traces == []
+
+
+class TestParallelEquivalence:
+    @pytest.fixture(scope="class")
+    def world(self):
+        db = _workload(seed=21, objects=6, updates=3)
+        return (
+            list(db.provenance_store.all_records()),
+            db.keystore(),
+        )
+
+    def test_parallel_counts_match_serial(self, world):
+        records, keystore = world
+        obs.enable(reset=True)
+        try:
+            serial_report = Verifier(keystore).verify_records(records)
+            serial = _count_snapshot()
+            obs.enable(reset=True)
+            parallel_report = ParallelVerifier(keystore, workers=2).verify_records(
+                records
+            )
+            parallel = _count_snapshot()
+        finally:
+            obs.disable(reset=True)
+        assert serial_report == parallel_report
+        # Identical modulo worker bookkeeping (chunks/chunk timing exist
+        # only in parallel mode).
+        strip = lambda d: {
+            k: v for k, v in d.items() if not k.startswith("verify.worker")
+        }
+        assert strip(parallel[0]) == strip(serial[0])
+        assert strip(parallel[2]) == strip(serial[2])
+        assert parallel[0]["verify.worker.chunks"] > 0
+
+    def test_worker_spans_reparent_into_one_tree(self, world):
+        records, keystore = world
+        obs.enable(reset=True)
+        try:
+            Verifier(keystore).verify_records(records)
+            serial_root = obs.OBS.tracer.last_trace()
+            ParallelVerifier(keystore, workers=2).verify_records(records)
+            parallel_root = obs.OBS.tracer.last_trace()
+        finally:
+            obs.disable(reset=True)
+
+        assert serial_root.name == parallel_root.name == "verify"
+
+        def chain_ids(root):
+            return sorted(
+                s.attrs["object_id"]
+                for s in root.iter_spans()
+                if s.name == "verify.chain"
+            )
+
+        # Same chain spans, re-rooted under the parent's verify span.
+        assert chain_ids(parallel_root) == chain_ids(serial_root)
+        workers = [
+            s for s in parallel_root.iter_spans() if s.name == "verify.worker"
+        ]
+        assert workers
+        assert all(s.worker_pid is not None for s in workers)
+        assert all(s.parent_id == parallel_root.span_id for s in workers)
+        # Every chain span sits under a worker span, not the root directly.
+        for worker in workers:
+            for child in worker.children:
+                assert child.name == "verify.chain"
+
+
+def _tamper_checksum(records):
+    """Flip a byte in the first record's stored checksum (R1 must fire)."""
+    import dataclasses
+
+    tampered = list(records)
+    victim = tampered[0]
+    tampered[0] = dataclasses.replace(
+        victim,
+        checksum=bytes([victim.checksum[0] ^ 0xFF]) + victim.checksum[1:],
+    )
+    return tampered
+
+
+class TestReportTallyEquivalence:
+    def test_failure_counters_match_report_tally(self, obs_enabled):
+        db = _workload(seed=31, objects=3, updates=2)
+        tampered = _tamper_checksum(db.ship("obj1").records)
+        report = Verifier(db.keystore()).verify_records(tampered)
+        assert not report.ok
+
+        tally = report.failure_tally()
+        assert tally  # at least one requirement tripped
+        counters = obs.snapshot()["counters"]
+        for requirement, count in tally.items():
+            assert counters[f"verify.failures{{requirement={requirement}}}"] == count
+
+    def test_summary_renders_tallies(self, obs_enabled):
+        db = _workload(seed=37, objects=2, updates=1)
+        tampered = _tamper_checksum(db.ship("obj0").records)
+        report = Verifier(db.keystore()).verify_records(tampered)
+        summary = report.summary()
+        assert "TAMPERING DETECTED" in summary
+        for requirement, count in report.failure_tally().items():
+            assert f"{requirement} x{count}" in summary

@@ -1,0 +1,164 @@
+"""MetricsRegistry: counters, gauges, histograms, dump/merge, exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.export import to_json, to_prometheus, render_text
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    format_metric,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounters:
+    def test_inc_and_default_amount(self, registry):
+        registry.counter("x").inc()
+        registry.counter("x").inc(4)
+        assert registry.counter("x").value == 5
+
+    def test_labels_key_distinct_series(self, registry):
+        registry.counter("ops", kind="a").inc()
+        registry.counter("ops", kind="b").inc(2)
+        snap = registry.snapshot()["counters"]
+        assert snap["ops{kind=a}"] == 1
+        assert snap["ops{kind=b}"] == 2
+
+    def test_label_order_is_canonical(self, registry):
+        registry.counter("x", b="2", a="1").inc()
+        registry.counter("x", a="1", b="2").inc()
+        assert registry.counter("x", b="2", a="1").value == 2
+        assert format_metric("x", (("a", "1"), ("b", "2"))) == "x{a=1,b=2}"
+
+    def test_calls_meta_counter(self, registry):
+        assert registry.calls == 0
+        registry.counter("x").inc()
+        registry.gauge("y").set(1)
+        registry.histogram("z").observe(1.0)
+        # +1 per accessor use above, including the assert-time lookups
+        assert registry.calls == 3
+
+
+class TestGauges:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("depth")
+        g.set(10)
+        g.inc()
+        g.dec(3)
+        assert registry.snapshot()["gauges"]["depth"] == 8
+
+
+class TestHistograms:
+    def test_summary_fields(self, registry):
+        h = registry.histogram("lat")
+        for v in (0.001, 0.002, 0.003, 0.004):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["min"] == pytest.approx(0.001)
+        assert s["max"] == pytest.approx(0.004)
+        assert s["mean"] == pytest.approx(0.0025)
+        assert s["min"] <= s["p50"] <= s["p95"] <= s["p99"] <= s["max"]
+
+    def test_percentiles_clamped_to_observed_range(self):
+        h = Histogram("x", ())
+        h.observe(5.0)
+        assert h.percentile(50) == 5.0
+        assert h.percentile(99) == 5.0
+
+    def test_empty_histogram(self):
+        h = Histogram("x", ())
+        assert h.percentile(95) == 0.0
+        assert h.summary()["count"] == 0
+
+    def test_default_buckets_span_latencies_and_batch_sizes(self):
+        assert DEFAULT_BUCKETS[0] == pytest.approx(1e-6)
+        assert DEFAULT_BUCKETS[-1] > 1e5  # batch sizes fit too
+
+    def test_out_of_range_value_lands_in_inf_bucket(self):
+        h = Histogram("x", buckets=(1.0, 2.0), labels=())
+        h.observe(100.0)
+        assert h.bucket_counts[-1] == 1
+
+
+class TestReset:
+    def test_reset_clears_everything(self, registry):
+        registry.counter("a").inc()
+        registry.gauge("b").set(1)
+        registry.histogram("c").observe(1)
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.calls == 0
+
+
+class TestDumpMerge:
+    def test_merge_adds_counters_and_histograms(self, registry):
+        worker = MetricsRegistry()
+        worker.counter("n", k="v").inc(3)
+        worker.histogram("h").observe(0.5)
+        worker.gauge("g").set(7)
+
+        registry.counter("n", k="v").inc(1)
+        registry.histogram("h").observe(1.5)
+        registry.merge(worker.dump())
+
+        snap = registry.snapshot()
+        assert snap["counters"]["n{k=v}"] == 4
+        assert snap["gauges"]["g"] == 7
+        h = snap["histograms"]["h"]
+        assert h["count"] == 2
+        assert h["min"] == pytest.approx(0.5)
+        assert h["max"] == pytest.approx(1.5)
+
+    def test_dump_is_picklable(self, registry):
+        import pickle
+
+        registry.counter("a").inc()
+        registry.histogram("b").observe(2.0)
+        rt = pickle.loads(pickle.dumps(registry.dump()))
+        fresh = MetricsRegistry()
+        fresh.merge(rt)
+        assert fresh.snapshot()["counters"]["a"] == 1
+
+    def test_merge_mismatched_buckets_preserves_count_and_sum(self, registry):
+        worker = MetricsRegistry()
+        worker.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        worker.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        registry.histogram("h").observe(3.0)  # default buckets
+        registry.merge(worker.dump())
+        s = registry.snapshot()["histograms"]["h"]
+        assert s["count"] == 3
+
+
+class TestExporters:
+    def test_prometheus_text(self, registry):
+        registry.counter("hash.digests", algorithm="sha1").inc(5)
+        registry.gauge("db.rng.seed").set(42)
+        registry.histogram("crypto.sign.seconds").observe(0.01)
+        text = to_prometheus(registry.snapshot())
+        assert 'repro_hash_digests_total{algorithm="sha1"} 5' in text
+        assert "repro_db_rng_seed 42" in text
+        assert 'repro_crypto_sign_seconds{quantile="0.5"}' in text
+        assert "repro_crypto_sign_seconds_count 1" in text
+
+    def test_json_roundtrip(self, registry):
+        registry.counter("a").inc(2)
+        data = json.loads(to_json(registry.snapshot()))
+        assert data["counters"]["a"] == 2
+
+    def test_render_text_contains_tables(self, registry):
+        registry.counter("a").inc()
+        registry.histogram("b").observe(1.0)
+        text = render_text(registry.snapshot())
+        assert "counters" in text
+        assert "histograms" in text
+        assert "p95" in text
