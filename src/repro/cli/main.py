@@ -176,6 +176,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write to file (default: stdout)")
 
     p = sub.add_parser(
+        "chaos",
+        help="run a seeded fault-injection chaos workload and check invariants",
+        description=(
+            "Runs a deterministic insert/update/aggregate workload against a "
+            "fault-injecting provenance store (torn batches, transient I/O "
+            "errors, crashes between sign and store), recovers after every "
+            "crash, then checks the two invariants: a recovered untampered "
+            "store verifies clean (no false positives), and tampering "
+            "injected after recovery is still detected (no false negatives). "
+            "Exit 0 iff both hold. Identical seeds produce identical "
+            "reports. No workspace needed."
+        ),
+    )
+    p.add_argument("--seed", type=int, default=0, help="fault/workload seed")
+    p.add_argument("--seed-from-env", metavar="VAR", default=None,
+                   help="read the seed from this environment variable instead")
+    p.add_argument("--ops", type=int, default=40, help="workload operations")
+    p.add_argument("--store", choices=("memory", "sqlite"), default="memory")
+    p.add_argument("--sqlite-path", default=":memory:",
+                   help="sqlite store path (default: in-memory)")
+    p.add_argument("--torn-rate", type=float, default=0.12,
+                   help="torn-batch probability per append_many")
+    p.add_argument("--error-rate", type=float, default=0.08,
+                   help="transient store-error probability per append_many")
+    p.add_argument("--crash-rate", type=float, default=0.05,
+                   help="crash probability between sign and store")
+    p.add_argument("--read-error-rate", type=float, default=0.0,
+                   help="transient error probability per store read")
+    p.add_argument("--kill-chunk", type=int, action="append", default=None,
+                   metavar="N", help="kill the verify worker for chunk N "
+                   "(repeatable; needs --workers > 1)")
+    p.add_argument("--tamper", choices=("R1", "R2", "R4", "none"), default="R1",
+                   help="post-recovery tamper family (default: R1)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="verification workers (>1 exercises the parallel path)")
+    p.add_argument("--key-bits", type=int, default=512)
+    p.add_argument("--json", action="store_true", help="emit the full JSON report")
+    p.add_argument("-o", "--output", default=None,
+                   help="write the report to a file (default: stdout)")
+
+    p = sub.add_parser(
         "trace",
         help="run an instrumented synthetic verify and print its span tree",
         description=(
@@ -249,6 +290,79 @@ def _cmd_stats(args) -> int:
         print(f"wrote metrics to {args.output}")
     else:
         print(text)
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    import os
+
+    from repro.faults import ChaosConfig, run_chaos
+
+    seed = args.seed
+    if args.seed_from_env:
+        raw = os.environ.get(args.seed_from_env)
+        if raw is None or not raw.strip().lstrip("-").isdigit():
+            print(
+                f"error: --seed-from-env {args.seed_from_env}: "
+                f"not an integer ({raw!r})",
+                file=sys.stderr,
+            )
+            return 2
+        seed = int(raw)
+    config = ChaosConfig(
+        seed=seed,
+        ops=args.ops,
+        store=args.store,
+        sqlite_path=args.sqlite_path,
+        torn_rate=args.torn_rate,
+        error_rate=args.error_rate,
+        flush_crash_rate=args.crash_rate,
+        read_error_rate=args.read_error_rate,
+        worker_kill_chunks=tuple(args.kill_chunk or ()),
+        tamper=args.tamper,
+        workers=args.workers,
+        key_bits=args.key_bits,
+    )
+    report = run_chaos(config)
+    inv = report["invariants"]
+    if args.json:
+        text = json.dumps(report, indent=2, sort_keys=True)
+    else:
+        workload = report["workload"]
+        lines = [
+            f"chaos seed {seed}: {workload['applied']}/{workload['ops']} ops "
+            f"applied, {workload['crashes']} crashes, "
+            f"{workload['failed_ops']} ops lost to exhausted retries",
+            "faults injected: "
+            + (", ".join(
+                f"{site}={count}"
+                for site, count in report["faults_injected"].items()
+            ) or "none"),
+            f"recoveries: {len(report['recoveries'])} "
+            f"(final sweep clean: {report['final_recovery']['clean']})",
+            f"verification: {len(report['verification'])} objects, "
+            f"all clean: {all(v['ok'] for v in report['verification'].values())}",
+        ]
+        tamper = report["tamper"]
+        if tamper is not None:
+            lines.append(
+                f"tamper {tamper['requirement']} on {tamper['target']!r}: "
+                f"detected={tamper['detected']} tally={tamper['tally']}"
+            )
+        lines.append(
+            f"invariants: no_false_positives={inv['no_false_positives']} "
+            f"no_false_negatives={inv['no_false_negatives']}"
+        )
+        text = "\n".join(lines)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text + "\n")
+        print(f"wrote chaos report to {args.output}")
+    else:
+        print(text)
+    if not inv["ok"]:
+        print(f"error: chaos invariants violated (seed {seed})", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -341,6 +455,8 @@ def _dispatch(args) -> int:
         return _cmd_verify_shipment(args, args.workspace)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "trace":
         return _cmd_trace(args)
 

@@ -13,21 +13,36 @@ never contend.
 
 from __future__ import annotations
 
+import sqlite3
 import threading
-from typing import Dict, List, Sequence, Set, Tuple
+import time
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.backend.events import AggregateEvent, OperationEvent, UpdateEvent
 from repro.backend.interface import ForestStore
 from repro.core import checksum as payloads
 from repro.core.merkle import HashingStrategy, OperationHashContext
 from repro.crypto.pki import Participant
-from repro.exceptions import MissingProvenanceError, ProvenanceError
+from repro.exceptions import (
+    MissingProvenanceError,
+    ProvenanceError,
+    TransientStoreError,
+)
 from repro.model.ordering import ordering_key
 from repro.obs import OBS
 from repro.provenance.records import ObjectState, Operation, ProvenanceRecord
 from repro.provenance.store import ProvenanceStore
 
+if TYPE_CHECKING:  # pragma: no cover — core stays import-decoupled from faults
+    from repro.faults.plan import FaultPlan
+
 __all__ = ["ChecksumCollector"]
+
+#: Store failures the collector may absorb with bounded retry: our own
+#: transient marker plus SQLite's operational errors (locked database,
+#: momentary disk-I/O trouble).  Everything else — including a simulated
+#: :class:`~repro.exceptions.CrashError` — propagates immediately.
+TRANSIENT_STORE_ERRORS = (TransientStoreError, sqlite3.OperationalError)
 
 
 class ChecksumCollector:
@@ -44,6 +59,15 @@ class ChecksumCollector:
         bootstrap_missing: When an object predating provenance tracking is
             first modified, attest its current state with a synthetic
             genesis record instead of failing.
+        store_retries: How many times a *transient* store failure
+            (:data:`TRANSIENT_STORE_ERRORS`) is retried before giving up.
+            Retries are counted on the ``store.retries`` metric.
+        retry_backoff: Base sleep between retries, doubled per attempt
+            (``0`` disables sleeping).
+        faults: Optional :class:`~repro.faults.plan.FaultPlan` consulted
+            at the ``collector.flush`` site — between signing a staged
+            batch and handing it to the store — so chaos tests can crash
+            the collector at its most delicate moment.
     """
 
     def __init__(
@@ -54,6 +78,9 @@ class ChecksumCollector:
         carry_values: bool = True,
         strict: bool = True,
         bootstrap_missing: bool = False,
+        store_retries: int = 2,
+        retry_backoff: float = 0.01,
+        faults: Optional["FaultPlan"] = None,
     ):
         self.store = store
         self.provenance_store = provenance_store
@@ -61,6 +88,9 @@ class ChecksumCollector:
         self.carry_values = carry_values
         self.strict = strict
         self.bootstrap_missing = bootstrap_missing
+        self.store_retries = max(0, int(store_retries))
+        self.retry_backoff = retry_backoff
+        self.faults = faults
         # Two-phase staging: records are signed into the staging area and
         # appended to the store only after the whole batch succeeded, so a
         # failure mid-batch persists nothing.  Thread-local, so concurrent
@@ -394,18 +424,43 @@ class ChecksumCollector:
             # Fan-out: records produced by one operation (§4.2's inherited
             # propagation makes this > 1 for nested objects).
             reg.histogram("collector.fanout").observe(len(records))
+        if self.faults is not None:
+            # The most delicate crash point: records are signed but not
+            # yet stored.  A crash here loses the whole batch — which is
+            # safe (all-or-nothing), and exactly what the chaos suite
+            # exercises.
+            self.faults.maybe_raise("collector.flush")
         append_many = getattr(self.provenance_store, "append_many", None)
         if append_many is not None:
             # One batch, one store transaction: a complex operation (§4.4)
             # commits atomically, so no half-flushed batch can ever read
             # as an R4 attack.
-            append_many(records)
+            self._store_with_retry(append_many, records)
         else:  # duck-typed stores predating the batch API
             for record in records:
-                self.provenance_store.append(record)
+                self._store_with_retry(self.provenance_store.append, record)
         self._staged.clear()
         self._staged_latest.clear()
         return records
+
+    def _store_with_retry(self, write, payload) -> None:
+        """One store write with bounded retry on transient failures.
+
+        Safe to retry: ``append_many`` is all-or-nothing (and the SQLite
+        store drops its tail cache on failure, so a retry re-reads true
+        chain tails), and a failed single ``append`` writes nothing.
+        """
+        for attempt in range(self.store_retries + 1):
+            try:
+                write(payload)
+                return
+            except TRANSIENT_STORE_ERRORS:
+                if attempt >= self.store_retries:
+                    raise
+                if OBS.enabled:
+                    OBS.registry.counter("store.retries").inc()
+                if self.retry_backoff:
+                    time.sleep(self.retry_backoff * (2 ** attempt))
 
     def _require_bootstrap(self, object_id: str) -> None:
         if not self.bootstrap_missing:

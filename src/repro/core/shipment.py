@@ -70,18 +70,23 @@ class Shipment:
     # ------------------------------------------------------------------
 
     def verify(
-        self, keystore: KeyStore, workers: Optional[int] = None
+        self, keystore: KeyStore, workers: Optional[int] = None, faults=None
     ) -> VerificationReport:
         """Verify against an already-populated trust store.
 
         ``workers`` > 1 fans per-object chain verification out over a
         process pool (:class:`~repro.core.verifier.ParallelVerifier`);
-        the report is byte-identical to the serial one.
+        the report is byte-identical to the serial one.  ``faults``
+        passes a :class:`~repro.faults.plan.FaultPlan` through to the
+        parallel verifier (chaos testing of worker death); it is ignored
+        in serial mode, which has no workers to kill.
         """
         if workers is not None and workers != 1:
             from repro.core.verifier import ParallelVerifier
 
-            verifier: Verifier = ParallelVerifier(keystore, workers=workers)
+            verifier: Verifier = ParallelVerifier(
+                keystore, workers=workers, faults=faults
+            )
         else:
             verifier = Verifier(keystore)
         return verifier.verify(self.snapshot, self.records, self.target_id)
@@ -91,6 +96,7 @@ class Shipment:
         ca_public_key: RSAPublicKey,
         ca_name: str = "repro-root-ca",
         workers: Optional[int] = None,
+        faults=None,
     ) -> VerificationReport:
         """Verify trusting only the CA: certificates come from the shipment.
 
@@ -111,7 +117,7 @@ class Shipment:
                 cert_failures.append(
                     VerificationFailure("PKI", self.target_id, str(exc))
                 )
-        report = self.verify(keystore, workers=workers)
+        report = self.verify(keystore, workers=workers, faults=faults)
         if not cert_failures:
             return report
         return VerificationReport(

@@ -19,14 +19,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.core import checksum as payloads
 from repro.core.merkle import subtree_digest
 from repro.crypto.pki import KeyStore
-from repro.exceptions import CertificateError
+from repro.exceptions import CertificateError, WorkerKilledError
 from repro.obs import OBS
+
+if TYPE_CHECKING:  # pragma: no cover — core stays import-decoupled from faults
+    from repro.faults.plan import FaultPlan, FaultRule
 from repro.provenance.records import Operation, ProvenanceRecord
 from repro.provenance.snapshot import SubtreeSnapshot
 
@@ -538,17 +541,56 @@ def _latest_before(
 _WORKER_STATE: Dict[str, object] = {}
 
 
-def _init_chain_worker(keystore: KeyStore, chains, obs_config=None) -> None:
+def _init_chain_worker(keystore: KeyStore, chains, obs_config=None, fault_spec=None) -> None:
     _WORKER_STATE["verifier"] = Verifier(keystore)
     _WORKER_STATE["chains"] = chains
+    if fault_spec is not None:
+        from repro.faults.plan import FaultPlan
+
+        _WORKER_STATE["faults"] = FaultPlan.from_dict(fault_spec)
+    else:
+        _WORKER_STATE["faults"] = None
     # Fork inherits the parent's observability state (partial counters,
     # an open span stack); replace it with a clean per-worker setup.
     obs.apply_worker_config(obs_config)
 
 
-def _check_chain_chunk(object_ids):
+def _fire_worker_fault(rule: "FaultRule", chunk_index: int) -> None:
+    """Enact a scheduled ``verify.worker`` fault inside the worker.
+
+    KILL dies the way a real OOM-kill or SIGKILL does (``os._exit``, no
+    cleanup, breaks the pool); CRASH raises a picklable
+    :class:`WorkerKilledError` the parent sees as the future's exception.
+    Either way the parent re-verifies the chunk serially.
+    """
+    from repro.faults.plan import FaultKind
+
+    if rule.kind is FaultKind.KILL:
+        import os
+
+        os._exit(1)
+    if rule.kind is FaultKind.CRASH:
+        raise WorkerKilledError(
+            f"injected worker death at verify.worker#{chunk_index}"
+        )
+    if rule.kind is FaultKind.LATENCY:
+        import time
+
+        time.sleep(rule.latency)
+
+
+def _check_chain_chunk(task):
+    chunk_index, object_ids = task
     verifier: Verifier = _WORKER_STATE["verifier"]  # type: ignore[assignment]
     chains = _WORKER_STATE["chains"]
+    plan = _WORKER_STATE.get("faults")
+    if plan is not None:
+        # decide(), not draw(): the chunk index — identical in every
+        # process — keys the decision, so the schedule does not depend on
+        # which worker happens to run which chunk.
+        rule = plan.decide("verify.worker", chunk_index)
+        if rule is not None:
+            _fire_worker_fault(rule, chunk_index)
     failures = _Failures()
     checked = 0
     observing = OBS.enabled
@@ -590,20 +632,35 @@ class ParallelVerifier(Verifier):
     lists are merged back in sorted-object order — reports are
     byte-identical to serial mode.
 
+    A worker that dies mid-chunk — a real SIGKILL, a broken pool, or an
+    injected ``verify.worker`` fault — does not fail the run: the parent
+    re-verifies that chunk serially in-process (counted on the
+    ``verify.degraded_chunks`` metric) and the merged report is still
+    byte-identical to serial mode.
+
     Args:
         keystore: As for :class:`Verifier`.
         workers: Process count (defaults to the CPU count).  ``1`` means
             run serially in-process.
+        faults: Optional :class:`~repro.faults.plan.FaultPlan`; its spec
+            is shipped to every worker, which consults the
+            ``verify.worker`` site keyed by chunk index.
     """
 
     #: Below this many chains the pool costs more than it saves.
     MIN_PARALLEL_CHAINS = 2
 
-    def __init__(self, keystore: KeyStore, workers: Optional[int] = None):
+    def __init__(
+        self,
+        keystore: KeyStore,
+        workers: Optional[int] = None,
+        faults: Optional["FaultPlan"] = None,
+    ):
         super().__init__(keystore)
         import os
 
         self.workers = max(1, int(workers if workers is not None else (os.cpu_count() or 1)))
+        self.faults = faults
 
     def _check_chains(
         self, chains: Dict[str, List[ProvenanceRecord]], failures: _Failures
@@ -618,7 +675,24 @@ class ParallelVerifier(Verifier):
             return super()._check_chains(chains, failures)
         checked = 0
         observing = OBS.enabled
-        for items, chunk_checked, elapsed, metrics_dump, span_dicts in chunk_results:
+        for chunk_index, chunk_ids, result in chunk_results:
+            if result is None:
+                # The worker died (or took the pool down with it).
+                # Degrade gracefully: re-verify this chunk serially, in
+                # place, so the failure list keeps the exact serial order.
+                if observing:
+                    OBS.registry.counter("verify.degraded_chunks").inc()
+                if self.faults is not None:
+                    rule = self.faults.decide("verify.worker", chunk_index)
+                    if rule is not None:
+                        self.faults.record(
+                            "verify.worker", chunk_index, rule.kind,
+                            "chunk degraded to serial re-verification",
+                        )
+                for object_id in chunk_ids:
+                    checked += self._check_chain(chains[object_id], chains, failures)
+                continue
+            items, chunk_checked, elapsed, metrics_dump, span_dicts = result
             failures.items.extend(items)
             checked += chunk_checked
             if observing:
@@ -636,6 +710,7 @@ class ParallelVerifier(Verifier):
 
         object_ids = sorted(chains)
         chunks = self._chunk(object_ids)
+        fault_spec = self.faults.to_dict() if self.faults is not None else None
         try:
             mp_context = multiprocessing.get_context("fork")
         except ValueError:  # platforms without fork
@@ -644,12 +719,25 @@ class ParallelVerifier(Verifier):
             max_workers=min(self.workers, len(chunks)),
             mp_context=mp_context,
             initializer=_init_chain_worker,
-            initargs=(self.keystore, chains, obs.worker_config()),
+            initargs=(self.keystore, chains, obs.worker_config(), fault_spec),
         ) as pool:
-            # map() preserves submission order; chunks are contiguous
-            # slices of the sorted ids, so concatenating per-chunk
-            # failures reproduces the serial iteration order exactly.
-            return list(pool.map(_check_chain_chunk, chunks))
+            # One future per chunk, gathered in submission order; chunks
+            # are contiguous slices of the sorted ids, so concatenating
+            # per-chunk failures reproduces the serial iteration order
+            # exactly.  A future that raises — the worker was killed, or
+            # its death broke the whole pool — yields ``None`` and the
+            # caller re-verifies that chunk serially.
+            futures = [
+                pool.submit(_check_chain_chunk, (index, chunk))
+                for index, chunk in enumerate(chunks)
+            ]
+            results = []
+            for index, (chunk, future) in enumerate(zip(chunks, futures)):
+                try:
+                    results.append((index, chunk, future.result()))
+                except Exception:
+                    results.append((index, chunk, None))
+            return results
 
     def _chunk(self, object_ids: List[str]) -> List[List[str]]:
         # A few chunks per worker smooths out skewed chain lengths while

@@ -86,6 +86,16 @@ class TransactionError(BackendError):
     """Raised on invalid complex-operation (transaction) usage."""
 
 
+class TransientStoreError(BackendError):
+    """A store failure that is expected to succeed on retry.
+
+    Raised (or injected) for momentary conditions — a locked database
+    file, a transient disk-I/O hiccup — that bounded retry-with-backoff
+    in the collector is allowed to absorb.  ``sqlite3.OperationalError``
+    is treated the same way.
+    """
+
+
 # ---------------------------------------------------------------------------
 # provenance
 # ---------------------------------------------------------------------------
@@ -131,3 +141,30 @@ class ShipmentError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised for invalid synthetic-workload parameters."""
+
+
+# ---------------------------------------------------------------------------
+# fault injection
+# ---------------------------------------------------------------------------
+
+
+class CrashError(BaseException):
+    """Simulated process death, injected by :mod:`repro.faults`.
+
+    Derives from :class:`BaseException` (like ``KeyboardInterrupt``) so
+    ordinary ``except Exception``/``except ReproError`` handlers cannot
+    absorb it: a crash is supposed to tear through the whole call stack
+    exactly as a killed process would, and only the chaos harness (or a
+    test) at the very top catches it.  Compensation handlers that really
+    must run on the way out (the collector's staging abort, the session's
+    engine undo) already catch ``BaseException``.
+    """
+
+
+class WorkerKilledError(ReproError):
+    """A verification worker process died mid-chunk.
+
+    Picklable marker raised *inside* a pool worker when a fault plan
+    schedules a soft kill; the parent degrades the chunk to serial
+    re-verification instead of failing the whole run.
+    """

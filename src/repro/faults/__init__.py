@@ -1,0 +1,26 @@
+"""Deterministic fault injection and crash recovery (ISSUE 4).
+
+Seedable fault schedules (:class:`FaultPlan`), a provenance-store
+wrapper that injects them (:class:`FaultyStore`), torn-batch recovery
+(:class:`RecoveryScanner`), and a seeded chaos harness
+(:func:`run_chaos`) asserting the two invariants: crashes never cause
+false accusations, and recovery never hides real tampering.
+"""
+
+from repro.faults.chaos import ChaosConfig, run_chaos
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan, FaultRule
+from repro.faults.recovery import RecoveryReport, RecoveryScanner
+from repro.faults.store import SITE_KINDS, FaultyStore
+
+__all__ = [
+    "ChaosConfig",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRule",
+    "FaultyStore",
+    "RecoveryReport",
+    "RecoveryScanner",
+    "SITE_KINDS",
+    "run_chaos",
+]

@@ -1,0 +1,268 @@
+"""Seeded chaos runs: a workload under faults, recovery, and the two invariants.
+
+:func:`run_chaos` drives a deterministic insert/update/aggregate workload
+against a :class:`~repro.faults.store.FaultyStore`-wrapped provenance
+store, recovering after every simulated crash, then checks the two
+properties the whole fault layer exists to protect (ISSUE 4):
+
+1. **No false positives** — a recovered store with no tampering verifies
+   clean: the data owner is never accused because of a crash.
+2. **No false negatives** — tampering injected *after* crash-recovery is
+   still detected: recovery never launders evidence.
+
+Everything — key generation, operation mix, fault schedule, report — is
+a pure function of the config's seed, so a failing chaos run is
+reproducible from its seed alone (the CI job prints it).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.collector import TRANSIENT_STORE_ERRORS
+from repro.core.system import TamperEvidentDatabase
+from repro.exceptions import CrashError, ProvenanceError
+from repro.faults.plan import FaultKind, FaultPlan, FaultRule
+from repro.faults.recovery import RecoveryScanner
+from repro.faults.store import FaultyStore
+from repro.provenance.store import InMemoryProvenanceStore, SQLiteProvenanceStore
+
+__all__ = ["ChaosConfig", "run_chaos"]
+
+
+@dataclass
+class ChaosConfig:
+    """Knobs of one chaos run; every field participates in determinism."""
+
+    seed: int = 0
+    ops: int = 40
+    store: str = "memory"  # "memory" | "sqlite"
+    sqlite_path: str = ":memory:"
+    torn_rate: float = 0.12
+    error_rate: float = 0.08
+    flush_crash_rate: float = 0.05
+    read_error_rate: float = 0.0
+    #: Chunk indices whose verification worker is killed (CRASH kind —
+    #: picklable exception; the parent degrades the chunk to serial).
+    worker_kill_chunks: Tuple[int, ...] = ()
+    tamper: str = "R1"  # "none" skips the tamper phase
+    workers: int = 1
+    key_bits: int = 512
+
+    def build_plan(self) -> FaultPlan:
+        """The seeded fault schedule this config describes."""
+        rules: List[FaultRule] = []
+        if self.torn_rate > 0:
+            rules.append(
+                FaultRule("store.append_many", FaultKind.TORN, rate=self.torn_rate)
+            )
+        if self.error_rate > 0:
+            rules.append(
+                FaultRule("store.append_many", FaultKind.ERROR, rate=self.error_rate)
+            )
+        if self.flush_crash_rate > 0:
+            rules.append(
+                FaultRule("collector.flush", FaultKind.CRASH, rate=self.flush_crash_rate)
+            )
+        if self.read_error_rate > 0:
+            rules.append(
+                FaultRule("store.read", FaultKind.ERROR, rate=self.read_error_rate)
+            )
+        if self.worker_kill_chunks:
+            rules.append(
+                FaultRule(
+                    "verify.worker",
+                    FaultKind.CRASH,
+                    indices=frozenset(self.worker_kill_chunks),
+                )
+            )
+        return FaultPlan(seed=self.seed, rules=tuple(rules))
+
+    def to_dict(self) -> Dict[str, object]:
+        data = asdict(self)
+        data["worker_kill_chunks"] = list(self.worker_kill_chunks)
+        return data
+
+
+@dataclass
+class _WorkloadLog:
+    applied: int = 0
+    crashes: int = 0
+    failed_ops: int = 0
+    recoveries: List[Dict[str, object]] = field(default_factory=list)
+
+
+def _make_store(config: ChaosConfig):
+    if config.store == "memory":
+        return InMemoryProvenanceStore()
+    if config.store == "sqlite":
+        return SQLiteProvenanceStore(config.sqlite_path)
+    raise ProvenanceError(f"unknown chaos store {config.store!r}")
+
+
+def _run_workload(
+    config: ChaosConfig, db: TamperEvidentDatabase, scanner: RecoveryScanner
+) -> _WorkloadLog:
+    """The seeded operation mix, with crash-recovery after every crash.
+
+    All randomness is drawn *before* attempting the operation, so an
+    injected fault never shifts the remaining schedule: two runs with
+    the same seed perform the same op sequence regardless of where they
+    crash.
+    """
+    rng = random.Random(f"chaos-workload|{config.seed}")
+    session = db.session(db.enroll("chaos"))
+    log = _WorkloadLog()
+    live: List[str] = []
+    created = 0
+    aggregated = 0
+    for i in range(config.ops):
+        roll = rng.random()
+        if not live or roll < 0.35:
+            op = ("insert", f"obj{created}", i)
+            created += 1
+        elif roll < 0.72 or len(live) < 2:
+            op = ("update", rng.choice(live), 1000 * i + rng.randrange(100))
+        else:
+            inputs = rng.sample(live, 2)
+            op = ("aggregate", tuple(inputs), f"agg{aggregated}")
+            aggregated += 1
+        try:
+            if op[0] == "insert":
+                session.insert(op[1], op[2])
+                live.append(op[1])
+            elif op[0] == "update":
+                session.update(op[1], op[2])
+            else:
+                session.aggregate(list(op[1]), op[2])
+            log.applied += 1
+        except CrashError:
+            # "The process died."  The session already compensated the
+            # engine on the way out; the provenance store may hold a torn
+            # suffix.  Restart = recover before touching the store again.
+            log.crashes += 1
+            log.recoveries.append(scanner.recover().to_dict())
+        except TRANSIENT_STORE_ERRORS:
+            # Retries exhausted: the operation is lost but acknowledged
+            # as lost — nothing was stored, nothing to recover.
+            log.failed_ops += 1
+    return log
+
+
+def _tamper_and_verify(
+    config: ChaosConfig, db: TamperEvidentDatabase, plan: FaultPlan
+) -> Optional[Dict[str, object]]:
+    """Inject one post-recovery tamper and verify it is detected."""
+    if config.tamper in ("", "none"):
+        return None
+    from repro.attacks import tampering
+
+    targets = [
+        object_id
+        for object_id in sorted(db.store.roots())
+        if db.provenance_store.records_for(object_id)
+    ]
+    if not targets:
+        return None
+    target = targets[0]
+    if config.tamper == "R2":
+        # Removing a *middle* record is the R2 attack; need a chain >= 2.
+        for candidate in targets:
+            if len(db.provenance_store.records_for(candidate)) > 1:
+                target = candidate
+                break
+    shipment = db.ship(target)
+    chain = [r for r in shipment.records if r.object_id == target]
+    victim_seq = chain[-1].seq_id
+    if config.tamper == "R2" and len(chain) > 1:
+        tampered = tampering.remove_record(shipment, target, chain[-2].seq_id)
+    elif config.tamper == "R4":
+        tampered = tampering.tamper_data(shipment, target, 987654321)
+    else:  # R1 and the default
+        tampered = tampering.modify_record_output(
+            shipment, target, victim_seq, fake_value=424242,
+            hash_algorithm=db.hash_algorithm,
+        )
+    report = tampered.verify(
+        db.keystore(),
+        workers=config.workers,
+        faults=plan if config.worker_kill_chunks else None,
+    )
+    return {
+        "target": target,
+        "requirement": config.tamper,
+        "detected": not report.ok,
+        "tally": report.failure_tally(),
+    }
+
+
+def run_chaos(config: ChaosConfig) -> Dict[str, object]:
+    """One full chaos run; returns a JSON-able, seed-deterministic report."""
+    plan = config.build_plan()
+    inner = _make_store(config)
+    faulty = FaultyStore(inner, plan)
+    db = TamperEvidentDatabase(
+        provenance_store=faulty, seed=config.seed, key_bits=config.key_bits
+    )
+    db.collector.faults = plan
+    scanner = RecoveryScanner(faulty)
+
+    log = _run_workload(config, db, scanner)
+    # A last sweep: the workload recovers after every observed crash, so
+    # this must find nothing — a torn batch here means a crash went
+    # unnoticed, which is itself an invariant violation.
+    final_recovery = scanner.recover()
+
+    # Verification reads the *recovered* store directly: the recipient
+    # checks what survived, not what the fault layer happens to throw.
+    db.provenance_store = inner
+    db.collector.provenance_store = inner
+
+    verification: Dict[str, Dict[str, object]] = {}
+    for object_id in sorted(db.store.roots()):
+        if not inner.records_for(object_id):
+            continue
+        report = db.ship(object_id).verify(
+            db.keystore(),
+            workers=config.workers,
+            faults=plan if config.worker_kill_chunks else None,
+        )
+        verification[object_id] = {
+            "ok": report.ok,
+            "records_checked": report.records_checked,
+            "tally": report.failure_tally(),
+        }
+    all_clean = all(entry["ok"] for entry in verification.values())
+
+    tamper = _tamper_and_verify(config, db, plan)
+
+    no_false_positives = all_clean and final_recovery.clean
+    no_false_negatives = tamper is None or bool(tamper["detected"])
+    injected: Dict[str, int] = {}
+    for event in plan.events:
+        key = f"{event.site}:{event.kind.value}"
+        injected[key] = injected.get(key, 0) + 1
+
+    return {
+        "seed": config.seed,
+        "config": config.to_dict(),
+        "workload": {
+            "ops": config.ops,
+            "applied": log.applied,
+            "crashes": log.crashes,
+            "failed_ops": log.failed_ops,
+        },
+        "faults_injected": dict(sorted(injected.items())),
+        "fault_events": [event.to_dict() for event in plan.events],
+        "recoveries": log.recoveries,
+        "final_recovery": final_recovery.to_dict(),
+        "verification": verification,
+        "tamper": tamper,
+        "invariants": {
+            "no_false_positives": no_false_positives,
+            "no_false_negatives": no_false_negatives,
+            "ok": no_false_positives and no_false_negatives,
+        },
+    }

@@ -1,0 +1,272 @@
+"""Deterministic, seedable fault schedules.
+
+A :class:`FaultPlan` decides, for every *(site, invocation index)* pair,
+whether a named fault fires and which kind.  Decisions are pure functions
+of ``(seed, site, index, rule)`` — no shared mutable state — so the same
+seed reproduces the same schedule across runs, threads, and even pool
+worker processes (the parallel verifier ships the plan's spec to its
+workers and each worker re-derives identical decisions).
+
+Fault sites are plain strings naming instrumented code locations::
+
+    store.append            single-record provenance append
+    store.append_many       batched provenance append
+    store.read              tail / record reads
+    collector.flush         between signing and storing a staged batch
+    verify.worker           one parallel-verification chunk
+
+Kinds (:class:`FaultKind`):
+
+``TORN``     commit only a prefix of an ``append_many`` batch, then crash
+``ERROR``    raise a transient ``sqlite3.OperationalError`` (disk I/O)
+``CRASH``    raise :class:`~repro.exceptions.CrashError` (process death)
+``LATENCY``  sleep briefly, then let the operation proceed
+``KILL``     hard-kill a verifier worker process (``os._exit``)
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.exceptions import CrashError, ProvenanceError, TransientStoreError
+from repro.obs import OBS
+
+__all__ = [
+    "FaultKind",
+    "FaultRule",
+    "FaultEvent",
+    "FaultPlan",
+]
+
+
+class FaultKind(str, enum.Enum):
+    """What an injected fault does at its site."""
+
+    TORN = "torn"
+    ERROR = "error"
+    CRASH = "crash"
+    LATENCY = "latency"
+    KILL = "kill"
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One line of a fault schedule.
+
+    Args:
+        site: The fault site this rule arms.
+        kind: What happens when it fires.
+        rate: Probability that a given invocation fires (seeded draw).
+        indices: When given, fire on exactly these invocation indices
+            instead of drawing; ``rate`` is ignored.
+        torn_keep: For ``TORN`` faults: how many records of the batch
+            survive the tear.  ``None`` draws a prefix length from the
+            seed (deterministically).
+        latency: Sleep duration in seconds for ``LATENCY`` faults.
+    """
+
+    site: str
+    kind: FaultKind
+    rate: float = 1.0
+    indices: Optional[FrozenSet[int]] = None
+    torn_keep: Optional[int] = None
+    latency: float = 0.001
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "site": self.site,
+            "kind": self.kind.value,
+            "rate": self.rate,
+            "indices": sorted(self.indices) if self.indices is not None else None,
+            "torn_keep": self.torn_keep,
+            "latency": self.latency,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultRule":
+        indices = data.get("indices")
+        return cls(
+            site=str(data["site"]),
+            kind=FaultKind(data["kind"]),
+            rate=float(data.get("rate", 1.0)),
+            indices=frozenset(int(i) for i in indices) if indices is not None else None,
+            torn_keep=(None if data.get("torn_keep") is None else int(data["torn_keep"])),
+            latency=float(data.get("latency", 0.001)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that actually fired (the plan's injection log)."""
+
+    site: str
+    index: int
+    kind: FaultKind
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "site": self.site,
+            "index": self.index,
+            "kind": self.kind.value,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class FaultPlan:
+    """A seeded schedule of named faults.
+
+    The plan keeps one invocation counter per site (thread-safe) and an
+    append-only log of fired events, but the fire/no-fire decision itself
+    is stateless: :meth:`decide` answers purely from ``(seed, site,
+    index)``, so two plans built from the same spec agree everywhere.
+    """
+
+    seed: int
+    rules: Tuple[FaultRule, ...] = ()
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.rules = tuple(self.rules)
+        self._counters: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+
+    def _draw(self, site: str, index: int, rule_pos: int) -> float:
+        return random.Random(f"{self.seed}|{site}|{index}|{rule_pos}").random()
+
+    def decide(self, site: str, index: int) -> Optional[FaultRule]:
+        """The rule that fires at ``(site, index)``, or None.
+
+        Pure: depends only on the plan's seed and rules, never on call
+        history, so any process holding the same spec computes the same
+        answer.  The first matching armed rule wins.
+        """
+        for pos, rule in enumerate(self.rules):
+            if rule.site != site:
+                continue
+            if rule.indices is not None:
+                if index in rule.indices:
+                    return rule
+                continue
+            if self._draw(site, index, pos) < rule.rate:
+                return rule
+        return None
+
+    def next_index(self, site: str) -> int:
+        """Claim this call's invocation index at ``site``."""
+        with self._lock:
+            index = self._counters.get(site, 0)
+            self._counters[site] = index + 1
+        return index
+
+    def draw(self, site: str) -> Optional[Tuple[FaultRule, int]]:
+        """Advance ``site``'s counter; return ``(rule, index)`` if it fires.
+
+        Fired faults are logged to :attr:`events` and counted on the
+        ``faults.injected`` metric, so every injection is observable.
+        """
+        index = self.next_index(site)
+        rule = self.decide(site, index)
+        if rule is None:
+            return None
+        self.record(site, index, rule.kind)
+        return rule, index
+
+    def record(self, site: str, index: int, kind: FaultKind, detail: str = "") -> None:
+        """Log one fired fault (also used for faults observed, not raised —
+        e.g. the parent logging a worker the plan killed)."""
+        with self._lock:
+            self.events.append(FaultEvent(site, index, kind, detail))
+        if OBS.enabled:
+            OBS.registry.counter("faults.injected", site=site, kind=kind.value).inc()
+
+    def torn_keep(self, rule: FaultRule, index: int, batch_size: int) -> int:
+        """How many records of a torn batch survive (deterministic)."""
+        if rule.torn_keep is not None:
+            return max(0, min(batch_size, rule.torn_keep))
+        if batch_size <= 1:
+            return 0
+        return random.Random(f"{self.seed}|torn|{rule.site}|{index}").randrange(batch_size)
+
+    def maybe_raise(self, site: str) -> None:
+        """Fire-and-raise helper for sites without batch semantics.
+
+        ``ERROR`` raises a transient ``sqlite3.OperationalError``,
+        ``CRASH`` raises :class:`CrashError`, ``LATENCY`` sleeps.  ``TORN``
+        and ``KILL`` make no sense here and are rejected at plan-build
+        time by :meth:`validate`.
+        """
+        fired = self.draw(site)
+        if fired is None:
+            return
+        rule, index = fired
+        _raise_for(rule, site, index)
+
+    def validate(self, site_kinds: Dict[str, Sequence[FaultKind]]) -> None:
+        """Check every rule's kind is meaningful at its site."""
+        for rule in self.rules:
+            allowed = site_kinds.get(rule.site)
+            if allowed is not None and rule.kind not in allowed:
+                raise ProvenanceError(
+                    f"fault kind {rule.kind.value!r} is not valid at site "
+                    f"{rule.site!r} (allowed: {[k.value for k in allowed]})"
+                )
+
+    # ------------------------------------------------------------------
+    # introspection / serialization
+    # ------------------------------------------------------------------
+
+    def schedule_preview(self, site: str, horizon: int) -> Tuple[int, ...]:
+        """The invocation indices that would fire at ``site`` within
+        ``horizon`` calls — for reports and determinism assertions."""
+        return tuple(i for i in range(horizon) if self.decide(site, i) is not None)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Spec only (seed + rules) — counters and events are runtime state."""
+        return {
+            "seed": self.seed,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Optional[Dict[str, object]]) -> Optional["FaultPlan"]:
+        if data is None:
+            return None
+        return cls(
+            seed=int(data["seed"]),
+            rules=tuple(FaultRule.from_dict(r) for r in data.get("rules", ())),
+        )
+
+    def __deepcopy__(self, memo):
+        # Locks cannot be deep-copied; a copy shares the spec but starts
+        # with fresh counters and an empty log.
+        clone = FaultPlan(seed=self.seed, rules=self.rules)
+        memo[id(self)] = clone
+        return clone
+
+
+def _raise_for(rule: FaultRule, site: str, index: int) -> None:
+    """Turn a fired rule into its effect (for non-batch sites)."""
+    if rule.kind is FaultKind.ERROR:
+        raise sqlite3.OperationalError(
+            f"disk I/O error (injected at {site}#{index})"
+        )
+    if rule.kind is FaultKind.CRASH:
+        raise CrashError(f"simulated crash at {site}#{index}")
+    if rule.kind is FaultKind.LATENCY:
+        time.sleep(rule.latency)
+        return
+    raise TransientStoreError(
+        f"fault kind {rule.kind.value!r} cannot fire at plain site {site!r}"
+    )

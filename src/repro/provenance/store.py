@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 import sqlite3
+from dataclasses import dataclass
 from time import perf_counter
 from typing import (
     Dict,
@@ -31,7 +32,12 @@ from repro.exceptions import BackendError, ProvenanceError, SequenceError
 from repro.obs import OBS
 from repro.provenance.records import ProvenanceRecord
 
-__all__ = ["ProvenanceStore", "InMemoryProvenanceStore", "SQLiteProvenanceStore"]
+__all__ = [
+    "ProvenanceStore",
+    "BatchJournalEntry",
+    "InMemoryProvenanceStore",
+    "SQLiteProvenanceStore",
+]
 
 
 @runtime_checkable
@@ -93,6 +99,25 @@ class ProvenanceStore(Protocol):
 ChainTail = Tuple[int, bytes]
 
 
+@dataclass(frozen=True)
+class BatchJournalEntry:
+    """One ``append_many`` batch as recorded in the store's batch journal.
+
+    The journal is the store's crash-recovery surface: every batch write
+    first declares its record keys, and the declaration is only marked
+    ``committed`` together with the rows themselves.  A crash mid-batch
+    (a torn WAL under ``synchronous = OFF``, or an injected fault) leaves
+    an *uncommitted* entry behind, which
+    :class:`repro.faults.recovery.RecoveryScanner` uses to find and
+    truncate the torn suffix.  ``keys`` are ``(object_id, seq_id)`` pairs
+    in batch order.
+    """
+
+    batch_id: int
+    keys: Tuple[Tuple[str, int], ...]
+    committed: bool
+
+
 def _check_append(record: ProvenanceRecord, tail: Optional[ChainTail]) -> None:
     """Shared append validation: per-object seq ids strictly increase."""
     if tail is not None and record.seq_id <= tail[0]:
@@ -129,6 +154,8 @@ class InMemoryProvenanceStore:
         self._chains: Dict[str, List[ProvenanceRecord]] = {}
         self._count = 0
         self._space = 0
+        self._journal: Dict[int, BatchJournalEntry] = {}
+        self._next_batch_id = 1
 
     def append(self, record: ProvenanceRecord) -> None:
         chain = self._chains.setdefault(record.object_id, [])
@@ -141,16 +168,75 @@ class InMemoryProvenanceStore:
 
     def append_many(self, records: Iterable[ProvenanceRecord]) -> None:
         batch = list(records)
+        if not batch:
+            return
         _check_batch(batch, self._tail)  # validate-then-apply: atomic
         for record in batch:
             self._chains.setdefault(record.object_id, []).append(record)
             self._count += 1
             self._space += record.storage_bytes()
+        self._journal_entry(batch, committed=True)
         if OBS.enabled:
             reg = OBS.registry
             reg.counter("store.append.batches", store="memory").inc()
             reg.counter("store.append.records", store="memory").inc(len(batch))
             reg.histogram("store.batch.size", store="memory").observe(len(batch))
+
+    # ------------------------------------------------------------------
+    # batch journal / crash-recovery surface (see BatchJournalEntry)
+    # ------------------------------------------------------------------
+
+    def _journal_entry(
+        self, batch: List[ProvenanceRecord], committed: bool
+    ) -> BatchJournalEntry:
+        entry = BatchJournalEntry(
+            batch_id=self._next_batch_id,
+            keys=tuple(record.key for record in batch),
+            committed=committed,
+        )
+        self._next_batch_id += 1
+        self._journal[entry.batch_id] = entry
+        return entry
+
+    def journal(self) -> Tuple[BatchJournalEntry, ...]:
+        """All batch journal entries, oldest first."""
+        return tuple(self._journal[b] for b in sorted(self._journal))
+
+    def begin_torn_batch(self, records: Iterable[ProvenanceRecord], keep: int) -> int:
+        """Simulate a crash mid-``append_many``: commit only a prefix.
+
+        Writes the journal declaration (uncommitted) plus the first
+        ``keep`` records, exactly the on-disk state a power cut leaves
+        behind, and returns the torn batch id.  Only the fault-injection
+        layer calls this.
+        """
+        batch = list(records)
+        _check_batch(batch, self._tail)
+        entry = self._journal_entry(batch, committed=False)
+        for record in batch[: max(0, keep)]:
+            self._chains.setdefault(record.object_id, []).append(record)
+            self._count += 1
+            self._space += record.storage_bytes()
+        return entry.batch_id
+
+    def discard(self, object_id: str, seq_id: int) -> bool:
+        """Remove one record if present (recovery truncation only)."""
+        chain = self._chains.get(object_id)
+        if not chain:
+            return False
+        for i, record in enumerate(chain):
+            if record.seq_id == seq_id:
+                del chain[i]
+                self._count -= 1
+                self._space -= record.storage_bytes()
+                if not chain:
+                    del self._chains[object_id]
+                return True
+        return False
+
+    def resolve_torn(self, batch_id: int) -> None:
+        """Drop a journal entry once recovery has truncated its records."""
+        self._journal.pop(batch_id, None)
 
     def _tail(self, object_id: str) -> Optional[ChainTail]:
         chain = self._chains.get(object_id)
@@ -211,6 +297,16 @@ class SQLiteProvenanceStore:
         checksum    BLOB NOT NULL,
         payload     TEXT NOT NULL,
         PRIMARY KEY (object_id, seq_id)
+    );
+    -- Batch journal: every append_many declares its record keys, and the
+    -- declaration commits in the same transaction as the rows.  With
+    -- synchronous = OFF a crash can tear that transaction, leaving an
+    -- uncommitted declaration (or rows without one) behind; the recovery
+    -- scanner truncates such torn suffixes (see BatchJournalEntry).
+    CREATE TABLE IF NOT EXISTS batch_journal (
+        batch_id  INTEGER PRIMARY KEY AUTOINCREMENT,
+        keys      TEXT NOT NULL,
+        committed INTEGER NOT NULL
     );
     """
 
@@ -294,6 +390,13 @@ class SQLiteProvenanceStore:
             reg.counter("store.append.records", store="sqlite").inc()
             reg.histogram("store.txn.seconds").observe(perf_counter() - start)
 
+    @staticmethod
+    def _keys_json(batch: List[ProvenanceRecord]) -> str:
+        return json.dumps(
+            [[record.object_id, record.seq_id] for record in batch],
+            separators=(",", ":"),
+        )
+
     def append_many(self, records: Iterable[ProvenanceRecord]) -> None:
         batch = list(records)
         if not batch:
@@ -303,11 +406,24 @@ class SQLiteProvenanceStore:
         start = perf_counter() if observing else 0.0
         try:
             with self._conn:  # one transaction: all-or-nothing
+                self._conn.execute(
+                    "INSERT INTO batch_journal(keys, committed) VALUES (?, 1)",
+                    (self._keys_json(batch),),
+                )
                 self._conn.executemany(
                     self._INSERT, (self._row_of(record) for record in batch)
                 )
         except sqlite3.IntegrityError as exc:
             raise SequenceError(f"duplicate record key in batch: {exc}") from exc
+        except BaseException:
+            # The transaction rolled back (or — disk-I/O error at commit
+            # time — may have *partially* survived a torn write).  Either
+            # way the cached tails for the batch's objects can no longer
+            # be trusted: a retried batch must re-read them from disk, or
+            # it could chain off a checksum that was never committed.
+            for object_id in {record.object_id for record in batch}:
+                self._tail_cache.pop(object_id, None)
+            raise
         self._tail_cache.update(staged)
         if observing:
             reg = OBS.registry
@@ -368,6 +484,68 @@ class SQLiteProvenanceStore:
         self._conn.commit()
         self._tail_cache.pop(object_id, None)
         return cursor.rowcount
+
+    # ------------------------------------------------------------------
+    # batch journal / crash-recovery surface (see BatchJournalEntry)
+    # ------------------------------------------------------------------
+
+    def journal(self) -> Tuple[BatchJournalEntry, ...]:
+        """All batch journal entries, oldest first."""
+        rows = self._conn.execute(
+            "SELECT batch_id, keys, committed FROM batch_journal ORDER BY batch_id"
+        ).fetchall()
+        return tuple(
+            BatchJournalEntry(
+                batch_id=row[0],
+                keys=tuple((object_id, seq_id) for object_id, seq_id in json.loads(row[1])),
+                committed=bool(row[2]),
+            )
+            for row in rows
+        )
+
+    def begin_torn_batch(self, records: Iterable[ProvenanceRecord], keep: int) -> int:
+        """Simulate a crash mid-``append_many``: commit only a prefix.
+
+        Reproduces the on-disk state a torn ``synchronous = OFF`` commit
+        leaves behind — the journal declaration without its committed
+        flag, plus the first ``keep`` rows — and returns the torn batch
+        id.  Only the fault-injection layer calls this.
+        """
+        batch = list(records)
+        _check_batch(batch, self._tail)
+        cursor = self._conn.execute(
+            "INSERT INTO batch_journal(keys, committed) VALUES (?, 0)",
+            (self._keys_json(batch),),
+        )
+        batch_id = cursor.lastrowid
+        for record in batch[: max(0, keep)]:
+            self._conn.execute(self._INSERT, self._row_of(record))
+        self._conn.commit()
+        # The torn rows are the newest on disk; leave the cache pointing
+        # at them, as a crashed-then-restarted writer would see.  Recovery
+        # truncation (discard) re-invalidates per object.
+        for record in batch[: max(0, keep)]:
+            self._tail_cache[record.object_id] = (record.seq_id, record.checksum)
+        return batch_id
+
+    def discard(self, object_id: str, seq_id: int) -> bool:
+        """Remove one record if present (recovery truncation only)."""
+        cursor = self._conn.execute(
+            "DELETE FROM provenance WHERE object_id = ? AND seq_id = ?",
+            (object_id, seq_id),
+        )
+        self._conn.commit()
+        # Whatever tail we cached for this object may be the row just
+        # deleted; drop it so the next append re-reads the real tail.
+        self._tail_cache.pop(object_id, None)
+        return cursor.rowcount > 0
+
+    def resolve_torn(self, batch_id: int) -> None:
+        """Drop a journal entry once recovery has truncated its records."""
+        self._conn.execute(
+            "DELETE FROM batch_journal WHERE batch_id = ?", (batch_id,)
+        )
+        self._conn.commit()
 
     @staticmethod
     def _load(row) -> ProvenanceRecord:

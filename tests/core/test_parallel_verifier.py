@@ -119,3 +119,98 @@ def test_single_worker_runs_in_process(keystore, aggregate_db):
     # no pool machinery: _run_pool would need >1 worker
     report = verifier.verify_records(records)
     assert report.ok
+
+
+# ----------------------------------------------------------------------
+# worker death (fault injection)
+# ----------------------------------------------------------------------
+
+
+def _kill_plan(kind, *chunk_indices, rate=None):
+    from repro.faults.plan import FaultPlan, FaultRule
+
+    if rate is not None:
+        rule = FaultRule("verify.worker", kind, rate=rate)
+    else:
+        rule = FaultRule("verify.worker", kind, indices=frozenset(chunk_indices))
+    return FaultPlan(seed=0, rules=(rule,))
+
+
+def test_crashed_worker_chunk_reverified_serially(keystore, aggregate_db):
+    """A chunk whose worker dies is re-verified in-process; the merged
+    report stays byte-identical to the serial verifier's."""
+    from repro.faults.plan import FaultKind
+
+    records = list(aggregate_db.provenance_store.all_records())
+    serial = Verifier(keystore).verify_records(records)
+    plan = _kill_plan(FaultKind.CRASH, 0)
+    report = ParallelVerifier(keystore, workers=2, faults=plan).verify_records(
+        records
+    )
+    assert report == serial
+    assert report.ok
+    # The parent logged the death it observed.
+    assert any(e.site == "verify.worker" for e in plan.events)
+
+
+def test_all_workers_dead_degrades_to_full_serial(keystore, aggregate_db):
+    from repro.faults.plan import FaultKind
+
+    records = list(aggregate_db.provenance_store.all_records())
+    serial = Verifier(keystore).verify_records(records)
+    plan = _kill_plan(FaultKind.CRASH, rate=1.0)
+    report = ParallelVerifier(keystore, workers=4, faults=plan).verify_records(
+        records
+    )
+    assert report == serial
+
+
+def test_dead_worker_on_tampered_chain_keeps_failure_order(
+    keystore, aggregate_db
+):
+    """Degraded chunks must merge failures at their exact serial position."""
+    from repro.faults.plan import FaultKind
+
+    corrupted = []
+    for record in aggregate_db.provenance_store.all_records():
+        if record.key in (("src1", 1), ("src4", 1)):
+            record = record.with_checksum(
+                bytes([record.checksum[0] ^ 0xFF]) + record.checksum[1:]
+            )
+        corrupted.append(record)
+    serial = Verifier(keystore).verify_records(corrupted)
+    assert not serial.ok
+    plan = _kill_plan(FaultKind.CRASH, 0, 1)
+    parallel = ParallelVerifier(
+        keystore, workers=2, faults=plan
+    ).verify_records(corrupted)
+    assert parallel == serial
+    assert parallel.failures == serial.failures
+
+
+def test_hard_killed_worker_process_degrades(keystore, aggregate_db):
+    """KILL is real process death (``os._exit``), which breaks the whole
+    pool — every chunk must still come back via serial re-verification."""
+    from repro.faults.plan import FaultKind
+
+    records = list(aggregate_db.provenance_store.all_records())
+    serial = Verifier(keystore).verify_records(records)
+    plan = _kill_plan(FaultKind.KILL, 0)
+    report = ParallelVerifier(keystore, workers=2, faults=plan).verify_records(
+        records
+    )
+    assert report == serial
+
+
+def test_degraded_chunks_are_counted(keystore, aggregate_db):
+    from repro import obs
+    from repro.faults.plan import FaultKind
+
+    records = list(aggregate_db.provenance_store.all_records())
+    obs.enable(reset=True)
+    try:
+        plan = _kill_plan(FaultKind.CRASH, 0)
+        ParallelVerifier(keystore, workers=2, faults=plan).verify_records(records)
+        assert obs.OBS.registry.counter("verify.degraded_chunks").value >= 1
+    finally:
+        obs.disable()

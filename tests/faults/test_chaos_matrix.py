@@ -1,0 +1,127 @@
+"""Conformance matrix: {memory, sqlite} × {serial, parallel} × R1–R8.
+
+Each attack scenario from :mod:`repro.attacks.scenarios` is replayed
+against a world whose history crashed mid-write and was recovered.  The
+contract: crash-recovery is *invisible* to verification — every attack
+is detected (or, for the documented R7 boundary case, not detected)
+exactly as in the fault-free world, with the same ``failure_tally()``.
+
+Both worlds are built from the same RNG seed, so their key material and
+records are identical; any report difference is recovery's fault.
+"""
+
+import random
+
+import pytest
+
+from repro.attacks.scenarios import AttackWorld, all_scenarios, build_world
+from repro.core.system import TamperEvidentDatabase
+from repro.exceptions import CrashError
+from repro.faults.plan import FaultKind, FaultPlan, FaultRule
+from repro.faults.recovery import RecoveryScanner
+from repro.faults.store import FaultyStore
+from repro.provenance.store import InMemoryProvenanceStore, SQLiteProvenanceStore
+
+WORKER_MODES = (1, 4)  # serial / parallel verifier
+
+
+def build_crashed_world(store_factory, seed: int = 0x5EC) -> AttackWorld:
+    """``build_world``'s history, except mallory's write crashes mid-batch
+    and is retried after recovery.  Same RNG seed as the reference world,
+    so the surviving records are identical."""
+    plan = FaultPlan(
+        seed=0,
+        rules=(
+            FaultRule(
+                "store.append_many",
+                FaultKind.TORN,
+                indices=frozenset({2}),
+                torn_keep=1,
+            ),
+        ),
+    )
+    inner = store_factory()
+    rng = random.Random(seed)
+    db = TamperEvidentDatabase(
+        provenance_store=FaultyStore(inner, plan), key_bits=512, rng=rng
+    )
+    alice = db.enroll("alice")
+    mallory = db.enroll("mallory")
+    eve = db.enroll("eve")
+    a, m, e = db.session(alice), db.session(mallory), db.session(eve)
+
+    a.insert("x", 10)            # flush 0
+    a.update("x", 11)            # flush 1
+    with pytest.raises(CrashError):
+        m.update("x", 12)        # flush 2: torn batch, then "power cut"
+    report = RecoveryScanner(inner).recover()
+    assert report.truncated, "the torn suffix must have been rolled back"
+    m.update("x", 12)            # the restarted writer retries
+    a.update("x", 13)
+    e.update("x", 14)
+
+    a.insert("y", 99)
+    a.update("y", 100)
+
+    return AttackWorld(
+        db=db,
+        alice=alice,
+        mallory=mallory,
+        eve=eve,
+        shipment=db.ship("x"),
+        other_shipment=db.ship("y"),
+    )
+
+
+@pytest.fixture(scope="module")
+def worlds():
+    """(crashed world, fault-free reference) per store backend."""
+    return {
+        "memory": (build_crashed_world(InMemoryProvenanceStore), build_world()),
+        "sqlite": (build_crashed_world(SQLiteProvenanceStore), build_world()),
+    }
+
+
+@pytest.mark.parametrize("store_kind", ("memory", "sqlite"))
+def test_recovered_history_matches_reference(worlds, store_kind):
+    """Before any attack: the recovered store's records are identical to
+    the fault-free world's (same seed, same keys, same chains)."""
+    crashed, reference = worlds[store_kind]
+    assert [r.to_dict() for r in crashed.shipment.records] == [
+        r.to_dict() for r in reference.shipment.records
+    ]
+
+
+@pytest.mark.parametrize("workers", WORKER_MODES, ids=("serial", "parallel"))
+@pytest.mark.parametrize("store_kind", ("memory", "sqlite"))
+def test_clean_recovered_world_verifies(worlds, store_kind, workers):
+    crashed, _ = worlds[store_kind]
+    report = crashed.shipment.verify_with_ca(
+        crashed.db.ca.public_key, crashed.db.ca.name, workers=workers
+    )
+    assert report.ok, report.summary()
+
+
+@pytest.mark.parametrize("workers", WORKER_MODES, ids=("serial", "parallel"))
+@pytest.mark.parametrize("scenario", all_scenarios(), ids=lambda s: s.name)
+@pytest.mark.parametrize("store_kind", ("memory", "sqlite"))
+def test_attack_detection_survives_crash_recovery(
+    worlds, store_kind, scenario, workers
+):
+    crashed, reference = worlds[store_kind]
+    tampered = scenario.run(crashed)
+    report = tampered.verify_with_ca(
+        crashed.db.ca.public_key, crashed.db.ca.name, workers=workers
+    )
+    assert (not report.ok) == scenario.expect_detected, (
+        f"{scenario.requirement} ({scenario.name}) after crash-recovery: "
+        f"expected detected={scenario.expect_detected}, got {report.summary()}"
+    )
+    # Identical tally to the fault-free world: recovery neither hides
+    # failures nor manufactures new ones.
+    ref_report = scenario.run(reference).verify_with_ca(
+        reference.db.ca.public_key, reference.db.ca.name
+    )
+    assert report.failure_tally() == ref_report.failure_tally()
+    if scenario.expect_detected:
+        assert report.failure_tally(), scenario.name

@@ -1,0 +1,75 @@
+"""``repro chaos``: exit codes, determinism, and seed plumbing."""
+
+import json
+
+import pytest
+
+from repro.cli.main import main
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+def test_chaos_exits_zero_and_summarizes(capsys):
+    assert run_cli("chaos", "--seed", "3", "--ops", "20") == 0
+    out = capsys.readouterr().out
+    assert "chaos seed 3" in out
+    assert "no_false_positives=True" in out
+    assert "no_false_negatives=True" in out
+
+
+def test_chaos_json_report(capsys):
+    assert run_cli("chaos", "--seed", "1", "--ops", "15", "--json") == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["seed"] == 1
+    assert report["invariants"]["ok"] is True
+
+
+def test_same_seed_identical_report_files(tmp_path, capsys):
+    first, second = tmp_path / "a.json", tmp_path / "b.json"
+    for path in (first, second):
+        assert run_cli(
+            "chaos", "--seed", "9", "--ops", "20", "--json", "-o", str(path)
+        ) == 0
+    capsys.readouterr()
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_sqlite_store_and_tamper_family(capsys):
+    assert (
+        run_cli(
+            "chaos", "--seed", "4", "--ops", "15", "--store", "sqlite",
+            "--tamper", "R4",
+        )
+        == 0
+    )
+    assert "tamper R4" in capsys.readouterr().out
+
+
+def test_seed_from_env(monkeypatch, capsys):
+    monkeypatch.setenv("CHAOS_SEED", "11")
+    assert run_cli("chaos", "--seed-from-env", "CHAOS_SEED", "--ops", "15") == 0
+    assert "chaos seed 11" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("value", (None, "", "not-a-number"))
+def test_seed_from_env_rejects_bad_values(monkeypatch, capsys, value):
+    if value is None:
+        monkeypatch.delenv("CHAOS_SEED", raising=False)
+    else:
+        monkeypatch.setenv("CHAOS_SEED", value)
+    assert run_cli("chaos", "--seed-from-env", "CHAOS_SEED", "--ops", "5") == 2
+    assert "not an integer" in capsys.readouterr().err
+
+
+def test_parallel_worker_kill_flags(capsys):
+    assert (
+        run_cli(
+            "chaos", "--seed", "5", "--ops", "25", "--workers", "2",
+            "--kill-chunk", "0",
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "verify.worker" in out

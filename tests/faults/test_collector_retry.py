@@ -1,0 +1,117 @@
+"""Collector resilience: transient store errors are retried, crashes are not.
+
+A transient ``sqlite3.OperationalError`` (or :class:`TransientStoreError`)
+from the provenance store is retried with backoff — the signed records
+are already staged, so the retry stores byte-identical state.  A
+:class:`CrashError` models process death and must tear straight through:
+no retry, engine compensated, store unchanged.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro import obs
+from repro.core.system import TamperEvidentDatabase
+from repro.exceptions import CrashError
+from repro.faults.plan import FaultKind, FaultPlan, FaultRule
+from repro.faults.store import FaultyStore
+from repro.provenance.store import InMemoryProvenanceStore
+
+from tests.conftest import TEST_KEY_BITS
+
+
+def make_db(ca, plan):
+    inner = InMemoryProvenanceStore()
+    db = TamperEvidentDatabase(
+        ca=ca, key_bits=TEST_KEY_BITS, provenance_store=FaultyStore(inner, plan)
+    )
+    db.collector.faults = plan
+    db.collector.retry_backoff = 0.0
+    return db, inner
+
+
+def error_plan(*indices):
+    return FaultPlan(
+        seed=0,
+        rules=(
+            FaultRule(
+                "store.append_many", FaultKind.ERROR, indices=frozenset(indices)
+            ),
+        ),
+    )
+
+
+def test_transient_error_is_retried_transparently(ca, participants):
+    db, inner = make_db(ca, error_plan(0))
+    session = db.session(participants["p1"])
+    records = session.insert("doc", "draft")  # first attempt fails, retry lands
+    assert len(records) == 1
+    assert inner.latest("doc").seq_id == 0
+    assert db.verify("doc").ok
+
+
+def test_retried_batch_chains_correctly(ca, participants):
+    """After a fail-then-retry the chain must verify end to end — the
+    retry reads true tails, not remnants of the failed attempt."""
+    db, _ = make_db(ca, error_plan(1, 3))
+    session = db.session(participants["p1"])
+    session.insert("doc", "draft")   # attempt 0: ok
+    session.update("doc", "v2")      # attempt 1 fails, attempt 2 lands
+    session.update("doc", "v3")      # attempt 3 fails, attempt 4 lands
+    report = db.verify("doc")
+    assert report.ok
+    assert report.records_checked == 3
+
+
+def test_exhausted_retries_raise_and_compensate(ca, participants):
+    db, inner = make_db(ca, error_plan(0, 1, 2))  # all 1 + 2 retries fail
+    session = db.session(participants["p1"])
+    with pytest.raises(sqlite3.OperationalError, match="disk I/O"):
+        session.insert("doc", "draft")
+    assert "doc" not in db.store       # engine compensated
+    assert len(inner) == 0             # nothing stored
+
+
+def test_retry_budget_is_configurable(ca, participants):
+    db, inner = make_db(ca, error_plan(0, 1, 2))
+    db.collector.store_retries = 3     # 4 attempts: index 3 succeeds
+    session = db.session(participants["p1"])
+    session.insert("doc", "draft")
+    assert inner.latest("doc").seq_id == 0
+
+
+def test_crash_is_never_retried(ca, participants):
+    plan = FaultPlan(
+        seed=0,
+        rules=(
+            FaultRule("collector.flush", FaultKind.CRASH, indices=frozenset({0})),
+        ),
+    )
+    db, inner = make_db(ca, plan)
+    session = db.session(participants["p1"])
+    with pytest.raises(CrashError):
+        session.insert("doc", "draft")
+    # One flush attempt only — a crash is process death, not an error.
+    assert [e.kind for e in plan.events] == [FaultKind.CRASH]
+    assert "doc" not in db.store
+    assert len(inner) == 0
+    # The restarted writer proceeds normally (flush index 1 is clean).
+    session.insert("doc", "draft")
+    assert db.verify("doc").ok
+
+
+def test_retries_are_counted(ca, participants):
+    obs.enable(reset=True)
+    try:
+        db, _ = make_db(ca, error_plan(0))
+        db.session(participants["p1"]).insert("doc", "draft")
+        assert obs.OBS.registry.counter("store.retries").value == 1
+        assert (
+            obs.OBS.registry.counter(
+                "faults.injected", site="store.append_many", kind="error"
+            ).value
+            == 1
+        )
+    finally:
+        obs.disable()

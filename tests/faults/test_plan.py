@@ -1,0 +1,166 @@
+"""FaultPlan: schedules are pure functions of the seed.
+
+The whole fault layer rests on one property: a plan's fire/no-fire
+decisions depend only on ``(seed, site, index, rule)`` — never on call
+history, threads, or processes.  These tests pin that property and the
+spec round-trip the parallel verifier uses to ship plans to workers.
+"""
+
+import copy
+import sqlite3
+
+import pytest
+
+from repro.exceptions import CrashError, ProvenanceError
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan, FaultRule
+from repro.faults.store import SITE_KINDS
+
+
+def plan_with(*rules, seed=7):
+    return FaultPlan(seed=seed, rules=tuple(rules))
+
+
+class TestDeterminism:
+    def test_same_spec_same_schedule(self):
+        rule = FaultRule("store.append_many", FaultKind.ERROR, rate=0.3)
+        a = plan_with(rule)
+        b = plan_with(rule)
+        assert a.schedule_preview("store.append_many", 200) == b.schedule_preview(
+            "store.append_many", 200
+        )
+
+    def test_different_seeds_differ(self):
+        rule = FaultRule("store.append_many", FaultKind.ERROR, rate=0.3)
+        a = plan_with(rule, seed=1)
+        b = plan_with(rule, seed=2)
+        assert a.schedule_preview("store.append_many", 200) != b.schedule_preview(
+            "store.append_many", 200
+        )
+
+    def test_decide_is_stateless(self):
+        plan = plan_with(FaultRule("store.read", FaultKind.ERROR, rate=0.5))
+        first = [plan.decide("store.read", i) for i in range(50)]
+        # consuming indices via draw() must not change decide()'s answers
+        for _ in range(10):
+            plan.draw("store.read")
+        assert [plan.decide("store.read", i) for i in range(50)] == first
+
+    def test_rate_bounds(self):
+        never = plan_with(FaultRule("store.read", FaultKind.ERROR, rate=0.0))
+        always = plan_with(FaultRule("store.read", FaultKind.ERROR, rate=1.0))
+        assert never.schedule_preview("store.read", 100) == ()
+        assert always.schedule_preview("store.read", 100) == tuple(range(100))
+
+    def test_explicit_indices_override_rate(self):
+        plan = plan_with(
+            FaultRule(
+                "store.read", FaultKind.ERROR, rate=0.0, indices=frozenset({3, 5})
+            )
+        )
+        assert plan.schedule_preview("store.read", 10) == (3, 5)
+
+    def test_first_matching_rule_wins(self):
+        plan = plan_with(
+            FaultRule("store.read", FaultKind.LATENCY, indices=frozenset({0})),
+            FaultRule("store.read", FaultKind.ERROR, rate=1.0),
+        )
+        assert plan.decide("store.read", 0).kind is FaultKind.LATENCY
+        assert plan.decide("store.read", 1).kind is FaultKind.ERROR
+
+    def test_torn_keep_deterministic_and_bounded(self):
+        rule = FaultRule("store.append_many", FaultKind.TORN)
+        plan = plan_with(rule)
+        for index in range(20):
+            keep = plan.torn_keep(rule, index, batch_size=6)
+            assert 0 <= keep < 6
+            assert keep == plan.torn_keep(rule, index, batch_size=6)
+
+    def test_torn_keep_explicit_clamped(self):
+        rule = FaultRule("store.append_many", FaultKind.TORN, torn_keep=99)
+        plan = plan_with(rule)
+        assert plan.torn_keep(rule, 0, batch_size=4) == 4
+        rule = FaultRule("store.append_many", FaultKind.TORN, torn_keep=-1)
+        assert plan.torn_keep(rule, 0, batch_size=4) == 0
+
+
+class TestCounters:
+    def test_draw_claims_indices_in_order(self):
+        plan = plan_with(FaultRule("store.read", FaultKind.ERROR, rate=0.0))
+        assert plan.next_index("store.read") == 0
+        assert plan.next_index("store.read") == 1
+        assert plan.next_index("store.append") == 0  # per-site counters
+
+    def test_draw_logs_fired_events(self):
+        plan = plan_with(
+            FaultRule("store.read", FaultKind.ERROR, indices=frozenset({1}))
+        )
+        assert plan.draw("store.read") is None
+        fired = plan.draw("store.read")
+        assert fired is not None and fired[1] == 1
+        assert plan.events == [FaultEvent("store.read", 1, FaultKind.ERROR)]
+
+    def test_deepcopy_shares_spec_fresh_state(self):
+        plan = plan_with(FaultRule("store.read", FaultKind.ERROR, rate=1.0))
+        plan.draw("store.read")
+        clone = copy.deepcopy(plan)
+        assert clone.rules == plan.rules
+        assert clone.events == []
+        assert clone.next_index("store.read") == 0
+
+
+class TestEffects:
+    def test_error_raises_transient_operational_error(self):
+        plan = plan_with(FaultRule("store.read", FaultKind.ERROR, rate=1.0))
+        with pytest.raises(sqlite3.OperationalError, match="injected"):
+            plan.maybe_raise("store.read")
+
+    def test_crash_raises_crash_error(self):
+        plan = plan_with(FaultRule("collector.flush", FaultKind.CRASH, rate=1.0))
+        with pytest.raises(CrashError):
+            plan.maybe_raise("collector.flush")
+
+    def test_crash_error_escapes_except_exception(self):
+        """CrashError models process death: ordinary ``except Exception``
+        handlers must not be able to absorb it."""
+        assert not issubclass(CrashError, Exception)
+        plan = plan_with(FaultRule("collector.flush", FaultKind.CRASH, rate=1.0))
+        with pytest.raises(CrashError):
+            try:
+                plan.maybe_raise("collector.flush")
+            except Exception:  # pragma: no cover - must not trigger
+                pytest.fail("CrashError was absorbed by `except Exception`")
+
+    def test_latency_returns_normally(self):
+        plan = plan_with(
+            FaultRule("store.read", FaultKind.LATENCY, rate=1.0, latency=0.0)
+        )
+        plan.maybe_raise("store.read")  # no exception
+        assert plan.events[0].kind is FaultKind.LATENCY
+
+
+class TestSpec:
+    def test_round_trip_preserves_decisions(self):
+        plan = plan_with(
+            FaultRule("store.append_many", FaultKind.TORN, rate=0.4, torn_keep=2),
+            FaultRule("verify.worker", FaultKind.KILL, indices=frozenset({0, 2})),
+            seed=99,
+        )
+        restored = FaultPlan.from_dict(plan.to_dict())
+        assert restored.rules == plan.rules
+        for site in ("store.append_many", "verify.worker"):
+            assert restored.schedule_preview(site, 64) == plan.schedule_preview(
+                site, 64
+            )
+
+    def test_from_dict_none_is_none(self):
+        assert FaultPlan.from_dict(None) is None
+
+    def test_validate_rejects_meaningless_kinds(self):
+        plan = plan_with(FaultRule("store.read", FaultKind.TORN))
+        with pytest.raises(ProvenanceError, match="not valid at site"):
+            plan.validate(SITE_KINDS)
+
+    def test_validate_accepts_unknown_sites(self):
+        # Unknown sites pass through: user-defined instrumentation points.
+        plan = plan_with(FaultRule("my.custom.site", FaultKind.ERROR))
+        plan.validate(SITE_KINDS)
