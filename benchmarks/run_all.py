@@ -26,6 +26,7 @@ from repro.bench.experiments import (
     run_fig7,
     run_fig8_fig9,
     run_fig10_fig11,
+    run_monitor_bench,
     run_obs_overhead,
     run_streaming,
     run_table1b,
@@ -125,11 +126,22 @@ def main(argv=None) -> int:
     )
     print(overhead.render(), "\n")
 
+    monitor = run_monitor_bench(
+        n_objects=throughput_objects,
+        runs=args.runs,
+        key_bits=512,
+    )
+    print(monitor.render(), "\n")
+
     print(f"total wall time: {time.perf_counter() - started:.1f} s")
+    failed = False
     if not overhead.metrics["guard"]["ok"]:
         print("error: disabled-mode overhead guard FAILED", file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    if not monitor.metrics["guard"]["ok"]:
+        print("error: monitor benchmark guard FAILED", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

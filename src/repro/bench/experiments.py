@@ -80,6 +80,7 @@ __all__ = [
     "run_ablation_signature",
     "run_ablation_grouping",
     "run_batch_throughput",
+    "run_monitor_bench",
     "run_obs_overhead",
 ]
 
@@ -1084,6 +1085,168 @@ def run_obs_overhead(
             "max_disabled_overhead": max_disabled_overhead,
             "worst_disabled_bound": worst_bound,
             "ok": guard_ok,
+        },
+    }
+    return result
+
+
+def run_monitor_bench(
+    n_objects: int = 2_500,
+    updates_per_object: int = 3,
+    key_bits: int = 512,
+    runs: int = 3,
+    delta_records: int = 20,
+    warm_speedup_floor: float = 5.0,
+    max_events_overhead: float = 0.02,
+) -> ExperimentResult:
+    """Watermark-based incremental verification vs full re-verify.
+
+    Arm 1 times one full ``verify_records`` pass over the whole store
+    against a *warm* monitor tick (watermarks cover everything, nothing
+    new to verify — the steady state of a quiet system) and an
+    *incremental* tick after ``delta_records`` fresh appends.  The warm
+    tick is guarded at ``warm_speedup_floor``x faster than the full
+    pass: if the idle fast path ever regresses to re-walking chains, CI
+    fails here before users notice their monitor burning CPU.
+
+    Arm 2 bounds the cost of event emission on the hottest write path
+    (batched SQLite appends) with the file sink disabled: per-emit cost
+    is measured directly on a ring-sink log, multiplied by the events
+    the workload fires, and divided by the no-events wall time.  The
+    bound is guarded at ``max_events_overhead`` (default 2%).
+    """
+    import os
+    import tempfile
+
+    from repro import obs
+    from repro.core.verifier import Verifier
+    from repro.monitor import ProvenanceMonitor
+    from repro.obs.events import EventLog, RingBufferSink
+    from repro.provenance.store import SQLiteProvenanceStore
+
+    n_records = n_objects * (1 + updates_per_object)
+    result = ExperimentResult(
+        "monitor-bench",
+        f"Monitor incremental verification ({n_records} records, "
+        f"best of {runs})",
+        ("mode", "time", "records checked", "speedup vs full"),
+    )
+
+    db = _verify_world(n_objects, updates_per_object, key_bits)
+    store = db.provenance_store
+    # Enroll before snapshotting the keystore: records signed by a
+    # later-enrolled participant would (correctly) fail verification.
+    session = db.session(db.enroll("monitor-bench"))
+    keystore = db.keystore()
+    all_records = list(store.all_records())
+    verifier = Verifier(keystore)
+
+    full_s = min(measure(lambda: verifier.verify_records(all_records), runs=runs).samples)
+
+    monitor = ProvenanceMonitor(store, keystore)
+    monitor.tick()  # cold: advances every watermark
+    warm_s = min(measure(monitor.tick, runs=runs).samples)
+    warm_speedup = full_s / warm_s if warm_s else float("inf")
+
+    # Incremental: delta_records fresh appends between timed ticks.
+    incr_samples = []
+    for run in range(runs):
+        for i in range(delta_records):
+            session.update(f"obj{i % n_objects}", f"delta-{run}-{i}")
+        timed = measure(monitor.tick, runs=1)
+        incr_samples.append(timed.samples[0])
+        assert monitor.health == "ok"
+    incr_s = min(incr_samples)
+    incr_speedup = full_s / incr_s if incr_s else float("inf")
+
+    result.add("full re-verify", f"{full_s:.4f} s", len(all_records), "1.0x")
+    result.add(
+        "incremental tick", f"{incr_s:.4f} s", delta_records,
+        f"{incr_speedup:.1f}x",
+    )
+    result.add("warm (idle) tick", f"{warm_s:.6f} s", 0, f"{warm_speedup:.1f}x")
+
+    # --- events-emission overhead on the batched append path ----------
+    records = _fig8_style_records(min(n_records, 10_000))
+    batch_size = 50
+
+    def append_workload() -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            with SQLiteProvenanceStore(os.path.join(tmp, "prov.db")) as inner:
+                for i in range(0, len(records), batch_size):
+                    inner.append_many(records[i : i + batch_size])
+
+    obs.enable(metrics=True, tracing=False, reset=True)
+    base_s = min(measure(append_workload, runs=runs).samples)
+    obs.enable_events()  # ring sink only; no file sink
+    events_s = min(measure(append_workload, runs=runs).samples)
+    events_fired = obs.OBS.events._seq / max(1, runs)
+    obs.disable_events()
+    obs.disable(reset=True)
+
+    # Per-emit cost measured directly, so the guard is not at the mercy
+    # of wall-clock jitter on a ~1 s workload.
+    probe = EventLog((RingBufferSink(1024),))
+    emits = 20_000
+    start = time.perf_counter()
+    for i in range(emits):
+        probe.emit("bench.probe", index=i)
+    emit_s = (time.perf_counter() - start) / emits
+    bound = (events_fired * emit_s) / base_s if base_s else 0.0
+    delta = (events_s - base_s) / base_s if base_s else 0.0
+
+    result.add(
+        "append, no events", f"{base_s:.4f} s", len(records), "-",
+    )
+    result.add(
+        "append + ring events", f"{events_s:.4f} s", len(records),
+        f"{delta * 100:+.1f}% measured",
+    )
+
+    warm_ok = warm_speedup >= warm_speedup_floor
+    events_ok = bound <= max_events_overhead
+    result.note(
+        f"one emit costs ~{emit_s * 1e6:.2f} us; the workload fires "
+        f"~{events_fired:.0f} events, bounding overhead at {bound * 100:.3f}%"
+    )
+    result.note(
+        f"GUARD {'OK' if warm_ok else 'FAILED'}: warm tick "
+        f"{warm_speedup:.1f}x faster than full re-verify "
+        f"(floor {warm_speedup_floor:.0f}x)"
+    )
+    result.note(
+        f"GUARD {'OK' if events_ok else 'FAILED'}: events overhead bound "
+        f"{bound * 100:.3f}% vs limit {max_events_overhead * 100:.1f}%"
+    )
+
+    result.metrics = {
+        "workload": {
+            "n_records": n_records,
+            "n_objects": n_objects,
+            "updates_per_object": updates_per_object,
+            "delta_records": delta_records,
+            "key_bits": key_bits,
+            "runs": runs,
+        },
+        "full_verify_s": full_s,
+        "warm_tick_s": warm_s,
+        "incremental_tick_s": incr_s,
+        "warm_speedup": warm_speedup,
+        "incremental_speedup": incr_speedup,
+        "events": {
+            "base_s": base_s,
+            "events_s": events_s,
+            "measured_delta": delta,
+            "per_emit_s": emit_s,
+            "events_fired": events_fired,
+            "overhead_bound": bound,
+        },
+        "guard": {
+            "warm_speedup_floor": warm_speedup_floor,
+            "warm_ok": warm_ok,
+            "max_events_overhead": max_events_overhead,
+            "events_ok": events_ok,
+            "ok": warm_ok and events_ok,
         },
     }
     return result

@@ -424,6 +424,25 @@ class ChecksumCollector:
             # Fan-out: records produced by one operation (§4.2's inherited
             # propagation makes this > 1 for nested objects).
             reg.histogram("collector.fanout").observe(len(records))
+        log = OBS.events
+        if log is not None:
+            # One correlation id per flush: the collector.flush event and
+            # the store.batch (and any verify.report consuming the same
+            # operation) emitted inside this scope share it, threading
+            # collector -> store -> verifier through the event stream.
+            with log.correlation():
+                log.emit(
+                    "collector.flush",
+                    records=len(records),
+                    objects=len({record.object_id for record in records}),
+                    inherited=sum(1 for r in records if r.inherited),
+                )
+                return self._flush_to_store(records)
+        return self._flush_to_store(records)
+
+    def _flush_to_store(
+        self, records: Tuple[ProvenanceRecord, ...]
+    ) -> Tuple[ProvenanceRecord, ...]:
         if self.faults is not None:
             # The most delicate crash point: records are signed but not
             # yet stored.  A crash here loses the whole batch — which is

@@ -143,13 +143,23 @@ class _PredecessorChoices:
 
 
 def _observe_report(report: VerificationReport) -> None:
-    """Feed a finished report into the metrics registry.
+    """Feed a finished report into the metrics registry and event log.
 
     The per-requirement failure counters are derived from the report's
     own :meth:`VerificationReport.failure_tally`, so ``repro stats`` and
     ``report.summary()`` always tell the same story — including for
     parallel runs, whose failures were merged before this point.
     """
+    log = OBS.events
+    if log is not None:
+        log.emit(
+            "verify.report",
+            ok=report.ok,
+            records=report.records_checked,
+            objects=report.objects_checked,
+            target=report.target_id,
+            tally=report.failure_tally(),
+        )
     if not OBS.enabled:
         return
     reg = OBS.registry
@@ -233,6 +243,49 @@ class Verifier:
         _observe_report(report)
         return report
 
+    def verify_incremental(
+        self,
+        records: Sequence[ProvenanceRecord],
+        skip: Dict[str, int],
+    ) -> VerificationReport:
+        """Verify only each chain's *uncovered suffix* (watermark resume).
+
+        ``skip`` maps object id → how many leading records of that
+        object's chain are already covered by a validated watermark
+        (``0`` or a missing entry means verify the whole chain; a value
+        ≥ the chain length skips the chain entirely).  The caller —
+        :class:`repro.monitor.ProvenanceMonitor` — is responsible for
+        re-validating the watermark *anchor* before trusting a nonzero
+        skip; given a sound anchor, the failures reported for the suffix
+        are byte-identical to the corresponding slice of a full
+        :meth:`verify_records` run (see ``_check_chain_impl``).
+
+        Suffix walks are always serial (suffixes are short by
+        construction); cold and full passes should use
+        :meth:`verify_records`, which routes through the configured
+        serial/parallel ``_check_chains``.
+        """
+        with obs.span("verify", records=len(records), incremental=True):
+            failures = _Failures()
+            chains = self._index(records, failures)
+            checked = 0
+            objects = 0
+            for object_id in sorted(chains):
+                chain = chains[object_id]
+                start = min(max(0, skip.get(object_id, 0)), len(chain))
+                if start >= len(chain):
+                    continue  # fully covered: nothing new to check
+                objects += 1
+                checked += self._check_chain(chain, chains, failures, start=start)
+            report = VerificationReport(
+                ok=not failures.items,
+                failures=tuple(failures.items),
+                records_checked=checked,
+                objects_checked=objects,
+            )
+        _observe_report(report)
+        return report
+
     # ------------------------------------------------------------------
     # step 1: the data object matches the most recent record (R4/R5)
     # ------------------------------------------------------------------
@@ -297,32 +350,55 @@ class Verifier:
         chain: List[ProvenanceRecord],
         chains: Dict[str, List[ProvenanceRecord]],
         failures: _Failures,
+        start: int = 0,
     ) -> int:
-        """Verify one object's chain; returns the records checked.
+        """Verify one object's chain (from ``start``); returns records checked.
 
         Chains are independent (§3.2's local chaining) except for
         aggregate predecessor resolution, which only *reads* other
         chains — so distinct chains may be checked concurrently against
         the same ``chains`` index.
         """
+        observing = OBS.enabled
+        if not observing and not OBS.tracing:
+            return self._check_chain_impl(chain, chains, failures, start)
+        began = perf_counter()
+        trace_id: Optional[str] = None
         if OBS.tracing:
             with OBS.tracer.span(
                 "verify.chain",
                 object_id=chain[0].object_id if chain else "?",
-                records=len(chain),
-            ):
-                return self._check_chain_impl(chain, chains, failures)
-        return self._check_chain_impl(chain, chains, failures)
+                records=len(chain) - start,
+            ) as span:
+                checked = self._check_chain_impl(chain, chains, failures, start)
+            trace_id = span.trace_id
+        else:
+            checked = self._check_chain_impl(chain, chains, failures, start)
+        if observing:
+            # The exemplar makes the histogram's worst case actionable:
+            # its trace id names the slowest sampled chain verification.
+            OBS.registry.histogram("verify.chain.seconds").observe(
+                perf_counter() - began, exemplar=trace_id
+            )
+        return checked
 
     def _check_chain_impl(
         self,
         chain: List[ProvenanceRecord],
         chains: Dict[str, List[ProvenanceRecord]],
         failures: _Failures,
+        start: int = 0,
     ) -> int:
         checked = 0
-        previous: Optional[ProvenanceRecord] = None
-        for record in chain:
+        # Seeding ``previous`` with the last covered record makes a
+        # suffix walk from ``start`` perform exactly the checks a full
+        # walk performs on those records (the walk's only carried state
+        # is ``previous``) — the incremental monitor's equivalence
+        # guarantee rests on this line.
+        previous: Optional[ProvenanceRecord] = (
+            chain[start - 1] if start > 0 else None
+        )
+        for record in chain[start:]:
             checked += 1
             self._check_inline_values(record, failures)
             prev_checksums = self._resolve_predecessors(

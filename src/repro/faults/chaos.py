@@ -21,6 +21,7 @@ import random
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.core.collector import TRANSIENT_STORE_ERRORS
 from repro.core.system import TamperEvidentDatabase
 from repro.exceptions import CrashError, ProvenanceError
@@ -143,11 +144,13 @@ def _run_workload(
             # engine on the way out; the provenance store may hold a torn
             # suffix.  Restart = recover before touching the store again.
             log.crashes += 1
+            obs.emit("chaos.crash", op_index=i, op=op[0], target=str(op[1]))
             log.recoveries.append(scanner.recover().to_dict())
         except TRANSIENT_STORE_ERRORS:
             # Retries exhausted: the operation is lost but acknowledged
             # as lost — nothing was stored, nothing to recover.
             log.failed_ops += 1
+            obs.emit("chaos.op_lost", op_index=i, op=op[0], target=str(op[1]))
     return log
 
 
@@ -209,7 +212,15 @@ def run_chaos(config: ChaosConfig) -> Dict[str, object]:
     db.collector.faults = plan
     scanner = RecoveryScanner(faulty)
 
+    obs.emit(
+        "chaos.start", seed=config.seed, ops=config.ops, store=config.store,
+        tamper=config.tamper,
+    )
     log = _run_workload(config, db, scanner)
+    obs.emit(
+        "chaos.workload", applied=log.applied, crashes=log.crashes,
+        failed_ops=log.failed_ops,
+    )
     # A last sweep: the workload recovers after every observed crash, so
     # this must find nothing — a torn batch here means a crash went
     # unnoticed, which is itself an invariant violation.
@@ -237,6 +248,11 @@ def run_chaos(config: ChaosConfig) -> Dict[str, object]:
     all_clean = all(entry["ok"] for entry in verification.values())
 
     tamper = _tamper_and_verify(config, db, plan)
+    if tamper is not None:
+        obs.emit(
+            "chaos.tamper", requirement=tamper["requirement"],
+            target=tamper["target"], detected=tamper["detected"],
+        )
 
     no_false_positives = all_clean and final_recovery.clean
     no_false_negatives = tamper is None or bool(tamper["detected"])

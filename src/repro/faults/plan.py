@@ -190,6 +190,13 @@ class FaultPlan:
             self.events.append(FaultEvent(site, index, kind, detail))
         if OBS.enabled:
             OBS.registry.counter("faults.injected", site=site, kind=kind.value).inc()
+        log = OBS.events
+        if log is not None:
+            # "kind" would collide with emit()'s event-kind parameter.
+            log.emit(
+                "fault.injected",
+                site=site, index=index, fault=kind.value, detail=detail,
+            )
 
     def torn_keep(self, rule: FaultRule, index: int, batch_size: int) -> int:
         """How many records of a torn batch survive (deterministic)."""

@@ -38,6 +38,11 @@ class RecoveryReport:
     #: Committed batches with records missing from the store — should be
     #: impossible; reported, never auto-repaired.
     anomalies: Tuple[Tuple[str, int], ...] = field(default_factory=tuple)
+    #: Objects whose verified watermark covered a truncated record and
+    #: was therefore rewound (cleared).  Essential for the monitor: a
+    #: watermark pointing past a legitimately truncated tail would
+    #: otherwise read as an R2-style removal (see DESIGN.md §9).
+    rewound_watermarks: Tuple[str, ...] = field(default_factory=tuple)
 
     @property
     def clean(self) -> bool:
@@ -49,6 +54,7 @@ class RecoveryReport:
             "torn_batches": list(self.torn_batches),
             "truncated": [list(key) for key in self.truncated],
             "anomalies": [list(key) for key in self.anomalies],
+            "rewound_watermarks": list(self.rewound_watermarks),
             "clean": self.clean,
         }
 
@@ -88,12 +94,23 @@ class RecoveryScanner:
             reg = OBS.registry
             reg.counter("recovery.torn_batches").inc(len(report.torn_batches))
             reg.counter("recovery.truncated_records").inc(len(report.truncated))
+        log = OBS.events
+        if log is not None:
+            log.emit(
+                "recovery.report",
+                torn_batches=list(report.torn_batches),
+                truncated=len(report.truncated),
+                anomalies=len(report.anomalies),
+                rewound_watermarks=list(report.rewound_watermarks),
+                clean=report.clean,
+            )
         return report
 
     def _run(self, apply: bool) -> RecoveryReport:
         torn: List[int] = []
         truncated: List[Tuple[str, int]] = []
         anomalies: List[Tuple[str, int]] = []
+        log = OBS.events
         for entry in self.store.journal():
             if entry.committed:
                 for object_id, seq_id in entry.keys:
@@ -103,16 +120,68 @@ class RecoveryScanner:
             torn.append(entry.batch_id)
             # Newest first: a chain's suffix comes off tail-inward, so the
             # store is never left with a gap in the middle of a chain.
+            removed = 0
             for object_id, seq_id in reversed(entry.keys):
                 if apply:
                     if self.store.discard(object_id, seq_id):
                         truncated.append((object_id, seq_id))
+                        removed += 1
                 elif self.store.get(object_id, seq_id) is not None:
                     truncated.append((object_id, seq_id))
             if apply:
                 self.store.resolve_torn(entry.batch_id)
+                if log is not None:
+                    log.emit(
+                        "recovery.torn_batch",
+                        batch_id=entry.batch_id,
+                        declared=len(entry.keys),
+                        truncated=removed,
+                    )
+        rewound = self._rewind_watermarks(truncated, apply, log)
         return RecoveryReport(
             torn_batches=tuple(torn),
             truncated=tuple(truncated),
             anomalies=tuple(anomalies),
+            rewound_watermarks=rewound,
         )
+
+    def _rewind_watermarks(
+        self, truncated: List[Tuple[str, int]], apply: bool, log
+    ) -> Tuple[str, ...]:
+        """Rewind verified watermarks that covered truncated records.
+
+        A monitor may have verified (and advanced its watermark past)
+        torn records *before* recovery ran — they were validly signed,
+        just never acknowledged.  Once truncation removes them, a stale
+        watermark would point past the chain's end, which the monitor
+        must treat as evidence of removal (R2-suspect).  Rewinding here
+        — dropping the watermark so the next tick re-verifies the chain
+        from its start — is what keeps legitimate crash recovery from
+        raising a false tamper alert *without* giving an attacker the
+        same courtesy: only records named in an unacknowledged batch
+        journal entry ever rewind a watermark.  In scan mode the rewinds
+        are reported, not applied.
+        """
+        get_watermark = getattr(self.store, "get_watermark", None)
+        if get_watermark is None or not truncated:
+            return ()
+        lowest: Dict[str, int] = {}
+        for object_id, seq_id in truncated:
+            if object_id not in lowest or seq_id < lowest[object_id]:
+                lowest[object_id] = seq_id
+        rewound: List[str] = []
+        for object_id in sorted(lowest):
+            watermark = get_watermark(object_id)
+            if watermark is None or watermark.seq_id < lowest[object_id]:
+                continue  # the watermark never covered the torn suffix
+            if apply:
+                self.store.clear_watermark(object_id)
+                if log is not None:
+                    log.emit(
+                        "recovery.watermark_rewound",
+                        object_id=object_id,
+                        covered_seq=watermark.seq_id,
+                        truncated_from_seq=lowest[object_id],
+                    )
+            rewound.append(object_id)
+        return tuple(rewound)

@@ -26,7 +26,7 @@ from typing import Iterable, Iterator, Optional, Tuple
 from repro.exceptions import CrashError, ProvenanceError
 from repro.faults.plan import FaultKind, FaultPlan, _raise_for
 from repro.provenance.records import ProvenanceRecord
-from repro.provenance.store import BatchJournalEntry, ChainTail
+from repro.provenance.store import BatchJournalEntry, ChainTail, VerifiedWatermark
 
 __all__ = ["FaultyStore", "SITE_KINDS"]
 
@@ -134,6 +134,21 @@ class FaultyStore:
 
     def resolve_torn(self, batch_id: int) -> None:
         self.inner.resolve_torn(batch_id)
+
+    # verified watermarks are monitor/recovery state, not workload I/O:
+    # like the journal surface they delegate fault-free.
+
+    def set_watermark(self, watermark: VerifiedWatermark) -> None:
+        self.inner.set_watermark(watermark)
+
+    def get_watermark(self, object_id: str) -> Optional[VerifiedWatermark]:
+        return self.inner.get_watermark(object_id)
+
+    def watermarks(self) -> Tuple[VerifiedWatermark, ...]:
+        return self.inner.watermarks()
+
+    def clear_watermark(self, object_id: str) -> bool:
+        return self.inner.clear_watermark(object_id)
 
     def _tail(self, object_id: str) -> Optional[ChainTail]:
         # Internal helper some callers (recovery, tests) reach for; not a

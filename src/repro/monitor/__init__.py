@@ -1,0 +1,36 @@
+"""Continuous provenance health monitoring.
+
+``repro.monitor`` watches a provenance store the way an operator would:
+a :class:`ProvenanceMonitor` tick incrementally re-verifies every chain
+from its persisted verified watermark, an alert-rule engine turns the
+outcome into actionable :class:`~repro.monitor.alerts.Alert`\\ s, and the
+whole pass is narrated on the structured event log
+(:mod:`repro.obs.events`).  ``repro monitor`` is the CLI face.
+"""
+
+from repro.monitor.alerts import (
+    Alert,
+    AlertRule,
+    DegradedChunksRule,
+    StoreLatencyRule,
+    TamperRule,
+    TickContext,
+    WatermarkLagRule,
+    WatermarkRegressionRule,
+    default_rules,
+)
+from repro.monitor.monitor import ProvenanceMonitor, TickResult
+
+__all__ = [
+    "Alert",
+    "AlertRule",
+    "TickContext",
+    "TamperRule",
+    "WatermarkRegressionRule",
+    "WatermarkLagRule",
+    "StoreLatencyRule",
+    "DegradedChunksRule",
+    "default_rules",
+    "ProvenanceMonitor",
+    "TickResult",
+]

@@ -1,0 +1,500 @@
+"""Continuous provenance health monitoring (watermark-based).
+
+:class:`ProvenanceMonitor` periodically re-verifies a provenance store
+*incrementally*: for every object it persists a
+:class:`~repro.provenance.store.VerifiedWatermark` — how many leading
+records of the chain verified clean, anchored by the last covered
+record's ``(seq_id, checksum)`` — and each :meth:`~ProvenanceMonitor.tick`
+only walks the records past the watermark.  Correctness rests on two
+facts:
+
+* A chain walk's only carried state is the ``previous`` record, so a
+  suffix walk seeded with the anchor record performs byte-identical
+  checks to the corresponding slice of a full walk
+  (``Verifier._check_chain_impl``).
+* The anchor is re-validated against the live chain before any skip is
+  trusted.  A missing anchor, a changed anchor checksum, or a chain
+  shorter than its watermark means history was rewritten behind the
+  monitor — that chain is re-verified from scratch and a
+  ``watermark-regression`` alert fires (unless crash recovery rewound
+  the watermark first; see ``RecoveryScanner._rewind_watermarks``).
+
+Failures accumulate per object with *replace* semantics: whenever a
+chain is re-verified from the start, its fresh failures replace the
+accumulated ones, and a chain that verifies clean clears them.  A
+suffix walk that fails triggers an authoritative full re-verify of that
+chain, so :meth:`~ProvenanceMonitor.accumulated_failures` is always
+byte-identical to what a one-shot full ``verify_records`` over the same
+records would report.
+
+Known limitation (inherent to watermarks): an in-place edit *behind*
+every anchor that preserves chain lengths and tail checksums is not
+seen by an incremental tick.  ``full_scan_every`` forces a periodic
+full pass to bound that window; ``tick(full=True)`` forces one now.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.verifier import (
+    ParallelVerifier,
+    VerificationFailure,
+    Verifier,
+)
+from repro.crypto.pki import KeyStore
+from repro.exceptions import ProvenanceError
+from repro.monitor.alerts import Alert, AlertRule, TickContext, default_rules
+from repro.obs import OBS
+from repro.provenance.records import ProvenanceRecord
+from repro.provenance.store import VerifiedWatermark
+
+__all__ = ["TickResult", "ProvenanceMonitor"]
+
+#: Methods a store must expose for watermark persistence.
+_WATERMARK_SURFACE = ("set_watermark", "get_watermark", "watermarks", "clear_watermark")
+
+
+@dataclass(frozen=True)
+class TickResult:
+    """Outcome of one monitor tick."""
+
+    tick: int
+    #: ``cold`` (no usable watermark anywhere), ``incremental`` (at least
+    #: one suffix skipped), ``full`` (forced full pass), or ``idle`` (the
+    #: store is unchanged; only the anchors were re-checked).
+    mode: str
+    health: str  # "ok" | "degraded" | "tampered"
+    records_total: int
+    records_verified: int
+    records_skipped: int
+    objects_verified: int
+    #: Objects whose watermark advanced this tick.
+    advanced: Tuple[str, ...]
+    #: ``(object_id, reason)`` watermark regressions detected this tick.
+    regressions: Tuple[Tuple[str, str], ...]
+    alerts: Tuple[Alert, ...]
+    #: Records past the watermarks *after* this tick.
+    lag_records: int
+    duration_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "tick": self.tick,
+            "mode": self.mode,
+            "health": self.health,
+            "records_total": self.records_total,
+            "records_verified": self.records_verified,
+            "records_skipped": self.records_skipped,
+            "objects_verified": self.objects_verified,
+            "advanced": list(self.advanced),
+            "regressions": [list(r) for r in self.regressions],
+            "alerts": [a.to_dict() for a in self.alerts],
+            "lag_records": self.lag_records,
+            "duration_seconds": self.duration_seconds,
+        }
+
+
+class ProvenanceMonitor:
+    """Watermark-based incremental verification with alerting.
+
+    Args:
+        store: A provenance store exposing the watermark surface
+            (both bundled stores do; :class:`FaultyStore` delegates it).
+        keystore: Trust store for signature verification.
+        workers: Worker processes for cold/full passes (suffix walks are
+            always serial — suffixes are short by construction).  Reuses
+            :class:`ParallelVerifier` when > 1.
+        rules: Alert rules; defaults to :func:`default_rules` built from
+            the two thresholds below.
+        lag_threshold: ``watermark-lag`` alert threshold (records).
+        latency_threshold: ``store-latency`` p99 threshold (seconds).
+        full_scan_every: Force a full (watermark-ignoring) pass every Nth
+            tick; ``0`` disables the cadence.
+    """
+
+    def __init__(
+        self,
+        store,
+        keystore: KeyStore,
+        workers: int = 1,
+        rules: Optional[Sequence[AlertRule]] = None,
+        lag_threshold: int = 64,
+        latency_threshold: float = 0.5,
+        full_scan_every: int = 0,
+    ):
+        for method in _WATERMARK_SURFACE:
+            if not callable(getattr(store, method, None)):
+                raise ProvenanceError(
+                    f"store {store!r} has no {method}() — it does not expose "
+                    "the verified-watermark surface the monitor needs"
+                )
+        self.store = store
+        if workers and workers > 1:
+            self.verifier: Verifier = ParallelVerifier(keystore, workers=workers)
+        else:
+            self.verifier = Verifier(keystore)
+        self.rules: Tuple[AlertRule, ...] = tuple(
+            rules if rules is not None
+            else default_rules(lag_threshold, latency_threshold)
+        )
+        self.full_scan_every = max(0, int(full_scan_every))
+        self._tick = 0
+        #: Authoritative per-object failures (replace semantics).
+        self._failures: Dict[str, Tuple[VerificationFailure, ...]] = {}
+        #: Sticky watermark regressions: object id → reason.  A regression
+        #: is only *observable* while the stale watermark exists, so it is
+        #: remembered here and the watermark is left untouched as evidence
+        #: — otherwise the next tick would re-watermark the rewritten
+        #: chain and the tamper signal would self-heal.  Cleared by
+        #: :meth:`acknowledge_regression` (operator action).
+        self._regressions: Dict[str, str] = {}
+        self._alerts: Tuple[Alert, ...] = ()
+        self._health = "ok"
+        self._degraded_seen = 0.0
+
+    # ------------------------------------------------------------------
+    # the tick
+    # ------------------------------------------------------------------
+
+    def tick(self, full: bool = False) -> TickResult:
+        """Run one verification pass; returns what it found and fired."""
+        self._tick += 1
+        if self.full_scan_every and self._tick % self.full_scan_every == 0:
+            full = True
+        log = OBS.events
+        scope = log.correlation() if log is not None else nullcontext()
+        began = perf_counter()
+        with scope:
+            result = self._tick_impl(full, log)
+        result = _with_duration(result, perf_counter() - began)
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.counter("monitor.ticks", mode=result.mode).inc()
+            reg.counter("monitor.records_verified").inc(result.records_verified)
+            reg.counter("monitor.records_skipped").inc(result.records_skipped)
+            reg.gauge("monitor.lag_records").set(result.lag_records)
+            reg.histogram("monitor.tick.seconds").observe(result.duration_seconds)
+            for alert in result.alerts:
+                reg.counter("monitor.alerts", rule=alert.rule).inc()
+        return result
+
+    def _tick_impl(self, full: bool, log) -> TickResult:
+        watermarks = {wm.object_id: wm for wm in self.store.watermarks()}
+
+        if not full and self._idle_fast_path_ok(watermarks):
+            return self._finish_tick(
+                mode="idle", chains={}, skip={},
+                records_total=len(self.store), verified=0, skipped=len(self.store),
+                objects_verified=0, advanced=(), log=log,
+                watermarks=watermarks,
+            )
+
+        records = list(self.store.all_records())
+        chains: Dict[str, List[ProvenanceRecord]] = {}
+        for record in records:
+            chains.setdefault(record.object_id, []).append(record)
+        for chain in chains.values():
+            chain.sort(key=lambda r: r.seq_id)
+
+        skip, fresh_regressions = self._compute_skip(chains, watermarks, full)
+        for oid, reason in fresh_regressions:
+            self._regressions.setdefault(oid, reason)
+        skipped = sum(min(skip.get(oid, 0), len(chain)) for oid, chain in chains.items())
+
+        if full or all(v == 0 for v in skip.values()):
+            # Cold/full pass: route through the (possibly parallel)
+            # whole-chain verifier.
+            report = self.verifier.verify_records(records)
+            mode = "full" if full else "cold"
+        else:
+            report = self.verifier.verify_incremental(records, skip)
+            mode = "incremental"
+
+        by_object: Dict[str, List[VerificationFailure]] = {}
+        for failure in report.failures:
+            by_object.setdefault(failure.object_id, []).append(failure)
+
+        # A failing *suffix* walk is a detection, not a diagnosis: the
+        # authoritative failure list for that chain comes from a full
+        # re-walk, so accumulated failures stay byte-identical to a
+        # one-shot full verify.
+        suspects = sorted(
+            oid for oid in by_object if 0 < skip.get(oid, 0) < len(chains.get(oid, ()))
+        )
+        if suspects:
+            re_skip = {
+                oid: (0 if oid in suspects else len(chain))
+                for oid, chain in chains.items()
+            }
+            re_report = self.verifier.verify_incremental(records, re_skip)
+            re_by_object: Dict[str, List[VerificationFailure]] = {}
+            for failure in re_report.failures:
+                re_by_object.setdefault(failure.object_id, []).append(failure)
+            for oid in suspects:
+                by_object[oid] = re_by_object.get(oid, [])
+
+        advanced: List[str] = []
+        for oid in sorted(chains):
+            chain = chains[oid]
+            failures = tuple(by_object.get(oid, ()))
+            if failures:
+                self._failures[oid] = failures
+                continue  # never advance a watermark over a failing chain
+            self._failures.pop(oid, None)
+            if oid in self._regressions:
+                # Keep the stale watermark: it *is* the evidence that the
+                # chain was rewritten underneath it.  Re-watermarking the
+                # (internally consistent) rewritten chain would silently
+                # accept the tampered history.
+                continue
+            tail = chain[-1]
+            watermark = VerifiedWatermark(
+                object_id=oid, index=len(chain),
+                seq_id=tail.seq_id, checksum=tail.checksum,
+            )
+            if watermarks.get(oid) != watermark:
+                self.store.set_watermark(watermark)
+                advanced.append(oid)
+                if log is not None:
+                    log.emit(
+                        "monitor.watermark",
+                        object_id=oid, index=watermark.index,
+                        seq_id=watermark.seq_id,
+                    )
+        # Objects that vanished (e.g. purged with a stale watermark left
+        # by a non-store actor) were already reported as regressions.
+        for oid in list(self._failures):
+            if oid not in chains:
+                del self._failures[oid]
+
+        return self._finish_tick(
+            mode=mode, chains=chains, skip=skip,
+            records_total=len(records), verified=report.records_checked,
+            skipped=skipped, objects_verified=report.objects_checked,
+            advanced=tuple(advanced), log=log, watermarks=None,
+        )
+
+    # ------------------------------------------------------------------
+    # tick helpers
+    # ------------------------------------------------------------------
+
+    def _idle_fast_path_ok(self, watermarks: Dict[str, VerifiedWatermark]) -> bool:
+        """True when the store provably matches the verified state.
+
+        Conditions: every object with records has a watermark, the total
+        record count equals the covered count, and every chain tail is
+        exactly its watermark's anchor.  Any append, tail truncation, or
+        tail rewrite breaks one of these; the residual blind spot
+        (balanced behind-anchor edits) is the watermark limitation
+        covered by ``full_scan_every`` (module docstring).
+        """
+        if not watermarks or self._failures or self._regressions:
+            return False
+        if len(self.store) != sum(wm.index for wm in watermarks.values()):
+            return False
+        if set(self.store.object_ids()) != set(watermarks):
+            return False
+        tail_of = getattr(self.store, "_tail", None)
+        for oid in sorted(watermarks):
+            wm = watermarks[oid]
+            if tail_of is not None:
+                tail = tail_of(oid)
+            else:
+                latest = self.store.latest(oid)
+                tail = (latest.seq_id, latest.checksum) if latest else None
+            if tail != (wm.seq_id, wm.checksum):
+                return False
+        return True
+
+    def _compute_skip(
+        self,
+        chains: Dict[str, List[ProvenanceRecord]],
+        watermarks: Dict[str, VerifiedWatermark],
+        full: bool,
+    ) -> Tuple[Dict[str, int], Tuple[Tuple[str, str], ...]]:
+        """Validate each watermark anchor; invalid ones become regressions.
+
+        Anchors are validated even on a full pass — a full scan verifies
+        *content* but cannot see *removal* (a truncated chain is shorter
+        yet internally valid), so regression detection must never be
+        skipped.  Full mode only stops the anchors being trusted for
+        skipping.
+        """
+        skip: Dict[str, int] = {}
+        regressions: List[Tuple[str, str]] = []
+        for oid in sorted(chains):
+            chain = chains[oid]
+            wm = watermarks.get(oid)
+            skip[oid] = 0
+            if wm is None:
+                continue
+            if wm.index > len(chain):
+                regressions.append((
+                    oid,
+                    f"chain has {len(chain)} records but the watermark "
+                    f"covers {wm.index}",
+                ))
+                continue
+            anchor = chain[wm.index - 1]
+            if anchor.seq_id != wm.seq_id or anchor.checksum != wm.checksum:
+                regressions.append((
+                    oid,
+                    f"anchor record at position {wm.index - 1} changed "
+                    f"(expected seq {wm.seq_id})",
+                ))
+                continue
+            if not full:
+                skip[oid] = wm.index
+        for oid in sorted(watermarks):
+            if oid not in chains:
+                regressions.append((oid, "chain is gone but its watermark remains"))
+        return skip, tuple(regressions)
+
+    def _finish_tick(
+        self, mode, chains, skip, records_total, verified,
+        skipped, objects_verified, advanced, log, watermarks,
+    ) -> TickResult:
+        regressions = tuple(sorted(self._regressions.items()))
+        lag = self._lag_records(chains, watermarks)
+        ctx = TickContext(
+            tick=self._tick,
+            tally=self.accumulated_tally(),
+            regressions=regressions,
+            lag_records=lag,
+            degraded_chunks=self._degraded_delta(),
+            store_p99=self._store_p99(),
+        )
+        alerts: List[Alert] = []
+        for rule in self.rules:
+            alerts.extend(rule.evaluate(ctx))
+        self._alerts = tuple(alerts)
+        if any(a.tampering for a in alerts):
+            self._health = "tampered"
+        elif alerts:
+            self._health = "degraded"
+        else:
+            self._health = "ok"
+        if log is not None:
+            for alert in alerts:
+                log.emit("alert", **alert.to_dict())
+            log.emit(
+                "monitor.tick",
+                tick=self._tick, mode=mode, health=self._health,
+                records_total=records_total, verified=verified,
+                skipped=skipped, advanced=len(advanced),
+                regressions=len(regressions), alerts=len(alerts),
+                lag_records=lag,
+            )
+        return TickResult(
+            tick=self._tick, mode=mode, health=self._health,
+            records_total=records_total, records_verified=verified,
+            records_skipped=skipped, objects_verified=objects_verified,
+            advanced=tuple(advanced), regressions=regressions,
+            alerts=tuple(alerts), lag_records=lag,
+        )
+
+    def _lag_records(self, chains, watermarks) -> int:
+        """Records past the watermarks *after* the tick's advances."""
+        if not chains:
+            return 0
+        lag = 0
+        for oid, chain in chains.items():
+            wm = (
+                watermarks.get(oid) if watermarks is not None
+                else self.store.get_watermark(oid)
+            )
+            covered = min(wm.index, len(chain)) if wm is not None else 0
+            lag += len(chain) - covered
+        return lag
+
+    def _degraded_delta(self) -> int:
+        if not OBS.enabled:
+            return 0
+        counter = OBS.registry.find_counter("verify.degraded_chunks")
+        current = counter.value if counter is not None else 0.0
+        delta = current - self._degraded_seen
+        self._degraded_seen = current
+        return int(delta)
+
+    def _store_p99(self) -> Optional[float]:
+        if not OBS.enabled:
+            return None
+        histogram = OBS.registry.find_histogram("store.txn.seconds")
+        if histogram is None or histogram.count == 0:
+            return None
+        summary = histogram.summary()
+        return float(summary["p99"])
+
+    # ------------------------------------------------------------------
+    # accumulated state
+    # ------------------------------------------------------------------
+
+    @property
+    def health(self) -> str:
+        return self._health
+
+    @property
+    def alerts(self) -> Tuple[Alert, ...]:
+        """Alerts fired by the most recent tick."""
+        return self._alerts
+
+    @property
+    def has_tamper_alerts(self) -> bool:
+        return any(a.tampering for a in self._alerts)
+
+    @property
+    def regressions(self) -> Tuple[Tuple[str, str], ...]:
+        """Sticky ``(object_id, reason)`` watermark regressions."""
+        return tuple(sorted(self._regressions.items()))
+
+    def acknowledge_regression(self, object_id: str) -> bool:
+        """Operator action: accept a regressed chain's current history.
+
+        Clears the sticky regression *and* the stale watermark, so the
+        next tick re-verifies the chain from scratch and re-watermarks
+        it.  Returns False if no regression was recorded for the object.
+        """
+        if object_id not in self._regressions:
+            return False
+        del self._regressions[object_id]
+        self.store.clear_watermark(object_id)
+        return True
+
+    def accumulated_failures(self) -> Tuple[VerificationFailure, ...]:
+        """All current failures, in full-verify order (sorted objects,
+        walk order within each chain)."""
+        items: List[VerificationFailure] = []
+        for oid in sorted(self._failures):
+            items.extend(self._failures[oid])
+        return tuple(items)
+
+    def accumulated_tally(self) -> Dict[str, int]:
+        """Failure counts by requirement code, like ``failure_tally()``."""
+        tally: Dict[str, int] = {}
+        for failure in self.accumulated_failures():
+            tally[failure.requirement] = tally.get(failure.requirement, 0) + 1
+        return dict(sorted(tally.items()))
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able health snapshot (what ``repro monitor --once`` prints)."""
+        return {
+            "tick": self._tick,
+            "health": self._health,
+            "records": len(self.store),
+            "objects": len(self.store.object_ids()),
+            "watermarks": [wm.to_dict() for wm in self.store.watermarks()],
+            "failure_tally": self.accumulated_tally(),
+            "failures": [str(f) for f in self.accumulated_failures()],
+            "regressions": [list(r) for r in self.regressions],
+            "alerts": [a.to_dict() for a in self._alerts],
+        }
+
+
+def _with_duration(result: TickResult, seconds: float) -> TickResult:
+    from dataclasses import replace
+
+    return replace(result, duration_seconds=seconds)

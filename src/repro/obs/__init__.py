@@ -32,7 +32,9 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.obs import events as events_module  # noqa: F401 (re-exported)
 from repro.obs import export, tracing  # re-exported submodules
+from repro.obs.events import EventLog, FileSink, RingBufferSink
 from repro.obs.metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.tracing import Span, TraceContext, Tracer, render_trace
 
@@ -42,6 +44,9 @@ __all__ = [
     "disable",
     "span",
     "snapshot",
+    "emit",
+    "enable_events",
+    "disable_events",
     "worker_config",
     "apply_worker_config",
     "MetricsRegistry",
@@ -50,6 +55,9 @@ __all__ = [
     "Histogram",
     "Tracer",
     "Span",
+    "EventLog",
+    "RingBufferSink",
+    "FileSink",
     "render_trace",
     "DEFAULT_BUCKETS",
     "export",
@@ -60,17 +68,21 @@ __all__ = [
 class ObsState:
     """The process-wide observability switchboard.
 
-    ``enabled`` gates metrics, ``tracing`` gates spans; both default to
-    off.  Slots keep the hot-path attribute check a plain slot load.
+    ``enabled`` gates metrics, ``tracing`` gates spans, ``events`` (an
+    :class:`~repro.obs.events.EventLog` or None) gates structured events;
+    all default to off.  Slots keep the hot-path attribute check a plain
+    slot load — event sites are written ``log = OBS.events`` / ``if log
+    is not None:`` so the disabled-mode cost stays one slot read.
     """
 
-    __slots__ = ("enabled", "tracing", "registry", "tracer")
+    __slots__ = ("enabled", "tracing", "registry", "tracer", "events")
 
     def __init__(self) -> None:
         self.enabled = False
         self.tracing = False
         self.registry = MetricsRegistry()
         self.tracer = Tracer()
+        self.events: Optional[EventLog] = None
 
 
 #: The module-level default state every instrumented site checks.
@@ -127,6 +139,45 @@ def snapshot() -> Dict[str, Dict[str, object]]:
 
 
 # ---------------------------------------------------------------------------
+# structured events
+# ---------------------------------------------------------------------------
+
+
+def enable_events(
+    ring: int = 1024, path: Optional[str] = None
+) -> EventLog:
+    """Attach an event log (ring buffer of ``ring`` events, optional JSONL file).
+
+    ``ring=0`` skips the ring-buffer sink; ``path`` adds an append-only
+    :class:`~repro.obs.events.FileSink`.  Returns the installed log.
+    Orthogonal to :func:`enable`/:func:`disable` — events can run with
+    metrics and tracing off (they still get correlation ids, just no
+    trace ids).
+    """
+    log = EventLog()
+    if ring:
+        log.add_sink(RingBufferSink(ring))
+    if path is not None:
+        log.add_sink(FileSink(path))
+    OBS.events = log
+    return log
+
+
+def disable_events() -> None:
+    """Detach and close the event log (back to zero-cost slot checks)."""
+    log, OBS.events = OBS.events, None
+    if log is not None:
+        log.close()
+
+
+def emit(kind: str, **fields: object) -> None:
+    """Emit one structured event if an event log is attached (else no-op)."""
+    log = OBS.events
+    if log is not None:
+        log.emit(kind, **fields)
+
+
+# ---------------------------------------------------------------------------
 # cross-process propagation (ParallelVerifier workers)
 # ---------------------------------------------------------------------------
 
@@ -151,10 +202,13 @@ def apply_worker_config(config: Optional[Dict[str, object]]) -> None:
 
     Fork-started workers inherit the parent's registry contents and the
     tracer's open span stack; both are replaced with fresh instances so a
-    worker only ever reports its own deltas.
+    worker only ever reports its own deltas.  The event log is dropped
+    outright: events are single-writer (the parent), so worker-side sites
+    stay silent and the stream keeps one deterministic ordering.
     """
     OBS.registry = MetricsRegistry()
     OBS.tracer = Tracer()
+    OBS.events = None
     if config is None:
         disable()
         return

@@ -14,7 +14,9 @@ from typing import Dict, List, Tuple
 __all__ = ["to_prometheus", "to_json", "render_text"]
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
-_KEY_RE = re.compile(r"^(?P<name>[^{]+)(?:\{(?P<labels>.*)\})?$")
+# DOTALL: label *values* may contain newlines; they are escaped only at
+# render time (_escape_label_value), so the splitter must cross them.
+_KEY_RE = re.compile(r"^(?P<name>[^{]+)(?:\{(?P<labels>.*)\})?$", re.DOTALL)
 
 
 def _split_key(key: str) -> Tuple[str, List[Tuple[str, str]]]:
@@ -35,8 +37,17 @@ def _prom_name(name: str, suffix: str = "") -> str:
     return "repro_" + _NAME_RE.sub("_", name) + suffix
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: ``\\``, ``"``, LF."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels: List[Tuple[str, str]], extra: str = "") -> str:
-    parts = [f'{_NAME_RE.sub("_", k)}="{v}"' for k, v in labels]
+    parts = [
+        f'{_NAME_RE.sub("_", k)}="{_escape_label_value(v)}"' for k, v in labels
+    ]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""

@@ -103,10 +103,15 @@ DEFAULT_BUCKETS = _geometric_buckets(1e-6, 2.5, 30)
 
 
 class Histogram:
-    """Fixed-bucket streaming histogram with interpolated quantiles."""
+    """Fixed-bucket streaming histogram with interpolated quantiles.
+
+    Optionally carries one *exemplar*: the reference (typically a trace
+    id) passed with the largest observation seen so far, so a latency
+    histogram can point straight at the slowest sampled trace.
+    """
 
     __slots__ = ("name", "labels", "buckets", "bucket_counts", "count", "sum",
-                 "min", "max")
+                 "min", "max", "exemplar")
 
     def __init__(
         self,
@@ -125,15 +130,26 @@ class Histogram:
         self.sum = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        #: ``(value, ref)`` of the largest exemplar-carrying observation.
+        self.exemplar: Optional[Tuple[float, str]] = None
 
-    def observe(self, value: float) -> None:
-        """Fold one observation into the histogram."""
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
+        """Fold one observation into the histogram.
+
+        ``exemplar`` (e.g. the active trace id) is retained only if this
+        observation is the largest exemplar-carrying one so far — the
+        histogram samples its own worst case.
+        """
         self.count += 1
         self.sum += value
         if self.min is None or value < self.min:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if exemplar is not None and (
+            self.exemplar is None or value >= self.exemplar[0]
+        ):
+            self.exemplar = (value, str(exemplar))
         self.bucket_counts[self._bucket_index(value)] += 1
 
     def _bucket_index(self, value: float) -> int:
@@ -173,9 +189,9 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
-    def summary(self) -> Dict[str, float]:
-        """count/sum/min/max/mean plus p50/p95/p99."""
-        return {
+    def summary(self) -> Dict[str, object]:
+        """count/sum/min/max/mean plus p50/p95/p99 (and any exemplar)."""
+        summary: Dict[str, object] = {
             "count": self.count,
             "sum": self.sum,
             "min": self.min if self.min is not None else 0.0,
@@ -185,6 +201,12 @@ class Histogram:
             "p95": self.percentile(95),
             "p99": self.percentile(99),
         }
+        if self.exemplar is not None:
+            summary["exemplar"] = {
+                "value": self.exemplar[0],
+                "trace_id": self.exemplar[1],
+            }
+        return summary
 
     def __repr__(self) -> str:
         return (
@@ -259,6 +281,22 @@ class MetricsRegistry:
     # introspection
     # ------------------------------------------------------------------
 
+    def find_counter(self, name: str, **labels: object) -> Optional[Counter]:
+        """The counter if it exists — never creates, never bumps ``calls``.
+
+        Readers (alert rules, exporters probing a specific metric) use
+        these ``find_*`` peeks so observing a registry cannot change it.
+        """
+        return self._counters.get((name, _label_items(labels)))
+
+    def find_gauge(self, name: str, **labels: object) -> Optional[Gauge]:
+        """The gauge if it exists (see :meth:`find_counter`)."""
+        return self._gauges.get((name, _label_items(labels)))
+
+    def find_histogram(self, name: str, **labels: object) -> Optional[Histogram]:
+        """The histogram if it exists (see :meth:`find_counter`)."""
+        return self._histograms.get((name, _label_items(labels)))
+
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """Plain-data view of every metric, keyed by ``name{labels}``."""
         return {
@@ -302,7 +340,7 @@ class MetricsRegistry:
             ],
             "histograms": [
                 (h.name, h.labels, h.buckets, list(h.bucket_counts),
-                 h.count, h.sum, h.min, h.max)
+                 h.count, h.sum, h.min, h.max, h.exemplar)
                 for h in self._histograms.values()
             ],
         }
@@ -323,8 +361,11 @@ class MetricsRegistry:
             with self._lock:
                 metric = self._gauges.setdefault(key, Gauge(name, key[1]))
             metric.value = value
-        for (name, labels, buckets, bucket_counts, count, total,
-             minimum, maximum) in dump.get("histograms", ()):
+        for item in dump.get("histograms", ()):
+            (name, labels, buckets, bucket_counts, count, total,
+             minimum, maximum) = item[:8]
+            # Dumps predating exemplar support are 8-tuples; tolerate both.
+            exemplar = item[8] if len(item) > 8 else None
             key = (name, tuple(labels))
             with self._lock:
                 hist = self._histograms.setdefault(
@@ -344,6 +385,10 @@ class MetricsRegistry:
                 hist.min = minimum
             if maximum is not None and (hist.max is None or maximum > hist.max):
                 hist.max = maximum
+            if exemplar is not None and (
+                hist.exemplar is None or exemplar[0] >= hist.exemplar[0]
+            ):
+                hist.exemplar = (float(exemplar[0]), str(exemplar[1]))
 
     def __repr__(self) -> str:
         return f"MetricsRegistry(metrics={len(self)}, calls={self.calls})"

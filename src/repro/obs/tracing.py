@@ -40,7 +40,7 @@ class Span:
     """One timed region of a trace."""
 
     __slots__ = ("name", "attrs", "trace_id", "span_id", "parent_id",
-                 "start", "end", "children", "worker_pid")
+                 "start", "end", "wall_start", "children", "worker_pid")
 
     def __init__(
         self,
@@ -56,6 +56,9 @@ class Span:
         self.span_id = span_id if span_id is not None else _new_id()
         self.parent_id = parent_id
         self.start = time.perf_counter()
+        # Epoch seconds at open: perf_counter() has an arbitrary origin,
+        # so only this field lines spans up with event-log timestamps.
+        self.wall_start = time.time()
         self.end: Optional[float] = None
         self.children: List["Span"] = []
         self.worker_pid: Optional[int] = None
@@ -82,6 +85,7 @@ class Span:
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "duration_s": self.duration,
+            "wall_start": self.wall_start,
             "worker_pid": self.worker_pid,
             "children": [child.to_dict() for child in self.children],
         }
@@ -97,6 +101,7 @@ class Span:
         span.parent_id = str(parent) if parent is not None else None
         span.start = 0.0
         span.end = float(data.get("duration_s", 0.0))
+        span.wall_start = float(data.get("wall_start", 0.0))
         span.worker_pid = data.get("worker_pid")
         span.children = [cls.from_dict(child) for child in data.get("children", [])]
         return span

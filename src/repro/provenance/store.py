@@ -35,6 +35,7 @@ from repro.provenance.records import ProvenanceRecord
 __all__ = [
     "ProvenanceStore",
     "BatchJournalEntry",
+    "VerifiedWatermark",
     "InMemoryProvenanceStore",
     "SQLiteProvenanceStore",
 ]
@@ -100,6 +101,33 @@ ChainTail = Tuple[int, bytes]
 
 
 @dataclass(frozen=True)
+class VerifiedWatermark:
+    """How far an object's chain has been verified (monitor state).
+
+    ``index`` counts the chain's covered *prefix* (records, not seq ids —
+    seq ids may skip after deletions of other objects but a chain's
+    record list is dense); ``seq_id``/``checksum`` identify the last
+    covered record, the *anchor* an incremental verify re-validates
+    before trusting the prefix.  See ``repro.monitor`` and DESIGN.md §9
+    for why an anchor mismatch must force a full re-verify rather than
+    be repaired in place.
+    """
+
+    object_id: str
+    index: int
+    seq_id: int
+    checksum: bytes
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "object_id": self.object_id,
+            "index": self.index,
+            "seq_id": self.seq_id,
+            "checksum": self.checksum.hex(),
+        }
+
+
+@dataclass(frozen=True)
 class BatchJournalEntry:
     """One ``append_many`` batch as recorded in the store's batch journal.
 
@@ -156,6 +184,7 @@ class InMemoryProvenanceStore:
         self._space = 0
         self._journal: Dict[int, BatchJournalEntry] = {}
         self._next_batch_id = 1
+        self._watermarks: Dict[str, VerifiedWatermark] = {}
 
     def append(self, record: ProvenanceRecord) -> None:
         chain = self._chains.setdefault(record.object_id, [])
@@ -175,12 +204,21 @@ class InMemoryProvenanceStore:
             self._chains.setdefault(record.object_id, []).append(record)
             self._count += 1
             self._space += record.storage_bytes()
-        self._journal_entry(batch, committed=True)
+        entry = self._journal_entry(batch, committed=True)
         if OBS.enabled:
             reg = OBS.registry
             reg.counter("store.append.batches", store="memory").inc()
             reg.counter("store.append.records", store="memory").inc(len(batch))
             reg.histogram("store.batch.size", store="memory").observe(len(batch))
+        log = OBS.events
+        if log is not None:
+            log.emit(
+                "store.batch",
+                store="memory",
+                batch_id=entry.batch_id,
+                records=len(batch),
+                objects=len({record.object_id for record in batch}),
+            )
 
     # ------------------------------------------------------------------
     # batch journal / crash-recovery surface (see BatchJournalEntry)
@@ -238,6 +276,26 @@ class InMemoryProvenanceStore:
         """Drop a journal entry once recovery has truncated its records."""
         self._journal.pop(batch_id, None)
 
+    # ------------------------------------------------------------------
+    # verified watermarks (monitor state; see VerifiedWatermark)
+    # ------------------------------------------------------------------
+
+    def set_watermark(self, watermark: VerifiedWatermark) -> None:
+        """Persist one object's verified watermark (upsert)."""
+        self._watermarks[watermark.object_id] = watermark
+
+    def get_watermark(self, object_id: str) -> Optional[VerifiedWatermark]:
+        """The object's verified watermark, or None."""
+        return self._watermarks.get(object_id)
+
+    def watermarks(self) -> Tuple[VerifiedWatermark, ...]:
+        """All watermarks, sorted by object id."""
+        return tuple(self._watermarks[k] for k in sorted(self._watermarks))
+
+    def clear_watermark(self, object_id: str) -> bool:
+        """Drop one object's watermark; True if one existed."""
+        return self._watermarks.pop(object_id, None) is not None
+
     def _tail(self, object_id: str) -> Optional[ChainTail]:
         chain = self._chains.get(object_id)
         if not chain:
@@ -274,6 +332,7 @@ class InMemoryProvenanceStore:
         chain = self._chains.pop(object_id, [])
         self._count -= len(chain)
         self._space -= sum(record.storage_bytes() for record in chain)
+        self._watermarks.pop(object_id, None)
         return len(chain)
 
     def __repr__(self) -> str:
@@ -307,6 +366,16 @@ class SQLiteProvenanceStore:
         batch_id  INTEGER PRIMARY KEY AUTOINCREMENT,
         keys      TEXT NOT NULL,
         committed INTEGER NOT NULL
+    );
+    -- Verified watermarks: the monitor's per-object incremental-verify
+    -- state (covered prefix length + last-good anchor).  Kept in the
+    -- store so a restarted monitor resumes where it left off; recovery
+    -- truncation rewinds affected rows (see repro.faults.recovery).
+    CREATE TABLE IF NOT EXISTS watermarks (
+        object_id TEXT PRIMARY KEY,
+        idx       INTEGER NOT NULL,
+        seq_id    INTEGER NOT NULL,
+        checksum  BLOB NOT NULL
     );
     """
 
@@ -404,12 +473,14 @@ class SQLiteProvenanceStore:
         staged = _check_batch(batch, self._tail)
         observing = OBS.enabled
         start = perf_counter() if observing else 0.0
+        batch_id: Optional[int] = None
         try:
             with self._conn:  # one transaction: all-or-nothing
-                self._conn.execute(
+                cursor = self._conn.execute(
                     "INSERT INTO batch_journal(keys, committed) VALUES (?, 1)",
                     (self._keys_json(batch),),
                 )
+                batch_id = cursor.lastrowid
                 self._conn.executemany(
                     self._INSERT, (self._row_of(record) for record in batch)
                 )
@@ -431,6 +502,15 @@ class SQLiteProvenanceStore:
             reg.counter("store.append.records", store="sqlite").inc(len(batch))
             reg.histogram("store.batch.size", store="sqlite").observe(len(batch))
             reg.histogram("store.txn.seconds").observe(perf_counter() - start)
+        log = OBS.events
+        if log is not None:
+            log.emit(
+                "store.batch",
+                store="sqlite",
+                batch_id=batch_id,
+                records=len(batch),
+                objects=len({record.object_id for record in batch}),
+            )
 
     def records_for(self, object_id: str) -> Tuple[ProvenanceRecord, ...]:
         rows = self._conn.execute(
@@ -480,6 +560,9 @@ class SQLiteProvenanceStore:
     def purge_object(self, object_id: str) -> int:
         cursor = self._conn.execute(
             "DELETE FROM provenance WHERE object_id = ?", (object_id,)
+        )
+        self._conn.execute(
+            "DELETE FROM watermarks WHERE object_id = ?", (object_id,)
         )
         self._conn.commit()
         self._tail_cache.pop(object_id, None)
@@ -546,6 +629,58 @@ class SQLiteProvenanceStore:
             "DELETE FROM batch_journal WHERE batch_id = ?", (batch_id,)
         )
         self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # verified watermarks (monitor state; see VerifiedWatermark)
+    # ------------------------------------------------------------------
+
+    def set_watermark(self, watermark: VerifiedWatermark) -> None:
+        """Persist one object's verified watermark (upsert)."""
+        self._conn.execute(
+            "INSERT INTO watermarks(object_id, idx, seq_id, checksum)"
+            " VALUES (?, ?, ?, ?)"
+            " ON CONFLICT(object_id) DO UPDATE SET"
+            " idx = excluded.idx, seq_id = excluded.seq_id,"
+            " checksum = excluded.checksum",
+            (watermark.object_id, watermark.index, watermark.seq_id,
+             watermark.checksum),
+        )
+        self._conn.commit()
+
+    def get_watermark(self, object_id: str) -> Optional[VerifiedWatermark]:
+        """The object's verified watermark, or None."""
+        row = self._conn.execute(
+            "SELECT idx, seq_id, checksum FROM watermarks WHERE object_id = ?",
+            (object_id,),
+        ).fetchone()
+        if row is None:
+            return None
+        return VerifiedWatermark(
+            object_id=object_id, index=row[0], seq_id=row[1],
+            checksum=bytes(row[2]),
+        )
+
+    def watermarks(self) -> Tuple[VerifiedWatermark, ...]:
+        """All watermarks, sorted by object id."""
+        rows = self._conn.execute(
+            "SELECT object_id, idx, seq_id, checksum FROM watermarks"
+            " ORDER BY object_id"
+        ).fetchall()
+        return tuple(
+            VerifiedWatermark(
+                object_id=row[0], index=row[1], seq_id=row[2],
+                checksum=bytes(row[3]),
+            )
+            for row in rows
+        )
+
+    def clear_watermark(self, object_id: str) -> bool:
+        """Drop one object's watermark; True if one existed."""
+        cursor = self._conn.execute(
+            "DELETE FROM watermarks WHERE object_id = ?", (object_id,)
+        )
+        self._conn.commit()
+        return cursor.rowcount > 0
 
     @staticmethod
     def _load(row) -> ProvenanceRecord:

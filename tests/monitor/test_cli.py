@@ -1,0 +1,111 @@
+"""`repro monitor` CLI: exit codes, JSON snapshot, events file, watch mode."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli.main import main
+
+
+def run_monitor(*argv):
+    return main(["monitor", "--synthetic", "--key-bits", "512", *argv])
+
+
+class TestMonitorOnce:
+    def test_clean_store_exits_zero(self, capsys):
+        assert run_monitor("--once") == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["health"] == "ok"
+        assert snap["alerts"] == []
+        assert snap["last_tick"]["mode"] == "full"
+
+    def test_r1_tamper_exits_nonzero_with_r1_alert(self, capsys):
+        assert run_monitor("--once", "--tamper", "R1") == 1
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["health"] == "tampered"
+        rules = {a["rule"] for a in snap["alerts"]}
+        assert "tamper" in rules
+        assert any(
+            a["fields"].get("requirement") == "R1"
+            for a in snap["alerts"]
+            if a["rule"] == "tamper"
+        )
+
+    def test_r2_tamper_is_watermark_regression(self, capsys):
+        assert run_monitor("--once", "--tamper", "R2") == 1
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["health"] == "tampered"
+        assert any(
+            a["rule"] == "watermark-regression" for a in snap["alerts"]
+        )
+        assert snap["regressions"]
+
+    def test_output_file(self, tmp_path):
+        out = tmp_path / "health.json"
+        assert run_monitor("--once", "-o", str(out)) == 0
+        snap = json.loads(out.read_text())
+        assert snap["health"] == "ok"
+
+    def test_events_file_written(self, tmp_path, capsys):
+        events_path = tmp_path / "events.jsonl"
+        assert run_monitor("--once", "--events", str(events_path)) == 0
+        capsys.readouterr()
+        lines = [
+            json.loads(line)
+            for line in events_path.read_text().splitlines()
+            if line
+        ]
+        kinds = {e["kind"] for e in lines}
+        assert "collector.flush" in kinds
+        assert "store.batch" in kinds
+        assert "verify.report" in kinds
+        assert "monitor.tick" in kinds
+        # Correlation ids thread collector -> store within one flush.
+        flushes = [e for e in lines if e["kind"] == "collector.flush"]
+        batches = [e for e in lines if e["kind"] == "store.batch"]
+        assert flushes and batches
+        assert {e["corr"] for e in batches} <= {e["corr"] for e in flushes}
+
+    def test_tamper_alert_lands_in_events(self, tmp_path, capsys):
+        events_path = tmp_path / "events.jsonl"
+        assert run_monitor(
+            "--once", "--tamper", "R1", "--events", str(events_path)
+        ) == 1
+        capsys.readouterr()
+        lines = [
+            json.loads(line)
+            for line in events_path.read_text().splitlines()
+            if line
+        ]
+        alerts = [e for e in lines if e["kind"] == "alert"]
+        assert any(e["fields"]["rule"] == "tamper" for e in alerts)
+
+
+class TestMonitorWatch:
+    def test_watch_mode_exits_nonzero_on_tamper(self, capsys):
+        code = run_monitor(
+            "--ticks", "2", "--interval", "0", "--tamper", "R1"
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "tampered" in out
+
+    def test_watch_mode_clean(self, capsys):
+        assert run_monitor("--ticks", "2", "--interval", "0") == 0
+        out = capsys.readouterr().out
+        assert "health: ok" in out
+
+
+class TestMonitorWorkspace:
+    def test_monitor_against_workspace(self, tmp_path, capsys):
+        lab = str(tmp_path / "lab")
+        assert main(["init", "--path", lab, "--key-bits", "512"]) == 0
+        assert main(["-w", lab, "enroll", "alice"]) == 0
+        assert main(["-w", lab, "insert", "doc", "v1", "--as", "alice"]) == 0
+        capsys.readouterr()
+        assert main(["-w", lab, "monitor", "--once"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["health"] == "ok"
+        assert snap["records"] == 1

@@ -1,0 +1,185 @@
+"""Structured event log: sinks, correlation ids, determinism, wiring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.events import (
+    EventLog,
+    FileSink,
+    RingBufferSink,
+    current_correlation,
+)
+
+
+@pytest.fixture
+def events_enabled():
+    log = obs.enable_events()
+    yield log
+    obs.disable_events()
+
+
+class TestEventLog:
+    def test_emit_assigns_monotonic_seq(self):
+        log = EventLog(sinks=(RingBufferSink(),))
+        for i in range(5):
+            log.emit("test.kind", index=i)
+        assert [e.seq for e in log.ring.events()] == [0, 1, 2, 3, 4]
+
+    def test_event_shape(self):
+        log = EventLog(sinks=(RingBufferSink(),))
+        log.emit("store.batch", records=3, store="memory")
+        event = log.ring.events()[0]
+        assert event.kind == "store.batch"
+        assert event.fields == {"records": 3, "store": "memory"}
+        data = event.to_dict()
+        assert set(data) == {"seq", "kind", "ts", "corr", "trace_id", "fields"}
+
+    def test_ring_buffer_caps_capacity(self):
+        log = EventLog(sinks=(RingBufferSink(capacity=3),))
+        for i in range(10):
+            log.emit("k", i=i)
+        kept = log.ring.events()
+        assert len(kept) == 3
+        assert [e.fields["i"] for e in kept] == [7, 8, 9]
+
+    def test_of_kind_filters(self):
+        log = EventLog(sinks=(RingBufferSink(),))
+        log.emit("a")
+        log.emit("b")
+        log.emit("a")
+        assert len(log.ring.of_kind("a")) == 2
+
+    def test_file_sink_writes_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(sinks=(FileSink(str(path)),))
+        log.emit("one", x=1)
+        log.emit("two", y=[1, 2])
+        log.close()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["kind"] == "one"
+        assert first["fields"] == {"x": 1}
+
+    def test_correlation_scope_threads_id(self):
+        log = EventLog(sinks=(RingBufferSink(),))
+        with log.correlation():
+            log.emit("flush")
+            log.emit("store")
+        with log.correlation():
+            log.emit("flush")
+        events = log.ring.events()
+        assert events[0].corr == events[1].corr
+        assert events[2].corr != events[0].corr
+
+    def test_correlation_ids_deterministic(self):
+        log = EventLog(sinks=(RingBufferSink(),))
+        assert log.new_correlation_id() == "c0"
+        assert log.new_correlation_id() == "c1"
+
+    def test_correlation_restored_after_scope(self):
+        log = EventLog(sinks=(RingBufferSink(),))
+        assert current_correlation() is None
+        with log.correlation("outer"):
+            assert current_correlation() == "outer"
+            with log.correlation("inner"):
+                assert current_correlation() == "inner"
+            assert current_correlation() == "outer"
+        assert current_correlation() is None
+
+    def test_trace_id_attached_when_tracing(self, obs_enabled):
+        log = obs.enable_events()
+        try:
+            with obs.span("outer"):
+                log.emit("inside")
+            log.emit("outside")
+            inside, outside = log.ring.events()
+            assert inside.trace_id is not None
+            assert outside.trace_id is None
+        finally:
+            obs.disable_events()
+
+
+class TestSwitchboard:
+    def test_emit_is_noop_without_event_log(self):
+        obs.disable_events()
+        obs.emit("anything", x=1)  # must not raise
+
+    def test_enable_disable_roundtrip(self):
+        log = obs.enable_events()
+        obs.emit("hello")
+        assert len(log.ring) == 1
+        obs.disable_events()
+        assert obs.OBS.events is None
+
+    def test_enable_events_without_ring(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        log = obs.enable_events(ring=0, path=str(path))
+        try:
+            assert log.ring is None
+            obs.emit("k")
+        finally:
+            obs.disable_events()
+        assert json.loads(path.read_text())["kind"] == "k"
+
+    def test_worker_config_disables_events(self, events_enabled):
+        # Events are single-writer: a pool worker adopting the parent's
+        # obs config must NOT inherit the event log.
+        config = obs.worker_config()
+        state = obs.OBS
+        try:
+            obs.apply_worker_config(config)
+            assert state.events is None
+        finally:
+            obs.disable(reset=True)
+
+    def test_events_orthogonal_to_metrics(self, events_enabled):
+        # Event emission works with metrics/tracing disabled entirely.
+        assert not obs.OBS.enabled
+        obs.emit("standalone", n=1)
+        assert events_enabled.ring.events()[-1].fields == {"n": 1}
+
+
+class TestPipelineEvents:
+    def test_flush_store_and_verify_events_share_correlation(
+        self, events_enabled, tedb, participants
+    ):
+        session = tedb.session(participants["p1"])
+        session.insert("A", 1)
+        session.update("A", 2)
+        flushes = events_enabled.ring.of_kind("collector.flush")
+        batches = events_enabled.ring.of_kind("store.batch")
+        assert len(flushes) == 2
+        assert len(batches) == 2
+        # collector → store correlation: each flush's batch shares its id
+        for flush, batch in zip(flushes, batches):
+            assert flush.corr is not None
+            assert flush.corr == batch.corr
+        tedb.verify("A")
+        reports = events_enabled.ring.of_kind("verify.report")
+        assert len(reports) == 1
+        assert reports[0].fields["ok"] is True
+
+    def test_event_stream_deterministic_modulo_ts(self):
+        def run():
+            from repro.core.system import TamperEvidentDatabase
+
+            log = obs.enable_events()
+            try:
+                db = TamperEvidentDatabase(seed=11, key_bits=512)
+                session = db.session(db.enroll("p"))
+                session.insert("x", 1)
+                session.update("x", 2)
+                db.verify("x")
+                return [
+                    {k: v for k, v in e.to_dict().items() if k != "ts"}
+                    for e in log.ring.events()
+                ]
+            finally:
+                obs.disable_events()
+
+        assert run() == run()

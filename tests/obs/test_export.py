@@ -1,0 +1,36 @@
+"""Exporter regressions, chiefly Prometheus label-value escaping."""
+
+from __future__ import annotations
+
+from repro.obs.export import _escape_label_value, to_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestLabelValueEscaping:
+    def test_backslash_quote_and_newline(self):
+        assert _escape_label_value('pa\\th "x"\nend') == 'pa\\\\th \\"x\\"\\nend'
+
+    def test_backslash_escaped_before_quotes(self):
+        # Order matters: escaping quotes first would double-escape the
+        # backslash that the quote escape itself introduces.
+        assert _escape_label_value('\\"') == '\\\\\\"'
+
+    def test_plain_values_untouched(self):
+        assert _escape_label_value("memory") == "memory"
+
+    def test_prometheus_output_escapes_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter("store.errors", path='C:\\data\n"prod"').inc()
+        text = to_prometheus(registry.snapshot())
+        line = next(l for l in text.splitlines() if not l.startswith("#"))
+        assert 'path="C:\\\\data\\n\\"prod\\""' in line
+        # The raw newline must not survive into the exposition line.
+        assert "\n" not in line
+
+    def test_escaped_output_has_one_line_per_sample(self):
+        registry = MetricsRegistry()
+        registry.counter("c", note="a\nb").inc()
+        registry.gauge("g", note="x\\y").set(2)
+        text = to_prometheus(registry.snapshot())
+        samples = [l for l in text.splitlines() if not l.startswith("#")]
+        assert len(samples) == 2

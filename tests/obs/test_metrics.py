@@ -139,6 +139,118 @@ class TestDumpMerge:
         assert s["count"] == 3
 
 
+class TestMergeEdgeCases:
+    def test_merge_disjoint_label_sets(self, registry):
+        worker = MetricsRegistry()
+        worker.counter("ops", kind="a").inc(2)
+        worker.counter("ops", kind="b", store="memory").inc(3)
+        registry.counter("ops").inc(1)  # unlabelled series, same name
+        registry.merge(worker.dump())
+        snap = registry.snapshot()["counters"]
+        assert snap["ops"] == 1
+        assert snap["ops{kind=a}"] == 2
+        assert snap["ops{kind=b,store=memory}"] == 3
+
+    def test_merge_empty_source_is_noop(self, registry):
+        registry.counter("a").inc(5)
+        registry.histogram("h").observe(1.0)
+        before = registry.snapshot()
+        registry.merge(MetricsRegistry().dump())
+        assert registry.snapshot() == before
+
+    def test_merge_into_empty_registry(self, registry):
+        worker = MetricsRegistry()
+        worker.gauge("depth", pool="x").set(4)
+        worker.histogram("h").observe(0.25)
+        registry.merge(worker.dump())
+        snap = registry.snapshot()
+        assert snap["gauges"]["depth{pool=x}"] == 4
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_merge_preserves_percentiles_within_bucket_resolution(self, registry):
+        # Two shards each observe half the distribution; the merged
+        # histogram's percentile estimates must match a single histogram
+        # that saw everything — both answer from the same bucket counts.
+        values = [0.0001 * (i + 1) for i in range(200)]  # 0.1ms .. 20ms
+        combined = MetricsRegistry()
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for i, v in enumerate(values):
+            combined.histogram("lat").observe(v)
+            (a if i % 2 == 0 else b).histogram("lat").observe(v)
+        merged = MetricsRegistry()
+        merged.merge(a.dump())
+        merged.merge(b.dump())
+        want = combined.snapshot()["histograms"]["lat"]
+        got = merged.snapshot()["histograms"]["lat"]
+        for q in ("p50", "p95", "p99"):
+            assert got[q] == pytest.approx(want[q])
+        assert got["count"] == want["count"]
+        assert got["sum"] == pytest.approx(want["sum"])
+
+    def test_merge_repeated_accumulates(self, registry):
+        worker = MetricsRegistry()
+        worker.counter("n").inc(2)
+        dump = worker.dump()
+        registry.merge(dump)
+        registry.merge(dump)
+        assert registry.snapshot()["counters"]["n"] == 4
+
+
+class TestExemplars:
+    def test_exemplar_kept_for_largest_observation(self):
+        h = Histogram("x", ())
+        h.observe(0.5, exemplar="trace-small")
+        h.observe(2.0, exemplar="trace-big")
+        h.observe(1.0, exemplar="trace-mid")
+        assert h.exemplar == (2.0, "trace-big")
+
+    def test_observation_without_exemplar_keeps_existing(self):
+        h = Histogram("x", ())
+        h.observe(1.0, exemplar="t1")
+        h.observe(99.0)  # larger, but carries no exemplar
+        assert h.exemplar == (1.0, "t1")
+
+    def test_summary_omits_exemplar_when_absent(self):
+        h = Histogram("x", ())
+        h.observe(1.0)
+        assert "exemplar" not in h.summary()
+
+    def test_summary_includes_exemplar(self):
+        h = Histogram("x", ())
+        h.observe(1.0, exemplar="tr-9")
+        assert h.summary()["exemplar"] == {"value": 1.0, "trace_id": "tr-9"}
+
+    def test_exemplar_survives_dump_merge(self, registry):
+        worker = MetricsRegistry()
+        worker.histogram("h").observe(3.0, exemplar="worker-trace")
+        registry.histogram("h").observe(1.0, exemplar="parent-trace")
+        registry.merge(worker.dump())
+        assert registry.histogram("h").exemplar == (3.0, "worker-trace")
+
+    def test_merge_tolerates_dumps_without_exemplars(self, registry):
+        # Old-format dumps (8-tuples, pre-exemplar) must still merge.
+        worker = MetricsRegistry()
+        worker.histogram("h").observe(1.0)
+        dump = worker.dump()
+        dump["histograms"] = [item[:8] for item in dump["histograms"]]
+        registry.merge(dump)
+        assert registry.snapshot()["histograms"]["h"]["count"] == 1
+
+
+class TestFindPeeks:
+    def test_find_returns_existing_series(self, registry):
+        registry.counter("c", k="v").inc(2)
+        found = registry.find_counter("c", k="v")
+        assert found is not None and found.value == 2
+
+    def test_find_does_not_create_or_count(self, registry):
+        assert registry.find_counter("nope") is None
+        assert registry.find_gauge("nope") is None
+        assert registry.find_histogram("nope") is None
+        assert registry.calls == 0
+        assert len(registry) == 0
+
+
 class TestExporters:
     def test_prometheus_text(self, registry):
         registry.counter("hash.digests", algorithm="sha1").inc(5)

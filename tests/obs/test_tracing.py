@@ -74,6 +74,42 @@ class TestSerialization:
         assert data["children"] == []
 
 
+class TestWallStart:
+    def test_wall_start_is_epoch_time(self, tracer):
+        import time
+
+        before = time.time()
+        with tracer.span("t") as s:
+            pass
+        assert before - 1.0 <= s.wall_start <= time.time() + 1.0
+
+    def test_wall_start_roundtrips_to_dict(self, tracer):
+        with tracer.span("t") as s:
+            pass
+        data = s.to_dict()
+        assert data["wall_start"] == s.wall_start
+        assert Span.from_dict(data).wall_start == s.wall_start
+
+    def test_from_dict_defaults_missing_wall_start(self, tracer):
+        with tracer.span("t") as s:
+            pass
+        data = s.to_dict()
+        del data["wall_start"]  # dumps from before the field existed
+        assert Span.from_dict(data).wall_start == 0.0
+
+    def test_wall_start_preserved_through_worker_adoption(self):
+        parent = Tracer()
+        with parent.span("verify") as verify_span:
+            worker = Tracer()
+            worker.install_remote_context(parent.context())
+            with worker.span("verify.worker") as worker_span:
+                pass
+            wall = worker_span.wall_start
+            adopted = parent.adopt(worker.drain())
+        assert adopted[0].wall_start == wall
+        assert verify_span.children[0].wall_start == wall
+
+
 class TestRemoteContext:
     def test_worker_spans_reparent_under_remote_parent(self):
         parent = Tracer()
