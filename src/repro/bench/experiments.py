@@ -1155,7 +1155,14 @@ def run_monitor_bench(
             session.update(f"obj{i % n_objects}", f"delta-{run}-{i}")
         timed = measure(monitor.tick, runs=1)
         incr_samples.append(timed.samples[0])
-        assert monitor.health == "ok"
+        if monitor.health != "ok":
+            # Not an assert: under ``python -O`` an assert vanishes and a
+            # regressing monitor would still publish passing numbers.
+            raise RuntimeError(
+                f"monitor health is {monitor.health!r} during the "
+                f"incremental arm (run {run}); failures: "
+                f"{[str(f) for f in monitor.accumulated_failures()]}"
+            )
     incr_s = min(incr_samples)
     incr_speedup = full_s / incr_s if incr_s else float("inf")
 

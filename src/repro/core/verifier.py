@@ -247,6 +247,7 @@ class Verifier:
         self,
         records: Sequence[ProvenanceRecord],
         skip: Dict[str, int],
+        observe: bool = True,
     ) -> VerificationReport:
         """Verify only each chain's *uncovered suffix* (watermark resume).
 
@@ -264,6 +265,12 @@ class Verifier:
         construction); cold and full passes should use
         :meth:`verify_records`, which routes through the configured
         serial/parallel ``_check_chains``.
+
+        ``observe=False`` suppresses the report's metrics/event emission
+        (``verify.runs``, ``verify.failures``, ``verify.report``): the
+        monitor's authoritative re-walk of failing suspects is part of
+        the *same* logical verification pass, and observing it twice
+        would double-count failures.
         """
         with obs.span("verify", records=len(records), incremental=True):
             failures = _Failures()
@@ -283,7 +290,8 @@ class Verifier:
                 records_checked=checked,
                 objects_checked=objects,
             )
-        _observe_report(report)
+        if observe:
+            _observe_report(report)
         return report
 
     # ------------------------------------------------------------------

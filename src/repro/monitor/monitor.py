@@ -230,7 +230,11 @@ class ProvenanceMonitor:
                 oid: (0 if oid in suspects else len(chain))
                 for oid, chain in chains.items()
             }
-            re_report = self.verifier.verify_incremental(records, re_skip)
+            # observe=False: this is the diagnosis half of the same
+            # logical pass — observing it would double-count failures.
+            re_report = self.verifier.verify_incremental(
+                records, re_skip, observe=False
+            )
             re_by_object: Dict[str, List[VerificationFailure]] = {}
             for failure in re_report.failures:
                 re_by_object.setdefault(failure.object_id, []).append(failure)
@@ -323,6 +327,14 @@ class ProvenanceMonitor:
         yet internally valid), so regression detection must never be
         skipped.  Full mode only stops the anchors being trusted for
         skipping.
+
+        A chain with accumulated failures is never skipped either, even
+        behind a valid anchor: a full scan can detect tampering *behind*
+        the anchor, and trusting the watermark afterwards would skip the
+        chain, report it clean, and silently clear the evidence — the
+        same "never advance a watermark over a failing chain" rule,
+        applied to skipping.  Its failures only change when a fresh full
+        walk of that chain replaces (or clears) them.
         """
         skip: Dict[str, int] = {}
         regressions: List[Tuple[str, str]] = []
@@ -331,6 +343,13 @@ class ProvenanceMonitor:
             wm = watermarks.get(oid)
             skip[oid] = 0
             if wm is None:
+                continue
+            if wm.index <= 0:
+                regressions.append((
+                    oid,
+                    f"malformed watermark index {wm.index} (must cover at "
+                    "least one record)",
+                ))
                 continue
             if wm.index > len(chain):
                 regressions.append((
@@ -347,7 +366,7 @@ class ProvenanceMonitor:
                     f"(expected seq {wm.seq_id})",
                 ))
                 continue
-            if not full:
+            if not full and oid not in self._failures:
                 skip[oid] = wm.index
         for oid in sorted(watermarks):
             if oid not in chains:

@@ -192,6 +192,51 @@ class TestTamperDetection:
         # The stale watermark survives as evidence, even on a full pass.
         assert store.get_watermark("obj2").index == len(chain)
 
+    def test_behind_anchor_tamper_does_not_self_heal(self, monitored):
+        # Regression: once a full scan finds a tamper *behind* the anchor
+        # (watermark already at the chain tail), the next incremental
+        # tick used to trust the still-valid anchor, skip the whole
+        # chain, find no failures for it, and pop the accumulated
+        # evidence — health flapped tampered -> ok one tick after
+        # detection.  A chain with accumulated failures must never be
+        # skipped.
+        from repro.core.verifier import Verifier
+
+        tedb, _, monitor = monitored
+        monitor.tick()
+        store = tedb.provenance_store
+        chain = store._chains["obj1"]
+        victim = chain[-1]
+        chain[-1] = dataclasses.replace(
+            victim,
+            output=dataclasses.replace(
+                victim.output, digest=b"\x00" * len(victim.output.digest)
+            ),
+        )
+        assert monitor.tick(full=True).health == "tampered"
+        full = Verifier(tedb.keystore()).verify_records(list(store.all_records()))
+        assert not full.ok
+        after = monitor.tick()  # incremental: evidence must survive
+        assert after.health == "tampered"
+        assert monitor.accumulated_failures() == tuple(full.failures)
+        assert monitor.tick().health == "tampered"
+
+    def test_zero_index_watermark_is_regression(self, monitored):
+        # A hand-edited watermark with index 0 used to anchor-validate
+        # against chain[-1] (Python's negative indexing) and pass
+        # silently; it must be flagged as malformed instead.
+        tedb, _, monitor = monitored
+        store = tedb.provenance_store
+        tail = store.records_for("obj0")[-1]
+        store.set_watermark(
+            VerifiedWatermark("obj0", 0, tail.seq_id, tail.checksum)
+        )
+        result = monitor.tick()
+        assert result.health == "tampered"
+        assert any(
+            "malformed watermark" in reason for _, reason in result.regressions
+        )
+
     def test_covered_payload_forgery_needs_full_scan(self, monitored):
         # The documented watermark blind spot: an in-place edit of a
         # *covered* record that preserves the checksum bytes is invisible
@@ -212,6 +257,33 @@ class TestTamperDetection:
         full = monitor.tick(full=True)
         assert full.health == "tampered"
         assert monitor.accumulated_tally()
+
+
+class TestObservation:
+    def test_suspect_rewalk_is_one_logical_pass(self, monitored):
+        # The authoritative re-walk of a failing suffix is the diagnosis
+        # half of the same verification pass: it must not emit a second
+        # verify.report event or double-count the verify.* counters.
+        from repro import obs
+
+        tedb, session, monitor = monitored
+        monitor.tick()
+        session.update("obj0", 999)
+        _forge_tail(tedb.provenance_store, "obj0")
+        obs.enable(reset=True)
+        log = obs.enable_events()
+        try:
+            result = monitor.tick()
+            assert result.health == "tampered"
+            runs = obs.OBS.registry.find_counter("verify.runs")
+            assert runs is not None and runs.value == 1
+            reports = [
+                e for e in log.ring.dicts() if e["kind"] == "verify.report"
+            ]
+            assert len(reports) == 1
+        finally:
+            obs.disable_events()
+            obs.disable(reset=True)
 
 
 class TestAlertRules:
