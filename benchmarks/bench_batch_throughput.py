@@ -1,27 +1,73 @@
 #!/usr/bin/env python
-"""Batched write path + parallel verification throughput.
+"""Batched write path + parallel verification + signing throughput.
 
 Usage::
 
     python benchmarks/bench_batch_throughput.py [--records 10000] [--workers 4]
                                                 [--runs 3] [--json PATH]
-                                                [--quick]
+                                                [--quick] [--guard]
 
 Measures records/sec for the three SQLite append paths (the seed's
 per-record write path, the current per-record ``append``, and
-``append_many``) on a Fig-8-style workload, plus serial vs parallel chain
-verification on a signed multi-object world.  Results are printed as a
-paper-style table and dumped to ``BENCH_throughput.json`` so future PRs
-have a throughput trajectory.
+``append_many``) on a Fig-8-style workload, serial vs parallel vs
+adaptive chain verification on a signed multi-object world, and the
+end-to-end signed-append throughput of per-record RSA vs Merkle-batch
+signing (one root signature per flush) with a per-flush cost
+decomposition.  Results are printed as a paper-style table and dumped to
+``BENCH_throughput.json`` so future PRs have a throughput trajectory.
+
+``--guard`` makes the exit code enforce the CI floors:
+
+* signing: Merkle-batch signed append must be >= 5x per-record RSA;
+* verify: the adaptive verifier must not lose to serial (>= 1.0x with a
+  tolerance for timer noise) and its report must be byte-identical —
+  skipped with a warning on single-CPU runners, where "adaptive beats
+  serial" degenerates to "serial equals serial".
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.bench.experiments import run_batch_throughput
+
+#: Adaptive verify may lose this much to serial before the guard trips —
+#: pure timer noise on a workload this size.
+VERIFY_TOLERANCE = 0.90
+
+
+def check_guards(metrics, enforce_verify: bool) -> int:
+    """Return the number of failed guards, printing each verdict."""
+    failed = 0
+
+    signing = metrics["signing"]
+    floor = signing["guard"]["floor"]
+    speedup = signing["speedup"]
+    if signing["guard"]["ok"]:
+        print(f"guard OK: signing speedup {speedup:.1f}x >= {floor:.0f}x")
+    else:
+        print(f"guard FAILED: signing speedup {speedup:.1f}x < {floor:.0f}x")
+        failed += 1
+
+    verify = metrics["verify"]
+    adaptive = verify["adaptive_speedup"]
+    if not verify["adaptive_reports_identical"]:
+        print("guard FAILED: adaptive verify report differs from serial")
+        failed += 1
+    if not enforce_verify:
+        print(
+            f"guard SKIPPED (single CPU): adaptive verify {adaptive:.2f}x vs "
+            "serial not enforced — parallelism cannot win on 1 core"
+        )
+    elif adaptive >= VERIFY_TOLERANCE:
+        print(f"guard OK: adaptive verify {adaptive:.2f}x >= 1.0x serial")
+    else:
+        print(f"guard FAILED: adaptive verify {adaptive:.2f}x < 1.0x serial")
+        failed += 1
+    return failed
 
 
 def main(argv=None) -> int:
@@ -40,6 +86,15 @@ def main(argv=None) -> int:
                         help="updates per object in the verification world")
     parser.add_argument("--key-bits", type=int, default=512,
                         help="RSA modulus bits for the verification world")
+    parser.add_argument("--signing-batches", type=int, default=8,
+                        help="flushes in the signed-append arms (default 8)")
+    parser.add_argument("--flush-size", type=int, default=64,
+                        help="records staged per flush (default 64)")
+    parser.add_argument("--signing-key-bits", type=int, default=1024,
+                        help="RSA modulus bits for the signing arms "
+                             "(default 1024, as in the paper)")
+    parser.add_argument("--guard", action="store_true",
+                        help="exit non-zero when a CI floor is missed")
     parser.add_argument("--json", default=None,
                         help="where to write the metrics (default "
                              "BENCH_throughput.json, or skipped under "
@@ -52,6 +107,7 @@ def main(argv=None) -> int:
         args.records, args.runs = 2_000, 1
         args.verify_objects, args.verify_updates = 150, 2
         args.batch_size = 500
+        args.signing_batches, args.flush_size = 2, 32
     if args.json is None:
         # Quick smoke runs must not clobber the committed full-scale numbers.
         args.json = "-" if args.quick else "BENCH_throughput.json"
@@ -64,12 +120,18 @@ def main(argv=None) -> int:
         verify_objects=args.verify_objects,
         verify_updates=args.verify_updates,
         key_bits=args.key_bits,
+        signing_batches=args.signing_batches,
+        flush_size=args.flush_size,
+        signing_key_bits=args.signing_key_bits,
     )
     print(result.render())
     if args.json != "-":
         with open(args.json, "w") as fh:
             json.dump(result.metrics, fh, indent=2)
         print(f"\nmetrics written to {args.json}")
+    if args.guard:
+        failed = check_guards(result.metrics, enforce_verify=(os.cpu_count() or 1) > 1)
+        return 1 if failed else 0
     return 0
 
 

@@ -11,11 +11,13 @@ import random
 import pytest
 
 from repro.core import checksum as payloads
-from repro.core.merkle import subtree_digest
-from repro.crypto.hashing import hash_bytes
+from repro.core.merkle import batch_audit_paths, batch_leaf, subtree_digest
+from repro.crypto import pkcs1
+from repro.crypto.hashing import get_algorithm, hash_bytes
 from repro.crypto.rsa import generate_keypair
 from repro.crypto.signatures import (
     HMACSignatureScheme,
+    MerkleBatchSignatureScheme,
     NullSignatureScheme,
     RSASignatureScheme,
 )
@@ -59,6 +61,46 @@ def test_rsa_sign(benchmark, rsa_scheme):
 def test_rsa_verify(benchmark, rsa_scheme):
     signature = rsa_scheme.sign(b"checksum payload")
     assert benchmark(rsa_scheme.verify, b"checksum payload", signature)
+
+
+def test_pkcs1_encode(benchmark):
+    em_len = 128  # 1024-bit modulus, as in the paper
+    em = benchmark(pkcs1.encode, b"checksum payload", em_len)
+    # Micro-assert: the cached-prefix fast path must stay byte-identical
+    # to the naive RFC 8017 §9.2 construction.
+    t = pkcs1.digest_info_prefix("sha1") + get_algorithm("sha1").digest(
+        b"checksum payload"
+    )
+    naive = b"\x00\x01" + b"\xff" * (em_len - len(t) - 3) + b"\x00" + t
+    assert em == naive
+
+
+def test_merkle_batch_sign(benchmark, bench_key_bits):
+    keypair = generate_keypair(bench_key_bits, rng=random.Random(5))
+    scheme = MerkleBatchSignatureScheme(keypair.private)
+    leaf = benchmark(scheme.sign, b"checksum payload")
+    assert len(leaf) == 20
+    scheme.abort_batch()
+
+
+def test_merkle_batch_seal(benchmark, bench_key_bits):
+    keypair = generate_keypair(bench_key_bits, rng=random.Random(5))
+    scheme = MerkleBatchSignatureScheme(keypair.private)
+    flush_payloads = [f"checksum payload {i}".encode() for i in range(64)]
+
+    def seal_one_flush():
+        for payload in flush_payloads:
+            scheme.sign(payload)
+        return scheme.seal_batch()
+
+    proofs = benchmark(seal_one_flush)
+    assert len(proofs) == len(flush_payloads)
+
+
+def test_merkle_audit_paths(benchmark):
+    leaves = [batch_leaf(f"payload {i}".encode()) for i in range(64)]
+    paths = benchmark(batch_audit_paths, leaves)
+    assert len(paths) == len(leaves)
 
 
 def test_hmac_sign(benchmark):

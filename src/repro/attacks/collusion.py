@@ -44,7 +44,15 @@ def _resign(
     new_inputs,
     prev_checksums: Tuple[bytes, ...],
 ) -> ProvenanceRecord:
-    """A colluder rewrites and re-signs their own record."""
+    """A colluder rewrites and re-signs their own record.
+
+    The victim's batch proof (if any) is discarded and — for Merkle-batch
+    colluders — replaced with a freshly sealed one, because a re-signed
+    record must be exactly as self-consistent as a legitimately flushed
+    one (see :func:`repro.attacks.tampering.attacker_checksum`).
+    """
+    from repro.attacks.tampering import attacker_checksum
+
     forged = dataclasses.replace(
         record,
         seq_id=new_seq,
@@ -52,10 +60,12 @@ def _resign(
         output=dataclasses.replace(record.output),
         participant_id=colluder.participant_id,
         checksum=b"",
+        proof=None,
     )
-    return forged.with_checksum(
-        colluder.sign(payloads.record_payload(forged, prev_checksums))
+    checksum, proof = attacker_checksum(
+        colluder, payloads.record_payload(forged, prev_checksums)
     )
+    return forged.with_checksum(checksum).with_proof(proof)
 
 
 def remove_between(

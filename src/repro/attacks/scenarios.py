@@ -67,10 +67,19 @@ class AttackScenario:
         return tampered, report
 
 
-def build_world(key_bits: int = 512, seed: int = 0x5EC) -> AttackWorld:
-    """Create the shared attack world (small keys keep it fast)."""
+def build_world(
+    key_bits: int = 512,
+    seed: int = 0x5EC,
+    scheme: str = "rsa-pkcs1v15",
+) -> AttackWorld:
+    """Create the shared attack world (small keys keep it fast).
+
+    ``scheme`` selects the participants' signature scheme; every scenario
+    must produce the same verdict (and the same failure report) under
+    ``"rsa-pkcs1v15"`` and ``"merkle-batch"``.
+    """
     rng = random.Random(seed)
-    db = TamperEvidentDatabase(key_bits=key_bits, rng=rng)
+    db = TamperEvidentDatabase(key_bits=key_bits, rng=rng, signature_scheme=scheme)
     alice = db.enroll("alice")
     mallory = db.enroll("mallory")
     eve = db.enroll("eve")

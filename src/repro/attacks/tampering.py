@@ -22,6 +22,7 @@ from repro.provenance.records import ObjectState, Operation, ProvenanceRecord
 from repro.provenance.snapshot import SubtreeSnapshot
 
 __all__ = [
+    "attacker_checksum",
     "find_record",
     "replace_record",
     "modify_record_output",
@@ -32,6 +33,29 @@ __all__ = [
     "reassign_provenance",
     "forge_attribution",
 ]
+
+
+def attacker_checksum(attacker: Participant, payload: bytes):
+    """Sign ``payload`` the way the attacker's scheme legitimately would.
+
+    Returns ``(checksum, proof)``.  For per-record schemes the proof is
+    ``None``.  For the Merkle-batch scheme the attacker — who controls
+    their own signing stack — seals a fresh (typically single-leaf) batch
+    immediately, exactly as a real flush of one record would, so the
+    forged record carries a self-consistent inclusion proof.  Leaving a
+    victim's stale proof (or none) in place would make forgeries fail
+    *trivially* rather than exercising the chain checks the requirements
+    R1–R8 are about, and would spuriously flag the documented
+    ``tail-rewrite`` boundary case that per-record signing cannot detect.
+    """
+    scheme = attacker.scheme
+    seal = getattr(scheme, "seal_batch", None)
+    checksum = attacker.sign(payload)
+    if seal is None:
+        return checksum, None
+    proofs = seal()
+    # The last-signed leaf is ours even if unrelated leaves were pending.
+    return checksum, proofs[-1]
 
 
 def find_record(shipment: Shipment, object_id: str, seq_id: int) -> ProvenanceRecord:
@@ -154,9 +178,10 @@ def insert_forged_record(
         scheme=attacker.scheme.scheme_name,
         hash_algorithm=hash_algorithm,
     )
-    forged = forged.with_checksum(
-        attacker.sign(payloads.record_payload(forged, prevs))
+    checksum, proof = attacker_checksum(
+        attacker, payloads.record_payload(forged, prevs)
     )
+    forged = forged.with_checksum(checksum).with_proof(proof)
     records = tuple(shipment.records) + (forged,)
     return dataclasses.replace(shipment, records=records)
 

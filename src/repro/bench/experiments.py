@@ -42,6 +42,7 @@ from repro.core.system import TamperEvidentDatabase
 from repro.crypto.pki import Participant
 from repro.crypto.signatures import (
     HMACSignatureScheme,
+    MerkleBatchSignatureScheme,
     NullSignatureScheme,
     RSASignatureScheme,
 )
@@ -143,13 +144,20 @@ def bench_participant(
 ) -> Participant:
     """A participant with a chosen signature scheme (no certificate).
 
-    ``"rsa"`` matches the paper (1024-bit, 128-byte checksums); ``"hmac"``
-    and ``"null"`` isolate signing cost from hashing cost in ablations.
+    ``"rsa"`` matches the paper (1024-bit, 128-byte checksums);
+    ``"merkle-batch"`` signs one Merkle root per flush; ``"hmac"`` and
+    ``"null"`` isolate signing cost from hashing cost in ablations.
     """
-    if scheme == "rsa":
+    if scheme in ("rsa", "rsa-per-record"):
         keypair = generate_keypair(key_bits, rng=random.Random(seed))
         return Participant(
             participant_id, RSASignatureScheme(keypair.private, hash_algorithm)
+        )
+    if scheme == "merkle-batch":
+        keypair = generate_keypair(key_bits, rng=random.Random(seed))
+        return Participant(
+            participant_id,
+            MerkleBatchSignatureScheme(keypair.private, hash_algorithm),
         )
     if scheme == "hmac":
         return Participant(
@@ -804,6 +812,9 @@ def run_batch_throughput(
     verify_objects: int = 1_500,
     verify_updates: int = 3,
     key_bits: int = 512,
+    signing_batches: int = 8,
+    flush_size: int = 64,
+    signing_key_bits: int = 1024,
 ) -> ExperimentResult:
     """Records/sec: per-record vs batched append, serial vs parallel verify.
 
@@ -812,8 +823,15 @@ def run_batch_throughput(
     write path (JSON-decoding ``latest()``, DELETE journal, one commit
     per record), the current per-record :meth:`append` (chain-tail cache,
     WAL), and :meth:`append_many` in ``batch_size`` batches.  The verify
-    arms re-check a real signed multi-object world serially and with a
-    :class:`~repro.core.verifier.ParallelVerifier`.  Timings are
+    arms re-check a real signed multi-object world serially, with an
+    explicit-worker :class:`~repro.core.verifier.ParallelVerifier`, and
+    with the adaptive (``workers=None``) verifier, which must never lose
+    to serial.  The signing arms run the same ``signing_batches`` x
+    ``flush_size`` end-to-end workload under per-record RSA and under
+    Merkle-batch signing (one root signature per flush) at the paper's
+    ``signing_key_bits`` key size, plus a per-flush decomposition of
+    where the time goes (leaf hashing, audit-path construction, one RSA
+    root sign, ``flush_size`` RSA per-record signs).  Timings are
     best-of-``runs``; :attr:`ExperimentResult.metrics` carries the raw
     numbers for ``BENCH_throughput.json``.
     """
@@ -881,6 +899,7 @@ def run_batch_throughput(
     keystore = db.keystore()
     serial_verifier = Verifier(keystore)
     parallel_verifier = ParallelVerifier(keystore, workers=workers)
+    adaptive_verifier = ParallelVerifier(keystore)  # workers=None: adaptive
 
     serial_s = min(
         measure(lambda: serial_verifier.verify_records(verify_records), runs=runs).samples
@@ -888,9 +907,18 @@ def run_batch_throughput(
     parallel_s = min(
         measure(lambda: parallel_verifier.verify_records(verify_records), runs=runs).samples
     )
+    adaptive_s = min(
+        measure(lambda: adaptive_verifier.verify_records(verify_records), runs=runs).samples
+    )
     serial_report = serial_verifier.verify_records(verify_records)
     parallel_report = parallel_verifier.verify_records(verify_records)
+    adaptive_report = adaptive_verifier.verify_records(verify_records)
     identical = serial_report == parallel_report
+    adaptive_identical = serial_report == adaptive_report
+    verify_chains: Dict[str, List] = {}
+    for record in verify_records:
+        verify_chains.setdefault(record.object_id, []).append(record)
+    adaptive_parallel = adaptive_verifier._parallel_profitable(verify_chains)
 
     n_verify = len(verify_records)
     result.add(
@@ -905,6 +933,13 @@ def run_batch_throughput(
         f"{n_verify / parallel_s:.0f}",
         f"{serial_s / parallel_s:.2f}x",
     )
+    result.add(
+        "verify: adaptive "
+        + ("(chose parallel)" if adaptive_parallel else "(chose serial)"),
+        f"{adaptive_s:.3f} s",
+        f"{n_verify / adaptive_s:.0f}",
+        f"{serial_s / adaptive_s:.2f}x",
+    )
     cpu_count = os.cpu_count() or 1
     result.note(
         f"reports byte-identical: {identical}; host has {cpu_count} cpu(s) — "
@@ -913,6 +948,90 @@ def run_batch_throughput(
     result.note(
         "v0 path = JSON-decoding latest() + DELETE journal + commit/record "
         "(what the seed's append did); see EXPERIMENTS.md performance notes"
+    )
+
+    # ------------------------------------------------------------------
+    # signing: per-record RSA vs one Merkle root per flush
+    # ------------------------------------------------------------------
+    def signed_append(scheme: str) -> float:
+        """Best-of-``runs`` seconds for the end-to-end signed workload.
+
+        Each batch is one complex operation over ``flush_size`` flat
+        objects, so every flush stages exactly ``flush_size`` records —
+        per-record RSA signs each of them; Merkle-batch signs one root.
+        """
+        sdb = TamperEvidentDatabase(
+            key_bits=signing_key_bits,
+            rng=random.Random(99),
+            signature_scheme=scheme,
+        )
+        session = sdb.session(sdb.enroll("signer"))
+        with session.complex_operation():  # create objects untimed
+            for j in range(flush_size):
+                session.insert(f"s{j}", j)
+        best = float("inf")
+        for run_no in range(runs):
+            start = time.perf_counter()
+            for b in range(signing_batches):
+                with session.complex_operation():
+                    for j in range(flush_size):
+                        session.update(f"s{j}", run_no * 10_000 + b)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    signing_records = signing_batches * flush_size
+    rsa_sign_s = signed_append("rsa-pkcs1v15")
+    merkle_sign_s = signed_append("merkle-batch")
+    signing_speedup = rsa_sign_s / merkle_sign_s if merkle_sign_s else float("inf")
+    result.add(
+        "signed append: rsa per-record",
+        f"{rsa_sign_s:.3f} s",
+        f"{signing_records / rsa_sign_s:.0f}",
+        "1.0x",
+    )
+    result.add(
+        f"signed append: merkle-batch (flush={flush_size})",
+        f"{merkle_sign_s:.3f} s",
+        f"{signing_records / merkle_sign_s:.0f}",
+        f"{signing_speedup:.1f}x",
+    )
+
+    # Per-flush decomposition: where does one flush of ``flush_size``
+    # records spend its time under each scheme?
+    from repro.core.merkle import batch_audit_paths, batch_leaf
+
+    keypair = generate_keypair(signing_key_bits, rng=random.Random(7))
+    rsa_scheme = RSASignatureScheme(keypair.private)
+    flush_payloads = [f"payload-{i}".encode() * 8 for i in range(flush_size)]
+    flush_leaves = [batch_leaf(p) for p in flush_payloads]
+    decomp_runs = max(3, runs)
+    hash_s = min(
+        measure(lambda: [batch_leaf(p) for p in flush_payloads], runs=decomp_runs).samples
+    )
+    proofs_s = min(
+        measure(lambda: batch_audit_paths(flush_leaves), runs=decomp_runs).samples
+    )
+    root_sign_s = min(
+        measure(lambda: rsa_scheme.sign(flush_leaves[0]), runs=decomp_runs).samples
+    )
+    per_record_sign_s = min(
+        measure(
+            lambda: [rsa_scheme.sign(p) for p in flush_payloads], runs=decomp_runs
+        ).samples
+    )
+    for label, seconds in (
+        ("per flush: leaf hashing", hash_s),
+        ("per flush: merkle audit paths", proofs_s),
+        ("per flush: rsa root sign (x1)", root_sign_s),
+        (f"per flush: rsa per-record sign (x{flush_size})", per_record_sign_s),
+    ):
+        result.add(label, f"{seconds * 1e3:.3f} ms", "-", "-")
+    signing_guard_floor = 5.0
+    signing_ok = signing_speedup >= signing_guard_floor
+    result.note(
+        f"GUARD {'OK' if signing_ok else 'FAILED'}: merkle-batch signed "
+        f"append {signing_speedup:.1f}x vs per-record RSA "
+        f"(floor {signing_guard_floor:.0f}x, {signing_key_bits}-bit keys)"
     )
 
     result.metrics = {
@@ -941,6 +1060,31 @@ def run_batch_throughput(
             "parallel_s": parallel_s,
             "speedup": serial_s / parallel_s,
             "reports_identical": identical,
+            "adaptive_s": adaptive_s,
+            "adaptive_speedup": serial_s / adaptive_s,
+            "adaptive_chose_parallel": adaptive_parallel,
+            "adaptive_reports_identical": adaptive_identical,
+        },
+        "signing": {
+            "workload": {
+                "batches": signing_batches,
+                "flush_size": flush_size,
+                "records": signing_records,
+                "key_bits": signing_key_bits,
+                "runs": runs,
+            },
+            "rsa_per_record_s": rsa_sign_s,
+            "rsa_per_record_rps": signing_records / rsa_sign_s,
+            "merkle_batch_s": merkle_sign_s,
+            "merkle_batch_rps": signing_records / merkle_sign_s,
+            "speedup": signing_speedup,
+            "per_flush": {
+                "leaf_hash_s": hash_s,
+                "audit_paths_s": proofs_s,
+                "rsa_root_sign_s": root_sign_s,
+                "rsa_per_record_sign_s": per_record_sign_s,
+            },
+            "guard": {"floor": signing_guard_floor, "ok": signing_ok},
         },
     }
     return result

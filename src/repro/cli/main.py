@@ -169,6 +169,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--key-bits", type=int, default=512)
     p.add_argument("--workers", type=int, default=1,
                    help="verification workers (>1 exercises the parallel path)")
+    p.add_argument("--scheme", choices=("rsa", "rsa-per-record", "merkle-batch"),
+                   default="rsa",
+                   help="signature scheme (merkle-batch signs one Merkle "
+                        "root per flush instead of every record)")
     p.add_argument("--json", action="store_true", help="emit a JSON snapshot")
     p.add_argument("--prometheus", action="store_true",
                    help="emit Prometheus text exposition format")
@@ -212,6 +216,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1,
                    help="verification workers (>1 exercises the parallel path)")
     p.add_argument("--key-bits", type=int, default=512)
+    p.add_argument("--scheme", choices=("rsa", "rsa-per-record", "merkle-batch"),
+                   default="rsa",
+                   help="signature scheme the workload signs with")
     p.add_argument("--json", action="store_true", help="emit the full JSON report")
     p.add_argument("-o", "--output", default=None,
                    help="write the report to a file (default: stdout)")
@@ -258,6 +265,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="synthetic mode: updates per object")
     p.add_argument("--seed", type=int, default=42)
     p.add_argument("--key-bits", type=int, default=512)
+    p.add_argument("--scheme", choices=("rsa", "rsa-per-record", "merkle-batch"),
+                   default="rsa",
+                   help="synthetic mode: signature scheme of the workload")
     p.add_argument("--tamper", choices=("none", "R1", "R2"), default="none",
                    help="synthetic mode: tamper the store after a baseline "
                         "tick (R1 forges a tail checksum, R2 removes a "
@@ -278,6 +288,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=42)
     p.add_argument("--key-bits", type=int, default=512)
     p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--scheme", choices=("rsa", "rsa-per-record", "merkle-batch"),
+                   default="rsa",
+                   help="signature scheme of the synthetic workload")
     p.add_argument("--json", action="store_true", help="emit the trace as JSON")
 
     return parser
@@ -305,7 +318,11 @@ def _synthetic_workload(args):
     """
     from repro.core.system import TamperEvidentDatabase
 
-    db = TamperEvidentDatabase(key_bits=args.key_bits, seed=args.seed)
+    db = TamperEvidentDatabase(
+        key_bits=args.key_bits,
+        seed=args.seed,
+        signature_scheme=getattr(args, "scheme", "rsa"),
+    )
     participant = db.enroll("stats")
     session = db.session(participant)
     for i in range(args.objects):
@@ -371,6 +388,7 @@ def _cmd_chaos(args) -> int:
         tamper=args.tamper,
         workers=args.workers,
         key_bits=args.key_bits,
+        scheme=args.scheme,
     )
     report = run_chaos(config)
     inv = report["invariants"]
@@ -526,7 +544,11 @@ def _cmd_monitor(args) -> int:
         if args.synthetic:
             from repro.core.system import TamperEvidentDatabase
 
-            db = TamperEvidentDatabase(key_bits=args.key_bits, seed=args.seed)
+            db = TamperEvidentDatabase(
+                key_bits=args.key_bits,
+                seed=args.seed,
+                signature_scheme=getattr(args, "scheme", "rsa"),
+            )
             session = db.session(db.enroll("monitor"))
             for i in range(args.objects):
                 session.insert(f"obj{i}", i)

@@ -177,7 +177,7 @@ class ChecksumCollector:
                 kind="complex" if grouped else "primitive",
             ).inc()
 
-        self._begin_staging()
+        self._begin_staging(participant)
         try:
             for object_id in targets:
                 self._record_mutation(
@@ -256,7 +256,7 @@ class ChecksumCollector:
         """
         if OBS.enabled:
             OBS.registry.counter("collector.operations", kind="aggregate").inc()
-        self._begin_staging()
+        self._begin_staging(participant)
         try:
             return self._collect_aggregate(participant, event, ctx, note)
         except BaseException:
@@ -405,16 +405,46 @@ class ChecksumCollector:
             return staged
         return self.provenance_store.latest(object_id)
 
-    def _begin_staging(self) -> None:
+    def _begin_staging(self, participant: Participant) -> None:
         self._staged.clear()
         self._staged_latest.clear()
+        # Remembered so flush/abort can seal or drop the participant's
+        # pending batch-signature leaves alongside the staged records.
+        self._staging.participant = participant
 
     def _abort_staging(self) -> None:
         self._staged.clear()
         self._staged_latest.clear()
+        participant = getattr(self._staging, "participant", None)
+        abort = getattr(getattr(participant, "scheme", None), "abort_batch", None)
+        if abort is not None:
+            abort()
+
+    def _seal_staged(self) -> Tuple[ProvenanceRecord, ...]:
+        """Close the batch-signature envelope over the staged records.
+
+        Per-record schemes are a no-op.  A batch scheme (duck-typed on
+        ``seal_batch``) signed every staged record's payload into a
+        pending leaf in staging order, so its proofs zip positionally
+        onto the staged records.
+        """
+        records = tuple(self._staged)
+        participant = getattr(self._staging, "participant", None)
+        seal = getattr(getattr(participant, "scheme", None), "seal_batch", None)
+        if seal is None or not records:
+            return records
+        proofs = seal()
+        if len(proofs) != len(records):
+            raise ProvenanceError(
+                f"batch seal produced {len(proofs)} proofs for "
+                f"{len(records)} staged records"
+            )
+        return tuple(
+            record.with_proof(proof) for record, proof in zip(records, proofs)
+        )
 
     def _flush_staging(self) -> Tuple[ProvenanceRecord, ...]:
-        records = tuple(self._staged)
+        records = self._seal_staged()
         if OBS.enabled:
             reg = OBS.registry
             reg.counter("collector.records.flushed").inc(len(records))

@@ -171,9 +171,13 @@ def verify_extension(
                     record.seq_id,
                 )
         try:
+            from repro.crypto.signatures import record_signature_valid
+
             payload = payloads.record_payload(record, (prev_checksum,))
             key = verifier.keystore.verifier_for(record.participant_id)
-            if not key.verify(payload, record.checksum):
+            if not record_signature_valid(
+                key, record, payload, verifier._root_cache
+            ):
                 fail(
                     "R1",
                     f"checksum signature of {record.participant_id!r} does not verify",

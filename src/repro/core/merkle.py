@@ -41,6 +41,11 @@ __all__ = [
     "EconomicalHashing",
     "OperationHashContext",
     "StreamingDatabaseHasher",
+    "batch_leaf",
+    "batch_root",
+    "batch_audit_path",
+    "batch_audit_paths",
+    "resolve_batch_root",
 ]
 
 
@@ -432,6 +437,123 @@ def _affected_roots(
             seen.add(root)
             roots.append(root)
     return roots
+
+
+# ---------------------------------------------------------------------------
+# Flat batch Merkle trees (batch signatures, DESIGN.md §10)
+# ---------------------------------------------------------------------------
+#
+# Unlike the compound-object hashing above (which follows the data's tree
+# shape), these helpers build a binary Merkle tree over a *flat list* of
+# byte strings — the staged record payloads of one collector flush.  Leaf
+# and interior hashes are domain-separated (0x00 / 0x01 prefixes, as in
+# RFC 6962) so an interior node can never be presented as a leaf; an odd
+# node at any level is promoted unchanged, which together with the signed
+# leaf count fixes the tree shape completely.
+
+_BATCH_LEAF_PREFIX = b"\x00"
+_BATCH_NODE_PREFIX = b"\x01"
+
+
+def batch_leaf(data: bytes, algorithm: str = "sha1") -> bytes:
+    """Leaf digest ``h(0x00 || data)`` of one batch entry."""
+    return get_algorithm(algorithm).digest(_BATCH_LEAF_PREFIX + data)
+
+
+def _batch_levels(leaves: Sequence[bytes], algorithm: str) -> List[List[bytes]]:
+    """All tree levels, leaves first; the last level is ``[root]``."""
+    if not leaves:
+        raise ProvenanceError("cannot build a Merkle batch over zero leaves")
+    alg = get_algorithm(algorithm)
+    levels: List[List[bytes]] = [list(leaves)]
+    while len(levels[-1]) > 1:
+        prev = levels[-1]
+        nxt = [
+            alg.digest(_BATCH_NODE_PREFIX + prev[i] + prev[i + 1])
+            for i in range(0, len(prev) - 1, 2)
+        ]
+        if len(prev) % 2:
+            nxt.append(prev[-1])  # odd node promoted unchanged
+        levels.append(nxt)
+    return levels
+
+
+def batch_root(leaves: Sequence[bytes], algorithm: str = "sha1") -> bytes:
+    """Merkle root over ``leaves`` (a single leaf is its own root)."""
+    return _batch_levels(leaves, algorithm)[-1][0]
+
+
+def batch_audit_paths(
+    leaves: Sequence[bytes], algorithm: str = "sha1"
+) -> List[Tuple[bytes, ...]]:
+    """Audit path (sibling digests, leaf to root) for *every* leaf.
+
+    One tree construction serves the whole batch — this is what the
+    batch signer calls at flush time.
+    """
+    levels = _batch_levels(leaves, algorithm)
+    paths: List[Tuple[bytes, ...]] = []
+    for index in range(len(levels[0])):
+        path: List[bytes] = []
+        i = index
+        for level in levels[:-1]:
+            size = len(level)
+            if not (i == size - 1 and size % 2 == 1):
+                path.append(level[i ^ 1])
+            i //= 2
+        paths.append(tuple(path))
+    return paths
+
+
+def batch_audit_path(
+    leaves: Sequence[bytes], index: int, algorithm: str = "sha1"
+) -> Tuple[bytes, ...]:
+    """Audit path for one leaf (convenience wrapper for tests/tools)."""
+    if not 0 <= index < len(leaves):
+        raise ProvenanceError(f"leaf index {index} out of range")
+    return batch_audit_paths(leaves, algorithm)[index]
+
+
+def resolve_batch_root(
+    leaf: bytes,
+    index: int,
+    count: int,
+    path: Sequence[bytes],
+    algorithm: str = "sha1",
+) -> bytes:
+    """Fold an audit path back to the root it commits to.
+
+    The tree shape is derived purely from ``(index, count)``, so a proof
+    carrying a wrong count or a truncated/padded path fails structurally
+    rather than resolving to some other root.
+
+    Raises:
+        ProvenanceError: If ``index``/``count`` are out of range or the
+            path length does not match the tree shape.
+    """
+    if count < 1 or not 0 <= index < count:
+        raise ProvenanceError(
+            f"invalid batch position: index {index}, count {count}"
+        )
+    alg = get_algorithm(algorithm)
+    node = leaf
+    i, size = index, count
+    pos = 0
+    while size > 1:
+        if not (i == size - 1 and size % 2 == 1):
+            if pos >= len(path):
+                raise ProvenanceError("audit path too short for batch shape")
+            sibling = path[pos]
+            pos += 1
+            if i % 2 == 0:
+                node = alg.digest(_BATCH_NODE_PREFIX + node + sibling)
+            else:
+                node = alg.digest(_BATCH_NODE_PREFIX + sibling + node)
+        i //= 2
+        size = (size + 1) // 2
+    if pos != len(path):
+        raise ProvenanceError("audit path too long for batch shape")
+    return node
 
 
 # ---------------------------------------------------------------------------

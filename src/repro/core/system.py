@@ -71,6 +71,11 @@ class TamperEvidentDatabase:
         bootstrap_missing: Attest untracked pre-existing objects instead
             of failing when they are first modified.
         key_bits: Key size for participants enrolled via :meth:`enroll`.
+        signature_scheme: Scheme for participants enrolled via
+            :meth:`enroll` — ``"rsa-pkcs1v15"`` (default; aliases
+            ``"rsa"``, ``"rsa-per-record"``) signs every record, or
+            ``"merkle-batch"`` signs one Merkle root per flush and
+            attaches per-record inclusion proofs.
         rng: Random source for key generation (seed for reproducibility).
         seed: Convenience alternative to ``rng``: builds
             ``random.Random(seed)``.  The seed is recorded on the
@@ -90,6 +95,7 @@ class TamperEvidentDatabase:
         strict: bool = True,
         bootstrap_missing: bool = False,
         key_bits: int = 1024,
+        signature_scheme: str = "rsa-pkcs1v15",
         rng: Optional[random.Random] = None,
         seed: Optional[int] = None,
     ):
@@ -115,6 +121,9 @@ class TamperEvidentDatabase:
             bootstrap_missing=bootstrap_missing,
         )
         self._key_bits = key_bits
+        from repro.crypto.pki import resolve_scheme_name
+
+        self.signature_scheme = resolve_scheme_name(signature_scheme)
         self._rng = rng
 
     # ------------------------------------------------------------------
@@ -124,7 +133,11 @@ class TamperEvidentDatabase:
     def enroll(self, participant_id: str) -> Participant:
         """Enroll a new participant: generate keys, obtain a certificate."""
         return Participant.enroll(
-            participant_id, self.ca, key_bits=self._key_bits, rng=self._rng
+            participant_id,
+            self.ca,
+            key_bits=self._key_bits,
+            rng=self._rng,
+            scheme=self.signature_scheme,
         )
 
     def session(self, participant: Participant) -> "ParticipantSession":

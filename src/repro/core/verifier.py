@@ -25,6 +25,7 @@ from repro import obs
 from repro.core import checksum as payloads
 from repro.core.merkle import subtree_digest
 from repro.crypto.pki import KeyStore
+from repro.crypto.signatures import record_signature_valid
 from repro.exceptions import CertificateError, WorkerKilledError
 from repro.obs import OBS
 
@@ -190,6 +191,12 @@ class Verifier:
 
     def __init__(self, keystore: KeyStore):
         self.keystore = keystore
+        # Memoized Merkle-batch root verifications, keyed by
+        # (participant, epoch, count, root, signature): one RSA check per
+        # sealed batch instead of one per record.  Deterministic, so it
+        # cannot change any report — parallel workers simply each hold
+        # their own cache.
+        self._root_cache: Dict[tuple, bool] = {}
 
     # ------------------------------------------------------------------
 
@@ -570,7 +577,9 @@ class Verifier:
                 )
                 return
             tried_any = True
-            if verifier.verify(payload, record.checksum):
+            if record_signature_valid(
+                verifier, record, payload, self._root_cache
+            ):
                 return
         if tried_any:
             failures.add(
@@ -724,8 +733,13 @@ class ParallelVerifier(Verifier):
 
     Args:
         keystore: As for :class:`Verifier`.
-        workers: Process count (defaults to the CPU count).  ``1`` means
-            run serially in-process.
+        workers: Process count.  ``None`` (the default) is *adaptive*:
+            the pool is sized to the CPU count but only engaged when the
+            workload is large enough to amortize fork + pickle overhead
+            (otherwise the run silently stays serial — the report is
+            byte-identical either way).  An explicit integer always uses
+            exactly that many workers; ``1`` means run serially
+            in-process.
         faults: Optional :class:`~repro.faults.plan.FaultPlan`; its spec
             is shipped to every worker, which consults the
             ``verify.worker`` site keyed by chunk index.
@@ -733,6 +747,14 @@ class ParallelVerifier(Verifier):
 
     #: Below this many chains the pool costs more than it saves.
     MIN_PARALLEL_CHAINS = 2
+    #: Adaptive mode only: stay serial below this many total records —
+    #: fork + keystore/chain pickling costs tens of milliseconds, which a
+    #: small workload cannot win back.
+    MIN_PARALLEL_RECORDS = 2048
+    #: Adaptive mode only: chunk-size floor for autotuning.  Tiny chunks
+    #: maximize IPC round-trips per record; the tuner caps the chunk
+    #: count so each chunk carries at least this many records.
+    MIN_RECORDS_PER_CHUNK = 256
 
     def __init__(
         self,
@@ -743,13 +765,39 @@ class ParallelVerifier(Verifier):
         super().__init__(keystore)
         import os
 
+        #: True when the caller left worker selection to us.  Explicit
+        #: worker counts keep the historical fixed-fan-out behavior —
+        #: chaos tests that kill chunk N rely on the chunk layout being a
+        #: pure function of (workers, chain count).
+        self.adaptive = workers is None
         self.workers = max(1, int(workers if workers is not None else (os.cpu_count() or 1)))
         self.faults = faults
+
+    def _parallel_profitable(
+        self, chains: Dict[str, List[ProvenanceRecord]]
+    ) -> bool:
+        """Adaptive-mode gate: is the pool likely to beat serial?
+
+        Serial wins whenever there is only one CPU, fewer chains than
+        workers (idle workers still pay fork costs), or too few records
+        overall to amortize pool startup.  The decision affects only
+        wall-clock, never the report.
+        """
+        if self.workers <= 1:
+            return False
+        if len(chains) < self.workers:
+            return False
+        total_records = sum(len(chain) for chain in chains.values())
+        return total_records >= self.MIN_PARALLEL_RECORDS
 
     def _check_chains(
         self, chains: Dict[str, List[ProvenanceRecord]], failures: _Failures
     ) -> int:
         if self.workers <= 1 or len(chains) < self.MIN_PARALLEL_CHAINS:
+            return super()._check_chains(chains, failures)
+        if self.adaptive and not self._parallel_profitable(chains):
+            if OBS.enabled:
+                OBS.registry.counter("verify.adaptive.serial").inc()
             return super()._check_chains(chains, failures)
         try:
             chunk_results = self._run_pool(chains)
@@ -793,7 +841,7 @@ class ParallelVerifier(Verifier):
         import multiprocessing
 
         object_ids = sorted(chains)
-        chunks = self._chunk(object_ids)
+        chunks = self._chunk(object_ids, chains)
         fault_spec = self.faults.to_dict() if self.faults is not None else None
         try:
             mp_context = multiprocessing.get_context("fork")
@@ -823,10 +871,22 @@ class ParallelVerifier(Verifier):
                     results.append((index, chunk, None))
             return results
 
-    def _chunk(self, object_ids: List[str]) -> List[List[str]]:
+    def _chunk(
+        self,
+        object_ids: List[str],
+        chains: Optional[Dict[str, List[ProvenanceRecord]]] = None,
+    ) -> List[List[str]]:
         # A few chunks per worker smooths out skewed chain lengths while
         # keeping IPC traffic (one message per chunk) negligible.
         n_chunks = min(len(object_ids), self.workers * 4)
+        if self.adaptive and chains is not None:
+            # Autotune: never split so finely that chunks fall below the
+            # per-chunk record floor, but keep at least one chunk per
+            # worker when the chain count allows it.
+            total_records = sum(len(chains[oid]) for oid in object_ids)
+            by_records = max(1, total_records // self.MIN_RECORDS_PER_CHUNK)
+            floor = min(self.workers, len(object_ids))
+            n_chunks = max(min(n_chunks, by_records), floor)
         size, extra = divmod(len(object_ids), n_chunks)
         chunks: List[List[str]] = []
         start = 0

@@ -14,6 +14,8 @@ RFC 8017 Appendix B.1 notes.
 
 from __future__ import annotations
 
+from typing import Dict, Tuple
+
 from repro.crypto.hashing import get_algorithm
 from repro.exceptions import SignatureError, UnknownHashAlgorithm
 
@@ -48,6 +50,36 @@ def digest_info_prefix(algorithm: str) -> bytes:
         ) from None
 
 
+#: Everything before the digest is a pure function of (algorithm, em_len):
+#: ``0x00 0x01 || 0xFF..0xFF || 0x00 || DigestInfo``.  Sign and verify both
+#: build it on every call, so it is memoized here instead of re-concatenated
+#: (the DigestInfo prefix alone was previously re-joined per call).
+_EM_PREFIX_CACHE: Dict[Tuple[str, int], bytes] = {}
+
+
+def _em_prefix(algorithm: str, em_len: int) -> bytes:
+    """The cached constant head of ``EM`` for one (algorithm, modulus size).
+
+    Raises:
+        SignatureError: If the modulus is too small for the chosen hash
+            (``intended encoded message length too short`` per the RFC).
+    """
+    key = (algorithm.lower(), em_len)
+    prefix = _EM_PREFIX_CACHE.get(key)
+    if prefix is None:
+        info = digest_info_prefix(algorithm)
+        t_len = len(info) + get_algorithm(algorithm).digest_size
+        if em_len < t_len + MIN_PADDING_LEN + 3:
+            raise SignatureError(
+                f"modulus too small: need at least {t_len + MIN_PADDING_LEN + 3} "
+                f"bytes for {algorithm}, have {em_len}"
+            )
+        padding = b"\xff" * (em_len - t_len - 3)
+        prefix = b"\x00\x01" + padding + b"\x00" + info
+        _EM_PREFIX_CACHE[key] = prefix
+    return prefix
+
+
 def encode(message: bytes, em_len: int, algorithm: str = "sha1") -> bytes:
     """EMSA-PKCS1-v1_5-encode ``message`` into ``em_len`` bytes.
 
@@ -63,13 +95,4 @@ def encode(message: bytes, em_len: int, algorithm: str = "sha1") -> bytes:
         SignatureError: If the modulus is too small for the chosen hash
             (``intended encoded message length too short`` per the RFC).
     """
-    alg = get_algorithm(algorithm)
-    digest = alg.digest(message)
-    t = digest_info_prefix(algorithm) + digest
-    if em_len < len(t) + MIN_PADDING_LEN + 3:
-        raise SignatureError(
-            f"modulus too small: need at least {len(t) + MIN_PADDING_LEN + 3} "
-            f"bytes for {algorithm}, have {em_len}"
-        )
-    padding = b"\xff" * (em_len - len(t) - 3)
-    return b"\x00\x01" + padding + b"\x00" + t
+    return _em_prefix(algorithm, em_len) + get_algorithm(algorithm).digest(message)

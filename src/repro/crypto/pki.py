@@ -23,14 +23,47 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.crypto.keys import public_key_from_dict, public_key_to_dict
 from repro.crypto.rsa import RSAPublicKey, generate_keypair
 from repro.crypto.signatures import (
+    MERKLE_BATCH_SCHEME,
+    MerkleBatchSignatureScheme,
     MultiKeyVerifier,
     RSASignatureScheme,
     RSASignatureVerifier,
     SignatureScheme,
 )
-from repro.exceptions import CertificateError
+from repro.exceptions import CertificateError, CryptoError
 
-__all__ = ["Certificate", "CertificateAuthority", "KeyStore", "Participant"]
+__all__ = [
+    "Certificate",
+    "CertificateAuthority",
+    "KeyStore",
+    "Participant",
+    "resolve_scheme_name",
+]
+
+#: Accepted spellings of the two record signature schemes.  The chaos/CI
+#: matrix calls per-record RSA ``rsa-per-record``; records store the
+#: canonical ``rsa-pkcs1v15``.
+_SCHEME_ALIASES = {
+    "rsa": "rsa-pkcs1v15",
+    "rsa-pkcs1v15": "rsa-pkcs1v15",
+    "rsa-per-record": "rsa-pkcs1v15",
+    MERKLE_BATCH_SCHEME: MERKLE_BATCH_SCHEME,
+}
+
+
+def resolve_scheme_name(name: str) -> str:
+    """Canonical record-signature scheme name for any accepted alias.
+
+    Raises:
+        CryptoError: For unknown scheme names.
+    """
+    try:
+        return _SCHEME_ALIASES[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_SCHEME_ALIASES))
+        raise CryptoError(
+            f"unknown signature scheme {name!r}; known: {known}"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -251,6 +284,12 @@ class KeyStore:
         self._ca_name = ca_name
         self._ca_hash = ca_hash_algorithm
         self._certificates: Dict[str, List[Certificate]] = {}
+        # Memoized per-participant verifier handles: chain verification
+        # asks for the same participant once per record, and parallel
+        # workers resolve each handle once per worker process instead of
+        # rebuilding the verifier stack per record.  Invalidated on
+        # certificate addition so key rotation stays visible.
+        self._verifier_cache: Dict[str, MultiKeyVerifier] = {}
 
     @classmethod
     def trusting(cls, ca: CertificateAuthority) -> "KeyStore":
@@ -278,6 +317,7 @@ class KeyStore:
         if all(cert.serial != have.serial for have in existing):
             existing.append(cert)
             existing.sort(key=lambda c: c.serial)
+            self._verifier_cache.pop(cert.subject, None)
 
     def add_certificates(self, certs: Iterable[Certificate]) -> None:
         """Add several certificates; see :meth:`add_certificate`."""
@@ -301,17 +341,22 @@ class KeyStore:
         Raises:
             CertificateError: If no certificate is stored for the id.
         """
+        cached = self._verifier_cache.get(participant_id)
+        if cached is not None:
+            return cached
         certs = self._certificates.get(participant_id)
         if not certs:
             raise CertificateError(
                 f"no certificate for participant {participant_id!r}"
             )
-        return MultiKeyVerifier(
+        verifier = MultiKeyVerifier(
             tuple(
                 RSASignatureVerifier(cert.public_key, cert.hash_algorithm)
                 for cert in reversed(certs)  # newest first
             )
         )
+        self._verifier_cache[participant_id] = verifier
+        return verifier
 
 
 class Participant:
@@ -343,12 +388,26 @@ class Participant:
         key_bits: int = 1024,
         hash_algorithm: str = "sha1",
         rng: Optional[random.Random] = None,
+        scheme: str = "rsa-pkcs1v15",
     ) -> "Participant":
-        """Generate a key pair and obtain a certificate from ``ca``."""
+        """Generate a key pair and obtain a certificate from ``ca``.
+
+        ``scheme`` selects the record signature scheme (``"rsa"`` /
+        ``"rsa-pkcs1v15"`` / ``"rsa-per-record"`` or ``"merkle-batch"``).
+        Either way the certificate binds the same RSA public key — under
+        Merkle-batch it verifies batch *root* signatures instead of
+        per-record ones.
+        """
         keypair = generate_keypair(key_bits, rng=rng)
-        scheme = RSASignatureScheme(keypair.private, hash_algorithm)
+        canonical = resolve_scheme_name(scheme)
+        if canonical == MERKLE_BATCH_SCHEME:
+            signer: SignatureScheme = MerkleBatchSignatureScheme(
+                keypair.private, hash_algorithm
+            )
+        else:
+            signer = RSASignatureScheme(keypair.private, hash_algorithm)
         cert = ca.issue(participant_id, keypair.public)
-        return cls(participant_id, scheme, cert)
+        return cls(participant_id, signer, cert)
 
     def sign(self, message: bytes) -> bytes:
         """Sign ``message`` with this participant's secret key."""

@@ -1,0 +1,112 @@
+"""Batch-signature inclusion proofs.
+
+A :class:`BatchProof` is the per-record envelope the Merkle-batch
+signature scheme attaches at flush time: instead of one RSA signature per
+record, the signer builds a Merkle tree over the batch's record digests
+and signs only the root.  Each record then carries
+
+- the batch ``epoch`` (a per-signer batch counter),
+- its leaf ``index`` and the batch leaf ``count``,
+- the audit ``path`` (sibling digests, leaf to root), and
+- the RSA ``root_signature`` over the domain-tagged
+  ``(epoch, count, root)`` message.
+
+The proof is self-contained: a verifier holding the record's payload can
+recompute the leaf, fold the audit path to the root, and check the root
+signature against the signer's certified key — no other record of the
+batch is needed, which is what keeps torn-batch recovery and incremental
+verification unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.exceptions import ProvenanceError
+
+__all__ = ["BatchProof", "batch_root_message"]
+
+#: Domain tag for the signed root message — distinct from every payload
+#: tag in :mod:`repro.core.checksum`, so a root signature can never be
+#: confused with a per-record checksum signature (and vice versa).
+_ROOT_TAG = b"repro-merkle-batch-root-v1"
+
+
+def batch_root_message(epoch: int, count: int, root: bytes) -> bytes:
+    """The byte string the batch signer actually RSA-signs.
+
+    Binding ``epoch`` and ``count`` alongside the root pins the batch's
+    identity and shape: a root signature cannot be replayed for a batch
+    of a different size, and the leaf-vs-node domain separation in
+    :mod:`repro.core.merkle` prevents an interior node from being
+    presented as a leaf.
+    """
+    return b"|".join(
+        (_ROOT_TAG, str(int(epoch)).encode("ascii"), str(int(count)).encode("ascii"), root)
+    )
+
+
+@dataclass(frozen=True)
+class BatchProof:
+    """Inclusion proof tying one record to a signed batch root.
+
+    Attributes:
+        epoch: Monotonic per-signer batch counter (audit/debug identity;
+            soundness comes from the signed root, see DESIGN.md §10).
+        index: This record's leaf position within the batch.
+        count: Number of leaves in the batch.
+        path: Sibling digests from the leaf up to (not including) the
+            root, in folding order.
+        root_signature: RSA signature over
+            :func:`batch_root_message`\\ ``(epoch, count, root)``.
+    """
+
+    epoch: int
+    index: int
+    count: int
+    path: Tuple[bytes, ...]
+    root_signature: bytes
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ProvenanceError(f"batch proof count must be >= 1, got {self.count}")
+        if not 0 <= self.index < self.count:
+            raise ProvenanceError(
+                f"batch proof index {self.index} out of range for count {self.count}"
+            )
+
+    def storage_bytes(self) -> int:
+        """Stored size of the proof blob (epoch/index/count as 4-byte
+        ints, then the path digests and the root signature)."""
+        return 12 + sum(len(node) for node in self.path) + len(self.root_signature)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (embedded in the record's dict)."""
+        return {
+            "epoch": self.epoch,
+            "index": self.index,
+            "count": self.count,
+            "path": [node.hex() for node in self.path],
+            "root_signature": self.root_signature.hex(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "BatchProof":
+        """Inverse of :meth:`to_dict`.
+
+        Raises:
+            ProvenanceError: On malformed input.
+        """
+        try:
+            return cls(
+                epoch=int(data["epoch"]),
+                index=int(data["index"]),
+                count=int(data["count"]),
+                path=tuple(bytes.fromhex(node) for node in data["path"]),
+                root_signature=bytes.fromhex(data["root_signature"]),
+            )
+        except ProvenanceError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProvenanceError(f"malformed batch proof: {exc}") from exc

@@ -21,13 +21,15 @@ public material, mirroring what a data recipient actually holds.
 from __future__ import annotations
 
 import hmac
+import threading
 from time import perf_counter
-from typing import Protocol, runtime_checkable
+from typing import Optional, Protocol, Tuple, runtime_checkable
 
 from repro.crypto import pkcs1
 from repro.crypto.hashing import get_algorithm
+from repro.crypto.proofs import BatchProof, batch_root_message
 from repro.crypto.rsa import RSAPrivateKey, RSAPublicKey
-from repro.exceptions import CryptoError
+from repro.exceptions import CryptoError, ProvenanceError
 from repro.obs import OBS
 
 __all__ = [
@@ -38,7 +40,26 @@ __all__ = [
     "MultiKeyVerifier",
     "HMACSignatureScheme",
     "NullSignatureScheme",
+    "MerkleBatchSignatureScheme",
+    "MERKLE_BATCH_SCHEME",
+    "record_signature_valid",
 ]
+
+#: Registry name of the Merkle-batch scheme (stored in each record).
+MERKLE_BATCH_SCHEME = "merkle-batch"
+
+
+def _batch_merkle():
+    """Late-bound flat-tree helpers from :mod:`repro.core.merkle`.
+
+    The import is deferred to call time because ``repro.crypto.__init__``
+    eagerly imports this module while ``repro.core.__init__`` eagerly
+    imports ``repro.crypto.pki`` — a module-level import either way would
+    deadlock package initialisation.
+    """
+    from repro.core.merkle import batch_audit_paths, batch_leaf, batch_root, resolve_batch_root
+
+    return batch_leaf, batch_root, batch_audit_paths, resolve_batch_root
 
 
 @runtime_checkable
@@ -188,6 +209,215 @@ class RSASignatureScheme:
             f"RSASignatureScheme(key={self.public_key.fingerprint()}, "
             f"hash={self.hash_algorithm})"
         )
+
+
+class MerkleBatchSignatureScheme:
+    """Amortize RSA over a flush: sign one Merkle root per batch.
+
+    ``sign(payload)`` is cheap and deterministic — it returns the
+    domain-tagged *leaf digest* of the payload, which becomes the
+    record's stored checksum (successor records chain on it immediately,
+    exactly as they chain on per-record RSA checksums today).  The leaf
+    is buffered on a per-thread pending list; when the collector flushes
+    its staged batch it calls :meth:`seal_batch`, which builds one Merkle
+    tree over the pending leaves, RSA-signs the domain-tagged
+    ``(epoch, count, root)`` message with the participant's key, and
+    returns one :class:`~repro.crypto.proofs.BatchProof` per record, in
+    staging order.
+
+    Soundness (DESIGN.md §10): a record verifies iff (1) the leaf digest
+    of its payload equals its stored checksum **and** (2) the audit path
+    folds that checksum to a root whose signature verifies under the
+    participant's certified key.  Check (1) binds the payload, check (2)
+    binds the checksum to an RSA signature — dropping either re-admits
+    forgeries, so :func:`record_signature_valid` always applies both.
+
+    Thread safety mirrors the collector's staging: pending leaves are
+    thread-local (one batch per session thread), while the epoch counter
+    is shared under a lock so concurrent sessions never reuse an epoch.
+    """
+
+    scheme_name = MERKLE_BATCH_SCHEME
+
+    def __init__(self, private_key: RSAPrivateKey, hash_algorithm: str = "sha1"):
+        self._root_signer = RSASignatureScheme(private_key, hash_algorithm)
+        self.hash_algorithm = hash_algorithm
+        self._alg = get_algorithm(hash_algorithm)
+        self._local = threading.local()
+        self._epoch_lock = threading.Lock()
+        self._next_epoch = 0
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        """The public half, to be placed in the participant's certificate."""
+        return self._root_signer.public_key
+
+    @property
+    def signature_size(self) -> int:
+        """Per-record stored checksum size — one digest, not a modulus."""
+        return self._alg.digest_size
+
+    @property
+    def _pending(self) -> list:
+        pending = getattr(self._local, "pending", None)
+        if pending is None:
+            pending = self._local.pending = []
+        return pending
+
+    def pending_count(self) -> int:
+        """Leaves signed but not yet sealed on this thread."""
+        return len(self._pending)
+
+    def sign(self, message: bytes) -> bytes:
+        """Stage one leaf; returns the leaf digest (the record checksum)."""
+        batch_leaf, _, _, _ = _batch_merkle()
+        leaf = batch_leaf(message, self.hash_algorithm)
+        self._pending.append(leaf)
+        if OBS.enabled:
+            OBS.registry.counter("crypto.sign.count", scheme=self.scheme_name).inc()
+        return leaf
+
+    def seal_batch(self) -> Tuple[BatchProof, ...]:
+        """Close this thread's batch: sign the root, emit one proof per leaf.
+
+        Returns proofs in the order :meth:`sign` was called — the
+        collector zips them onto its staged records positionally.  An
+        empty pending list seals to an empty tuple (nothing was staged).
+        """
+        leaves = self._pending
+        if not leaves:
+            return ()
+        batch = list(leaves)
+        self._local.pending = []
+        with self._epoch_lock:
+            epoch = self._next_epoch
+            self._next_epoch += 1
+        start = perf_counter() if OBS.enabled else 0.0
+        _, batch_root, batch_audit_paths, _ = _batch_merkle()
+        root = batch_root(batch, self.hash_algorithm)
+        paths = batch_audit_paths(batch, self.hash_algorithm)
+        signature = self._root_signer.sign(
+            batch_root_message(epoch, len(batch), root)
+        )
+        if OBS.enabled:
+            OBS.registry.counter("crypto.batch_seal.count").inc()
+            OBS.registry.histogram("crypto.batch_seal.leaves").observe(len(batch))
+            OBS.registry.histogram("crypto.batch_seal.seconds").observe(
+                perf_counter() - start
+            )
+        return tuple(
+            BatchProof(
+                epoch=epoch,
+                index=index,
+                count=len(batch),
+                path=paths[index],
+                root_signature=signature,
+            )
+            for index in range(len(batch))
+        )
+
+    def abort_batch(self) -> int:
+        """Drop this thread's pending leaves (staging was aborted)."""
+        dropped = len(self._pending)
+        self._local.pending = []
+        return dropped
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Leaf-equality check only — NOT a cryptographic verification.
+
+        A bare ``(message, signature)`` pair cannot carry the inclusion
+        proof; full verification is :func:`record_signature_valid` (or
+        :meth:`verify_with_proof`), which also checks the signed root.
+        """
+        batch_leaf, _, _, _ = _batch_merkle()
+        return hmac.compare_digest(
+            batch_leaf(message, self.hash_algorithm), signature
+        )
+
+    def verify_with_proof(
+        self, message: bytes, checksum: bytes, proof: BatchProof
+    ) -> bool:
+        """Full check against the embedded public key (tests/tools)."""
+        return _batch_proof_valid(
+            self._root_signer.verifier(), message, checksum, proof,
+            self.hash_algorithm,
+        )
+
+    def verifier(self) -> RSASignatureVerifier:
+        """Public material needed to verify sealed batches: the RSA
+        verifier for root signatures (same key the certificate binds)."""
+        return self._root_signer.verifier()
+
+    def __repr__(self) -> str:
+        return (
+            f"MerkleBatchSignatureScheme(key={self.public_key.fingerprint()}, "
+            f"hash={self.hash_algorithm}, pending={self.pending_count()})"
+        )
+
+
+def _batch_proof_valid(
+    key,
+    payload: bytes,
+    checksum: bytes,
+    proof: BatchProof,
+    hash_algorithm: str,
+    root_cache: Optional[dict] = None,
+    participant_id: str = "",
+) -> bool:
+    """Both halves of the Merkle-batch check (see class docstring)."""
+    batch_leaf, _, _, resolve_batch_root = _batch_merkle()
+    try:
+        leaf = batch_leaf(payload, hash_algorithm)
+    except CryptoError:
+        return False
+    if not hmac.compare_digest(leaf, checksum):
+        return False
+    try:
+        root = resolve_batch_root(
+            checksum, proof.index, proof.count, proof.path, hash_algorithm
+        )
+    except (ProvenanceError, CryptoError):
+        return False
+    cache_key = (
+        participant_id, proof.epoch, proof.count, root, proof.root_signature,
+    )
+    if root_cache is not None:
+        cached = root_cache.get(cache_key)
+        if cached is not None:
+            return cached
+    ok = key.verify(
+        batch_root_message(proof.epoch, proof.count, root), proof.root_signature
+    )
+    if root_cache is not None:
+        root_cache[cache_key] = ok
+    return ok
+
+
+def record_signature_valid(
+    key, record, payload: bytes, root_cache: Optional[dict] = None
+) -> bool:
+    """Scheme-aware record checksum verification — the single dispatch
+    point shared by :class:`repro.core.verifier.Verifier` and
+    :func:`repro.core.incremental.verify_extension`.
+
+    For Merkle-batch records (scheme + attached proof) this checks leaf
+    equality plus the inclusion proof against the signed root; for
+    everything else it is exactly the per-record ``key.verify``.  A
+    merkle-batch record whose proof was stripped falls through to the
+    per-record path and fails there (a digest is never a valid RSA
+    signature), so proof removal is detected, not ignored.
+
+    ``root_cache`` (any mutable mapping) memoizes the RSA root check per
+    ``(participant, epoch, count, root, signature)`` — one modular
+    exponentiation per batch instead of per record.
+    """
+    proof = getattr(record, "proof", None)
+    if proof is not None and record.scheme == MERKLE_BATCH_SCHEME:
+        return _batch_proof_valid(
+            key, payload, record.checksum, proof, record.hash_algorithm,
+            root_cache=root_cache, participant_id=record.participant_id,
+        )
+    return key.verify(payload, record.checksum)
 
 
 class HMACSignatureScheme:

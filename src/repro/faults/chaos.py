@@ -51,6 +51,10 @@ class ChaosConfig:
     tamper: str = "R1"  # "none" skips the tamper phase
     workers: int = 1
     key_bits: int = 512
+    #: Signature scheme the workload's participants sign with
+    #: (``"rsa-per-record"`` or ``"merkle-batch"``); aliases resolve via
+    #: :func:`repro.crypto.pki.resolve_scheme_name`.
+    scheme: str = "rsa-per-record"
 
     def build_plan(self) -> FaultPlan:
         """The seeded fault schedule this config describes."""
@@ -207,7 +211,10 @@ def run_chaos(config: ChaosConfig) -> Dict[str, object]:
     inner = _make_store(config)
     faulty = FaultyStore(inner, plan)
     db = TamperEvidentDatabase(
-        provenance_store=faulty, seed=config.seed, key_bits=config.key_bits
+        provenance_store=faulty,
+        seed=config.seed,
+        key_bits=config.key_bits,
+        signature_scheme=config.scheme,
     )
     db.collector.faults = plan
     scanner = RecoveryScanner(faulty)

@@ -15,6 +15,7 @@ import enum
 from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
+from repro.crypto.proofs import BatchProof
 from repro.exceptions import ProvenanceError
 from repro.model.values import Value, decode_value, encode_value
 
@@ -111,6 +112,9 @@ class ProvenanceRecord:
             the scheme translates directly to white-box logging — the note
             is *part of the signed checksum payload*, so it is as
             tamper-evident as the values themselves.
+        proof: Batch-signature inclusion proof (Merkle-batch scheme
+            only): ties the checksum — there a leaf digest — to the
+            RSA-signed batch root.  ``None`` for per-record schemes.
     """
 
     object_id: str
@@ -124,6 +128,7 @@ class ProvenanceRecord:
     scheme: str = "rsa-pkcs1v15"
     hash_algorithm: str = "sha1"
     note: str = ""
+    proof: Optional[BatchProof] = None
 
     def __post_init__(self) -> None:
         if self.output.object_id != self.object_id:
@@ -153,15 +158,21 @@ class ProvenanceRecord:
         """Return a copy carrying ``checksum`` (used during generation)."""
         return replace(self, checksum=checksum)
 
+    def with_proof(self, proof: Optional[BatchProof]) -> "ProvenanceRecord":
+        """Return a copy carrying ``proof`` (attached at batch seal)."""
+        return replace(self, proof=proof)
+
     def storage_bytes(self) -> int:
         """Size of the paper's provenance-database row for this record.
 
         §5.1 stores ``(SeqID int, Participant int, Oid int, Checksum
         binary(128))`` per record: three 4-byte integers plus the
         signature.  This is the unit in which the space-overhead figures
-        (Fig 9/11) are reported.
+        (Fig 9/11) are reported.  Merkle-batch rows store a digest-sized
+        checksum plus the proof blob instead of a full RSA signature.
         """
-        return 12 + len(self.checksum)
+        proof_bytes = self.proof.storage_bytes() if self.proof is not None else 0
+        return 12 + len(self.checksum) + proof_bytes
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable form (used by shipments)."""
@@ -179,6 +190,8 @@ class ProvenanceRecord:
         }
         if self.note:
             out["note"] = self.note
+        if self.proof is not None:
+            out["proof"] = self.proof.to_dict()
         return out
 
     @classmethod
@@ -201,6 +214,11 @@ class ProvenanceRecord:
                 scheme=str(data.get("scheme", "rsa-pkcs1v15")),
                 hash_algorithm=str(data.get("hash_algorithm", "sha1")),
                 note=str(data.get("note", "")),
+                proof=(
+                    BatchProof.from_dict(data["proof"])
+                    if data.get("proof") is not None
+                    else None
+                ),
             )
         except ProvenanceError:
             raise

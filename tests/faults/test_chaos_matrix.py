@@ -1,4 +1,4 @@
-"""Conformance matrix: {memory, sqlite} × {serial, parallel} × R1–R8.
+"""Conformance matrix: {memory, sqlite} × {serial, parallel} × {scheme} × R1–R8.
 
 Each attack scenario from :mod:`repro.attacks.scenarios` is replayed
 against a world whose history crashed mid-write and was recovered.  The
@@ -8,6 +8,12 @@ exactly as in the fault-free world, with the same ``failure_tally()``.
 
 Both worlds are built from the same RNG seed, so their key material and
 records are identical; any report difference is recovery's fault.
+
+The scheme axis runs the whole matrix under per-record RSA signing and
+under Merkle-batch signing (one root signature per flush, per-record
+inclusion proofs).  A final cross-scheme check pins the tentpole
+guarantee: the *verification reports* for every tampered workload are
+byte-identical between the two schemes.
 """
 
 import random
@@ -23,9 +29,12 @@ from repro.faults.store import FaultyStore
 from repro.provenance.store import InMemoryProvenanceStore, SQLiteProvenanceStore
 
 WORKER_MODES = (1, 4)  # serial / parallel verifier
+SCHEMES = ("rsa-per-record", "merkle-batch")
 
 
-def build_crashed_world(store_factory, seed: int = 0x5EC) -> AttackWorld:
+def build_crashed_world(
+    store_factory, seed: int = 0x5EC, scheme: str = "rsa-per-record"
+) -> AttackWorld:
     """``build_world``'s history, except mallory's write crashes mid-batch
     and is retried after recovery.  Same RNG seed as the reference world,
     so the surviving records are identical."""
@@ -43,7 +52,10 @@ def build_crashed_world(store_factory, seed: int = 0x5EC) -> AttackWorld:
     inner = store_factory()
     rng = random.Random(seed)
     db = TamperEvidentDatabase(
-        provenance_store=FaultyStore(inner, plan), key_bits=512, rng=rng
+        provenance_store=FaultyStore(inner, plan),
+        key_bits=512,
+        rng=rng,
+        signature_scheme=scheme,
     )
     alice = db.enroll("alice")
     mallory = db.enroll("mallory")
@@ -75,40 +87,65 @@ def build_crashed_world(store_factory, seed: int = 0x5EC) -> AttackWorld:
 
 @pytest.fixture(scope="module")
 def worlds():
-    """(crashed world, fault-free reference) per store backend."""
-    return {
-        "memory": (build_crashed_world(InMemoryProvenanceStore), build_world()),
-        "sqlite": (build_crashed_world(SQLiteProvenanceStore), build_world()),
-    }
+    """(crashed world, fault-free reference) per (store backend, scheme)."""
+    out = {}
+    for scheme in SCHEMES:
+        out["memory", scheme] = (
+            build_crashed_world(InMemoryProvenanceStore, scheme=scheme),
+            build_world(scheme=scheme),
+        )
+        out["sqlite", scheme] = (
+            build_crashed_world(SQLiteProvenanceStore, scheme=scheme),
+            build_world(scheme=scheme),
+        )
+    return out
 
 
+def _comparable(record, scheme):
+    """A record's dict, minus fields a crash legitimately perturbs.
+
+    Merkle-batch epochs are monotone but not contiguous: the crashed
+    flush consumed an epoch whose batch was then rolled back, so the
+    recovered world's later epochs differ from the fault-free world's.
+    The checksums (deterministic leaf digests) and everything the
+    verifier reports still match exactly.
+    """
+    data = record.to_dict()
+    if scheme == "merkle-batch":
+        data.pop("proof", None)
+    return data
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
 @pytest.mark.parametrize("store_kind", ("memory", "sqlite"))
-def test_recovered_history_matches_reference(worlds, store_kind):
+def test_recovered_history_matches_reference(worlds, store_kind, scheme):
     """Before any attack: the recovered store's records are identical to
     the fault-free world's (same seed, same keys, same chains)."""
-    crashed, reference = worlds[store_kind]
-    assert [r.to_dict() for r in crashed.shipment.records] == [
-        r.to_dict() for r in reference.shipment.records
+    crashed, reference = worlds[store_kind, scheme]
+    assert [_comparable(r, scheme) for r in crashed.shipment.records] == [
+        _comparable(r, scheme) for r in reference.shipment.records
     ]
 
 
+@pytest.mark.parametrize("scheme", SCHEMES)
 @pytest.mark.parametrize("workers", WORKER_MODES, ids=("serial", "parallel"))
 @pytest.mark.parametrize("store_kind", ("memory", "sqlite"))
-def test_clean_recovered_world_verifies(worlds, store_kind, workers):
-    crashed, _ = worlds[store_kind]
+def test_clean_recovered_world_verifies(worlds, store_kind, workers, scheme):
+    crashed, _ = worlds[store_kind, scheme]
     report = crashed.shipment.verify_with_ca(
         crashed.db.ca.public_key, crashed.db.ca.name, workers=workers
     )
     assert report.ok, report.summary()
 
 
+@pytest.mark.parametrize("scheme", SCHEMES)
 @pytest.mark.parametrize("workers", WORKER_MODES, ids=("serial", "parallel"))
 @pytest.mark.parametrize("scenario", all_scenarios(), ids=lambda s: s.name)
 @pytest.mark.parametrize("store_kind", ("memory", "sqlite"))
 def test_attack_detection_survives_crash_recovery(
-    worlds, store_kind, scenario, workers
+    worlds, store_kind, scenario, workers, scheme
 ):
-    crashed, reference = worlds[store_kind]
+    crashed, reference = worlds[store_kind, scheme]
     tampered = scenario.run(crashed)
     report = tampered.verify_with_ca(
         crashed.db.ca.public_key, crashed.db.ca.name, workers=workers
@@ -125,3 +162,26 @@ def test_attack_detection_survives_crash_recovery(
     assert report.failure_tally() == ref_report.failure_tally()
     if scenario.expect_detected:
         assert report.failure_tally(), scenario.name
+
+
+@pytest.mark.parametrize("workers", WORKER_MODES, ids=("serial", "parallel"))
+@pytest.mark.parametrize("scenario", all_scenarios(), ids=lambda s: s.name)
+@pytest.mark.parametrize("store_kind", ("memory", "sqlite"))
+def test_reports_byte_identical_across_schemes(worlds, store_kind, scenario, workers):
+    """The tentpole contract: for every attack, the verification report
+    under Merkle-batch signing is byte-identical to per-record RSA —
+    same failures, same ordering, same messages, same counts — for every
+    store backend and verifier mode.  The crashed-and-recovered worlds
+    are used, so the identity holds even across non-contiguous epochs."""
+    rsa_world, _ = worlds[store_kind, "rsa-per-record"]
+    mb_world, _ = worlds[store_kind, "merkle-batch"]
+    rsa_report = scenario.run(rsa_world).verify_with_ca(
+        rsa_world.db.ca.public_key, rsa_world.db.ca.name, workers=workers
+    )
+    mb_report = scenario.run(mb_world).verify_with_ca(
+        mb_world.db.ca.public_key, mb_world.db.ca.name, workers=workers
+    )
+    assert rsa_report.failures == mb_report.failures
+    assert rsa_report.ok == mb_report.ok
+    assert rsa_report.records_checked == mb_report.records_checked
+    assert rsa_report.objects_checked == mb_report.objects_checked

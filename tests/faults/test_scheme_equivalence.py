@@ -1,0 +1,187 @@
+"""Property tests: Merkle-batch detection ≡ per-record RSA detection.
+
+Hypothesis drives randomized tamper sites through both signature
+schemes and asserts the *verification reports* are byte-identical —
+the tentpole contract of the batch-signature scheme.  A second family
+mutates the inclusion proof itself (path, signature, epoch, index,
+or stripping it entirely) and asserts the record fails R1 at exactly
+the tampered site, the way a bad per-record signature would.  A third
+family tears a flush at a hypothesis-chosen keep point and checks that
+crash-recovery behaves identically under both schemes.
+"""
+
+import dataclasses
+import functools
+import random
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import tampering
+from repro.core.system import TamperEvidentDatabase
+from repro.exceptions import CrashError
+from repro.faults.plan import FaultKind, FaultPlan, FaultRule
+from repro.faults.recovery import RecoveryScanner
+from repro.faults.store import FaultyStore
+from repro.provenance.store import InMemoryProvenanceStore
+
+SCHEMES = ("rsa-per-record", "merkle-batch")
+N_OBJECTS = 4  # each flush stages one record per object => 4-leaf batches
+
+
+@functools.lru_cache(maxsize=None)
+def base_world(scheme):
+    """A small world whose flushes are real multi-record batches.
+
+    Three complex operations over ``N_OBJECTS`` flat objects: every
+    object's chain has seq 0..2, and under Merkle-batch every record
+    carries a 4-leaf inclusion proof (non-trivial audit path).
+    """
+    rng = random.Random(0xBEE)
+    db = TamperEvidentDatabase(key_bits=512, rng=rng, signature_scheme=scheme)
+    alice = db.enroll("alice")
+    mallory = db.enroll("mallory")
+    a, m = db.session(alice), db.session(mallory)
+    with a.complex_operation():
+        for i in range(N_OBJECTS):
+            a.insert(f"obj{i}", i)
+    with m.complex_operation():
+        for i in range(N_OBJECTS):
+            m.update(f"obj{i}", i + 10)
+    with a.complex_operation():
+        for i in range(N_OBJECTS):
+            a.update(f"obj{i}", i + 20)
+    return db, alice, mallory
+
+
+def _flip(data: bytes, offset: int = 0) -> bytes:
+    index = offset % len(data)
+    return data[:index] + bytes([data[index] ^ 0xFF]) + data[index + 1 :]
+
+
+@given(
+    obj=st.integers(0, N_OBJECTS - 1),
+    seq=st.integers(0, 2),
+    mode=st.sampled_from(("output", "input", "remove", "forge", "attribution")),
+)
+@settings(max_examples=25, deadline=None)
+def test_tampered_reports_identical_across_schemes(obj, seq, mode):
+    """Whatever the tamper site, both schemes report the same failures."""
+    assume(not (mode == "input" and seq == 0))  # inserts have no inputs
+    object_id = f"obj{obj}"
+    reports = []
+    for scheme in SCHEMES:
+        db, alice, mallory = base_world(scheme)
+        shipment = db.ship(object_id)
+        if mode == "output":
+            tampered = tampering.modify_record_output(shipment, object_id, seq, 7777)
+        elif mode == "input":
+            tampered = tampering.modify_record_input(shipment, object_id, seq, 7777)
+        elif mode == "remove":
+            tampered = tampering.remove_record(shipment, object_id, seq)
+        elif mode == "forge":
+            tampered = tampering.insert_forged_record(
+                shipment, mallory, object_id, seq, 4242
+            )
+        else:
+            tampered = tampering.forge_attribution(shipment, object_id, seq, "alice")
+        reports.append(tampered.verify(db.keystore()))
+    rsa_report, mb_report = reports
+    assert rsa_report.failures == mb_report.failures
+    assert rsa_report.ok == mb_report.ok
+    assert rsa_report.records_checked == mb_report.records_checked
+
+
+@given(
+    obj=st.integers(0, N_OBJECTS - 1),
+    seq=st.integers(0, 2),
+    mutation=st.sampled_from(
+        ("strip", "path", "signature", "epoch", "index", "count")
+    ),
+    offset=st.integers(0, 63),
+)
+@settings(max_examples=25, deadline=None)
+def test_proof_mutation_fails_r1_at_the_tampered_site(obj, seq, mutation, offset):
+    """Breaking any part of the inclusion proof fails exactly where a bad
+    per-record signature fails: one R1 at the mutated record."""
+    object_id = f"obj{obj}"
+    db, _, _ = base_world("merkle-batch")
+    shipment = db.ship(object_id)
+    victim = tampering.find_record(shipment, object_id, seq)
+    proof = victim.proof
+    assert proof is not None and len(proof.path) == 2  # 4-leaf batches
+    if mutation == "strip":
+        mutated = None
+    elif mutation == "path":
+        new_path = (_flip(proof.path[0], offset),) + proof.path[1:]
+        mutated = dataclasses.replace(proof, path=new_path)
+    elif mutation == "signature":
+        mutated = dataclasses.replace(
+            proof, root_signature=_flip(proof.root_signature, offset)
+        )
+    elif mutation == "epoch":
+        mutated = dataclasses.replace(proof, epoch=proof.epoch + 1)
+    elif mutation == "index":
+        mutated = dataclasses.replace(proof, index=(proof.index + 1) % proof.count)
+    else:  # count: the signed tree shape no longer matches the path
+        mutated = dataclasses.replace(proof, count=proof.count + 1)
+    tampered = tampering.replace_record(shipment, victim, victim.with_proof(mutated))
+    report = tampered.verify(db.keystore())
+    assert not report.ok
+    assert len(report.failures) == 1
+    failure = report.failures[0]
+    assert failure.requirement == "R1"
+    assert failure.object_id == object_id
+    assert failure.seq_id == seq
+
+
+@given(keep=st.integers(0, N_OBJECTS - 1), tamper_obj=st.integers(0, N_OBJECTS - 1))
+@settings(max_examples=8, deadline=None)
+def test_torn_batch_recovery_equivalent(keep, tamper_obj):
+    """A flush torn at any keep point recovers identically under both
+    schemes: the retried history verifies clean, and a post-recovery
+    tamper produces byte-identical reports."""
+    reports = []
+    for scheme in SCHEMES:
+        plan = FaultPlan(
+            seed=0,
+            rules=(
+                FaultRule(
+                    "store.append_many",
+                    FaultKind.TORN,
+                    indices=frozenset({1}),
+                    torn_keep=keep,
+                ),
+            ),
+        )
+        inner = InMemoryProvenanceStore()
+        db = TamperEvidentDatabase(
+            provenance_store=FaultyStore(inner, plan),
+            key_bits=512,
+            rng=random.Random(0xFA11),
+            signature_scheme=scheme,
+        )
+        session = db.session(db.enroll("writer"))
+        with session.complex_operation():            # flush 0: intact
+            for i in range(N_OBJECTS):
+                session.insert(f"o{i}", i)
+        with pytest.raises(CrashError):
+            with session.complex_operation():        # flush 1: torn at `keep`
+                for i in range(N_OBJECTS):
+                    session.update(f"o{i}", i + 10)
+        RecoveryScanner(inner).recover()  # keep=0 tears off the whole batch
+        assert RecoveryScanner(inner).recover().clean
+        with session.complex_operation():            # the retried flush
+            for i in range(N_OBJECTS):
+                session.update(f"o{i}", i + 10)
+        clean = db.verify(f"o{tamper_obj}")
+        assert clean.ok, f"{scheme}: {clean.summary()}"
+        shipment = db.ship(f"o{tamper_obj}")
+        tampered = tampering.modify_record_output(
+            shipment, f"o{tamper_obj}", 1, 31337
+        )
+        reports.append(tampered.verify(db.keystore()))
+    rsa_report, mb_report = reports
+    assert rsa_report.failures == mb_report.failures
+    assert not rsa_report.ok and not mb_report.ok
