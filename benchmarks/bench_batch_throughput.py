@@ -33,6 +33,7 @@ import os
 import sys
 
 from repro.bench.experiments import run_batch_throughput
+from repro.bench.history import with_meta
 
 #: Adaptive verify may lose this much to serial before the guard trips —
 #: pure timer noise on a workload this size.
@@ -127,7 +128,7 @@ def main(argv=None) -> int:
     print(result.render())
     if args.json != "-":
         with open(args.json, "w") as fh:
-            json.dump(result.metrics, fh, indent=2)
+            json.dump(with_meta(result.metrics), fh, indent=2)
         print(f"\nmetrics written to {args.json}")
     if args.guard:
         failed = check_guards(result.metrics, enforce_verify=(os.cpu_count() or 1) > 1)

@@ -22,6 +22,7 @@ import json
 import sys
 
 from repro.bench.experiments import run_monitor_bench
+from repro.bench.history import with_meta
 
 
 def main(argv=None) -> int:
@@ -67,7 +68,7 @@ def main(argv=None) -> int:
     print(result.render())
     if args.json != "-":
         with open(args.json, "w") as fh:
-            json.dump(result.metrics, fh, indent=2)
+            json.dump(with_meta(result.metrics), fh, indent=2)
         print(f"\nmetrics written to {args.json}")
     if not result.metrics["guard"]["ok"]:
         print("error: monitor benchmark guard FAILED", file=sys.stderr)

@@ -7,9 +7,11 @@ Usage::
                                             [--json PATH] [--quick]
 
 Runs the hottest write path (batched SQLite appends) and a serial chain
-verification with observability off and on.  The disabled-mode cost
-versus a hypothetical uninstrumented build is bounded from above (sites
-fired x measured per-check cost / wall time) and **guarded at <= 2%** —
+verification with observability off, with metrics on, and with the
+phase profiler on.  The disabled-mode cost versus a hypothetical
+uninstrumented build is bounded from above (metric sites fired plus
+profiler phases entered, x measured per-check cost / wall time) and
+**guarded at <= 2%** —
 the process exits non-zero when the guard fails, so CI catches an
 instrumentation regression that creeps into the disabled path.  Metrics
 are dumped to ``BENCH_obs_overhead.json`` for the trajectory record.
@@ -22,6 +24,7 @@ import json
 import sys
 
 from repro.bench.experiments import run_obs_overhead
+from repro.bench.history import with_meta
 
 
 def main(argv=None) -> int:
@@ -64,7 +67,7 @@ def main(argv=None) -> int:
     print(result.render())
     if args.json != "-":
         with open(args.json, "w") as fh:
-            json.dump(result.metrics, fh, indent=2)
+            json.dump(with_meta(result.metrics), fh, indent=2)
         print(f"\nmetrics written to {args.json}")
     if not result.metrics["guard"]["ok"]:
         print("error: disabled-mode overhead guard FAILED", file=sys.stderr)

@@ -17,6 +17,14 @@ import json
 import sys
 import time
 
+from repro.bench.history import (
+    append_entry,
+    collect_meta,
+    flatten_metrics,
+    make_entry,
+    with_meta,
+    workload_fingerprint,
+)
 from repro.bench.experiments import (
     run_ablation_chaining,
     run_ablation_grouping,
@@ -49,6 +57,11 @@ def main(argv=None) -> int:
                         help="where the batch-throughput metrics are written "
                              "(default BENCH_throughput.json, or skipped under "
                              "--quick; '-' to skip)")
+    parser.add_argument("--history", default=None,
+                        help="append a structured entry (git SHA, timestamp, "
+                             "workload fingerprint, all guard metrics) to "
+                             "this JSONL file (default BENCH_HISTORY.jsonl, "
+                             "or skipped under --quick; '-' to skip)")
     parser.add_argument("--stats", action="store_true",
                         help="run the figure workloads with observability on "
                              "and print the collected metrics breakdown")
@@ -64,6 +77,10 @@ def main(argv=None) -> int:
     if args.throughput_json is None:
         # Quick smoke runs must not clobber the committed full-scale numbers.
         args.throughput_json = "-" if args.quick else "BENCH_throughput.json"
+    if args.history is None:
+        # Quick runs use non-comparable workload sizes; keep them out of
+        # the trajectory.
+        args.history = "-" if args.quick else "BENCH_HISTORY.jsonl"
 
     if args.stats:
         # Observe the whole run: every figure workload below reports into
@@ -99,7 +116,7 @@ def main(argv=None) -> int:
     print(throughput.render(), "\n")
     if args.throughput_json != "-":
         with open(args.throughput_json, "w") as fh:
-            json.dump(throughput.metrics, fh, indent=2)
+            json.dump(with_meta(throughput.metrics), fh, indent=2)
         print(f"throughput metrics written to {args.throughput_json}\n")
 
     print(run_streaming(rows=args.stream_rows).render(), "\n")
@@ -134,6 +151,30 @@ def main(argv=None) -> int:
     print(monitor.render(), "\n")
 
     print(f"total wall time: {time.perf_counter() - started:.1f} s")
+
+    if args.history != "-":
+        # One flat entry per full run: every guard metric of the three
+        # guarded benchmarks, keyed to the workload's parameters so only
+        # same-shape runs are ever compared.
+        params = {
+            "workload": "run_all-v1",
+            "scale": args.scale,
+            "runs": args.runs,
+            "key_bits": args.key_bits,
+            "throughput_records": throughput_records,
+            "throughput_objects": throughput_objects,
+            "workers": args.workers,
+        }
+        flat = {}
+        flat.update(flatten_metrics(throughput.metrics, prefix="throughput."))
+        flat.update(flatten_metrics(overhead.metrics, prefix="obs."))
+        flat.update(flatten_metrics(monitor.metrics, prefix="monitor."))
+        entry = make_entry(
+            "full", workload_fingerprint(params), flat, meta=collect_meta()
+        )
+        append_entry(args.history, entry)
+        print(f"history entry appended to {args.history}")
+
     failed = False
     if not overhead.metrics["guard"]["ok"]:
         print("error: disabled-mode overhead guard FAILED", file=sys.stderr)

@@ -39,7 +39,9 @@ from repro.provenance.dag import ProvenanceDAG
 from repro.provenance.records import ObjectState, Operation, ProvenanceRecord
 from repro.provenance.snapshot import SubtreeSnapshot
 
-__version__ = "1.0.0"
+#: Single source of truth for the package version — ``pyproject.toml``
+#: reads it via ``[tool.setuptools.dynamic]``, the CLI via ``--version``.
+__version__ = "1.1.0"
 
 __all__ = [
     "TamperEvidentDatabase",

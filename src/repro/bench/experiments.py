@@ -1141,8 +1141,11 @@ def run_obs_overhead(
     per metric accessor hit, a strict overestimate of the disabled-mode
     branch checks on the same path), multiply by the measured cost of one
     ``if OBS.enabled`` check, and divide by the disabled-run wall time.
-    The guard fails the benchmark when that bound exceeds
-    ``max_disabled_overhead`` (default 2%).
+    A third arm runs each workload with the phase profiler attached
+    (metrics off): its call count bounds the profiler's disabled-mode
+    ``OBS.profiler is None`` checks the same way, and the guarded bound
+    is the *sum* of both layers' bounds.  The guard fails the benchmark
+    when that bound exceeds ``max_disabled_overhead`` (default 2%).
     """
     import os
     import tempfile
@@ -1154,7 +1157,8 @@ def run_obs_overhead(
     result = ExperimentResult(
         "obs-overhead",
         f"Observability overhead ({n_records} records, best of {runs})",
-        ("workload", "obs off", "obs on", "enabled delta", "disabled bound"),
+        ("workload", "obs off", "obs on", "profile on", "enabled delta",
+         "disabled bound"),
     )
 
     records = _fig8_style_records(n_records)
@@ -1186,19 +1190,36 @@ def run_obs_overhead(
         calls = obs.OBS.registry.calls / max(1, runs)
         obs.disable(reset=True)
 
-        disabled_bound = (calls * check_s) / off_s if off_s else 0.0
+        # Profiler arm: metrics off, phase profiler on.  The call count
+        # is exactly how many `OBS.profiler is None` checks the disabled
+        # path performs on the same workload, so it bounds the profiler's
+        # disabled-mode cost the same way `registry.calls` bounds the
+        # metrics layer's.
+        prof = obs.enable_profile(reset=True)
+        prof_on_s = min(measure(workload, runs=runs).samples)
+        profile_calls = prof.total_calls() / max(1, runs)
+        obs.disable_profile()
+
+        metrics_bound = (calls * check_s) / off_s if off_s else 0.0
+        profiler_bound = (profile_calls * check_s) / off_s if off_s else 0.0
+        disabled_bound = metrics_bound + profiler_bound
         enabled_delta = (on_s - off_s) / off_s if off_s else 0.0
         arms[name] = {
             "off_s": off_s,
             "on_s": on_s,
+            "profile_on_s": prof_on_s,
             "enabled_delta": enabled_delta,
             "registry_calls": calls,
+            "profile_calls": profile_calls,
+            "metrics_disabled_bound": metrics_bound,
+            "profiler_disabled_bound": profiler_bound,
             "disabled_overhead_bound": disabled_bound,
         }
         result.add(
             name,
             f"{off_s:.3f} s",
             f"{on_s:.3f} s",
+            f"{prof_on_s:.3f} s",
             f"{enabled_delta * 100:+.1f}%",
             f"{disabled_bound * 100:.4f}%",
         )
@@ -1207,8 +1228,9 @@ def run_obs_overhead(
     guard_ok = worst_bound <= max_disabled_overhead
     result.note(
         f"one disabled check costs ~{check_s * 1e9:.1f} ns; the disabled "
-        "bound assumes every metric-accessor hit were a branch check on "
-        "the disabled path (a strict overestimate)"
+        "bound assumes every metric-accessor hit and every profiler phase "
+        "entry were a branch check on the disabled path (a strict "
+        "overestimate)"
     )
     result.note(
         f"GUARD {'OK' if guard_ok else 'FAILED'}: worst disabled-mode bound "

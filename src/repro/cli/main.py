@@ -51,15 +51,22 @@ def parse_value(text: Optional[str]) -> Value:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Tamper-evident database provenance (Zhang/Chapman/LeFevre 2009).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}",
     )
     parser.add_argument(
         "-w", "--workspace", default=".", metavar="DIR",
         help="workspace directory (default: current directory)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("version", help="print the package version")
 
     p = sub.add_parser("init", help="create a new workspace")
     p.add_argument("--path", default=None, help="directory (default: --workspace)")
@@ -274,6 +281,58 @@ def build_parser() -> argparse.ArgumentParser:
                         "verified tail record)")
     p.add_argument("-o", "--output", default=None,
                    help="write the --once snapshot to a file (default: stdout)")
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark history: record, report, compare, regression gate",
+        description=(
+            "Works against a BENCH_HISTORY.jsonl trajectory of benchmark "
+            "entries (one JSON object per line, each attributed with git "
+            "SHA, timestamp, host, and a workload fingerprint). `record` "
+            "runs the small fixed-seed gate workload and appends an entry; "
+            "`report` tabulates recent entries; `compare` diffs two "
+            "entries by git SHA; `gate` re-runs the gate workload and "
+            "exits non-zero when a gated per-record metric regresses "
+            "beyond --tolerance against the median of the last --baseline "
+            "comparable entries. No workspace needed."
+        ),
+    )
+    p.add_argument("--history", default="BENCH_HISTORY.jsonl", metavar="PATH",
+                   help="history file (default: BENCH_HISTORY.jsonl)")
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+
+    bp = bench_sub.add_parser(
+        "record", help="run the gate workload and append a history entry"
+    )
+    bp.add_argument("--profile-out", default=None, metavar="PATH",
+                    help="also write the phase-attribution profile as JSON")
+
+    bp = bench_sub.add_parser("report", help="tabulate recent history entries")
+    bp.add_argument("--last", type=int, default=10,
+                    help="entries to show (default: 10)")
+    bp.add_argument("--kind", choices=("gate", "full", "all"), default="all",
+                    help="restrict to one entry kind")
+
+    bp = bench_sub.add_parser("compare", help="diff two entries by git SHA")
+    bp.add_argument("sha_a", help="baseline git SHA (prefix ok)")
+    bp.add_argument("sha_b", help="candidate git SHA (prefix ok)")
+
+    bp = bench_sub.add_parser(
+        "gate", help="run the gate workload; exit 1 on regression"
+    )
+    bp.add_argument("--baseline", type=int, default=5,
+                    help="history entries to take the median over (default: 5)")
+    bp.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed relative slowdown (default: 0.10)")
+    bp.add_argument("--record", action="store_true",
+                    help="append this run to the history when it passes")
+    bp.add_argument("--profile-out", default=None, metavar="PATH",
+                    help="also write the phase-attribution profile as JSON")
+    bp.add_argument("--inject-slowdown", type=float, default=None,
+                    metavar="FRAC",
+                    help="testing: inject a proportional signing slowdown "
+                         "(e.g. 0.25) to prove the gate trips; also read "
+                         "from $REPRO_BENCH_SLOWDOWN")
 
     p = sub.add_parser(
         "trace",
@@ -563,6 +622,142 @@ def _cmd_monitor(args) -> int:
         obs.disable()
 
 
+def _bench_entry(args, slowdown: float = 0.0):
+    """Run the gate workload and shape it into a history entry."""
+    from repro.bench import history as bh
+
+    metrics, profile, params = bh.run_gate_workload(slowdown=slowdown)
+    fingerprint = bh.workload_fingerprint(params)
+    entry = bh.make_entry("gate", fingerprint, metrics, profile=profile)
+    return entry, profile
+
+
+def _bench_write_profile(path: Optional[str], entry, profile) -> None:
+    if not path:
+        return
+    payload = {"meta": entry["meta"], "profile": profile}
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+    print(f"wrote phase profile to {path}")
+
+
+def _fmt_metric(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return "-" if value is None else str(value)
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench import history as bh
+    from repro.bench.reporting import format_table
+
+    if args.bench_command == "record":
+        entry, profile = _bench_entry(args)
+        bh.append_entry(args.history, entry)
+        _bench_write_profile(args.profile_out, entry, profile)
+        print(f"recorded gate entry {entry['fingerprint']} "
+              f"@ {entry['meta']['git_sha'][:12]} -> {args.history}")
+        return 0
+
+    if args.bench_command == "report":
+        entries = bh.read_history(args.history)
+        if args.kind != "all":
+            entries = [e for e in entries if e.get("kind") == args.kind]
+        entries = entries[-max(1, args.last):]
+        if not entries:
+            print(f"no entries in {args.history}")
+            return 0
+        headers = ("sha", "utc", "kind", "fingerprint",
+                   "sign.rsa s/rec", "sign.merkle s/rec", "verify s/rec")
+        rows = []
+        for e in entries:
+            meta, metrics = e.get("meta", {}), e.get("metrics", {})
+            rows.append([
+                str(meta.get("git_sha", "?"))[:9],
+                str(meta.get("timestamp_utc", "?")),
+                e.get("kind", "?"),
+                e.get("fingerprint", "?"),
+                _fmt_metric(metrics.get("sign.rsa.per_record_s")),
+                _fmt_metric(metrics.get("sign.merkle.per_record_s")),
+                _fmt_metric(metrics.get("verify.per_record_s")),
+            ])
+        print(format_table(headers, rows))
+        return 0
+
+    if args.bench_command == "compare":
+        entries = bh.read_history(args.history)
+        entry_a = bh.find_by_sha(entries, args.sha_a)
+        entry_b = bh.find_by_sha(entries, args.sha_b)
+        for sha, entry in ((args.sha_a, entry_a), (args.sha_b, entry_b)):
+            if entry is None:
+                print(f"error: no entry for SHA {sha!r} in {args.history}",
+                      file=sys.stderr)
+                return 2
+        if entry_a.get("fingerprint") != entry_b.get("fingerprint"):
+            print("warning: entries have different workload fingerprints — "
+                  "wall-clock comparison is not meaningful", file=sys.stderr)
+        rows = [
+            [name, _fmt_metric(va), _fmt_metric(vb),
+             "-" if ratio is None else f"{ratio:.3f}x"]
+            for name, va, vb, ratio in bh.compare_entries(entry_a, entry_b)
+        ]
+        print(format_table(
+            ("metric", args.sha_a[:9], args.sha_b[:9], "b/a"), rows
+        ))
+        return 0
+
+    # gate
+    import os
+
+    slowdown = args.inject_slowdown
+    if slowdown is None:
+        raw = os.environ.get("REPRO_BENCH_SLOWDOWN", "").strip()
+        slowdown = float(raw) if raw else 0.0
+    if slowdown:
+        print(f"note: injecting a {slowdown:.0%} signing-phase slowdown")
+    entry, profile = _bench_entry(args, slowdown=slowdown)
+    _bench_write_profile(args.profile_out, entry, profile)
+    history = bh.read_history(args.history)
+    regressions, compared = bh.gate_check(
+        entry, history, baseline=args.baseline, tolerance=args.tolerance
+    )
+    if regressions:
+        # One retry absorbs transient machine noise: a real regression
+        # (the code got slower) reproduces; a scheduler hiccup does not.
+        # Take the per-metric best of both runs for the gated metrics.
+        print("gate: possible regression — re-running once to confirm")
+        retry, _ = _bench_entry(args, slowdown=slowdown)
+        for name in bh.GATE_METRICS:
+            first = entry["metrics"].get(name)
+            second = retry["metrics"].get(name)
+            if isinstance(first, (int, float)) and isinstance(second, (int, float)):
+                entry["metrics"][name] = min(first, second)
+        regressions, compared = bh.gate_check(
+            entry, history, baseline=args.baseline, tolerance=args.tolerance
+        )
+    for name in sorted(bh.GATE_METRICS):
+        print(f"  {name:<28} {_fmt_metric(entry['metrics'].get(name))} s")
+    if compared == 0:
+        print(f"gate: no comparable baseline in {args.history} "
+              f"(fingerprint {entry['fingerprint']}) — pass (bootstrap)")
+    elif not regressions:
+        print(f"gate: pass — within {args.tolerance:.0%} of the median of "
+              f"{compared} baseline entr{'y' if compared == 1 else 'ies'}")
+    else:
+        for reg in regressions:
+            print(
+                f"gate: REGRESSION {reg['metric']}: "
+                f"{reg['current']:.6g}s vs median {reg['baseline_median']:.6g}s "
+                f"({reg['ratio']:.3f}x > {1 + reg['tolerance']:.2f}x allowed)",
+                file=sys.stderr,
+            )
+        return 1
+    if args.record:
+        bh.append_entry(args.history, entry)
+        print(f"recorded gate entry -> {args.history}")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro import obs
     from repro.obs.tracing import render_trace, trace_to_json
@@ -646,6 +841,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _dispatch(args) -> int:
+    if args.command == "version":
+        from repro import __version__
+
+        print(__version__)
+        return 0
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "init":
         return _cmd_init(args)
     if args.command == "verify-shipment":

@@ -444,6 +444,13 @@ class ChecksumCollector:
         )
 
     def _flush_staging(self) -> Tuple[ProvenanceRecord, ...]:
+        prof = OBS.profiler
+        if prof is None:
+            return self._flush_staging_impl()
+        with prof.phase("collector.flush"):
+            return self._flush_staging_impl()
+
+    def _flush_staging_impl(self) -> Tuple[ProvenanceRecord, ...]:
         records = self._seal_staged()
         if OBS.enabled:
             reg = OBS.registry

@@ -79,6 +79,16 @@ def _walk_digests(
     Iterative postorder so arbitrarily deep trees don't hit the recursion
     limit.
     """
+    prof = OBS.profiler
+    if prof is None:
+        return _walk_digests_impl(store, root_id, algorithm_name)
+    with prof.phase("hash"):
+        return _walk_digests_impl(store, root_id, algorithm_name)
+
+
+def _walk_digests_impl(
+    store: ForestStore, root_id: str, algorithm_name: str
+) -> Dict[str, _Entry]:
     algorithm = get_algorithm(algorithm_name)
     out: Dict[str, _Entry] = {}
     # (object_id, expanded?) — classic two-phase DFS
@@ -457,7 +467,11 @@ _BATCH_NODE_PREFIX = b"\x01"
 
 def batch_leaf(data: bytes, algorithm: str = "sha1") -> bytes:
     """Leaf digest ``h(0x00 || data)`` of one batch entry."""
-    return get_algorithm(algorithm).digest(_BATCH_LEAF_PREFIX + data)
+    prof = OBS.profiler
+    if prof is None:
+        return get_algorithm(algorithm).digest(_BATCH_LEAF_PREFIX + data)
+    with prof.phase("merkle.leaf"):
+        return get_algorithm(algorithm).digest(_BATCH_LEAF_PREFIX + data)
 
 
 def _batch_levels(leaves: Sequence[bytes], algorithm: str) -> List[List[bytes]]:
@@ -480,7 +494,11 @@ def _batch_levels(leaves: Sequence[bytes], algorithm: str) -> List[List[bytes]]:
 
 def batch_root(leaves: Sequence[bytes], algorithm: str = "sha1") -> bytes:
     """Merkle root over ``leaves`` (a single leaf is its own root)."""
-    return _batch_levels(leaves, algorithm)[-1][0]
+    prof = OBS.profiler
+    if prof is None:
+        return _batch_levels(leaves, algorithm)[-1][0]
+    with prof.phase("merkle.root"):
+        return _batch_levels(leaves, algorithm)[-1][0]
 
 
 def batch_audit_paths(
@@ -491,6 +509,16 @@ def batch_audit_paths(
     One tree construction serves the whole batch — this is what the
     batch signer calls at flush time.
     """
+    prof = OBS.profiler
+    if prof is None:
+        return _batch_audit_paths_impl(leaves, algorithm)
+    with prof.phase("merkle.path"):
+        return _batch_audit_paths_impl(leaves, algorithm)
+
+
+def _batch_audit_paths_impl(
+    leaves: Sequence[bytes], algorithm: str
+) -> List[Tuple[bytes, ...]]:
     levels = _batch_levels(leaves, algorithm)
     paths: List[Tuple[bytes, ...]] = []
     for index in range(len(levels[0])):
@@ -531,6 +559,20 @@ def resolve_batch_root(
         ProvenanceError: If ``index``/``count`` are out of range or the
             path length does not match the tree shape.
     """
+    prof = OBS.profiler
+    if prof is None:
+        return _resolve_batch_root_impl(leaf, index, count, path, algorithm)
+    with prof.phase("merkle.path"):
+        return _resolve_batch_root_impl(leaf, index, count, path, algorithm)
+
+
+def _resolve_batch_root_impl(
+    leaf: bytes,
+    index: int,
+    count: int,
+    path: Sequence[bytes],
+    algorithm: str,
+) -> bytes:
     if count < 1 or not 0 <= index < count:
         raise ProvenanceError(
             f"invalid batch position: index {index}, count {count}"

@@ -374,6 +374,19 @@ class Verifier:
         chains — so distinct chains may be checked concurrently against
         the same ``chains`` index.
         """
+        prof = OBS.profiler
+        if prof is None:
+            return self._check_chain_observed(chain, chains, failures, start)
+        with prof.phase("verify.chain"):
+            return self._check_chain_observed(chain, chains, failures, start)
+
+    def _check_chain_observed(
+        self,
+        chain: List[ProvenanceRecord],
+        chains: Dict[str, List[ProvenanceRecord]],
+        failures: _Failures,
+        start: int = 0,
+    ) -> int:
         observing = OBS.enabled
         if not observing and not OBS.tracing:
             return self._check_chain_impl(chain, chains, failures, start)
@@ -693,6 +706,12 @@ def _check_chain_chunk(task):
         from repro.obs.metrics import MetricsRegistry
 
         OBS.registry = MetricsRegistry()
+    prof = OBS.profiler
+    if prof is not None:
+        # Same delta discipline for the phase profiler.
+        from repro.obs.profile import PhaseProfiler
+
+        prof = OBS.profiler = PhaseProfiler(sample_every=prof.sample_every)
     start = perf_counter()
     if OBS.tracing:
         import os
@@ -710,7 +729,8 @@ def _check_chain_chunk(task):
         span_dicts = []
     elapsed = perf_counter() - start
     metrics_dump = OBS.registry.dump() if observing else None
-    return failures.items, checked, elapsed, metrics_dump, span_dicts
+    profile_dump = prof.dump() if prof is not None else None
+    return failures.items, checked, elapsed, metrics_dump, span_dicts, profile_dump
 
 
 class ParallelVerifier(Verifier):
@@ -824,7 +844,7 @@ class ParallelVerifier(Verifier):
                 for object_id in chunk_ids:
                     checked += self._check_chain(chains[object_id], chains, failures)
                 continue
-            items, chunk_checked, elapsed, metrics_dump, span_dicts = result
+            items, chunk_checked, elapsed, metrics_dump, span_dicts, profile_dump = result
             failures.items.extend(items)
             checked += chunk_checked
             if observing:
@@ -834,6 +854,8 @@ class ParallelVerifier(Verifier):
                     OBS.registry.merge(metrics_dump)
             if span_dicts and OBS.tracing:
                 OBS.tracer.adopt(span_dicts)
+            if profile_dump and OBS.profiler is not None:
+                OBS.profiler.merge(profile_dump)
         return checked
 
     def _run_pool(self, chains: Dict[str, List[ProvenanceRecord]]):

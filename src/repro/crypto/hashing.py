@@ -101,20 +101,19 @@ def available_algorithms() -> Tuple[str, ...]:
 
 def hash_bytes(data: bytes, algorithm: str = "sha1") -> bytes:
     """Hash ``data`` with the named algorithm and return the raw digest."""
-    digest = get_algorithm(algorithm).digest(data)
+    prof = OBS.profiler
+    if prof is not None:
+        with prof.phase("hash"):
+            digest = get_algorithm(algorithm).digest(data)
+    else:
+        digest = get_algorithm(algorithm).digest(data)
     if OBS.enabled:
         OBS.registry.counter("hash.digests", algorithm=algorithm).inc()
         OBS.registry.counter("hash.bytes", algorithm=algorithm).inc(len(data))
     return digest
 
 
-def hash_concat(parts: Iterable[bytes], algorithm: str = "sha1") -> bytes:
-    """Hash the concatenation of ``parts``.
-
-    This is the ``h(x | y | ...)`` construction the paper uses pervasively
-    (e.g. the aggregate checksum hashes the concatenation of the input
-    hashes).  Parts are fed to the hash incrementally.
-    """
+def _hash_concat_impl(parts: Iterable[bytes], algorithm: str) -> bytes:
     if not OBS.enabled:
         return get_algorithm(algorithm).digest_iter(parts)
     h = get_algorithm(algorithm).new()
@@ -125,6 +124,20 @@ def hash_concat(parts: Iterable[bytes], algorithm: str = "sha1") -> bytes:
     OBS.registry.counter("hash.digests", algorithm=algorithm).inc()
     OBS.registry.counter("hash.bytes", algorithm=algorithm).inc(total)
     return h.digest()
+
+
+def hash_concat(parts: Iterable[bytes], algorithm: str = "sha1") -> bytes:
+    """Hash the concatenation of ``parts``.
+
+    This is the ``h(x | y | ...)`` construction the paper uses pervasively
+    (e.g. the aggregate checksum hashes the concatenation of the input
+    hashes).  Parts are fed to the hash incrementally.
+    """
+    prof = OBS.profiler
+    if prof is None:
+        return _hash_concat_impl(parts, algorithm)
+    with prof.phase("hash"):
+        return _hash_concat_impl(parts, algorithm)
 
 
 def _register_builtins() -> None:

@@ -105,6 +105,13 @@ class RSASignatureVerifier:
 
     def verify(self, message: bytes, signature: bytes) -> bool:
         """Constant-structure verify: re-encode and compare."""
+        prof = OBS.profiler
+        if prof is None:
+            return self._verify_metered(message, signature)
+        with prof.phase("rsa.verify"):
+            return self._verify_metered(message, signature)
+
+    def _verify_metered(self, message: bytes, signature: bytes) -> bool:
         if OBS.enabled:
             start = perf_counter()
             ok = self._verify(message, signature)
@@ -180,6 +187,13 @@ class RSASignatureScheme:
 
     def sign(self, message: bytes) -> bytes:
         """Sign ``message``; output length is always :attr:`signature_size`."""
+        prof = OBS.profiler
+        if prof is None:
+            return self._sign_metered(message)
+        with prof.phase("rsa.sign"):
+            return self._sign_metered(message)
+
+    def _sign_metered(self, message: bytes) -> bytes:
         if OBS.enabled:
             start = perf_counter()
             signature = self._sign(message)
@@ -292,6 +306,13 @@ class MerkleBatchSignatureScheme:
         with self._epoch_lock:
             epoch = self._next_epoch
             self._next_epoch += 1
+        prof = OBS.profiler
+        if prof is None:
+            return self._seal_metered(batch, epoch)
+        with prof.phase("proof.build"):
+            return self._seal_metered(batch, epoch)
+
+    def _seal_metered(self, batch: list, epoch: int) -> Tuple[BatchProof, ...]:
         start = perf_counter() if OBS.enabled else 0.0
         _, batch_root, batch_audit_paths, _ = _batch_merkle()
         root = batch_root(batch, self.hash_algorithm)
@@ -365,6 +386,28 @@ def _batch_proof_valid(
     participant_id: str = "",
 ) -> bool:
     """Both halves of the Merkle-batch check (see class docstring)."""
+    prof = OBS.profiler
+    if prof is None:
+        return _batch_proof_valid_impl(
+            key, payload, checksum, proof, hash_algorithm, root_cache,
+            participant_id,
+        )
+    with prof.phase("proof.check"):
+        return _batch_proof_valid_impl(
+            key, payload, checksum, proof, hash_algorithm, root_cache,
+            participant_id,
+        )
+
+
+def _batch_proof_valid_impl(
+    key,
+    payload: bytes,
+    checksum: bytes,
+    proof: BatchProof,
+    hash_algorithm: str,
+    root_cache: Optional[dict],
+    participant_id: str,
+) -> bool:
     batch_leaf, _, _, resolve_batch_root = _batch_merkle()
     try:
         leaf = batch_leaf(payload, hash_algorithm)

@@ -12,6 +12,7 @@ from repro.monitor.alerts import (
     Alert,
     AlertRule,
     DegradedChunksRule,
+    PhaseLatencySLORule,
     StoreLatencyRule,
     TamperRule,
     TickContext,
@@ -30,6 +31,7 @@ __all__ = [
     "WatermarkLagRule",
     "StoreLatencyRule",
     "DegradedChunksRule",
+    "PhaseLatencySLORule",
     "default_rules",
     "ProvenanceMonitor",
     "TickResult",

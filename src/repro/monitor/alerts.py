@@ -29,6 +29,10 @@ rule                        severity  fires when
 ``degraded-chunks``         warning   parallel verification degraded chunks to
                                       serial re-verification this tick (worker
                                       deaths — see ``verify.degraded_chunks``)
+``phase-latency-slo``       warning   a profiled phase's mean seconds per call
+                                      exceeds its configured SLO (requires a
+                                      :func:`repro.obs.enable_profile` profiler
+                                      and explicit per-phase SLOs)
 ==========================  ========  ========================================
 
 ``tamper`` and ``watermark-regression`` alerts carry ``tampering=True``;
@@ -50,6 +54,7 @@ __all__ = [
     "WatermarkLagRule",
     "StoreLatencyRule",
     "DegradedChunksRule",
+    "PhaseLatencySLORule",
     "default_rules",
 ]
 
@@ -98,6 +103,9 @@ class TickContext:
     degraded_chunks: int
     #: p99 of the ``store.txn.seconds`` histogram, when metrics are on.
     store_p99: Optional[float]
+    #: Mean seconds per call per profiled phase (empty when no profiler
+    #: is attached) — what the ``phase-latency-slo`` rule consumes.
+    phase_latencies: Dict[str, float] = field(default_factory=dict)
 
 
 class AlertRule:
@@ -212,8 +220,42 @@ class DegradedChunksRule(AlertRule):
         )]
 
 
+class PhaseLatencySLORule(AlertRule):
+    """A profiled phase's mean per-call latency breached its SLO.
+
+    ``slos`` maps phase names (see :data:`repro.obs.profile.PHASES`) to
+    maximum mean seconds per call.  Phases without an SLO — and ticks
+    without an attached profiler — never fire, so the rule is inert
+    until both a profiler and explicit SLOs are configured.
+    """
+
+    name = "phase-latency-slo"
+
+    def __init__(self, slos: Optional[Dict[str, float]] = None):
+        self.slos = dict(slos or {})
+
+    def evaluate(self, ctx: TickContext) -> List[Alert]:
+        alerts = []
+        for phase, limit in sorted(self.slos.items()):
+            observed = ctx.phase_latencies.get(phase)
+            if observed is None or observed <= limit:
+                continue
+            alerts.append(Alert(
+                rule=self.name,
+                severity="warning",
+                message=(
+                    f"phase {phase!r} mean latency {observed:.6f}s/call "
+                    f"exceeds its SLO of {limit:.6f}s/call"
+                ),
+                fields={"phase": phase, "mean_s": observed, "slo_s": limit},
+            ))
+        return alerts
+
+
 def default_rules(
-    lag_threshold: int = 64, latency_threshold: float = 0.5
+    lag_threshold: int = 64,
+    latency_threshold: float = 0.5,
+    phase_slos: Optional[Dict[str, float]] = None,
 ) -> Tuple[AlertRule, ...]:
     """The standard rule set (see the module docstring's table)."""
     return (
@@ -222,4 +264,5 @@ def default_rules(
         WatermarkLagRule(lag_threshold),
         StoreLatencyRule(latency_threshold),
         DegradedChunksRule(),
+        PhaseLatencySLORule(phase_slos),
     )

@@ -109,9 +109,12 @@ class ProvenanceMonitor:
             always serial — suffixes are short by construction).  Reuses
             :class:`ParallelVerifier` when > 1.
         rules: Alert rules; defaults to :func:`default_rules` built from
-            the two thresholds below.
+            the thresholds below.
         lag_threshold: ``watermark-lag`` alert threshold (records).
         latency_threshold: ``store-latency`` p99 threshold (seconds).
+        phase_slos: Per-phase mean-latency SLOs (seconds per call) for
+            the ``phase-latency-slo`` rule; only meaningful when a
+            :func:`repro.obs.enable_profile` profiler is attached.
         full_scan_every: Force a full (watermark-ignoring) pass every Nth
             tick; ``0`` disables the cadence.
     """
@@ -124,6 +127,7 @@ class ProvenanceMonitor:
         rules: Optional[Sequence[AlertRule]] = None,
         lag_threshold: int = 64,
         latency_threshold: float = 0.5,
+        phase_slos: Optional[Dict[str, float]] = None,
         full_scan_every: int = 0,
     ):
         for method in _WATERMARK_SURFACE:
@@ -139,7 +143,7 @@ class ProvenanceMonitor:
             self.verifier = Verifier(keystore)
         self.rules: Tuple[AlertRule, ...] = tuple(
             rules if rules is not None
-            else default_rules(lag_threshold, latency_threshold)
+            else default_rules(lag_threshold, latency_threshold, phase_slos)
         )
         self.full_scan_every = max(0, int(full_scan_every))
         self._tick = 0
@@ -386,6 +390,7 @@ class ProvenanceMonitor:
             lag_records=lag,
             degraded_chunks=self._degraded_delta(),
             store_p99=self._store_p99(),
+            phase_latencies=self._phase_latencies(),
         )
         alerts: List[Alert] = []
         for rule in self.rules:
@@ -448,6 +453,18 @@ class ProvenanceMonitor:
         summary = histogram.summary()
         return float(summary["p99"])
 
+    @staticmethod
+    def _phase_latencies() -> Dict[str, float]:
+        """Mean seconds per call per profiled phase (empty without one)."""
+        prof = OBS.profiler
+        if prof is None:
+            return {}
+        return {
+            name: s["total_s"] / s["calls"]
+            for name, s in prof.snapshot().items()
+            if s["calls"]
+        }
+
     # ------------------------------------------------------------------
     # accumulated state
     # ------------------------------------------------------------------
@@ -500,7 +517,7 @@ class ProvenanceMonitor:
 
     def snapshot(self) -> Dict[str, object]:
         """JSON-able health snapshot (what ``repro monitor --once`` prints)."""
-        return {
+        snap: Dict[str, object] = {
             "tick": self._tick,
             "health": self._health,
             "records": len(self.store),
@@ -511,6 +528,14 @@ class ProvenanceMonitor:
             "regressions": [list(r) for r in self.regressions],
             "alerts": [a.to_dict() for a in self._alerts],
         }
+        prof = OBS.profiler
+        if prof is not None:
+            from repro.obs.profile import CostModel
+
+            snap["phase_costs"] = CostModel.from_profiler(
+                prof, records=len(self.store)
+            ).to_dict()
+        return snap
 
 
 def _with_duration(result: TickResult, seconds: float) -> TickResult:

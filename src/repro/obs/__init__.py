@@ -34,8 +34,10 @@ from typing import Dict, Optional
 
 from repro.obs import events as events_module  # noqa: F401 (re-exported)
 from repro.obs import export, tracing  # re-exported submodules
+from repro.obs import profile as profile_module  # noqa: F401 (re-exported)
 from repro.obs.events import EventLog, FileSink, RingBufferSink
 from repro.obs.metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import CostModel, PhaseProfiler
 from repro.obs.tracing import Span, TraceContext, Tracer, render_trace
 
 __all__ = [
@@ -47,6 +49,10 @@ __all__ = [
     "emit",
     "enable_events",
     "disable_events",
+    "enable_profile",
+    "disable_profile",
+    "PhaseProfiler",
+    "CostModel",
     "worker_config",
     "apply_worker_config",
     "MetricsRegistry",
@@ -69,13 +75,15 @@ class ObsState:
     """The process-wide observability switchboard.
 
     ``enabled`` gates metrics, ``tracing`` gates spans, ``events`` (an
-    :class:`~repro.obs.events.EventLog` or None) gates structured events;
-    all default to off.  Slots keep the hot-path attribute check a plain
-    slot load — event sites are written ``log = OBS.events`` / ``if log
-    is not None:`` so the disabled-mode cost stays one slot read.
+    :class:`~repro.obs.events.EventLog` or None) gates structured events,
+    ``profiler`` (a :class:`~repro.obs.profile.PhaseProfiler` or None)
+    gates phase-attributed timing; all default to off.  Slots keep the
+    hot-path attribute check a plain slot load — event and profiler sites
+    are written ``x = OBS.events`` / ``if x is not None:`` so the
+    disabled-mode cost stays one slot read.
     """
 
-    __slots__ = ("enabled", "tracing", "registry", "tracer", "events")
+    __slots__ = ("enabled", "tracing", "registry", "tracer", "events", "profiler")
 
     def __init__(self) -> None:
         self.enabled = False
@@ -83,6 +91,7 @@ class ObsState:
         self.registry = MetricsRegistry()
         self.tracer = Tracer()
         self.events: Optional[EventLog] = None
+        self.profiler: Optional[PhaseProfiler] = None
 
 
 #: The module-level default state every instrumented site checks.
@@ -178,6 +187,36 @@ def emit(kind: str, **fields: object) -> None:
 
 
 # ---------------------------------------------------------------------------
+# phase profiling
+# ---------------------------------------------------------------------------
+
+
+def enable_profile(
+    sample_every: int = 1, emit_spans: bool = False, reset: bool = False
+) -> PhaseProfiler:
+    """Attach a phase profiler (returns it; orthogonal to :func:`enable`).
+
+    ``sample_every=N`` turns on deterministic sampling (time every Nth
+    entry per phase, scale by N); ``emit_spans=True`` additionally opens
+    ``phase.<name>`` tracer spans when tracing is enabled.  ``reset=True``
+    discards a previously attached profiler's data instead of reusing it.
+    """
+    prof = OBS.profiler
+    if prof is None or reset or prof.sample_every != sample_every:
+        prof = PhaseProfiler(sample_every=sample_every, emit_spans=emit_spans)
+        OBS.profiler = prof
+    else:
+        prof.emit_spans = emit_spans
+    return prof
+
+
+def disable_profile() -> Optional[PhaseProfiler]:
+    """Detach the phase profiler; returns it so callers can keep the data."""
+    prof, OBS.profiler = OBS.profiler, None
+    return prof
+
+
+# ---------------------------------------------------------------------------
 # cross-process propagation (ParallelVerifier workers)
 # ---------------------------------------------------------------------------
 
@@ -188,12 +227,17 @@ def worker_config() -> Optional[Dict[str, object]]:
     Returns None when observability is fully disabled, so workers skip
     setup entirely.
     """
-    if not (OBS.enabled or OBS.tracing):
+    if not (OBS.enabled or OBS.tracing or OBS.profiler is not None):
         return None
     return {
         "metrics": OBS.enabled,
         "tracing": OBS.tracing,
         "trace_context": OBS.tracer.context() if OBS.tracing else None,
+        "profile": (
+            {"sample_every": OBS.profiler.sample_every}
+            if OBS.profiler is not None
+            else None
+        ),
     }
 
 
@@ -209,9 +253,15 @@ def apply_worker_config(config: Optional[Dict[str, object]]) -> None:
     OBS.registry = MetricsRegistry()
     OBS.tracer = Tracer()
     OBS.events = None
+    OBS.profiler = None
     if config is None:
         disable()
         return
     OBS.enabled = bool(config.get("metrics"))
     OBS.tracing = bool(config.get("tracing"))
     OBS.tracer.install_remote_context(config.get("trace_context"))
+    profile_cfg = config.get("profile")
+    if profile_cfg:
+        OBS.profiler = PhaseProfiler(
+            sample_every=int(profile_cfg.get("sample_every", 1))
+        )

@@ -42,6 +42,7 @@ __all__ = [
     "RingBufferSink",
     "FileSink",
     "current_correlation",
+    "read_events",
 ]
 
 #: The correlation id of the logical operation the current task is part
@@ -141,6 +142,13 @@ class FileSink:
     def write(self, event: Event) -> None:
         line = json.dumps(event.to_dict(), sort_keys=True, default=str)
         with self._lock:
+            # Emission after close is a shutdown race (the monitor's
+            # finally-block closes sinks while a late tick may still
+            # emit), not an error: drop the line rather than poison the
+            # emitting thread.  Sequence numbers are claimed by the log,
+            # so the surviving stream stays ordered, just truncated.
+            if self._file.closed:
+                return
             self._file.write(line + "\n")
             # Flush per event: the sink exists for post-mortem forensics,
             # where the last lines before a crash matter most.
@@ -150,6 +158,29 @@ class FileSink:
         with self._lock:
             if not self._file.closed:
                 self._file.close()
+
+
+def read_events(path: str) -> List[Dict[str, object]]:
+    """Re-read a JSONL event file written by :class:`FileSink`.
+
+    Tolerant by design: a crash mid-write leaves a torn final line, and
+    operators concatenate or grep these files — so malformed lines and
+    non-object lines are skipped, never fatal.  Returns event dicts in
+    file order (which is ``seq`` order for a single-writer log).
+    """
+    events: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(payload, dict) and "kind" in payload:
+                events.append(payload)
+    return events
 
 
 class EventLog:

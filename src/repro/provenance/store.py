@@ -187,6 +187,14 @@ class InMemoryProvenanceStore:
         self._watermarks: Dict[str, VerifiedWatermark] = {}
 
     def append(self, record: ProvenanceRecord) -> None:
+        prof = OBS.profiler
+        if prof is None:
+            self._append_impl(record)
+        else:
+            with prof.phase("store.io"):
+                self._append_impl(record)
+
+    def _append_impl(self, record: ProvenanceRecord) -> None:
         chain = self._chains.setdefault(record.object_id, [])
         _check_append(record, self._tail(record.object_id))
         chain.append(record)
@@ -199,12 +207,25 @@ class InMemoryProvenanceStore:
         batch = list(records)
         if not batch:
             return
+        prof = OBS.profiler
+        if prof is None:
+            self._append_many_impl(batch)
+        else:
+            with prof.phase("store.io"):
+                self._append_many_impl(batch)
+
+    def _append_many_impl(self, batch: List[ProvenanceRecord]) -> None:
         _check_batch(batch, self._tail)  # validate-then-apply: atomic
         for record in batch:
             self._chains.setdefault(record.object_id, []).append(record)
             self._count += 1
             self._space += record.storage_bytes()
-        entry = self._journal_entry(batch, committed=True)
+        prof = OBS.profiler
+        if prof is None:
+            entry = self._journal_entry(batch, committed=True)
+        else:
+            with prof.phase("journal"):
+                entry = self._journal_entry(batch, committed=True)
         if OBS.enabled:
             reg = OBS.registry
             reg.counter("store.append.batches", store="memory").inc()
@@ -446,9 +467,14 @@ class SQLiteProvenanceStore:
         _check_append(record, self._tail(record.object_id))
         observing = OBS.enabled
         start = perf_counter() if observing else 0.0
+        prof = OBS.profiler
         try:
-            with self._conn:
-                self._conn.execute(self._INSERT, self._row_of(record))
+            if prof is None:
+                with self._conn:
+                    self._conn.execute(self._INSERT, self._row_of(record))
+            else:
+                with prof.phase("store.io"), self._conn:
+                    self._conn.execute(self._INSERT, self._row_of(record))
         except sqlite3.IntegrityError as exc:
             raise SequenceError(
                 f"duplicate record key ({record.object_id!r}, {record.seq_id})"
@@ -466,6 +492,27 @@ class SQLiteProvenanceStore:
             separators=(",", ":"),
         )
 
+    def _append_many_txn(self, batch: List[ProvenanceRecord]) -> Optional[int]:
+        """The batch transaction: journal declaration + record inserts."""
+        prof = OBS.profiler
+        with self._conn:  # one transaction: all-or-nothing
+            if prof is None:
+                cursor = self._conn.execute(
+                    "INSERT INTO batch_journal(keys, committed) VALUES (?, 1)",
+                    (self._keys_json(batch),),
+                )
+            else:
+                with prof.phase("journal"):
+                    cursor = self._conn.execute(
+                        "INSERT INTO batch_journal(keys, committed) VALUES (?, 1)",
+                        (self._keys_json(batch),),
+                    )
+            batch_id = cursor.lastrowid
+            self._conn.executemany(
+                self._INSERT, (self._row_of(record) for record in batch)
+            )
+        return batch_id
+
     def append_many(self, records: Iterable[ProvenanceRecord]) -> None:
         batch = list(records)
         if not batch:
@@ -474,16 +521,13 @@ class SQLiteProvenanceStore:
         observing = OBS.enabled
         start = perf_counter() if observing else 0.0
         batch_id: Optional[int] = None
+        prof = OBS.profiler
         try:
-            with self._conn:  # one transaction: all-or-nothing
-                cursor = self._conn.execute(
-                    "INSERT INTO batch_journal(keys, committed) VALUES (?, 1)",
-                    (self._keys_json(batch),),
-                )
-                batch_id = cursor.lastrowid
-                self._conn.executemany(
-                    self._INSERT, (self._row_of(record) for record in batch)
-                )
+            if prof is None:
+                batch_id = self._append_many_txn(batch)
+            else:
+                with prof.phase("store.io"):
+                    batch_id = self._append_many_txn(batch)
         except sqlite3.IntegrityError as exc:
             raise SequenceError(f"duplicate record key in batch: {exc}") from exc
         except BaseException:

@@ -329,8 +329,58 @@ class TestAlertRules:
         names = {r.name for r in default_rules()}
         assert names == {
             "tamper", "watermark-regression", "watermark-lag",
-            "store-latency", "degraded-chunks",
+            "store-latency", "degraded-chunks", "phase-latency-slo",
         }
+
+    def test_phase_latency_slo_rule(self):
+        from repro.monitor import PhaseLatencySLORule
+
+        rule = PhaseLatencySLORule({"rsa.sign": 0.01})
+        # Inert without observations, below the SLO, or without SLOs.
+        assert rule.evaluate(self._ctx()) == []
+        assert rule.evaluate(
+            self._ctx(phase_latencies={"rsa.sign": 0.005})
+        ) == []
+        assert PhaseLatencySLORule().evaluate(
+            self._ctx(phase_latencies={"rsa.sign": 99.0})
+        ) == []
+        fired = rule.evaluate(self._ctx(phase_latencies={"rsa.sign": 0.02}))
+        assert len(fired) == 1
+        assert not fired[0].tampering
+        assert fired[0].severity == "warning"
+        assert fired[0].fields == {
+            "phase": "rsa.sign", "mean_s": 0.02, "slo_s": 0.01,
+        }
+
+    def test_phase_slo_alert_fires_from_profiled_tick(
+        self, tedb, participants
+    ):
+        from repro import obs
+
+        _grow(tedb, participants, objects=2, updates=1)
+        obs.enable_profile(reset=True)
+        try:
+            monitor = ProvenanceMonitor(
+                tedb.provenance_store, tedb.keystore(),
+                phase_slos={"verify.chain": 0.0},  # impossible SLO
+            )
+            result = monitor.tick()
+            slo_alerts = [
+                a for a in result.alerts if a.rule == "phase-latency-slo"
+            ]
+            assert len(slo_alerts) == 1
+            assert slo_alerts[0].fields["phase"] == "verify.chain"
+            assert result.health == "degraded"
+        finally:
+            obs.disable_profile()
+
+    def test_phase_slo_inert_without_profiler(self, tedb, participants):
+        _grow(tedb, participants, objects=2, updates=1)
+        monitor = ProvenanceMonitor(
+            tedb.provenance_store, tedb.keystore(),
+            phase_slos={"verify.chain": 0.0},
+        )
+        assert monitor.tick().health == "ok"
 
     def test_alert_to_dict_roundtrip(self):
         alert = Alert(rule="tamper", severity="critical", message="m",
@@ -380,6 +430,29 @@ class TestSnapshot:
         _forge_tail(tedb.provenance_store, "obj0")
         monitor.tick()
         json.dumps(monitor.snapshot())  # must not raise
+
+    def test_snapshot_has_no_phase_costs_without_profiler(self, monitored):
+        _, _, monitor = monitored
+        monitor.tick()
+        assert "phase_costs" not in monitor.snapshot()
+
+    def test_snapshot_phase_costs_with_profiler(self, monitored):
+        import json
+
+        from repro import obs
+
+        tedb, _, monitor = monitored
+        obs.enable_profile(reset=True)
+        try:
+            monitor.tick()
+            snap = monitor.snapshot()
+            costs = snap["phase_costs"]
+            assert costs["records"] == len(tedb.provenance_store)
+            assert "verify.chain" in costs["phases"]
+            assert costs["per_record_s"]["verify.chain"] > 0
+            json.dumps(snap)  # still JSON-able with the costs attached
+        finally:
+            obs.disable_profile()
 
 
 class TestEmptyStore:

@@ -12,6 +12,7 @@ from repro.obs.events import (
     FileSink,
     RingBufferSink,
     current_correlation,
+    read_events,
 )
 
 
@@ -102,6 +103,67 @@ class TestEventLog:
             assert outside.trace_id is None
         finally:
             obs.disable_events()
+
+
+class TestFileSinkEdgeCases:
+    def test_emit_after_sink_close_is_dropped_not_fatal(self, tmp_path):
+        # Shutdown race: the monitor closes sinks in a finally-block
+        # while a late tick may still emit.
+        path = tmp_path / "events.jsonl"
+        log = EventLog(sinks=(FileSink(str(path)),))
+        log.emit("before", n=1)
+        log.close()
+        event = log.emit("after", n=2)  # must not raise
+        assert event.seq == 1  # the log still numbers it
+        recorded = read_events(str(path))
+        assert [e["kind"] for e in recorded] == ["before"]
+
+    def test_concurrent_emit_preserves_monotonic_seq(self, tmp_path):
+        import threading
+
+        path = tmp_path / "events.jsonl"
+        log = EventLog(sinks=(FileSink(str(path)),))
+        per_thread = 50
+
+        def emitter(tag):
+            for i in range(per_thread):
+                log.emit("concurrent", tag=tag, i=i)
+
+        threads = [
+            threading.Thread(target=emitter, args=(t,)) for t in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        log.close()
+        recorded = read_events(str(path))
+        assert len(recorded) == 2 * per_thread
+        # Every seq claimed exactly once — no duplicates, no gaps …
+        assert sorted(e["seq"] for e in recorded) == list(range(2 * per_thread))
+        # … and each thread's own events appear in its emission order.
+        for tag in ("a", "b"):
+            own = [e["fields"]["i"] for e in sorted(
+                recorded, key=lambda e: e["seq"]
+            ) if e["fields"]["tag"] == tag]
+            assert own == list(range(per_thread))
+
+    def test_read_events_skips_malformed_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(sinks=(FileSink(str(path)),))
+        log.emit("good.one", n=1)
+        log.emit("good.two", n=2)
+        log.close()
+        # A torn line (crash mid-write), junk, a non-object line, and a
+        # blank line — all must be skipped, not fatal.
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"seq": 2, "kind": "torn", "fie')
+            fh.write("\nnot json at all\n")
+            fh.write("[1, 2, 3]\n")
+            fh.write("\n")
+        recorded = read_events(str(path))
+        assert [e["kind"] for e in recorded] == ["good.one", "good.two"]
+        assert recorded[1]["fields"] == {"n": 2}
 
 
 class TestSwitchboard:
