@@ -36,6 +36,7 @@ from repro.bench.experiments import (
     run_fig10_fig11,
     run_monitor_bench,
     run_obs_overhead,
+    run_service_bench,
     run_streaming,
     run_table1b,
 )
@@ -70,10 +71,12 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     throughput_records, throughput_objects = 10_000, 1_500
+    service_clients = 300
     if args.quick:
         args.scale, args.runs, args.key_bits = 0.02, 2, 512
         args.stream_rows = 5_000
         throughput_records, throughput_objects = 2_000, 150
+        service_clients = 60
     if args.throughput_json is None:
         # Quick smoke runs must not clobber the committed full-scale numbers.
         args.throughput_json = "-" if args.quick else "BENCH_throughput.json"
@@ -150,6 +153,13 @@ def main(argv=None) -> int:
     )
     print(monitor.render(), "\n")
 
+    service = run_service_bench(
+        clients=service_clients,
+        threads=16,
+        key_bits=512,
+    )
+    print(service.render(), "\n")
+
     print(f"total wall time: {time.perf_counter() - started:.1f} s")
 
     if args.history != "-":
@@ -164,11 +174,13 @@ def main(argv=None) -> int:
             "throughput_records": throughput_records,
             "throughput_objects": throughput_objects,
             "workers": args.workers,
+            "service_clients": service_clients,
         }
         flat = {}
         flat.update(flatten_metrics(throughput.metrics, prefix="throughput."))
         flat.update(flatten_metrics(overhead.metrics, prefix="obs."))
         flat.update(flatten_metrics(monitor.metrics, prefix="monitor."))
+        flat.update(flatten_metrics(service.metrics, prefix="service."))
         entry = make_entry(
             "full", workload_fingerprint(params), flat, meta=collect_meta()
         )
@@ -181,6 +193,9 @@ def main(argv=None) -> int:
         failed = True
     if not monitor.metrics["guard"]["ok"]:
         print("error: monitor benchmark guard FAILED", file=sys.stderr)
+        failed = True
+    if not service.metrics["guard"]["ok"]:
+        print("error: service benchmark guard FAILED", file=sys.stderr)
         failed = True
     return 1 if failed else 0
 

@@ -83,6 +83,7 @@ __all__ = [
     "run_batch_throughput",
     "run_monitor_bench",
     "run_obs_overhead",
+    "run_service_bench",
 ]
 
 #: Table 1(b) as printed in the paper (see EXPERIMENTS.md for the
@@ -1420,6 +1421,145 @@ def run_monitor_bench(
             "max_events_overhead": max_events_overhead,
             "events_ok": events_ok,
             "ok": warm_ok and events_ok,
+        },
+    }
+    return result
+
+
+def run_service_bench(
+    clients: int = 1000,
+    tenants: int = 8,
+    threads: int = 32,
+    ops_per_client: int = 3,
+    verify_every: int = 5,
+    key_bits: int = 512,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Multi-tenant HTTP service under concurrent load, proven correct.
+
+    Boots a :class:`~repro.service.http.ProvenanceHTTPServer`, drives
+    ``clients`` seeded logical clients (tenant = client mod ``tenants``)
+    over ``threads`` OS threads through the real HTTP stack, and then
+    audits the aftermath from the inside:
+
+    * **zero** request errors and **zero** verification failures — each
+      client owns its object, chains are local per object (§3.2), so
+      concurrency may reorder tenants but never break a chain;
+    * **zero cross-tenant leaks** — every record in every tenant store
+      was signed by that tenant's service participant and belongs to one
+      of that tenant's clients;
+    * the ``/healthz`` exit contract holds at scale: 200 on the clean
+      store, 503 after one checksum is forged in one tenant.
+
+    All three are guarded; the reported throughput and latency
+    percentiles feed the bench history for trajectory tracking.
+    """
+    from repro.service import ServiceClient
+    from repro.service.core import AUDIT_OBJECT, ServiceConfig
+    from repro.service.http import ProvenanceHTTPServer
+    from repro.service.load import LoadSpec, run_load
+
+    spec = LoadSpec(
+        clients=clients, tenants=tenants, threads=threads,
+        ops_per_client=ops_per_client, verify_every=verify_every, seed=seed,
+    )
+    result = ExperimentResult(
+        "service-bench",
+        f"Provenance-as-a-service load ({clients} clients, {tenants} "
+        f"tenants, {threads} threads)",
+        ("metric", "value"),
+    )
+
+    server = ProvenanceHTTPServer(
+        config=ServiceConfig(seed=seed, key_bits=key_bits)
+    )
+    server.start_background()
+    try:
+        admin = ServiceClient(server.base_url, token=server.service.admin_token)
+        tokens = {
+            f"t{i}": admin.issue_key(f"t{i}")["token"] for i in range(tenants)
+        }
+        report, _outcomes = run_load(server.base_url, tokens, spec)
+
+        # Cross-tenant audit: every record in every store must belong to
+        # the store's own tenant (owner = client mod tenants).
+        leaks = 0
+        for tenant_id in server.service.tenant_ids():
+            world = server.service.world(tenant_id)
+            for record in world.store.all_records():
+                if record.participant_id != f"svc:{tenant_id}":
+                    leaks += 1
+                elif record.object_id != AUDIT_OBJECT and (
+                    spec.tenant_of(int(record.object_id[1:].split(":", 1)[0]))
+                    != tenant_id
+                ):
+                    leaks += 1
+
+        # /healthz exit semantics at scale: clean -> 200, then forge one
+        # checksum in one tenant -> 503.  (The store is about to be torn
+        # down; the forgery is not undone.)
+        probe = ServiceClient(server.base_url)
+        clean_status = probe.healthz().status
+        victim_world = server.service.world(spec.tenant_of(0))
+        victim_id = spec.object_of(0)
+        victim = victim_world.store.latest(victim_id)
+        shard = victim_world.store._shard_for(victim_id)
+        import dataclasses as _dc
+
+        shard._chains[victim_id][-1] = _dc.replace(
+            victim, checksum=b"\x00" * len(victim.checksum)
+        )
+        tampered_status = probe.healthz().status
+    finally:
+        server.stop()
+
+    load = report.to_dict()
+    healthz_ok = clean_status == 200 and tampered_status == 503
+    ok = (
+        not report.errors
+        and not report.verify_failures
+        and leaks == 0
+        and healthz_ok
+    )
+
+    result.add("requests", load["requests"])
+    result.add("wall time", f"{load['wall_seconds']:.2f} s")
+    result.add("throughput", f"{load['throughput_rps']:.1f} req/s")
+    result.add("latency p50/p95/p99",
+               f"{load['latency_p50_ms']:.1f} / {load['latency_p95_ms']:.1f}"
+               f" / {load['latency_p99_ms']:.1f} ms")
+    result.add("503 retries", load["retries"])
+    result.add("request errors", load["errors"])
+    result.add("verification failures", load["verify_failures"])
+    result.add("cross-tenant leaks", leaks)
+    result.add("healthz clean/tampered", f"{clean_status} / {tampered_status}")
+    result.note(
+        f"GUARD {'OK' if ok else 'FAILED'}: zero errors, zero verification "
+        "failures, zero cross-tenant leaks, healthz 200->503 contract"
+    )
+
+    result.metrics = {
+        "workload": {
+            "clients": clients,
+            "tenants": tenants,
+            "threads": threads,
+            "ops_per_client": ops_per_client,
+            "verify_every": verify_every,
+            "key_bits": key_bits,
+            "seed": seed,
+        },
+        "load": load,
+        "healthz": {
+            "clean_status": clean_status,
+            "tampered_status": tampered_status,
+        },
+        "cross_tenant_leaks": leaks,
+        "guard": {
+            "errors_ok": not report.errors,
+            "verify_ok": not report.verify_failures,
+            "isolation_ok": leaks == 0,
+            "healthz_ok": healthz_ok,
+            "ok": ok,
         },
     }
     return result

@@ -335,6 +335,108 @@ def build_parser() -> argparse.ArgumentParser:
                          "from $REPRO_BENCH_SLOWDOWN")
 
     p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant provenance service (HTTP)",
+        description=(
+            "Runs the provenance-as-a-service front end: a threaded HTTP "
+            "server with one isolated tamper-evident world per tenant "
+            "(engine + collector + sharded provenance store + health "
+            "monitor), CA-signed API keys, and /healthz wired to the "
+            "monitor (non-200 iff any tenant looks tampered). On startup "
+            "it prints one JSON line with the bound URL and the admin "
+            "token, which `repro client issue-key` turns into per-tenant "
+            "keys. No workspace needed — worlds are derived from --seed."
+        ),
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8734, help="0 picks a free port")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for per-tenant key generation")
+    p.add_argument("--key-bits", type=int, default=1024)
+    p.add_argument("--scheme", choices=("rsa", "rsa-per-record", "merkle-batch"),
+                   default="rsa", help="signature scheme for tenant worlds")
+    p.add_argument("--shards", type=int, default=4,
+                   help="provenance shards per tenant")
+    p.add_argument("--store-root", default=None, metavar="DIR",
+                   help="directory for per-tenant SQLite shard files "
+                        "(default: in-memory)")
+    p.add_argument("--retry-after", type=float, default=0.05,
+                   help="Retry-After seconds sent with 503 responses")
+    p.add_argument("--events", default=None, metavar="PATH",
+                   help="append structured events to this JSONL file")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the startup line (admin token included)")
+
+    p = sub.add_parser(
+        "client",
+        help="talk to a running provenance service",
+        description=(
+            "A thin CLI over the service's HTTP API. The API key comes "
+            "from --token or $REPRO_API_KEY; admin actions (issue-key, "
+            "revoke-key, recover) need the admin token `repro serve` "
+            "printed at startup."
+        ),
+    )
+    p.add_argument("--url", required=True, help="service base URL")
+    p.add_argument("--token", default=None,
+                   help="API key (default: $REPRO_API_KEY)")
+    p.add_argument("--retries", type=int, default=3,
+                   help="503 retry budget per request")
+    client_sub = p.add_subparsers(dest="client_command", required=True)
+
+    cp = client_sub.add_parser("issue-key", help="mint an API key (admin)")
+    cp.add_argument("tenant")
+    cp.add_argument("--ttl", type=float, default=None,
+                    help="key lifetime in seconds (default: no expiry)")
+    cp.add_argument("--scope", action="append", default=None,
+                    help="attach a scope (repeatable)")
+
+    cp = client_sub.add_parser("revoke-key", help="revoke an API key (admin)")
+    cp.add_argument("key_id")
+
+    cp = client_sub.add_parser("insert", help="insert an object")
+    cp.add_argument("object_id")
+    cp.add_argument("value", nargs="?", default=None)
+    cp.add_argument("--parent", default=None)
+    cp.add_argument("--note", default="")
+
+    cp = client_sub.add_parser("update", help="update an object")
+    cp.add_argument("object_id")
+    cp.add_argument("value")
+    cp.add_argument("--note", default="")
+
+    cp = client_sub.add_parser("delete", help="delete an object")
+    cp.add_argument("object_id")
+    cp.add_argument("--note", default="")
+
+    cp = client_sub.add_parser("aggregate", help="aggregate objects")
+    cp.add_argument("output_id")
+    cp.add_argument("inputs", nargs="+")
+    cp.add_argument("--note", default="")
+
+    cp = client_sub.add_parser(
+        "verify", help="verify an object (notarizes a VERIFY audit record)"
+    )
+    cp.add_argument("object_id")
+    cp.add_argument("--workers", type=int, default=None)
+
+    cp = client_sub.add_parser("objects", help="list the tenant's objects")
+
+    cp = client_sub.add_parser("provenance", help="print an object's chain")
+    cp.add_argument("object_id")
+
+    cp = client_sub.add_parser("lineage", help="lineage summary of an object")
+    cp.add_argument("object_id")
+
+    cp = client_sub.add_parser(
+        "healthz", help="service health (exit 1 unless HTTP 200)"
+    )
+    cp.add_argument("--quick", action="store_true",
+                    help="incremental monitor tick instead of a full audit")
+
+    cp = client_sub.add_parser("recover", help="run crash recovery (admin)")
+
+    p = sub.add_parser(
         "trace",
         help="run an instrumented synthetic verify and print its span tree",
         description=(
@@ -758,6 +860,99 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro import obs
+    from repro.service import ServiceConfig
+    from repro.service.http import ProvenanceHTTPServer
+
+    obs.enable(reset=True)
+    if args.events:
+        obs.enable_events(path=args.events)
+    config = ServiceConfig(
+        seed=args.seed,
+        key_bits=args.key_bits,
+        signature_scheme=args.scheme,
+        shards=args.shards,
+        store_root=args.store_root,
+    )
+    server = ProvenanceHTTPServer(
+        config=config, host=args.host, port=args.port,
+        retry_after=args.retry_after,
+    )
+    if not args.quiet:
+        print(json.dumps({
+            "url": server.base_url,
+            "admin_token": server.service.admin_token,
+            "scheme": config.resolved_scheme(),
+            "shards": config.shards,
+            "store_root": config.store_root,
+        }), flush=True)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        server.service.close()
+        if args.events:
+            obs.disable_events()
+        obs.disable()
+    return 0
+
+
+def _cmd_client(args) -> int:
+    import os
+
+    from repro.service.client import ServiceClient, ServiceHTTPError
+
+    token = args.token or os.environ.get("REPRO_API_KEY")
+    client = ServiceClient(args.url, token=token, retries=args.retries)
+    command = args.client_command
+    try:
+        if command == "healthz":
+            response = client.healthz(quick=args.quick)
+            print(json.dumps(response.json, indent=2, sort_keys=True))
+            return 0 if response.ok else 1
+        if command == "issue-key":
+            result = client.issue_key(
+                args.tenant, ttl=args.ttl, scopes=tuple(args.scope or ()),
+            )
+        elif command == "revoke-key":
+            result = client.revoke_key(args.key_id)
+        elif command == "insert":
+            result = client.insert(
+                args.object_id, parse_value(args.value),
+                parent=args.parent, note=args.note,
+            )
+        elif command == "update":
+            result = client.update(
+                args.object_id, parse_value(args.value), note=args.note
+            )
+        elif command == "delete":
+            result = client.delete(args.object_id, note=args.note)
+        elif command == "aggregate":
+            result = client.aggregate(args.inputs, args.output_id, note=args.note)
+        elif command == "verify":
+            result = client.verify(args.object_id, workers=args.workers)
+        elif command == "objects":
+            result = client.objects()
+        elif command == "provenance":
+            result = client.provenance(args.object_id)
+        elif command == "lineage":
+            result = client.lineage(args.object_id)
+        elif command == "recover":
+            result = client.recover()
+        else:
+            raise AssertionError(f"unhandled client command {command!r}")
+    except ServiceHTTPError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(result, indent=2, sort_keys=True))
+    if command == "verify":
+        return 0 if result.get("ok") else 1
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro import obs
     from repro.obs.tracing import render_trace, trace_to_json
@@ -860,6 +1055,10 @@ def _dispatch(args) -> int:
         return _cmd_monitor(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "client":
+        return _cmd_client(args)
 
     with Workspace(args.workspace) as ws:
         if args.command == "enroll":

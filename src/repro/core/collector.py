@@ -467,7 +467,14 @@ class ChecksumCollector:
             # the store.batch (and any verify.report consuming the same
             # operation) emitted inside this scope share it, threading
             # collector -> store -> verifier through the event stream.
-            with log.correlation():
+            # When a caller already opened a correlation scope — the HTTP
+            # front end opens one per request — the flush *joins* it
+            # instead of minting a fresh id, so one request's events read
+            # as one causal chain: http.request -> collector.flush ->
+            # store.batch.
+            from repro.obs.events import current_correlation
+
+            with log.correlation(current_correlation()):
                 log.emit(
                     "collector.flush",
                     records=len(records),

@@ -265,6 +265,27 @@ class CertificateAuthority:
         """
         return self.certificates_for(subject)[-1]
 
+    # ------------------------------------------------------------------
+    # opaque token signing (service API keys)
+    # ------------------------------------------------------------------
+
+    def sign_token(self, payload: bytes) -> bytes:
+        """Sign an opaque token payload with the CA key.
+
+        The service layer's API keys (:mod:`repro.service.auth`) are CA-
+        signed bearer tokens: the same root of trust that certifies
+        participant keys also vouches for who may talk to the network
+        front end.  The payload is domain-separated by the caller (it
+        never collides with :func:`_certificate_payload`, whose encoding
+        starts with ``cert-v1``).
+        """
+        return self._scheme.sign(payload)
+
+    def verify_token(self, payload: bytes, signature: bytes) -> bool:
+        """True iff ``signature`` is this CA's signature over ``payload``."""
+        verifier = RSASignatureVerifier(self.public_key, self.hash_algorithm)
+        return verifier.verify(payload, signature)
+
 
 class KeyStore:
     """A data recipient's view of the PKI.

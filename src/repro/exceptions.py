@@ -135,6 +135,24 @@ class ShipmentError(ReproError):
 
 
 # ---------------------------------------------------------------------------
+# service (network front end)
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """Base class for provenance-service (HTTP front end) failures."""
+
+
+class AuthError(ServiceError):
+    """An API key is missing, malformed, forged, or expired (HTTP 401)."""
+
+
+class ForbiddenError(ServiceError):
+    """An API key is valid but not allowed here: revoked, or lacking the
+    required scope (HTTP 403).  Revocation fails closed."""
+
+
+# ---------------------------------------------------------------------------
 # workloads / benchmarks
 # ---------------------------------------------------------------------------
 

@@ -14,6 +14,7 @@ Fault sites are plain strings naming instrumented code locations::
     store.read              tail / record reads
     collector.flush         between signing and storing a staged batch
     verify.worker           one parallel-verification chunk
+    service.request         the HTTP front end's request boundary
 
 Kinds (:class:`FaultKind`):
 

@@ -42,6 +42,10 @@ SITE_KINDS = {
     "store.read": (FaultKind.ERROR, FaultKind.LATENCY),
     "collector.flush": (FaultKind.ERROR, FaultKind.CRASH, FaultKind.LATENCY),
     "verify.worker": (FaultKind.CRASH, FaultKind.KILL, FaultKind.LATENCY),
+    # The service layer's request boundary (repro.service): a transient
+    # ERROR here surfaces to the HTTP client as 503 + Retry-After, and
+    # LATENCY models a slow backend without failing the request.
+    "service.request": (FaultKind.ERROR, FaultKind.LATENCY),
 }
 
 

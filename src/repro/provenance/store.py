@@ -402,7 +402,13 @@ class SQLiteProvenanceStore:
 
     def __init__(self, path: str = ":memory:"):
         try:
-            self._conn = sqlite3.connect(path)
+            # check_same_thread=False: the store itself is not re-entrant,
+            # but its callers serialize writes (the collector is the only
+            # writer in library use; the service layer holds a per-tenant
+            # lock around every operation) — and the HTTP front end
+            # dispatches requests from a thread pool, so the connection
+            # must be usable off its creating thread.
+            self._conn = sqlite3.connect(path, check_same_thread=False)
         except sqlite3.Error as exc:
             raise BackendError(f"cannot open provenance database {path!r}: {exc}") from exc
         self._conn.executescript(self._SCHEMA)

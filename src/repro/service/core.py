@@ -1,0 +1,464 @@
+"""The transport-independent service core: tenant worlds + dispatch.
+
+:class:`ProvenanceService` is everything the HTTP front end does *minus*
+HTTP: a registry of per-tenant worlds (engine, collector, sharded
+provenance store, signing participant, health monitor), an API-key
+authority, and the request operations (record / batch / verify / lineage
+/ health / recovery) returning JSON-ready dicts.
+
+Two properties the test suite leans on:
+
+**Determinism.**  Every tenant world is seeded as a pure function of
+``(config.seed, tenant_id)``: the tenant's CA key pair, its signing
+participant, and therefore every record checksum depend only on the
+tenant's own operation order — never on *when* the tenant was created
+relative to other tenants or on request interleaving across tenants.
+That is what makes a served world byte-identical to a same-seed
+in-process reference world (the equivalence suite), and per-object
+responses byte-identical even under concurrent multi-tenant load (chains
+are local per object, §3.2).
+
+**Isolation.**  A tenant is addressed only through its API key's tenant
+claim — there is no request surface that names another tenant's world —
+and each world owns private stores, so cross-tenant reads or writes are
+impossible by construction rather than by filtering.
+
+Every verification call appends a ``VERIFY`` provenance record to the
+tenant's audit chain (object :data:`AUDIT_OBJECT`): verification itself
+is an event worth notarizing — "who looked, and what did they see" —
+exactly the queryable record-of-how-data-came-to-be that Cheney et al.'s
+*Provenance Traces* framing asks for.  The audit record is signed and
+chained like any other record, so tampering with the audit trail is as
+evident as tampering with the data it audits.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.system import ParticipantSession, TamperEvidentDatabase
+from repro.crypto.pki import CertificateAuthority, KeyStore, resolve_scheme_name
+from repro.exceptions import ReproError, ServiceError, UnknownObjectError
+from repro.obs import OBS
+from repro.provenance.registry import open_tenant_store
+from repro.query.lineage import lineage_summary
+from repro.service.auth import ApiKeyAuthority
+
+if TYPE_CHECKING:  # pragma: no cover — service stays import-light
+    from repro.faults.plan import FaultPlan
+
+__all__ = [
+    "AUDIT_OBJECT",
+    "ServiceConfig",
+    "TenantWorld",
+    "ProvenanceService",
+    "canonical_json",
+]
+
+#: Object id of each tenant's verification audit chain.
+AUDIT_OBJECT = "~audit"
+
+
+def canonical_json(payload: Dict[str, object]) -> bytes:
+    """The one JSON encoding both the HTTP layer and the equivalence
+    tests use — byte-identity claims are claims about these bytes."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Deterministic recipe for a whole service instance.
+
+    Two services built from equal configs (and driven with the same
+    per-tenant operation order) produce byte-identical responses.
+    """
+
+    seed: int = 0
+    key_bits: int = 1024
+    signature_scheme: str = "rsa-pkcs1v15"
+    hash_algorithm: str = "sha1"
+    #: Provenance shards per tenant.
+    shards: int = 4
+    #: Directory for SQLite shard files; None keeps every store in memory.
+    store_root: Optional[str] = None
+    #: Verification workers for monitor cold/full passes (1 = serial).
+    workers: int = 1
+    #: Collector retry budget for transient store errors.
+    store_retries: int = 2
+    retry_backoff: float = 0.002
+    #: Watermark-lag alert threshold for /healthz monitors.
+    lag_threshold: int = 1 << 30
+    #: Optional fault plan consulted at the service.request boundary and
+    #: wired into every tenant's store + collector (chaos testing).
+    faults: Optional["FaultPlan"] = field(default=None, compare=False)
+
+    def resolved_scheme(self) -> str:
+        return resolve_scheme_name(self.signature_scheme)
+
+
+class TenantWorld:
+    """One tenant's isolated database + provenance universe.
+
+    Everything here is derived deterministically from
+    ``(config.seed, tenant_id)``; the world-level lock serializes all
+    operations of this tenant (the stores assume a single writer; see
+    ``SQLiteProvenanceStore``), while different tenants proceed in
+    parallel.
+    """
+
+    def __init__(self, tenant_id: str, config: ServiceConfig):
+        self.tenant_id = tenant_id
+        self.config = config
+        self.lock = threading.RLock()
+        rng = random.Random(f"{config.seed}|tenant|{tenant_id}")
+        store = open_tenant_store(config.store_root, tenant_id, config.shards)
+        if config.faults is not None:
+            from repro.faults.store import FaultyStore
+
+            store = FaultyStore(store, config.faults)
+        self.db = TamperEvidentDatabase(
+            provenance_store=store,
+            hash_algorithm=config.hash_algorithm,
+            key_bits=config.key_bits,
+            signature_scheme=config.signature_scheme,
+            rng=rng,
+            ca=CertificateAuthority(
+                name=f"repro-tenant-ca:{tenant_id}", rng=rng,
+                key_bits=config.key_bits, hash_algorithm=config.hash_algorithm,
+            ),
+        )
+        self.db.collector.store_retries = max(0, int(config.store_retries))
+        self.db.collector.retry_backoff = config.retry_backoff
+        if config.faults is not None:
+            self.db.collector.faults = config.faults
+        self.participant = self.db.enroll(f"svc:{tenant_id}")
+        self.session: ParticipantSession = self.db.session(self.participant)
+        #: Trust store cached once — enrollment happens only here, so the
+        #: certificate set is final and verify calls skip re-validating
+        #: the CA signatures on every request.
+        self.keystore: KeyStore = self.db.keystore()
+        self._monitor = None
+
+    @property
+    def store(self):
+        return self.db.provenance_store
+
+    def monitor(self):
+        """The tenant's health monitor (lazily built, watermark-backed)."""
+        if self._monitor is None:
+            from repro.monitor import ProvenanceMonitor
+
+            self._monitor = ProvenanceMonitor(
+                self.store,
+                self.keystore,
+                workers=self.config.workers,
+                lag_threshold=self.config.lag_threshold,
+            )
+        return self._monitor
+
+    def close(self) -> None:
+        close = getattr(self.store, "close", None)
+        if close is not None:
+            close()
+
+
+class ProvenanceService:
+    """Multi-tenant provenance service (transport-independent core).
+
+    The HTTP front end (:mod:`repro.service.http`) is a thin shell over
+    this class; tests that assert byte-identity drive one instance
+    directly and one over HTTP with the same config and compare
+    :func:`canonical_json` of the results.
+    """
+
+    #: Mutation op names accepted by :meth:`record` / :meth:`batch`.
+    _MUTATIONS = ("insert", "update", "delete")
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        config.resolved_scheme()  # validate the scheme name eagerly
+        self._worlds: Dict[str, TenantWorld] = {}
+        self._worlds_lock = threading.Lock()
+        auth_rng = random.Random(f"{config.seed}|auth")
+        self.authority = ApiKeyAuthority(
+            CertificateAuthority(
+                name="repro-service-auth-ca",
+                key_bits=config.key_bits,
+                hash_algorithm=config.hash_algorithm,
+                rng=auth_rng,
+            )
+        )
+        self.admin_token = self.authority.issue_admin()
+
+    # ------------------------------------------------------------------
+    # tenants
+    # ------------------------------------------------------------------
+
+    def world(self, tenant_id: str) -> TenantWorld:
+        """The tenant's world, created deterministically on first use."""
+        if not tenant_id or tenant_id == "*":
+            raise ServiceError(f"invalid tenant id {tenant_id!r}")
+        world = self._worlds.get(tenant_id)
+        if world is not None:
+            return world
+        with self._worlds_lock:
+            world = self._worlds.get(tenant_id)
+            if world is None:
+                world = TenantWorld(tenant_id, self.config)
+                self._worlds[tenant_id] = world
+                if OBS.enabled:
+                    OBS.registry.gauge("service.tenants").set(len(self._worlds))
+            return world
+
+    def tenant_ids(self) -> Tuple[str, ...]:
+        with self._worlds_lock:
+            return tuple(sorted(self._worlds))
+
+    def _boundary(self) -> None:
+        """The request-boundary fault hook (site ``service.request``)."""
+        if self.config.faults is not None:
+            self.config.faults.maybe_raise("service.request")
+
+    # ------------------------------------------------------------------
+    # data plane
+    # ------------------------------------------------------------------
+
+    def record(
+        self,
+        tenant_id: str,
+        op: str,
+        object_id: str,
+        value=None,
+        parent: Optional[str] = None,
+        inputs: Optional[Sequence[str]] = None,
+        note: str = "",
+    ) -> Dict[str, object]:
+        """Apply one primitive with provenance; returns the records."""
+        self._boundary()
+        world = self.world(tenant_id)
+        with world.lock:
+            records = self._apply(world, op, object_id, value, parent, inputs, note)
+        return {
+            "tenant": tenant_id,
+            "object_id": object_id,
+            "op": op,
+            "records": [self._record_dict(r) for r in records],
+        }
+
+    def batch(
+        self, tenant_id: str, ops: Sequence[Dict[str, object]], note: str = ""
+    ) -> Dict[str, object]:
+        """Apply several mutations as ONE complex operation (§4.4):
+        one atomic flush, one record per surviving touched object."""
+        self._boundary()
+        if not ops:
+            raise ServiceError("batch needs at least one operation")
+        for op in ops:
+            if op.get("op") not in self._MUTATIONS:
+                raise ServiceError(
+                    f"batch supports {self._MUTATIONS}, got {op.get('op')!r}"
+                )
+        world = self.world(tenant_id)
+        with world.lock:
+            with world.session.complex_operation(note=note):
+                for op in ops:
+                    self._apply(
+                        world,
+                        str(op["op"]),
+                        str(op["object_id"]),
+                        op.get("value"),
+                        op.get("parent"),
+                        None,
+                        str(op.get("note", "")),
+                    )
+            records = world.session.last_records
+        return {
+            "tenant": tenant_id,
+            "ops": len(ops),
+            "records": [self._record_dict(r) for r in records],
+        }
+
+    def _apply(
+        self, world, op, object_id, value, parent, inputs, note
+    ) -> Tuple:
+        if op == "insert":
+            return world.session.insert(object_id, value, parent=parent, note=note)
+        if op == "update":
+            return world.session.update(object_id, value, note=note)
+        if op == "delete":
+            return world.session.delete(object_id, note=note)
+        if op == "aggregate":
+            if not inputs:
+                raise ServiceError("aggregate needs a non-empty inputs list")
+            return (world.session.aggregate(list(inputs), object_id, note=note),)
+        raise ServiceError(f"unknown operation {op!r}")
+
+    def verify(
+        self, tenant_id: str, object_id: str, workers: Optional[int] = None
+    ) -> Dict[str, object]:
+        """Verify one object as a recipient would; notarize the act.
+
+        The response carries only deterministic report fields (no audit
+        sequence numbers, no timings): under concurrent load the audit
+        chain's interleaving is scheduling-dependent, but this payload —
+        for a client whose objects are its own — is not.
+        """
+        self._boundary()
+        world = self.world(tenant_id)
+        with world.lock:
+            if object_id not in world.db.store:
+                raise UnknownObjectError(
+                    f"tenant {tenant_id!r} has no object {object_id!r}"
+                )
+            report = world.db.ship(object_id).verify(world.keystore, workers=workers)
+            self._append_audit(world, object_id, report)
+        if OBS.enabled:
+            OBS.registry.counter(
+                "service.verifications", ok=str(report.ok).lower()
+            ).inc()
+        return {
+            "tenant": tenant_id,
+            "object_id": object_id,
+            "ok": report.ok,
+            "records_checked": report.records_checked,
+            "objects_checked": report.objects_checked,
+            "failures": [str(f) for f in report.failures],
+            "failure_tally": report.failure_tally(),
+            "summary": report.summary(),
+        }
+
+    def _append_audit(self, world: TenantWorld, object_id: str, report) -> None:
+        """Append the VERIFY record to the tenant's audit chain."""
+        outcome = json.dumps(
+            {
+                "verify": object_id,
+                "ok": report.ok,
+                "records": report.records_checked,
+                "tally": report.failure_tally(),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        if AUDIT_OBJECT in world.db.store:
+            world.session.update(AUDIT_OBJECT, outcome, note="VERIFY")
+        else:
+            world.session.insert(AUDIT_OBJECT, outcome, note="VERIFY")
+
+    def lineage(self, tenant_id: str, object_id: str) -> Dict[str, object]:
+        """Lineage summary of one object (ancestry through aggregations)."""
+        self._boundary()
+        world = self.world(tenant_id)
+        with world.lock:
+            dag = world.db.dag()
+            if object_id not in world.store.object_ids():
+                raise UnknownObjectError(
+                    f"tenant {tenant_id!r} has no provenance for {object_id!r}"
+                )
+            summary = lineage_summary(dag, object_id)
+        return {
+            "tenant": tenant_id,
+            "object_id": object_id,
+            "records": summary.record_count,
+            "participants": list(summary.participants),
+            "sources": list(summary.sources),
+            "aggregations": summary.aggregations,
+            "linear": summary.linear,
+            "depth": summary.depth,
+        }
+
+    def provenance(self, tenant_id: str, object_id: str) -> Dict[str, object]:
+        """The object's own chain, as record dicts."""
+        self._boundary()
+        world = self.world(tenant_id)
+        with world.lock:
+            chain = world.store.records_for(object_id)
+            if not chain:
+                raise UnknownObjectError(
+                    f"tenant {tenant_id!r} has no provenance for {object_id!r}"
+                )
+        return {
+            "tenant": tenant_id,
+            "object_id": object_id,
+            "records": [self._record_dict(r) for r in chain],
+        }
+
+    def objects(self, tenant_id: str) -> Dict[str, object]:
+        """All object ids with provenance in this tenant's world."""
+        self._boundary()
+        world = self.world(tenant_id)
+        with world.lock:
+            ids = list(world.store.object_ids())
+        return {"tenant": tenant_id, "objects": ids}
+
+    @staticmethod
+    def _record_dict(record) -> Dict[str, object]:
+        return {
+            "object_id": record.object_id,
+            "seq_id": record.seq_id,
+            "participant": record.participant_id,
+            "operation": record.operation.value,
+            "inherited": record.inherited,
+            "checksum": record.checksum.hex(),
+        }
+
+    # ------------------------------------------------------------------
+    # health / recovery (control plane)
+    # ------------------------------------------------------------------
+
+    def healthz(self, full: bool = True) -> Tuple[Dict[str, object], bool]:
+        """One monitor pass over every tenant; returns (payload, tampered).
+
+        ``full=True`` matches ``repro monitor --once`` semantics — a
+        watermark-ignoring full audit whose anchors are still validated,
+        so behind-watermark edits and removals both surface.  ``full=
+        False`` is the cheap incremental tick for high-frequency probes.
+        """
+        tenants: Dict[str, Dict[str, object]] = {}
+        worst = "ok"
+        rank = {"ok": 0, "degraded": 1, "tampered": 2}
+        for tenant_id in self.tenant_ids():
+            world = self._worlds[tenant_id]
+            with world.lock:
+                monitor = world.monitor()
+                result = monitor.tick(full=full)
+                tenants[tenant_id] = {
+                    "health": result.health,
+                    "records": result.records_total,
+                    "verified": result.records_verified,
+                    "failure_tally": monitor.accumulated_tally(),
+                    "regressions": [list(r) for r in monitor.regressions],
+                    "alerts": [a.rule for a in result.alerts],
+                }
+            if rank[result.health] > rank[worst]:
+                worst = result.health
+        tampered = worst == "tampered"
+        payload = {"health": worst, "tenants": tenants}
+        if OBS.enabled:
+            OBS.registry.counter("service.healthz", health=worst).inc()
+        return payload, tampered
+
+    def recover(self) -> Dict[str, object]:
+        """Run crash recovery over every tenant store (restart surface)."""
+        from repro.faults.recovery import RecoveryScanner
+
+        reports: Dict[str, Dict[str, object]] = {}
+        for tenant_id in self.tenant_ids():
+            world = self._worlds[tenant_id]
+            with world.lock:
+                report = RecoveryScanner(world.store).recover()
+                reports[tenant_id] = report.to_dict()
+        return {"tenants": reports}
+
+    def close(self) -> None:
+        for tenant_id in self.tenant_ids():
+            self._worlds[tenant_id].close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ProvenanceService(tenants={len(self._worlds)}, "
+            f"seed={self.config.seed})"
+        )

@@ -1,0 +1,371 @@
+"""The stdlib HTTP front end for :class:`ProvenanceService`.
+
+A :class:`ProvenanceHTTPServer` is a ``ThreadingHTTPServer`` whose
+handler translates HTTP to :class:`~repro.service.core.ProvenanceService`
+calls and exceptions to status codes.  Responses are
+:func:`~repro.service.core.canonical_json` bytes — the byte-identity
+suite compares them verbatim against in-process results.
+
+Routes (all bodies and responses are JSON):
+
+====== ============================ =======================================
+POST   /v1/record                   apply one primitive (insert/update/
+                                    delete/aggregate) with provenance
+POST   /v1/batch                    several mutations as one complex op
+POST   /v1/verify                   verify an object; notarizes a VERIFY
+                                    record on the tenant's audit chain
+GET    /v1/objects                  object ids with provenance
+GET    /v1/provenance/<object_id>   the object's record chain
+GET    /v1/lineage/<object_id>      lineage summary (ancestry/DAG shape)
+GET    /healthz                     monitor pass over every tenant;
+                                    503 iff any tenant looks tampered
+                                    (``?quick=1`` = incremental tick)
+POST   /v1/admin/keys               mint an API key            (admin)
+DELETE /v1/admin/keys/<key_id>      revoke an API key          (admin)
+POST   /v1/admin/recover            run crash recovery         (admin)
+====== ============================ =======================================
+
+Authentication: ``Authorization: Bearer <token>`` (or ``X-Api-Key``).
+The tenant is *always* taken from the token's claims — no request names
+a tenant explicitly, so a key for tenant A cannot address tenant B's
+world at all.  Admin keys (tenant ``*``) work only on the admin routes;
+they carry no data-plane tenant, so even the operator's key cannot read
+tenant data through this surface.
+
+Status mapping (the chaos suite pins this down):
+
+- 401 missing/malformed/forged/expired key; 403 revoked key or missing
+  admin scope
+- 404 unknown object; 400 malformed request or a caller error from the
+  core (:class:`ReproError`)
+- 503 + ``Retry-After`` for *transient* store trouble (the same
+  ``TRANSIENT_STORE_ERRORS`` set the collector retries); the request is
+  safe to retry — faults fire before any store write
+- 500 for a simulated crash (:class:`CrashError`): the session has
+  already compensated the engine, and a torn batch is repaired by
+  recovery at restart
+
+Every request runs inside an event-log correlation scope, so the HTTP
+request, the collector flush it triggers, and the store batch commit
+share one correlation id (echoed as ``X-Correlation-Id``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from contextlib import nullcontext
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import perf_counter
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.core.collector import TRANSIENT_STORE_ERRORS
+from repro.exceptions import (
+    AuthError,
+    CrashError,
+    ForbiddenError,
+    ReproError,
+    ServiceError,
+    UnknownObjectError,
+)
+from repro.obs import OBS
+from repro.service.core import ProvenanceService, ServiceConfig, canonical_json
+
+__all__ = ["ProvenanceHTTPServer", "serve", "DEFAULT_RETRY_AFTER"]
+
+#: ``Retry-After`` seconds sent with 503s.  Fractional (the bundled
+#: client parses floats) so chaos tests stay fast; real deployments
+#: would round up.
+DEFAULT_RETRY_AFTER = 0.05
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Routes one HTTP request into the service core."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-provenance"
+
+    # BaseHTTPRequestHandler logs to stderr by default; the service
+    # narrates on the structured event log instead.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    @property
+    def service(self) -> ProvenanceService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    # verbs
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:
+        self._dispatch("DELETE")
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, method: str) -> None:
+        split = urlsplit(self.path)
+        route = split.path.rstrip("/") or "/"
+        query = parse_qs(split.query)
+        log = OBS.events
+        scope = log.correlation() if log is not None else nullcontext()
+        began = perf_counter()
+        endpoint = f"{method} {route.split('/v1/', 1)[-1].split('/')[0] or route}"
+        with scope:
+            corr = _current_correlation()
+            try:
+                status, payload, headers = self._route(method, route, query)
+            except (AuthError, ForbiddenError) as exc:
+                status, payload, headers = self._auth_failure(exc)
+            except UnknownObjectError as exc:
+                status, payload, headers = 404, {"error": _strip(exc)}, {}
+            except ServiceError as exc:
+                status, payload, headers = 400, {"error": str(exc)}, {}
+            except TRANSIENT_STORE_ERRORS as exc:
+                retry_after = self.server.retry_after  # type: ignore[attr-defined]
+                status = 503
+                payload = {"error": str(exc), "transient": True}
+                headers = {"Retry-After": f"{retry_after:g}"}
+            except CrashError as exc:
+                # CrashError is a BaseException: catch it here so a
+                # simulated crash fails the request, not the server.
+                status, payload, headers = 500, {"error": str(exc)}, {}
+            except ReproError as exc:
+                status, payload, headers = 400, {"error": str(exc)}, {}
+            except (ValueError, KeyError, TypeError) as exc:
+                status, payload, headers = 400, {"error": f"bad request: {exc}"}, {}
+            if log is not None:
+                log.emit(
+                    "http.request",
+                    method=method, path=route, status=status,
+                    duration=perf_counter() - began,
+                )
+        if OBS.enabled:
+            OBS.registry.counter(
+                "service.http.requests", endpoint=endpoint, status=str(status)
+            ).inc()
+            OBS.registry.histogram(
+                "service.http.seconds", endpoint=endpoint
+            ).observe(perf_counter() - began)
+        if corr:
+            headers = dict(headers)
+            headers["X-Correlation-Id"] = corr
+        self._respond(status, payload, headers)
+
+    def _route(
+        self, method: str, route: str, query: Dict[str, list]
+    ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
+        service = self.service
+        if route == "/healthz" and method == "GET":
+            quick = query.get("quick", ["0"])[0] not in ("0", "", "false")
+            payload, tampered = service.healthz(full=not quick)
+            return (503 if tampered else 200), payload, {}
+
+        if route.startswith("/v1/admin/"):
+            return self._route_admin(method, route)
+
+        claims = service.authority.validate(self._token())
+        if claims.tenant == "*":
+            raise ForbiddenError(
+                "admin keys carry no tenant and cannot access the data plane"
+            )
+        tenant = claims.tenant
+
+        if route == "/v1/record" and method == "POST":
+            body = self._body()
+            return 200, service.record(
+                tenant,
+                str(body["op"]),
+                str(body["object_id"]),
+                value=body.get("value"),
+                parent=body.get("parent"),
+                inputs=body.get("inputs"),
+                note=str(body.get("note", "")),
+            ), {}
+        if route == "/v1/batch" and method == "POST":
+            body = self._body()
+            return 200, service.batch(
+                tenant, body["ops"], note=str(body.get("note", ""))
+            ), {}
+        if route == "/v1/verify" and method == "POST":
+            body = self._body()
+            workers = body.get("workers")
+            return 200, service.verify(
+                tenant,
+                str(body["object_id"]),
+                workers=None if workers is None else int(workers),
+            ), {}
+        if route == "/v1/objects" and method == "GET":
+            return 200, service.objects(tenant), {}
+        if route.startswith("/v1/provenance/") and method == "GET":
+            object_id = route[len("/v1/provenance/"):]
+            return 200, service.provenance(tenant, object_id), {}
+        if route.startswith("/v1/lineage/") and method == "GET":
+            object_id = route[len("/v1/lineage/"):]
+            return 200, service.lineage(tenant, object_id), {}
+        raise ServiceError(f"no route for {method} {route}")
+
+    def _route_admin(
+        self, method: str, route: str
+    ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
+        service = self.service
+        service.authority.require_admin(self._token())
+        if route == "/v1/admin/keys" and method == "POST":
+            body = self._body()
+            tenant = str(body["tenant"])
+            ttl = body.get("ttl")
+            token = service.authority.issue(
+                tenant,
+                scopes=tuple(str(s) for s in body.get("scopes", ())),
+                ttl=None if ttl is None else float(ttl),
+            )
+            claims = service.authority.decode_claims(token)
+            return 200, {"token": token, "key_id": claims.key_id,
+                         "tenant": tenant}, {}
+        if route.startswith("/v1/admin/keys/") and method == "DELETE":
+            key_id = route[len("/v1/admin/keys/"):]
+            revoked = service.authority.revoke(key_id)
+            return 200, {"key_id": key_id, "revoked": revoked}, {}
+        if route == "/v1/admin/recover" and method == "POST":
+            return 200, service.recover(), {}
+        raise ServiceError(f"no admin route for {method} {route}")
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def _token(self) -> Optional[str]:
+        auth = self.headers.get("Authorization")
+        if auth:
+            parts = auth.split(None, 1)
+            if len(parts) == 2 and parts[0].lower() == "bearer":
+                return parts[1].strip()
+            raise AuthError("Authorization header is not a Bearer token")
+        return self.headers.get("X-Api-Key")
+
+    def _body(self) -> Dict[str, object]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ServiceError("request body is required")
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(body, dict):
+            raise ServiceError("request body must be a JSON object")
+        return body
+
+    @staticmethod
+    def _auth_failure(exc) -> Tuple[int, Dict[str, object], Dict[str, str]]:
+        if isinstance(exc, ForbiddenError):
+            return 403, {"error": _strip(exc)}, {}
+        return 401, {"error": _strip(exc)}, {"WWW-Authenticate": "Bearer"}
+
+    def _respond(
+        self, status: int, payload: Dict[str, object], headers: Dict[str, str]
+    ) -> None:
+        body = canonical_json(payload)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in headers.items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            pass
+
+
+def _strip(exc: BaseException) -> str:
+    # UnknownObjectError subclasses KeyError, whose str() adds quotes.
+    return str(exc).strip("'\"")
+
+
+def _current_correlation() -> Optional[str]:
+    from repro.obs.events import current_correlation
+
+    return current_correlation()
+
+
+class ProvenanceHTTPServer(ThreadingHTTPServer):
+    """The provenance service bound to a socket.
+
+    ``port=0`` picks a free port (tests).  :meth:`start_background` runs
+    ``serve_forever`` on a daemon thread and returns once the socket is
+    accepting, so tests and the load harness can connect immediately.
+    """
+
+    daemon_threads = True
+    #: The socketserver default backlog of 5 drops connections under the
+    #: load harness's 32-thread bursts ("connection reset by peer").
+    request_queue_size = 128
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        service: Optional[ProvenanceService] = None,
+        retry_after: float = DEFAULT_RETRY_AFTER,
+    ):
+        self.service = service if service is not None else ProvenanceService(
+            config if config is not None else ServiceConfig()
+        )
+        self.retry_after = retry_after
+        self._thread: Optional[threading.Thread] = None
+        super().__init__((host, port), _RequestHandler)
+
+    @property
+    def base_url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start_background(self) -> "ProvenanceHTTPServer":
+        thread = threading.Thread(
+            target=self.serve_forever,
+            name="repro-service",
+            daemon=True,
+            kwargs={"poll_interval": 0.05},
+        )
+        thread.start()
+        self._thread = thread
+        return self
+
+    def stop(self) -> None:
+        self.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.server_close()
+        self.service.close()
+
+
+def serve(
+    config: Optional[ServiceConfig] = None,
+    host: str = "127.0.0.1",
+    port: int = 8734,
+    retry_after: float = DEFAULT_RETRY_AFTER,
+) -> ProvenanceHTTPServer:
+    """Build a server and run it in the foreground (CLI entry point)."""
+    server = ProvenanceHTTPServer(
+        config=config, host=host, port=port, retry_after=retry_after
+    )
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        server.service.close()
+    return server

@@ -1,0 +1,186 @@
+"""Auth negative tests: every way a key can be wrong, and tenant isolation.
+
+The contract under test (ISSUE satellite): missing, expired, and forged
+keys are rejected with 401; revoked keys and scope violations with 403;
+and an API key for tenant A can never read or write tenant B — not by
+filtering, but because the tenant is only ever taken from the key's own
+claims.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.pki import CertificateAuthority
+from repro.exceptions import AuthError, ForbiddenError
+from repro.service import ServiceClient, ServiceHTTPError
+from repro.service.auth import ApiKeyAuthority, TOKEN_PREFIX, _b64d, _b64e
+
+from tests.service.conftest import TEST_KEY_BITS
+
+
+def make_authority(clock=None, seed=99):
+    ca = CertificateAuthority(
+        name="test-auth-ca", key_bits=TEST_KEY_BITS, rng=random.Random(seed)
+    )
+    if clock is None:
+        return ApiKeyAuthority(ca)
+    return ApiKeyAuthority(ca, clock=clock)
+
+
+class TestAuthorityUnit:
+    def test_roundtrip(self):
+        authority = make_authority()
+        token = authority.issue("acme", scopes=("read",))
+        claims = authority.validate(token)
+        assert claims.tenant == "acme"
+        assert claims.scopes == ("read",)
+        assert claims.key_id == "k1"
+        assert not claims.is_admin
+
+    def test_missing_and_malformed(self):
+        authority = make_authority()
+        for bad in (None, "", "garbage", "rpk1.onlytwo", "a.b.c.d",
+                    "nope." + "x" * 10 + ".sig"):
+            with pytest.raises(AuthError):
+                authority.validate(bad)
+
+    def test_forged_signature(self):
+        authority = make_authority()
+        token = authority.issue("acme")
+        head, payload, _sig = token.split(".")
+        with pytest.raises(AuthError, match="signature"):
+            authority.validate(f"{head}.{payload}.{_b64e(b'not-a-signature')}")
+
+    def test_tampered_payload_breaks_signature(self):
+        authority = make_authority()
+        token = authority.issue("acme")
+        head, payload, sig = token.split(".")
+        swapped = _b64d(payload).replace(b'"acme"', b'"evil"')
+        with pytest.raises(AuthError, match="signature"):
+            authority.validate(f"{head}.{_b64e(swapped)}.{sig}")
+
+    def test_foreign_ca_token_rejected(self):
+        ours, theirs = make_authority(seed=1), make_authority(seed=2)
+        with pytest.raises(AuthError):
+            ours.validate(theirs.issue("acme"))
+
+    def test_expiry_uses_injected_clock(self):
+        now = [1000.0]
+        authority = make_authority(clock=lambda: now[0])
+        token = authority.issue("acme", ttl=60)
+        assert authority.validate(token).tenant == "acme"
+        now[0] = 1060.0  # exactly the deadline: expired (>= is closed)
+        with pytest.raises(AuthError, match="expired"):
+            authority.validate(token)
+
+    def test_non_positive_ttl_is_born_expired(self):
+        authority = make_authority()
+        with pytest.raises(AuthError, match="expired"):
+            authority.validate(authority.issue("acme", ttl=0))
+
+    def test_revocation_fails_closed(self):
+        authority = make_authority()
+        token = authority.issue("acme")
+        key_id = authority.validate(token).key_id
+        assert authority.revoke(key_id)
+        assert authority.is_revoked(key_id)
+        with pytest.raises(ForbiddenError, match="revoked"):
+            authority.validate(token)
+        # Revoking twice (or an unknown id) is a no-op, never an un-revoke.
+        assert not authority.revoke(key_id)
+        assert not authority.revoke("k999")
+        with pytest.raises(ForbiddenError):
+            authority.validate(token)
+
+    def test_admin_scope_required(self):
+        authority = make_authority()
+        plain = authority.issue("acme")
+        with pytest.raises(ForbiddenError, match="scope"):
+            authority.require_admin(plain)
+        assert authority.require_admin(authority.issue_admin()).is_admin
+
+    def test_token_cannot_be_replayed_as_certificate(self):
+        # The signed bytes are domain-separated: an API token's signature
+        # must not verify over any other payload framing.
+        authority = make_authority()
+        token = authority.issue("acme")
+        _head, payload, sig = token.split(".")
+        assert not authority.ca.verify_token(_b64d(payload), _b64d(sig))
+        assert authority.ca.verify_token(
+            TOKEN_PREFIX.encode() + b"\x1f" + _b64d(payload), _b64d(sig)
+        )
+
+
+class TestHTTPAuth:
+    def status_of(self, client: ServiceClient, call):
+        with pytest.raises(ServiceHTTPError) as excinfo:
+            call(client)
+        return excinfo.value.status
+
+    def test_missing_key_is_401(self, server):
+        anon = ServiceClient(server.base_url)
+        assert self.status_of(anon, lambda c: c.objects()) == 401
+
+    def test_forged_key_is_401(self, server):
+        forged = ServiceClient(
+            server.base_url,
+            token=f"{TOKEN_PREFIX}.{_b64e(b'{}')}.{_b64e(b'sig')}",
+        )
+        assert self.status_of(forged, lambda c: c.objects()) == 401
+
+    def test_expired_key_is_401(self, server, admin):
+        expired = admin.issue_key("acme", ttl=-1)["token"]
+        client = ServiceClient(server.base_url, token=expired)
+        assert self.status_of(client, lambda c: c.insert("doc", 1)) == 401
+
+    def test_revoked_key_is_403(self, server, admin, tenant_client):
+        issued = admin.issue_key("acme")
+        client = ServiceClient(server.base_url, token=issued["token"])
+        client.insert("doc", 1)
+        admin.revoke_key(issued["key_id"])
+        assert self.status_of(client, lambda c: c.update("doc", 2)) == 403
+        # The world itself is untouched — a fresh key still sees the data.
+        fresh = tenant_client("acme")
+        assert "doc" in fresh.objects()["objects"]
+
+    def test_admin_routes_need_admin_scope(self, server, tenant_client):
+        plain = tenant_client("acme")
+        assert self.status_of(plain, lambda c: c.issue_key("x")) == 403
+        assert self.status_of(plain, lambda c: c.revoke_key("k1")) == 403
+        assert self.status_of(plain, lambda c: c.recover()) == 403
+
+    def test_admin_key_cannot_touch_the_data_plane(self, admin):
+        assert self.status_of(admin, lambda c: c.objects()) == 403
+        assert self.status_of(admin, lambda c: c.insert("doc", 1)) == 403
+
+    def test_tenant_cannot_read_or_write_another_tenant(self, tenant_client):
+        a, b = tenant_client("tenant-a"), tenant_client("tenant-b")
+        a.insert("secret", "a-only")
+        # B sees an empty world, not A's objects...
+        assert b.objects()["objects"] == []
+        # ...cannot read A's provenance or lineage (404: *its* world has
+        # no such object — existence is not even revealed)...
+        assert self.status_of(b, lambda c: c.provenance("secret")) == 404
+        assert self.status_of(b, lambda c: c.verify("secret")) == 404
+        # ...and writing the same id lands in B's world, leaving A's
+        # chain untouched.
+        b.insert("secret", "b-version")
+        chain_a = a.provenance("secret")["records"]
+        chain_b = b.provenance("secret")["records"]
+        assert [r["seq_id"] for r in chain_a] == [0]
+        assert chain_a[0]["checksum"] != chain_b[0]["checksum"]
+        assert chain_a[0]["participant"] == "svc:tenant-a"
+        assert chain_b[0]["participant"] == "svc:tenant-b"
+
+    def test_www_authenticate_header_on_401(self, server):
+        anon = ServiceClient(server.base_url)
+        response = anon.request("GET", "/v1/objects", raise_for_status=False)
+        assert response.status == 401
+        assert response.headers.get("WWW-Authenticate") == "Bearer"
+
+    def test_healthz_needs_no_key(self, server):
+        anon = ServiceClient(server.base_url)
+        assert anon.healthz().status == 200
