@@ -76,6 +76,9 @@ class FaultyStore:
             rule, index = fired
             if rule.kind is FaultKind.TORN:
                 keep = self.plan.torn_keep(rule, index, len(batch))
+                # An int for single stores, a tuple of per-shard ids for
+                # sharded ones; informational only — recovery finds every
+                # torn sub-batch by walking journal().
                 batch_id = self.inner.begin_torn_batch(batch, keep)
                 raise CrashError(
                     f"simulated crash tore batch {batch_id} at "
@@ -130,7 +133,9 @@ class FaultyStore:
     def journal(self) -> Tuple[BatchJournalEntry, ...]:
         return self.inner.journal()
 
-    def begin_torn_batch(self, records: Iterable[ProvenanceRecord], keep: int) -> int:
+    def begin_torn_batch(self, records: Iterable[ProvenanceRecord], keep: int):
+        # Passes the inner store's batch id(s) through unchanged (an int
+        # for single stores, a tuple for sharded ones).
         return self.inner.begin_torn_batch(records, keep)
 
     def discard(self, object_id: str, seq_id: int) -> bool:

@@ -169,9 +169,17 @@ class ShardedProvenanceStore:
         entries.sort(key=lambda entry: entry.batch_id)
         return tuple(entries)
 
-    def begin_torn_batch(self, records: Iterable[ProvenanceRecord], keep: int) -> int:
+    def begin_torn_batch(
+        self, records: Iterable[ProvenanceRecord], keep: int
+    ) -> Tuple[int, ...]:
         """Tear a batch across shards: each shard keeps its records that
-        fall inside the global ``keep`` prefix, as one torn sub-batch."""
+        fall inside the global ``keep`` prefix, as one torn sub-batch.
+
+        Returns the encoded batch id of *every* torn sub-batch (one per
+        affected shard; empty for an empty batch) — resolving only one of
+        them would leave the others torn, and recovery walks
+        :meth:`journal` rather than trusting any single id.
+        """
         batch = list(records)
         _check_batch(batch, self._tail)
         keep = max(0, min(len(batch), keep))
@@ -181,7 +189,7 @@ class ShardedProvenanceStore:
             shard_keep = sum(1 for record in group if record.key in kept_keys)
             inner = self.shards[pos].begin_torn_batch(group, shard_keep)
             torn_ids.append(self._encode_batch_id(pos, inner))
-        return torn_ids[0]
+        return tuple(torn_ids)
 
     def discard(self, object_id: str, seq_id: int) -> bool:
         return self._shard_for(object_id).discard(object_id, seq_id)
@@ -236,13 +244,23 @@ def tenant_store_paths(root: str, tenant_id: str, shards: int) -> List[str]:
 
     Tenant ids become directory names; anything outside a conservative
     safe set is percent-escaped so a hostile tenant id cannot traverse
-    out of the store root.
+    out of the store root.  ``.`` is deliberately *not* in the safe set:
+    leaving it unescaped would pass ``.`` and ``..`` through verbatim and
+    resolve shard files into (or above) the root itself.  ``%`` is always
+    escaped, so the mapping is injective — two distinct tenant ids can
+    never collide on one directory.
     """
     safe = "".join(
-        ch if ch.isalnum() or ch in "-_." else f"%{ord(ch):02x}"
+        ch if ch.isalnum() or ch in "-_" else f"%{ord(ch):02x}"
         for ch in tenant_id
     )
     tenant_dir = os.path.join(root, safe)
+    real_root = os.path.realpath(root)
+    real_dir = os.path.realpath(tenant_dir)
+    if real_dir == real_root or not real_dir.startswith(real_root + os.sep):
+        raise ProvenanceError(
+            f"tenant id {tenant_id!r} escapes the store root {root!r}"
+        )
     return [
         os.path.join(tenant_dir, f"shard-{k}.sqlite") for k in range(shards)
     ]

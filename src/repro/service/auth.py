@@ -132,14 +132,16 @@ class ApiKeyAuthority:
         ``ttl`` is seconds from now (``None`` = no expiry; a non-positive
         ttl mints an already-expired token, which the negative tests use).
         """
+        expires = None if ttl is None else self.clock() + ttl
+        # One lock acquisition for allocation AND registration, so
+        # issued_keys() can never observe an allocated-but-unrecorded id.
         with self._lock:
             key_id = f"k{self._next_key}"
             self._next_key += 1
-        expires = None if ttl is None else self.clock() + ttl
-        claims = ApiKeyClaims(
-            key_id=key_id, tenant=tenant, scopes=tuple(scopes), expires=expires
-        )
-        with self._lock:
+            claims = ApiKeyClaims(
+                key_id=key_id, tenant=tenant, scopes=tuple(scopes),
+                expires=expires,
+            )
             self._issued[key_id] = claims
         return self._encode(claims)
 
@@ -223,12 +225,18 @@ class ApiKeyAuthority:
     # ------------------------------------------------------------------
 
     def revoke(self, key_id: str) -> bool:
-        """Revoke a key id; True if it was issued and not already revoked."""
+        """Revoke a key id; True if it was issued and not already revoked.
+
+        Never-issued ids are ignored (False) rather than recorded —
+        otherwise repeated revocations of garbage ids would grow the
+        revocation set without bound.
+        """
         with self._lock:
-            known = key_id in self._issued
+            if key_id not in self._issued:
+                return False
             already = key_id in self._revoked
             self._revoked.add(key_id)
-            return known and not already
+            return not already
 
     def issued_keys(self) -> Tuple[ApiKeyClaims, ...]:
         """Claims of every issued key, in issue order."""

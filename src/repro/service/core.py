@@ -255,9 +255,15 @@ class ProvenanceService:
         """Apply several mutations as ONE complex operation (§4.4):
         one atomic flush, one record per surviving touched object."""
         self._boundary()
+        if isinstance(ops, (str, bytes, dict)) or not isinstance(ops, Sequence):
+            raise ServiceError("batch ops must be a list of operation objects")
         if not ops:
             raise ServiceError("batch needs at least one operation")
         for op in ops:
+            if not isinstance(op, dict):
+                raise ServiceError(
+                    f"each batch operation must be an object, got {type(op).__name__}"
+                )
             if op.get("op") not in self._MUTATIONS:
                 raise ServiceError(
                     f"batch supports {self._MUTATIONS}, got {op.get('op')!r}"
@@ -409,14 +415,27 @@ class ProvenanceService:
     # health / recovery (control plane)
     # ------------------------------------------------------------------
 
-    def healthz(self, full: bool = True) -> Tuple[Dict[str, object], bool]:
+    def healthz(
+        self,
+        full: bool = True,
+        include: Optional[Sequence[str]] = None,
+    ) -> Tuple[Dict[str, object], bool]:
         """One monitor pass over every tenant; returns (payload, tampered).
 
         ``full=True`` matches ``repro monitor --once`` semantics — a
         watermark-ignoring full audit whose anchors are still validated,
         so behind-watermark edits and removals both surface.  ``full=
         False`` is the cheap incremental tick for high-frequency probes.
+
+        The aggregate ``health`` always covers *every* tenant, but the
+        per-tenant breakdown is restricted to ``include`` (``None`` =
+        all tenants; an empty sequence = aggregate only).  The HTTP
+        layer uses this to keep the tenant list — record counts, alerts,
+        tenant ids themselves — away from callers whose key does not
+        entitle them to it; in the mutually-distrusting threat model the
+        customer list is itself sensitive.
         """
+        visible = None if include is None else frozenset(include)
         tenants: Dict[str, Dict[str, object]] = {}
         worst = "ok"
         rank = {"ok": 0, "degraded": 1, "tampered": 2}
@@ -425,18 +444,21 @@ class ProvenanceService:
             with world.lock:
                 monitor = world.monitor()
                 result = monitor.tick(full=full)
-                tenants[tenant_id] = {
-                    "health": result.health,
-                    "records": result.records_total,
-                    "verified": result.records_verified,
-                    "failure_tally": monitor.accumulated_tally(),
-                    "regressions": [list(r) for r in monitor.regressions],
-                    "alerts": [a.rule for a in result.alerts],
-                }
+                if visible is None or tenant_id in visible:
+                    tenants[tenant_id] = {
+                        "health": result.health,
+                        "records": result.records_total,
+                        "verified": result.records_verified,
+                        "failure_tally": monitor.accumulated_tally(),
+                        "regressions": [list(r) for r in monitor.regressions],
+                        "alerts": [a.rule for a in result.alerts],
+                    }
             if rank[result.health] > rank[worst]:
                 worst = result.health
         tampered = worst == "tampered"
-        payload = {"health": worst, "tenants": tenants}
+        payload: Dict[str, object] = {"health": worst}
+        if visible is None or visible:
+            payload["tenants"] = tenants
         if OBS.enabled:
             OBS.registry.counter("service.healthz", health=worst).inc()
         return payload, tampered

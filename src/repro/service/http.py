@@ -19,7 +19,12 @@ GET    /v1/provenance/<object_id>   the object's record chain
 GET    /v1/lineage/<object_id>      lineage summary (ancestry/DAG shape)
 GET    /healthz                     monitor pass over every tenant;
                                     503 iff any tenant looks tampered
-                                    (``?quick=1`` = incremental tick)
+                                    (``?quick=1`` = incremental tick).
+                                    Unauthenticated: aggregate health
+                                    only, always the quick tick.  A
+                                    tenant key adds that tenant's
+                                    breakdown; an admin key, all
+                                    tenants'.
 POST   /v1/admin/keys               mint an API key            (admin)
 DELETE /v1/admin/keys/<key_id>      revoke an API key          (admin)
 POST   /v1/admin/recover            run crash recovery         (admin)
@@ -43,7 +48,9 @@ Status mapping (the chaos suite pins this down):
   safe to retry — faults fire before any store write
 - 500 for a simulated crash (:class:`CrashError`): the session has
   already compensated the engine, and a torn batch is repaired by
-  recovery at restart
+  recovery at restart.  Any unanticipated exception is also a 500 —
+  the handler always sends *some* response rather than dropping the
+  connection
 
 Every request runs inside an event-log correlation scope, so the HTTP
 request, the collector flush it triggers, and the store batch commit
@@ -141,8 +148,13 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 status, payload, headers = 500, {"error": str(exc)}, {}
             except ReproError as exc:
                 status, payload, headers = 400, {"error": str(exc)}, {}
-            except (ValueError, KeyError, TypeError) as exc:
+            except (ValueError, KeyError, TypeError, AttributeError) as exc:
                 status, payload, headers = 400, {"error": f"bad request: {exc}"}, {}
+            except Exception as exc:  # noqa: BLE001 — always answer
+                # Anything unanticipated must still produce an HTTP
+                # response; a silent connection drop looks like a network
+                # fault to the client and hides the real error.
+                status, payload, headers = 500, {"error": f"internal error: {exc}"}, {}
             if log is not None:
                 log.emit(
                     "http.request",
@@ -167,7 +179,20 @@ class _RequestHandler(BaseHTTPRequestHandler):
         service = self.service
         if route == "/healthz" and method == "GET":
             quick = query.get("quick", ["0"])[0] not in ("0", "", "false")
-            payload, tampered = service.healthz(full=not quick)
+            token = self._token()
+            if token is None:
+                # Unauthenticated probes (load balancers) get the 200/503
+                # aggregate only — no tenant ids, counts, or alerts — and
+                # always the cheap incremental tick, so an anonymous
+                # caller can neither enumerate the customer list nor make
+                # the service burn a full signature audit per request.
+                payload, tampered = service.healthz(full=False, include=())
+            else:
+                claims = service.authority.validate(token)
+                include = None if claims.is_admin else (claims.tenant,)
+                payload, tampered = service.healthz(
+                    full=not quick, include=include
+                )
             return (503 if tampered else 200), payload, {}
 
         if route.startswith("/v1/admin/"):

@@ -127,15 +127,22 @@ class TestCrashSurface:
     def test_torn_batch_splits_global_prefix_per_shard(self):
         store = make_store()
         batch = [record_for(oid, 0, Operation.INSERT) for oid in OBJECTS[:8]]
-        store.begin_torn_batch(batch, keep=3)
+        torn_ids = store.begin_torn_batch(batch, keep=3)
         # Exactly the first 3 records of the *global* batch survive,
         # regardless of which shard each landed on.
         surviving = {r.object_id for r in store.all_records()}
         assert surviving == {r.object_id for r in batch[:3]}
         # Every shard that received records left an uncommitted journal
-        # entry for the recovery scanner.
+        # entry for the recovery scanner...
         journal = store.journal()
         assert journal and all(not entry.committed for entry in journal)
+        # ...and the returned ids name every torn sub-batch, not just one.
+        assert sorted(torn_ids) == sorted(entry.batch_id for entry in journal)
+
+    def test_torn_empty_batch_returns_no_ids(self):
+        store = make_store()
+        assert store.begin_torn_batch([], keep=0) == ()
+        assert store.journal() == ()
 
     def test_resolve_torn_routes_by_encoded_id(self):
         store = make_store()
@@ -181,6 +188,38 @@ class TestTenantLayout:
         for path in paths:
             assert os.path.realpath(path).startswith(str(tmp_path))
             assert "/evil/" not in path
+
+    @pytest.mark.parametrize("hostile", [".", "..", "...", "./..", "a/../.."])
+    def test_dot_tenant_ids_cannot_escape_the_root(self, tmp_path, hostile):
+        """Regression: '.' used to be in the safe set, so tenant '..'
+        resolved its shard files into the PARENT of the store root."""
+        root = tmp_path / "store"
+        root.mkdir()
+        paths = tenant_store_paths(str(root), hostile, 2)
+        real_root = os.path.realpath(str(root))
+        for path in paths:
+            parent = os.path.dirname(os.path.realpath(path))
+            assert parent.startswith(real_root + os.sep)
+            assert parent != real_root  # never dumps shards into the root
+
+    def test_dot_tenant_ids_get_distinct_directories(self, tmp_path):
+        dirs = {
+            os.path.dirname(tenant_store_paths(str(tmp_path), t, 1)[0])
+            for t in (".", "..", "...", "%2e")
+        }
+        assert len(dirs) == 4
+
+    def test_open_tenant_store_dot_tenant_stays_inside_root(self, tmp_path):
+        root = tmp_path / "store"
+        root.mkdir()
+        store = open_tenant_store(str(root), "..", shards=1)
+        try:
+            store.append(record_for("A", 0, Operation.INSERT))
+        finally:
+            store.close()
+        # Nothing was created outside (or directly inside) the root.
+        assert sorted(os.listdir(tmp_path)) == ["store"]
+        assert os.listdir(root) == ["%2e%2e"]
 
     def test_open_tenant_store_memory_vs_sqlite(self, tmp_path):
         memory = open_tenant_store(None, "t1", shards=3)

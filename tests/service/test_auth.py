@@ -95,6 +95,13 @@ class TestAuthorityUnit:
         with pytest.raises(ForbiddenError):
             authority.validate(token)
 
+    def test_revoking_never_issued_ids_does_not_grow_the_set(self):
+        authority = make_authority()
+        for i in range(100):
+            assert not authority.revoke(f"garbage-{i}")
+            assert not authority.is_revoked(f"garbage-{i}")
+        assert not authority._revoked
+
     def test_admin_scope_required(self):
         authority = make_authority()
         plain = authority.issue("acme")
@@ -181,6 +188,18 @@ class TestHTTPAuth:
         assert response.status == 401
         assert response.headers.get("WWW-Authenticate") == "Bearer"
 
-    def test_healthz_needs_no_key(self, server):
+    def test_healthz_needs_no_key_but_withholds_the_tenant_list(
+        self, server, tenant_client
+    ):
+        tenant_client("acme").insert("doc", 1)
         anon = ServiceClient(server.base_url)
-        assert anon.healthz().status == 200
+        response = anon.healthz()
+        assert response.status == 200
+        assert "tenants" not in response.json
+
+    def test_healthz_rejects_an_invalid_key_outright(self, server, admin):
+        # Sending a bad token is an auth failure, not anonymous access.
+        expired = admin.issue_key("acme", ttl=-1)["token"]
+        for bad in ("garbage", expired):
+            client = ServiceClient(server.base_url, token=bad)
+            assert client.healthz().status == 401

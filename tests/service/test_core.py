@@ -48,6 +48,11 @@ class TestOperations:
                 {"op": "aggregate", "object_id": "x", "inputs": ["a"]},
             ])
 
+    def test_batch_rejects_non_dict_ops(self, service):
+        for bad in (["nope"], [42], [None], "nope", {"op": "insert"}, 7):
+            with pytest.raises(ServiceError):
+                service.batch("acme", bad)
+
     def test_aggregate_builds_lineage(self, service):
         service.record("acme", "insert", "a", value=1)
         service.record("acme", "insert", "b", value=2)

@@ -33,6 +33,19 @@ class TestRouting:
         assert out["ops"] == 2
         assert {r["object_id"] for r in out["records"]} == {"x", "y"}
 
+    def test_malformed_batch_ops_is_400_not_a_dropped_connection(
+        self, tenant_client
+    ):
+        """Regression: non-dict ops used to raise AttributeError past the
+        handled set, killing the connection with no HTTP response."""
+        c = tenant_client("acme")
+        for ops in (["nope"], [42], [None], "nope", {"op": "insert"}, 7):
+            response = c.request(
+                "POST", "/v1/batch", {"ops": ops}, raise_for_status=False
+            )
+            assert response.status == 400
+            assert "error" in response.json
+
     def test_unknown_object_is_404(self, tenant_client):
         c = tenant_client("acme")
         for call in (
@@ -98,18 +111,29 @@ class TestRouting:
 
 
 class TestHealthz:
-    def test_clean_service_is_200(self, tenant_client, server):
+    def test_clean_service_is_200(self, tenant_client, server, admin):
         tenant_client("acme").insert("doc", 1)
         anon = ServiceClient(server.base_url)
         response = anon.healthz()
         assert response.status == 200
-        assert response.json["tenants"]["acme"]["health"] == "ok"
+        # Unauthenticated: the aggregate verdict and nothing else — the
+        # tenant list is itself sensitive in this threat model.
+        assert response.json == {"health": "ok"}
+        detail = admin.healthz()
+        assert detail.json["tenants"]["acme"]["health"] == "ok"
+
+    def test_tenant_key_sees_only_its_own_breakdown(self, tenant_client, admin):
+        tenant_client("acme").insert("doc", 1)
+        tenant_client("other").insert("doc", 1)
+        payload = tenant_client("acme").healthz().json
+        assert set(payload["tenants"]) == {"acme"}
+        assert set(admin.healthz().json["tenants"]) == {"acme", "other"}
 
     def test_quick_mode_ticks_incrementally(self, tenant_client, server):
         c = tenant_client("acme")
         c.insert("doc", 1)
         anon = ServiceClient(server.base_url)
-        assert anon.healthz().status == 200       # full pass, sets watermarks
+        assert anon.healthz().status == 200       # quick pass (cold first)
         assert anon.healthz(quick=True).status == 200
 
     def test_tampered_tenant_turns_healthz_503(self, tenant_client, server):
@@ -124,7 +148,9 @@ class TestHealthz:
         )
         response = ServiceClient(server.base_url).healthz()
         assert response.status == 503
-        assert response.json["health"] == "tampered"
+        assert response.json == {"health": "tampered"}
+        # The authenticated owner sees the diagnosis.
+        assert c.healthz().json["tenants"]["acme"]["health"] == "tampered"
 
 
 class TestObservability:
