@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Custody hand-off and witness-anchoring overhead vs the solo baseline.
+
+Usage::
+
+    python benchmarks/bench_trust.py [--objects 200] [--updates 3]
+                                     [--handoffs 2] [--runs 3]
+                                     [--json PATH] [--quick]
+
+Builds a three-custodian world whose chains carry dual-signed
+``TRANSFER`` records, then times three guarded arms: appending a
+hand-off vs a plain update (**guarded at <= 5x** — a transfer is two
+RSA signatures where an update is one), per-record chain verification
+of the hand-off world vs a solo world (**guarded at <= 3x**), and a
+witness anchoring tick vs the already-anchored idle tick (**guarded at
+>= 10x** faster).  The process exits non-zero when any guard fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.experiments import run_trust_bench
+from repro.bench.history import with_meta
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--objects", type=int, default=200,
+                        help="objects in each world (default 200)")
+    parser.add_argument("--updates", type=int, default=3,
+                        help="updates per object before any hand-off")
+    parser.add_argument("--handoffs", type=int, default=2,
+                        help="TRANSFER records per object (default 2)")
+    parser.add_argument("--append-batch", type=int, default=50,
+                        help="records per timed append batch (default 50)")
+    parser.add_argument("--runs", type=int, default=3,
+                        help="timing repetitions; best-of is reported")
+    parser.add_argument("--key-bits", type=int, default=512,
+                        help="RSA modulus bits for the signing world")
+    parser.add_argument("--max-handoff-cost", type=float, default=5.0,
+                        help="hand-off append guard (default 5x an update)")
+    parser.add_argument("--max-verify-overhead", type=float, default=3.0,
+                        help="per-record verify guard (default 3x solo)")
+    parser.add_argument("--idle-tick-floor", type=float, default=10.0,
+                        help="idle witness tick speedup guard (default 10x)")
+    parser.add_argument("--json", default=None,
+                        help="where to write the metrics (default "
+                             "BENCH_trust.json, or skipped under "
+                             "--quick; '-' to skip)")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny everything, for smoke-testing")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.objects, args.updates, args.runs = 30, 1, 1
+        args.append_batch = 10
+    if args.json is None:
+        # Quick smoke runs must not clobber the committed full-scale numbers.
+        args.json = "-" if args.quick else "BENCH_trust.json"
+
+    result = run_trust_bench(
+        n_objects=args.objects,
+        updates_per_object=args.updates,
+        handoffs_per_object=args.handoffs,
+        append_batch=args.append_batch,
+        key_bits=args.key_bits,
+        runs=args.runs,
+        max_handoff_cost=args.max_handoff_cost,
+        max_verify_overhead=args.max_verify_overhead,
+        idle_tick_floor=args.idle_tick_floor,
+    )
+    print(result.render())
+    if args.json != "-":
+        with open(args.json, "w") as fh:
+            json.dump(with_meta(result.metrics), fh, indent=2)
+        print(f"\nmetrics written to {args.json}")
+    if not result.metrics["guard"]["ok"]:
+        print("error: trust benchmark guard FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

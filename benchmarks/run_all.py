@@ -39,6 +39,7 @@ from repro.bench.experiments import (
     run_service_bench,
     run_streaming,
     run_table1b,
+    run_trust_bench,
 )
 
 
@@ -160,6 +161,13 @@ def main(argv=None) -> int:
     )
     print(service.render(), "\n")
 
+    trust = run_trust_bench(
+        n_objects=min(throughput_objects, 200),
+        runs=args.runs,
+        key_bits=512,
+    )
+    print(trust.render(), "\n")
+
     print(f"total wall time: {time.perf_counter() - started:.1f} s")
 
     if args.history != "-":
@@ -181,6 +189,7 @@ def main(argv=None) -> int:
         flat.update(flatten_metrics(overhead.metrics, prefix="obs."))
         flat.update(flatten_metrics(monitor.metrics, prefix="monitor."))
         flat.update(flatten_metrics(service.metrics, prefix="service."))
+        flat.update(flatten_metrics(trust.metrics, prefix="trust."))
         entry = make_entry(
             "full", workload_fingerprint(params), flat, meta=collect_meta()
         )
@@ -196,6 +205,9 @@ def main(argv=None) -> int:
         failed = True
     if not service.metrics["guard"]["ok"]:
         print("error: service benchmark guard FAILED", file=sys.stderr)
+        failed = True
+    if not trust.metrics["guard"]["ok"]:
+        print("error: trust benchmark guard FAILED", file=sys.stderr)
         failed = True
     return 1 if failed else 0
 

@@ -45,6 +45,18 @@ class AttackWorld:
     eve: Participant
     shipment: Shipment
     other_shipment: Shipment
+    #: The seed the world was built from.  Scenarios draw ALL randomness
+    #: from this (never from a module-level RNG), so executing the same
+    #: scenario against same-seed worlds is byte-identical.
+    seed: int = 0x5EC
+    scheme: str = "rsa-pkcs1v15"
+
+    @property
+    def participants(self) -> dict:
+        """Participant id → :class:`Participant` for the whole cast."""
+        return {
+            p.participant_id: p for p in (self.alice, self.mallory, self.eve)
+        }
 
 
 @dataclass(frozen=True)
@@ -101,6 +113,8 @@ def build_world(
         eve=eve,
         shipment=db.ship("x"),
         other_shipment=db.ship("y"),
+        seed=seed,
+        scheme=scheme,
     )
 
 
@@ -167,6 +181,88 @@ def _r8_forge_attribution(world: AttackWorld) -> Shipment:
     return tampering.forge_attribution(world.shipment, "x", 2, "alice")
 
 
+def _ensure_transfer(world: AttackWorld):
+    """A genuine custody transfer at the tail of ``x`` (made on demand).
+
+    Returns ``(fresh_shipment, transfer_record)``.  The world's chain
+    tail moves as scenarios execute, so the outgoing custodian is looked
+    up dynamically — whoever authored the current tail holds custody.
+    """
+    from repro.provenance.records import Operation
+    from repro.trust.custody import transfer_custody
+
+    store = world.db.provenance_store
+    people = world.participants
+    tail = store.latest("x")
+    if tail.operation is Operation.TRANSFER and tail.transfer is not None:
+        record = tail  # an earlier scenario already handed custody off
+    else:
+        outgoing = people[tail.participant_id]
+        incoming = next(
+            people[pid] for pid in sorted(people) if pid != tail.participant_id
+        )
+        record = transfer_custody(store, "x", outgoing, incoming)
+    return world.db.ship("x"), record
+
+
+def _custody_forge(world: AttackWorld) -> Shipment:
+    # Mallory appends a hand-off the current custodian never made; she
+    # signs the record (and a countersignature) with her own key.
+    from repro.trust.custody import fabricate_handoff
+
+    return fabricate_handoff(world.shipment, "x", world.mallory)
+
+
+def _custody_relink(world: AttackWorld) -> Shipment:
+    # The incoming custodian re-attributes a genuine hand-off to a third
+    # (enrolled) participant; they can re-sign their own record, but not
+    # regenerate the outgoing custodian's countersignature.
+    from repro.trust.custody import reattribute_handoff
+
+    shipment, record = _ensure_transfer(world)
+    people = world.participants
+    new_from = next(
+        pid
+        for pid in sorted(people)
+        if pid not in (record.transfer.from_participant, record.participant_id)
+    )
+    return reattribute_handoff(
+        shipment, "x", record.seq_id, people[record.participant_id], new_from
+    )
+
+
+def _custody_strip(world: AttackWorld) -> Shipment:
+    # The incoming custodian drops the dual-signature evidence from their
+    # own (re-signed) transfer record.
+    from repro.trust.custody import strip_handoff
+
+    shipment, record = _ensure_transfer(world)
+    return strip_handoff(
+        shipment, "x", record.seq_id, world.participants[record.participant_id]
+    )
+
+
+def _k_collusion_partial(world: AttackWorld) -> Shipment:
+    # Mallory and Eve re-sign the suffix from Mallory's seq-2 record;
+    # Alice's honest seq-3 record still chains to the original history.
+    from repro.trust.coalition import coalition_rewrite
+
+    return coalition_rewrite(
+        world.shipment, "x", 2, [world.mallory, world.eve], new_value=4242
+    )
+
+
+def _k_collusion_full(world: AttackWorld) -> Shipment:
+    # Alice and Eve own EVERY record from seq 3 — the rewritten suffix is
+    # internally consistent and the colluders ship matching data, so no
+    # signature check can flag it (only a witness anchor can).
+    from repro.trust.coalition import coalition_rewrite
+
+    return coalition_rewrite(
+        world.shipment, "x", 3, [world.alice, world.eve], new_value=4343
+    )
+
+
 def all_scenarios() -> Tuple[AttackScenario, ...]:
     """Every scenario, in requirement order."""
     return (
@@ -220,6 +316,36 @@ def all_scenarios() -> Tuple[AttackScenario, ...]:
             "forge-attribution", "R8",
             "a record is re-attributed to a participant who never signed it",
             True, _r8_forge_attribution,
+        ),
+        AttackScenario(
+            "forge-handoff", "CUSTODY",
+            "attacker fabricates a custody hand-off the outgoing custodian "
+            "never countersigned",
+            True, _custody_forge,
+        ),
+        AttackScenario(
+            "relink-handoff", "CUSTODY",
+            "incoming custodian re-attributes a genuine hand-off to a "
+            "different outgoing custodian",
+            True, _custody_relink,
+        ),
+        AttackScenario(
+            "strip-handoff", "CUSTODY",
+            "incoming custodian strips the dual-signature evidence from "
+            "their transfer record (caught as missing structure)",
+            True, _custody_strip,
+        ),
+        AttackScenario(
+            "k-collusion", "R6-k-party",
+            "a coalition re-signs a chain suffix containing an honest "
+            "participant's record",
+            True, _k_collusion_partial,
+        ),
+        AttackScenario(
+            "k-collusion-full", "R6-k-boundary",
+            "a coalition owning the ENTIRE suffix re-signs it (documented "
+            "limitation: NOT detectable without a witness anchor)",
+            False, _k_collusion_full,
         ),
     )
 

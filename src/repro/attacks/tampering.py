@@ -48,14 +48,9 @@ def attacker_checksum(attacker: Participant, payload: bytes):
     R1–R8 are about, and would spuriously flag the documented
     ``tail-rewrite`` boundary case that per-record signing cannot detect.
     """
-    scheme = attacker.scheme
-    seal = getattr(scheme, "seal_batch", None)
-    checksum = attacker.sign(payload)
-    if seal is None:
-        return checksum, None
-    proofs = seal()
-    # The last-signed leaf is ours even if unrelated leaves were pending.
-    return checksum, proofs[-1]
+    from repro.crypto.signatures import sign_detached
+
+    return sign_detached(attacker.scheme)(payload)
 
 
 def find_record(shipment: Shipment, object_id: str, seq_id: int) -> ProvenanceRecord:

@@ -84,6 +84,7 @@ __all__ = [
     "run_monitor_bench",
     "run_obs_overhead",
     "run_service_bench",
+    "run_trust_bench",
 ]
 
 #: Table 1(b) as printed in the paper (see EXPERIMENTS.md for the
@@ -1560,6 +1561,206 @@ def run_service_bench(
             "isolation_ok": leaks == 0,
             "healthz_ok": healthz_ok,
             "ok": ok,
+        },
+    }
+    return result
+
+
+def _handoff_world(
+    n_objects: int,
+    updates_per_object: int,
+    handoffs_per_object: int,
+    key_bits: int,
+):
+    """Like :func:`_verify_world`, but custody rotates between three
+    custodians: each object's chain carries ``handoffs_per_object``
+    dual-signed ``TRANSFER`` records after its updates."""
+    from repro.trust.custody import transfer_custody
+
+    rng = random.Random(42)
+    db = TamperEvidentDatabase(key_bits=key_bits, rng=rng)
+    custodians = [db.enroll(f"custodian-{i}") for i in range(3)]
+    sessions = [db.session(p) for p in custodians]
+    store = db.provenance_store
+    for i in range(n_objects):
+        sessions[0].insert(f"obj{i}", i)
+        for update in range(updates_per_object):
+            sessions[0].update(f"obj{i}", i * 1000 + update)
+        for hop in range(handoffs_per_object):
+            transfer_custody(
+                store, f"obj{i}",
+                custodians[hop % 3], custodians[(hop + 1) % 3],
+            )
+    return db, custodians
+
+
+def run_trust_bench(
+    n_objects: int = 200,
+    updates_per_object: int = 3,
+    handoffs_per_object: int = 2,
+    append_batch: int = 50,
+    key_bits: int = 512,
+    runs: int = 3,
+    max_handoff_cost: float = 5.0,
+    max_verify_overhead: float = 3.0,
+    idle_tick_floor: float = 10.0,
+) -> ExperimentResult:
+    """Hand-off and witness-tick overhead vs the solo baseline.
+
+    Three guarded arms:
+
+    1. **Append** — a dual-signed ``TRANSFER`` record costs two RSA
+       signatures (record checksum + countersignature) where an update
+       costs one, so the per-hand-off cost is guarded at
+       ``max_handoff_cost``x the per-update cost (default 5x — anything
+       beyond that means the transfer path grew work it should not do).
+    2. **Verify** — a chain with transfers adds one countersignature
+       check per ``TRANSFER`` record; per-record verification of the
+       hand-off world is guarded at ``max_verify_overhead``x the solo
+       world's (default 3x).
+    3. **Witness** — a witness tick over an already-anchored store must
+       stay on the skip path: the idle tick is guarded at
+       ``idle_tick_floor``x faster than the anchoring tick (default
+       10x), mirroring the monitor's warm-tick guard.
+    """
+    from repro.core.verifier import Verifier
+    from repro.trust.custody import transfer_custody
+    from repro.trust.witness import Witness
+
+    result = ExperimentResult(
+        "trust-bench",
+        f"Custody hand-off + witness overhead ({n_objects} objects, "
+        f"best of {runs})",
+        ("arm", "time", "per unit", "vs baseline"),
+    )
+
+    # --- arm 1: append path -------------------------------------------
+    db, custodians = _handoff_world(
+        n_objects, updates_per_object, handoffs_per_object, key_bits
+    )
+    store = db.provenance_store
+    session = db.session(custodians[0])
+
+    update_samples, handoff_samples = [], []
+    for run in range(runs):
+        probe = f"probe-{run}"
+        session.insert(probe, 0)
+        start = time.perf_counter()
+        for i in range(append_batch):
+            session.update(probe, i)
+        update_samples.append((time.perf_counter() - start) / append_batch)
+        start = time.perf_counter()
+        for i in range(append_batch):
+            transfer_custody(
+                store, probe, custodians[i % 2], custodians[(i + 1) % 2]
+            )
+        handoff_samples.append((time.perf_counter() - start) / append_batch)
+    update_s, handoff_s = min(update_samples), min(handoff_samples)
+    handoff_cost = handoff_s / update_s if update_s else float("inf")
+
+    result.add("update append", f"{update_s * 1e3:.3f} ms", "per record", "1.0x")
+    result.add(
+        "hand-off append", f"{handoff_s * 1e3:.3f} ms", "per record",
+        f"{handoff_cost:.2f}x",
+    )
+
+    # --- arm 2: verification ------------------------------------------
+    solo_db = _verify_world(n_objects, updates_per_object, key_bits)
+    solo_records = list(solo_db.provenance_store.all_records())
+    solo_verifier = Verifier(solo_db.keystore())
+    solo_s = min(
+        measure(lambda: solo_verifier.verify_records(solo_records), runs=runs).samples
+    )
+    solo_pr = solo_s / len(solo_records)
+
+    handoff_records = [
+        r for r in store.all_records() if not r.object_id.startswith("probe-")
+    ]
+    verifier = Verifier(db.keystore())
+    handoff_s_total = min(
+        measure(lambda: verifier.verify_records(handoff_records), runs=runs).samples
+    )
+    handoff_pr = handoff_s_total / len(handoff_records)
+    verify_overhead = handoff_pr / solo_pr if solo_pr else float("inf")
+
+    result.add(
+        "verify solo world", f"{solo_s:.4f} s",
+        f"{solo_pr * 1e3:.3f} ms/record", "1.0x",
+    )
+    result.add(
+        "verify hand-off world", f"{handoff_s_total:.4f} s",
+        f"{handoff_pr * 1e3:.3f} ms/record", f"{verify_overhead:.2f}x",
+    )
+
+    # --- arm 3: witness tick ------------------------------------------
+    anchor_samples = []
+    witness = None
+    for run in range(runs):
+        witness = Witness.generate(key_bits=key_bits, seed=run)
+        start = time.perf_counter()
+        fresh = witness.tick(store)
+        anchor_samples.append(time.perf_counter() - start)
+        if len(fresh) != len(store.object_ids()):
+            raise RuntimeError(
+                f"witness tick anchored {len(fresh)} of "
+                f"{len(store.object_ids())} objects"
+            )
+    anchor_s = min(anchor_samples)
+    idle_s = min(measure(lambda: witness.tick(store), runs=runs).samples)
+    idle_speedup = anchor_s / idle_s if idle_s else float("inf")
+
+    result.add(
+        "witness anchoring tick", f"{anchor_s:.4f} s",
+        f"{anchor_s / max(1, len(store.object_ids())) * 1e3:.3f} ms/object",
+        "1.0x",
+    )
+    result.add(
+        "witness idle tick", f"{idle_s:.6f} s", "0 new anchors",
+        f"{idle_speedup:.1f}x faster",
+    )
+
+    handoff_ok = handoff_cost <= max_handoff_cost
+    verify_ok = verify_overhead <= max_verify_overhead
+    idle_ok = idle_speedup >= idle_tick_floor
+    result.note(
+        f"GUARD {'OK' if handoff_ok else 'FAILED'}: hand-off append "
+        f"{handoff_cost:.2f}x an update (limit {max_handoff_cost:.1f}x)"
+    )
+    result.note(
+        f"GUARD {'OK' if verify_ok else 'FAILED'}: per-record verify "
+        f"overhead {verify_overhead:.2f}x solo (limit {max_verify_overhead:.1f}x)"
+    )
+    result.note(
+        f"GUARD {'OK' if idle_ok else 'FAILED'}: idle witness tick "
+        f"{idle_speedup:.1f}x faster than anchoring (floor {idle_tick_floor:.0f}x)"
+    )
+
+    result.metrics = {
+        "workload": {
+            "n_objects": n_objects,
+            "updates_per_object": updates_per_object,
+            "handoffs_per_object": handoffs_per_object,
+            "append_batch": append_batch,
+            "key_bits": key_bits,
+            "runs": runs,
+        },
+        "update_append_s": update_s,
+        "handoff_append_s": handoff_s,
+        "handoff_cost": handoff_cost,
+        "solo_verify_per_record_s": solo_pr,
+        "handoff_verify_per_record_s": handoff_pr,
+        "verify_overhead": verify_overhead,
+        "witness_anchor_tick_s": anchor_s,
+        "witness_idle_tick_s": idle_s,
+        "idle_speedup": idle_speedup,
+        "guard": {
+            "max_handoff_cost": max_handoff_cost,
+            "handoff_ok": handoff_ok,
+            "max_verify_overhead": max_verify_overhead,
+            "verify_ok": verify_ok,
+            "idle_tick_floor": idle_tick_floor,
+            "idle_ok": idle_ok,
+            "ok": handoff_ok and verify_ok and idle_ok,
         },
     }
     return result

@@ -226,6 +226,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scheme", choices=("rsa", "rsa-per-record", "merkle-batch"),
                    default="rsa",
                    help="signature scheme the workload signs with")
+    p.add_argument("--trust", choices=("solo", "hand-off", "k-collusion", "witnessed"),
+                   default="solo",
+                   help="multi-participant adversary mode: hand-off weaves "
+                        "custody transfers into the workload and forges one; "
+                        "k-collusion re-signs a suffix with a seeded "
+                        "coalition; witnessed proves a full-coalition rewrite "
+                        "is only caught by the witness anchors")
+    p.add_argument("--custodians", type=int, default=3,
+                   help="participants enrolled for the non-solo trust modes")
+    p.add_argument("--coalition-size", type=int, default=2,
+                   help="coalition size for --trust k-collusion")
     p.add_argument("--json", action="store_true", help="emit the full JSON report")
     p.add_argument("-o", "--output", default=None,
                    help="write the report to a file (default: stdout)")
@@ -275,10 +286,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scheme", choices=("rsa", "rsa-per-record", "merkle-batch"),
                    default="rsa",
                    help="synthetic mode: signature scheme of the workload")
-    p.add_argument("--tamper", choices=("none", "R1", "R2"), default="none",
+    p.add_argument("--tamper", choices=("none", "R1", "R2", "rewrite"),
+                   default="none",
                    help="synthetic mode: tamper the store after a baseline "
                         "tick (R1 forges a tail checksum, R2 removes a "
-                        "verified tail record)")
+                        "verified tail record, rewrite re-signs a tail with "
+                        "the workload's own key — the full-coalition attack "
+                        "only --witness can catch)")
+    p.add_argument("--witness", action="store_true",
+                   help="synthetic mode: anchor the store with a witness "
+                        "before any tamper and wire the witness-mismatch "
+                        "rule into the monitor")
     p.add_argument("-o", "--output", default=None,
                    help="write the --once snapshot to a file (default: stdout)")
 
@@ -362,6 +380,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: in-memory)")
     p.add_argument("--retry-after", type=float, default=0.05,
                    help="Retry-After seconds sent with 503 responses")
+    p.add_argument("--witness", action="store_true",
+                   help="per-tenant witness anchoring: /healthz monitors "
+                        "check an anchor log an insider rewrite must "
+                        "contradict (persisted beside --store-root shards)")
     p.add_argument("--events", default=None, metavar="PATH",
                    help="append structured events to this JSONL file")
     p.add_argument("--quiet", action="store_true",
@@ -435,6 +457,51 @@ def build_parser() -> argparse.ArgumentParser:
                     help="incremental monitor tick instead of a full audit")
 
     cp = client_sub.add_parser("recover", help="run crash recovery (admin)")
+
+    p = sub.add_parser(
+        "trust",
+        help="multi-participant trust: hand-offs, collusion, witness anchors",
+        description=(
+            "Tools for the multi-participant threat model: `simulate` runs "
+            "the custody/collusion adversary drills against a seeded attack "
+            "world and checks every outcome against its expectation; "
+            "`witness-tick` countersigns the workspace store's chain tails "
+            "into an append-only anchor log; `audit` cross-checks the store "
+            "against that log and exits non-zero on any contradiction."
+        ),
+    )
+    trust_sub = p.add_subparsers(dest="trust_command", required=True)
+    tp = trust_sub.add_parser(
+        "simulate",
+        help="run the hand-off / k-collusion / witness adversary drills",
+    )
+    tp.add_argument("--mode", choices=("hand-off", "k-collusion", "witnessed", "all"),
+                    default="all", help="which drill to run (default: all)")
+    tp.add_argument("--seed", type=int, default=0x5EC)
+    tp.add_argument("--k", type=int, default=2,
+                    help="coalition size for the k-collusion drill")
+    tp.add_argument("--key-bits", type=int, default=512)
+    tp.add_argument("--scheme", choices=("rsa", "rsa-per-record", "merkle-batch"),
+                    default="rsa", help="participants' signature scheme")
+    tp.add_argument("--json", action="store_true", help="emit the JSON report")
+    tp = trust_sub.add_parser(
+        "witness-tick",
+        help="countersign the workspace store's chain tails into an anchor log",
+    )
+    tp.add_argument("--log", default="witness-anchors.jsonl", metavar="PATH",
+                    help="anchor log file (created if missing)")
+    tp.add_argument("--witness-seed", type=int, default=0x517,
+                    help="seed the witness key pair is derived from (use the "
+                         "same seed to continue a log)")
+    tp.add_argument("--key-bits", type=int, default=512)
+    tp = trust_sub.add_parser(
+        "audit",
+        help="cross-check the workspace store against a witness anchor log",
+    )
+    tp.add_argument("--log", default="witness-anchors.jsonl", metavar="PATH")
+    tp.add_argument("--witness-seed", type=int, default=0x517)
+    tp.add_argument("--key-bits", type=int, default=512)
+    tp.add_argument("--json", action="store_true", help="emit mismatches as JSON")
 
     p = sub.add_parser(
         "trace",
@@ -550,6 +617,9 @@ def _cmd_chaos(args) -> int:
         workers=args.workers,
         key_bits=args.key_bits,
         scheme=args.scheme,
+        trust=args.trust,
+        custodians=args.custodians,
+        coalition_size=args.coalition_size,
     )
     report = run_chaos(config)
     inv = report["invariants"]
@@ -577,9 +647,20 @@ def _cmd_chaos(args) -> int:
                 f"tamper {tamper['requirement']} on {tamper['target']!r}: "
                 f"detected={tamper['detected']} tally={tamper['tally']}"
             )
+        trust = report["trust"]
+        if trust is not None:
+            detail = ", ".join(
+                f"{key}={trust[key]}"
+                for key in sorted(trust)
+                if key not in ("mode", "holds") and not isinstance(trust[key], (dict, list))
+            )
+            lines.append(
+                f"trust {trust['mode']}: holds={trust['holds']} ({detail})"
+            )
         lines.append(
             f"invariants: no_false_positives={inv['no_false_positives']} "
-            f"no_false_negatives={inv['no_false_negatives']}"
+            f"no_false_negatives={inv['no_false_negatives']} "
+            f"trust_holds={inv['trust_holds']}"
         )
         text = "\n".join(lines)
     if args.output:
@@ -661,7 +742,7 @@ def _monitor_watch(args, monitor) -> int:
     return exit_code
 
 
-def _run_monitor(args, store, keystore) -> int:
+def _run_monitor(args, store, keystore, witness=None, participant=None) -> int:
     from repro.monitor import ProvenanceMonitor
 
     monitor = ProvenanceMonitor(
@@ -671,13 +752,26 @@ def _run_monitor(args, store, keystore) -> int:
         lag_threshold=args.lag_threshold,
         latency_threshold=args.latency_threshold,
         full_scan_every=args.full_scan_every,
+        witness_log=witness.log if witness is not None else None,
+        witness_verifier=witness.verifier() if witness is not None else None,
     )
     if args.synthetic and args.tamper != "none":
         # Baseline tick first so the watermarks cover the clean history —
         # otherwise an R2 tail removal leaves a shorter-but-valid chain
         # no verifier could flag.
         monitor.tick()
-        _monitor_tamper(store, args.tamper)
+        if args.tamper == "rewrite":
+            # Full-coalition attack: the workload's own signer re-signs a
+            # tail with a different value — internally consistent, so it
+            # passes every signature check and only the witness anchors
+            # (made before the rewrite) can contradict it.
+            from repro.trust.coalition import rewrite_store_suffix
+
+            target = store.object_ids()[0]
+            tail = store.latest(target)
+            rewrite_store_suffix(store, target, tail.seq_id, [participant], 31337)
+        else:
+            _monitor_tamper(store, args.tamper)
     if not args.once:
         return _monitor_watch(args, monitor)
     # A one-shot audit must not trust watermarks it didn't earn: a full
@@ -710,18 +804,198 @@ def _cmd_monitor(args) -> int:
                 seed=args.seed,
                 signature_scheme=getattr(args, "scheme", "rsa"),
             )
-            session = db.session(db.enroll("monitor"))
+            participant = db.enroll("monitor")
+            session = db.session(participant)
             for i in range(args.objects):
                 session.insert(f"obj{i}", i)
                 for update in range(args.updates):
                     session.update(f"obj{i}", i * 1000 + update)
-            return _run_monitor(args, db.provenance_store, db.keystore())
+            witness = None
+            if getattr(args, "witness", False):
+                from repro.trust.witness import Witness
+
+                # Anchored BEFORE any tamper: the drill is that history
+                # cannot be rewritten past an existing anchor.
+                witness = Witness.generate(
+                    key_bits=args.key_bits, seed=args.seed
+                )
+                witness.tick(db.provenance_store)
+            return _run_monitor(
+                args, db.provenance_store, db.keystore(),
+                witness=witness, participant=participant,
+            )
         with Workspace(args.workspace) as ws:
             db = ws.database()
             return _run_monitor(args, db.provenance_store, db.keystore())
     finally:
         obs.disable_events()
         obs.disable()
+
+
+def _trust_simulate(args) -> int:
+    """The adversary drills, each checked against its expectation."""
+    from repro.attacks.scenarios import build_world
+    from repro.trust.coalition import (
+        coalition_rewrite,
+        honest_blocker,
+        rewrite_store_suffix,
+        seeded_coalition,
+    )
+    from repro.trust.custody import (
+        fabricate_handoff,
+        reattribute_handoff,
+        strip_handoff,
+        transfer_custody,
+    )
+    from repro.trust.witness import Witness, check_anchors
+
+    results: List[dict] = []
+
+    def record(drill, detected, expected, **extra) -> None:
+        results.append({
+            "drill": drill, "detected": detected, "expected": expected,
+            "holds": detected == expected, **extra,
+        })
+
+    def verify(world, shipment) -> bool:
+        report = shipment.verify_with_ca(world.db.ca.public_key, world.db.ca.name)
+        return not report.ok
+
+    modes = (
+        ("hand-off", "k-collusion", "witnessed")
+        if args.mode == "all" else (args.mode,)
+    )
+    for mode in modes:
+        world = build_world(
+            key_bits=args.key_bits, seed=args.seed, scheme=args.scheme
+        )
+        people = world.participants
+        if mode == "hand-off":
+            tail = world.db.provenance_store.latest("x")
+            outgoing = people[tail.participant_id]
+            incoming = next(
+                people[pid] for pid in sorted(people)
+                if pid != tail.participant_id
+            )
+            transfer = transfer_custody(
+                world.db.provenance_store, "x", outgoing, incoming
+            )
+            shipment = world.db.ship("x")
+            record("honest hand-off", verify(world, shipment), False,
+                   custody=f"{outgoing.participant_id} -> {incoming.participant_id}")
+            record("forged hand-off",
+                   verify(world, fabricate_handoff(shipment, "x", outgoing)), True)
+            new_from = next(
+                pid for pid in sorted(people)
+                if pid not in (transfer.transfer.from_participant,
+                               transfer.participant_id)
+            )
+            record("re-attributed hand-off",
+                   verify(world, reattribute_handoff(
+                       shipment, "x", transfer.seq_id, incoming, new_from)), True)
+            record("stripped hand-off",
+                   verify(world, strip_handoff(
+                       shipment, "x", transfer.seq_id, incoming)), True)
+        elif mode == "k-collusion":
+            coalition = seeded_coalition(
+                args.seed, list(people.values()), min(args.k, len(people))
+            )
+            member_ids = sorted(p.participant_id for p in coalition)
+            chain = world.db.provenance_store.records_for("x")
+            start = next(
+                r.seq_id for r in chain
+                if r.participant_id in set(member_ids)
+            )
+            blocker = honest_blocker(world.shipment, "x", start, coalition)
+            forged = coalition_rewrite(world.shipment, "x", start, coalition, 31337)
+            record("k-collusion suffix rewrite", verify(world, forged),
+                   blocker is not None, coalition=member_ids, start_seq=start,
+                   honest_blocker=None if blocker is None else blocker.participant_id)
+        else:  # witnessed
+            from repro.monitor.monitor import ProvenanceMonitor
+
+            store = world.db.provenance_store
+            everyone = list(people.values())
+            witness = Witness.generate(key_bits=args.key_bits, seed=args.seed)
+            witness.tick(store)
+            tail = store.latest("x")
+            rewrite_store_suffix(store, "x", tail.seq_id, everyone, 986543)
+            plain = ProvenanceMonitor(store, world.db.keystore())
+            record("full-coalition rewrite vs chain checks",
+                   plain.tick().health == "tampered", False,
+                   coalition=sorted(people))
+            watched = ProvenanceMonitor(
+                store,
+                world.db.keystore(),
+                witness_log=witness.log,
+                witness_verifier=witness.verifier(),
+            )
+            watched_health = watched.tick().health
+            mismatches = check_anchors(store, witness.log, witness.verifier())
+            record("full-coalition rewrite vs witness anchors",
+                   watched_health == "tampered" and bool(mismatches), True,
+                   mismatches=[list(m) for m in mismatches])
+
+    ok = all(r["holds"] for r in results)
+    if args.json:
+        print(json.dumps({"seed": args.seed, "scheme": args.scheme,
+                          "results": results, "ok": ok},
+                         indent=2, sort_keys=True))
+    else:
+        for r in results:
+            verdict = "detected" if r["detected"] else "undetected"
+            expected = "detected" if r["expected"] else "undetected"
+            status = "ok" if r["holds"] else "VIOLATION"
+            print(f"[{status}] {r['drill']}: {verdict} (expected {expected})")
+        print(f"trust drills: {'all hold' if ok else 'VIOLATED'} (seed {args.seed})")
+    if not ok:
+        print(f"error: trust expectation violated (seed {args.seed})",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_trust(args) -> int:
+    from repro.trust.witness import AnchorLog, Witness, check_anchors
+
+    if args.trust_command == "simulate":
+        return _trust_simulate(args)
+
+    with Workspace(args.workspace) as ws:
+        db = ws.database()
+        store = db.provenance_store
+        witness = Witness.generate(
+            key_bits=args.key_bits,
+            seed=args.witness_seed,
+            log=AnchorLog.load(args.log),
+        )
+        if args.trust_command == "witness-tick":
+            fresh = witness.tick(store)
+            witness.log.save(args.log)
+            for anchor in fresh:
+                print(f"anchored {anchor.object_id!r} seq {anchor.seq_id} "
+                      f"(entry {anchor.index})")
+            print(f"{len(fresh)} new anchor(s); log {args.log} now has "
+                  f"{len(witness.log)} entries")
+            return 0
+        # audit
+        mismatches = check_anchors(store, witness.log, witness.verifier())
+        if args.json:
+            print(json.dumps({
+                "log": args.log, "entries": len(witness.log),
+                "mismatches": [list(m) for m in mismatches],
+                "ok": not mismatches,
+            }, indent=2, sort_keys=True))
+        else:
+            for object_id, seq_id, reason in mismatches:
+                print(f"MISMATCH {object_id!r} seq {seq_id}: {reason}")
+            print(f"audited {len(witness.log)} anchor(s): "
+                  f"{'store matches the witness' if not mismatches else 'TAMPERED'}")
+        if mismatches:
+            print("error: store contradicts the witness anchor log",
+                  file=sys.stderr)
+            return 1
+        return 0
 
 
 def _bench_entry(args, slowdown: float = 0.0):
@@ -874,6 +1148,7 @@ def _cmd_serve(args) -> int:
         signature_scheme=args.scheme,
         shards=args.shards,
         store_root=args.store_root,
+        witness=args.witness,
     )
     server = ProvenanceHTTPServer(
         config=config, host=args.host, port=args.port,
@@ -1053,6 +1328,8 @@ def _dispatch(args) -> int:
         return _cmd_chaos(args)
     if args.command == "monitor":
         return _cmd_monitor(args)
+    if args.command == "trust":
+        return _cmd_trust(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "serve":

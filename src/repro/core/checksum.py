@@ -40,6 +40,7 @@ __all__ = [
     "update_payload",
     "aggregate_payload",
     "record_payload",
+    "transfer_message",
 ]
 
 #: The paper's literal ``0`` placeholder in the genesis checksum.
@@ -102,7 +103,11 @@ def record_payload(
     after deletion), and one per input for aggregations.
 
     A record's white-box ``note`` (when present) is appended to the
-    payload, making operation descriptions tamper-evident too.
+    payload, making operation descriptions tamper-evident too.  So is a
+    ``TRANSFER`` record's custody hand-off block — the participant ids
+    *and the outgoing custodian's countersignature bytes* are part of
+    what the incoming custodian signs, so a hand-off cannot be stripped
+    or re-attributed without breaking the record checksum.
 
     Raises:
         ProvenanceError: If the record shape and predecessor count are
@@ -112,6 +117,7 @@ def record_payload(
         _context_prefix(record)
         + _core_payload(record, prev_checksums)
         + _note_suffix(record)
+        + _transfer_suffix(record)
     )
 
 
@@ -132,6 +138,50 @@ def _note_suffix(record: ProvenanceRecord) -> bytes:
     if not record.note:
         return b""
     return _join(b"note", (record.note.encode("utf-8"),))
+
+
+def _transfer_suffix(record: ProvenanceRecord) -> bytes:
+    if record.transfer is None:
+        return b""
+    transfer = record.transfer
+    return _join(
+        b"xfer",
+        (
+            transfer.from_participant.encode("utf-8"),
+            transfer.to_participant.encode("utf-8"),
+            transfer.countersignature,
+        ),
+    )
+
+
+def transfer_message(
+    object_id: str,
+    seq_id: int,
+    from_participant: str,
+    to_participant: str,
+    prev_checksum: bytes,
+    output_digest: bytes,
+) -> bytes:
+    """The byte string the *outgoing* custodian countersigns.
+
+    Binds the hand-off to the exact chain position: the object, the
+    transfer record's sequence id, both participant identities, the
+    predecessor checksum it chains on, and the object state being handed
+    over.  The ``custody-v1`` tag domain-separates it from every record
+    payload, so a countersignature can never be replayed as a checksum
+    (or vice versa).
+    """
+    return _join(
+        b"custody-v1",
+        (
+            object_id.encode("utf-8"),
+            str(seq_id).encode("ascii"),
+            from_participant.encode("utf-8"),
+            to_participant.encode("utf-8"),
+            prev_checksum,
+            output_digest,
+        ),
+    )
 
 
 def _core_payload(

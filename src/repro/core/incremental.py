@@ -154,6 +154,12 @@ def verify_extension(
     prev_seq = checkpoint.seq_id
     prev_digest = checkpoint.output_digest
     prev_checksum = checkpoint.checksum
+    # The checkpoint summarises state, not authorship: when a TRANSFER
+    # record immediately follows it, the outgoing-custodian-authored-the-
+    # predecessor check cannot run (None) — the countersignature is still
+    # verified and still binds the checkpointed checksum, so the hand-off
+    # cannot be re-linked, merely re-attributed at the seam.
+    prev_participant = None
     for record in relevant:
         if record.seq_id != prev_seq + 1:
             code = "R3" if record.seq_id == prev_seq else "R2"
@@ -187,9 +193,13 @@ def verify_extension(
             fail("PKI", str(exc), record.seq_id)
         except Exception as exc:
             fail("STRUCT", str(exc), record.seq_id)
+        _check_extension_custody(
+            verifier, record, prev_participant, prev_checksum, fail
+        )
         prev_seq = record.seq_id
         prev_digest = record.output.digest
         prev_checksum = record.checksum
+        prev_participant = record.participant_id
 
     # Terminal data check (R4/R5).
     if snapshot.root_id != object_id:
@@ -206,6 +216,86 @@ def verify_extension(
             )
 
     return _report(checkpoint, failures, len(relevant))
+
+
+def _check_extension_custody(
+    verifier: Verifier,
+    record: ProvenanceRecord,
+    prev_participant,
+    prev_checksum: bytes,
+    fail,
+) -> None:
+    """The custody invariant for linear extensions (mirrors the full
+    walk's ``Verifier._check_custody``; see its docstring)."""
+    from repro.core import checksum as payloads
+    from repro.crypto.signatures import detached_signature_valid
+    from repro.exceptions import CertificateError
+
+    transfer = record.transfer
+    if transfer is None and record.operation is not Operation.TRANSFER:
+        return
+    if record.operation is not Operation.TRANSFER:
+        fail(
+            "STRUCT",
+            f"{record.operation.value} record carries custody hand-off "
+            "data (only transfer records may)",
+            record.seq_id,
+        )
+        return
+    if transfer is None:
+        fail(
+            "STRUCT",
+            "transfer record lacks custody hand-off data "
+            "(dual-signature evidence is missing)",
+            record.seq_id,
+        )
+        return
+    if transfer.to_participant != record.participant_id:
+        fail(
+            "CUSTODY",
+            f"hand-off names {transfer.to_participant!r} as the incoming "
+            f"custodian but the record was signed by {record.participant_id!r}",
+            record.seq_id,
+        )
+    if (
+        prev_participant is not None
+        and transfer.from_participant != prev_participant
+    ):
+        fail(
+            "CUSTODY",
+            f"hand-off claims custody from {transfer.from_participant!r} "
+            f"but the previous record was created by {prev_participant!r}",
+            record.seq_id,
+        )
+    try:
+        key = verifier.keystore.verifier_for(transfer.from_participant)
+    except CertificateError as exc:
+        fail("PKI", str(exc), record.seq_id)
+        return
+    message = payloads.transfer_message(
+        record.object_id,
+        record.seq_id,
+        transfer.from_participant,
+        transfer.to_participant,
+        prev_checksum,
+        record.output.digest,
+    )
+    if not detached_signature_valid(
+        key,
+        message,
+        transfer.countersignature,
+        transfer.counter_scheme,
+        proof=transfer.counter_proof,
+        hash_algorithm=record.hash_algorithm,
+        root_cache=verifier._root_cache,
+        participant_id=transfer.from_participant,
+    ):
+        fail(
+            "CUSTODY",
+            f"custody countersignature of {transfer.from_participant!r} "
+            "does not verify (forged or re-linked hand-off)",
+            record.seq_id,
+        )
 
 
 def _report(

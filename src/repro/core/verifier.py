@@ -25,7 +25,7 @@ from repro import obs
 from repro.core import checksum as payloads
 from repro.core.merkle import subtree_digest
 from repro.crypto.pki import KeyStore
-from repro.crypto.signatures import record_signature_valid
+from repro.crypto.signatures import detached_signature_valid, record_signature_valid
 from repro.exceptions import CertificateError, WorkerKilledError
 from repro.obs import OBS
 
@@ -436,6 +436,8 @@ class Verifier:
                 previous = record
                 continue  # structural failure already reported
             self._verify_signature(record, prev_checksums, failures)
+            if record.transfer is not None or record.operation is Operation.TRANSFER:
+                self._check_custody(record, previous, failures)
             previous = record
         return checked
 
@@ -467,6 +469,93 @@ class Verifier:
                     "not hash to the recorded state digest",
                     seq_id=record.seq_id,
                 )
+
+    def _check_custody(
+        self,
+        record: ProvenanceRecord,
+        previous: Optional[ProvenanceRecord],
+        failures: _Failures,
+    ) -> None:
+        """The custody hand-off invariant (``TRANSFER`` records, §2.2).
+
+        A valid hand-off is *dual-signed*: the incoming custodian's
+        ordinary checksum (already checked) plus the outgoing custodian's
+        countersignature over the domain-tagged transfer message.  The
+        outgoing custodian must be exactly the author of the predecessor
+        record — so a forged hand-off (wrong counterparty, re-attributed
+        custody, or a countersignature the claimed outgoing custodian
+        never produced) surfaces here even when the incoming custodian's
+        own signature is genuine.
+        """
+        transfer = record.transfer
+        if record.operation is not Operation.TRANSFER:
+            failures.add(
+                "STRUCT",
+                record.object_id,
+                f"{record.operation.value} record carries custody hand-off "
+                "data (only transfer records may)",
+                seq_id=record.seq_id,
+            )
+            return
+        if transfer is None:
+            failures.add(
+                "STRUCT",
+                record.object_id,
+                "transfer record lacks custody hand-off data "
+                "(dual-signature evidence is missing)",
+                seq_id=record.seq_id,
+            )
+            return
+        if transfer.to_participant != record.participant_id:
+            failures.add(
+                "CUSTODY",
+                record.object_id,
+                f"hand-off names {transfer.to_participant!r} as the incoming "
+                f"custodian but the record was signed by "
+                f"{record.participant_id!r}",
+                seq_id=record.seq_id,
+            )
+        if previous is None:
+            return  # unreachable for a well-sequenced chain; R2 already fired
+        if transfer.from_participant != previous.participant_id:
+            failures.add(
+                "CUSTODY",
+                record.object_id,
+                f"hand-off claims custody from {transfer.from_participant!r} "
+                f"but the previous record was created by "
+                f"{previous.participant_id!r}",
+                seq_id=record.seq_id,
+            )
+        try:
+            verifier = self.keystore.verifier_for(transfer.from_participant)
+        except CertificateError as exc:
+            failures.add("PKI", record.object_id, str(exc), seq_id=record.seq_id)
+            return
+        message = payloads.transfer_message(
+            record.object_id,
+            record.seq_id,
+            transfer.from_participant,
+            transfer.to_participant,
+            previous.checksum,
+            record.output.digest,
+        )
+        if not detached_signature_valid(
+            verifier,
+            message,
+            transfer.countersignature,
+            transfer.counter_scheme,
+            proof=transfer.counter_proof,
+            hash_algorithm=record.hash_algorithm,
+            root_cache=self._root_cache,
+            participant_id=transfer.from_participant,
+        ):
+            failures.add(
+                "CUSTODY",
+                record.object_id,
+                f"custody countersignature of {transfer.from_participant!r} "
+                "does not verify (forged or re-linked hand-off)",
+                seq_id=record.seq_id,
+            )
 
     def _resolve_predecessors(
         self,

@@ -43,6 +43,8 @@ __all__ = [
     "MerkleBatchSignatureScheme",
     "MERKLE_BATCH_SCHEME",
     "record_signature_valid",
+    "sign_detached",
+    "detached_signature_valid",
 ]
 
 #: Registry name of the Merkle-batch scheme (stored in each record).
@@ -461,6 +463,64 @@ def record_signature_valid(
             root_cache=root_cache, participant_id=record.participant_id,
         )
     return key.verify(payload, record.checksum)
+
+
+def sign_detached(scheme) -> "_DetachedSigner":
+    """A closure signing single messages immediately verifiable.
+
+    Per-record schemes return ``(signature, None)``.  The Merkle-batch
+    scheme stages and immediately seals a *single-leaf batch*, returning
+    ``(leaf_digest, proof)`` — the same shape the collector produces per
+    flush, just with ``count == 1``.  Used wherever a signature is
+    created outside collector staging: custody countersignatures, witness
+    anchors, and attacker re-signs.
+
+    Must not be called with leaves already pending on this thread (the
+    seal would sweep them up); collector staging never spans calls, so
+    the invariant holds everywhere this is used.
+    """
+    return _DetachedSigner(scheme)
+
+
+class _DetachedSigner:
+    """See :func:`sign_detached`."""
+
+    def __init__(self, scheme):
+        self._scheme = scheme
+
+    def __call__(self, message: bytes) -> Tuple[bytes, Optional[BatchProof]]:
+        scheme = self._scheme
+        signature = scheme.sign(message)
+        seal = getattr(scheme, "seal_batch", None)
+        if seal is None:
+            return signature, None
+        return signature, seal()[-1]
+
+
+def detached_signature_valid(
+    key,
+    message: bytes,
+    signature: bytes,
+    scheme: str,
+    proof: Optional[BatchProof] = None,
+    hash_algorithm: str = "sha1",
+    root_cache: Optional[dict] = None,
+    participant_id: str = "",
+) -> bool:
+    """Verify a detached signature produced by :func:`sign_detached`.
+
+    Mirrors :func:`record_signature_valid` for signatures that are not
+    record checksums (custody countersignatures, witness anchors): a
+    Merkle-batch signature with its proof attached is checked leaf +
+    inclusion + signed root; a stripped proof falls through to the
+    per-record path and fails there.
+    """
+    if proof is not None and scheme == MERKLE_BATCH_SCHEME:
+        return _batch_proof_valid(
+            key, message, signature, proof, hash_algorithm,
+            root_cache=root_cache, participant_id=participant_id,
+        )
+    return key.verify(message, signature)
 
 
 class HMACSignatureScheme:

@@ -55,6 +55,19 @@ class ChaosConfig:
     #: (``"rsa-per-record"`` or ``"merkle-batch"``); aliases resolve via
     #: :func:`repro.crypto.pki.resolve_scheme_name`.
     scheme: str = "rsa-per-record"
+    #: Multi-participant adversary axis: ``"solo"`` (single signer, the
+    #: historical behavior), ``"hand-off"`` (custody transfers woven into
+    #: the workload + a forged hand-off must be detected),
+    #: ``"k-collusion"`` (a seeded coalition re-signs a suffix; detection
+    #: must match whether an honest participant blocks it), or
+    #: ``"witnessed"`` (a FULL-coalition store rewrite must pass the
+    #: plain monitor and be flagged ``witness-mismatch`` by the witnessed
+    #: one).
+    trust: str = "solo"
+    #: Participants enrolled for the non-solo trust modes.
+    custodians: int = 3
+    #: Coalition size for ``trust="k-collusion"``.
+    coalition_size: int = 2
 
     def build_plan(self) -> FaultPlan:
         """The seeded fault schedule this config describes."""
@@ -96,7 +109,10 @@ class _WorkloadLog:
     applied: int = 0
     crashes: int = 0
     failed_ops: int = 0
+    handoffs: int = 0
     recoveries: List[Dict[str, object]] = field(default_factory=list)
+    #: Participant id → Participant for the trust modes (empty for solo).
+    participants: Dict[str, object] = field(default_factory=dict)
 
 
 def _make_store(config: ChaosConfig):
@@ -158,6 +174,79 @@ def _run_workload(
     return log
 
 
+_TRUST_MODES = ("solo", "hand-off", "k-collusion", "witnessed")
+
+
+def _run_trust_workload(
+    config: ChaosConfig, db: TamperEvidentDatabase, scanner: RecoveryScanner
+) -> _WorkloadLog:
+    """The multi-participant operation mix (trust modes other than solo).
+
+    Same pre-draw discipline as :func:`_run_workload` (its own rng stream
+    — the solo schedule stays byte-identical for existing seeds), plus:
+    every object is worked on by its *current custodian* (the chain-tail
+    author) and custody periodically hands off between participants via
+    dual-signed ``TRANSFER`` records.
+    """
+    from repro.trust.custody import transfer_custody
+
+    rng = random.Random(f"chaos-trust-workload|{config.seed}")
+    count = max(2, config.custodians)
+    participants = [db.enroll(f"chaos-{i}") for i in range(count)]
+    sessions = {p.participant_id: db.session(p) for p in participants}
+    by_id = {p.participant_id: p for p in participants}
+    log = _WorkloadLog(participants=dict(by_id))
+    live: List[str] = []
+    created = 0
+    aggregated = 0
+
+    def custodian_of(object_id: str):
+        tail = db.provenance_store.latest(object_id)
+        return by_id[tail.participant_id]
+
+    for i in range(config.ops):
+        roll = rng.random()
+        picked = rng.randrange(count)
+        target = rng.choice(live) if live else None
+        extra = rng.randrange(100)
+        if not live or roll < 0.30:
+            op = ("insert", f"obj{created}", i)
+            created += 1
+        elif roll < 0.45:
+            op = ("transfer", target, picked)
+        elif roll < 0.80 or len(live) < 2:
+            op = ("update", target, 1000 * i + extra)
+        else:
+            inputs = rng.sample(live, 2)
+            op = ("aggregate", tuple(inputs), f"agg{aggregated}")
+            aggregated += 1
+        try:
+            if op[0] == "insert":
+                sessions[participants[picked].participant_id].insert(op[1], op[2])
+                live.append(op[1])
+            elif op[0] == "transfer":
+                outgoing = custodian_of(op[1])
+                others = [p for p in participants if p is not outgoing]
+                incoming = others[op[2] % len(others)]
+                transfer_custody(db.provenance_store, op[1], outgoing, incoming)
+                log.handoffs += 1
+            elif op[0] == "update":
+                sessions[custodian_of(op[1]).participant_id].update(op[1], op[2])
+            else:
+                sessions[participants[picked].participant_id].aggregate(
+                    list(op[1]), op[2]
+                )
+            log.applied += 1
+        except CrashError:
+            log.crashes += 1
+            obs.emit("chaos.crash", op_index=i, op=op[0], target=str(op[1]))
+            log.recoveries.append(scanner.recover().to_dict())
+        except TRANSIENT_STORE_ERRORS:
+            log.failed_ops += 1
+            obs.emit("chaos.op_lost", op_index=i, op=op[0], target=str(op[1]))
+    return log
+
+
 def _tamper_and_verify(
     config: ChaosConfig, db: TamperEvidentDatabase, plan: FaultPlan
 ) -> Optional[Dict[str, object]]:
@@ -205,8 +294,190 @@ def _tamper_and_verify(
     }
 
 
+def _trust_phase(
+    config: ChaosConfig,
+    db: TamperEvidentDatabase,
+    inner,
+    plan: FaultPlan,
+    log: _WorkloadLog,
+) -> Optional[Dict[str, object]]:
+    """The adversary drill for the configured trust mode.
+
+    Each mode ends in a boolean ``holds`` the invariants fold in:
+
+    - ``hand-off``: a fabricated custody hand-off must be detected;
+    - ``k-collusion``: a seeded coalition's suffix rewrite must be
+      detected exactly when an honest participant blocks it;
+    - ``witnessed``: a full-coalition store rewrite must pass the plain
+      monitor (the documented gap) AND be flagged ``witness-mismatch``
+      by the witnessed monitor.
+    """
+    if config.trust == "solo":
+        return None
+    from repro.provenance.records import Operation
+
+    faults = plan if config.worker_kill_chunks else None
+    participants = list(log.participants.values())
+
+    if config.trust == "hand-off":
+        from repro.trust.custody import fabricate_handoff, transfer_custody
+
+        target = next(
+            (
+                oid
+                for oid in sorted(db.store.roots())
+                if any(
+                    r.operation is Operation.TRANSFER
+                    for r in inner.records_for(oid)
+                )
+            ),
+            None,
+        )
+        if target is None:
+            # The seeded mix never rolled a hand-off; make one now so the
+            # mode always exercises what it is named after.
+            target = next(
+                oid for oid in sorted(db.store.roots()) if inner.records_for(oid)
+            )
+            tail = inner.latest(target)
+            outgoing = log.participants[tail.participant_id]
+            incoming = next(
+                p for p in participants if p.participant_id != tail.participant_id
+            )
+            transfer_custody(inner, target, outgoing, incoming)
+        tail = inner.latest(target)
+        attacker = next(
+            p for p in participants if p.participant_id != tail.participant_id
+        )
+        forged = fabricate_handoff(db.ship(target), target, attacker)
+        report = forged.verify(db.keystore(), workers=config.workers, faults=faults)
+        detected = not report.ok
+        return {
+            "mode": "hand-off",
+            "target": target,
+            "handoffs": log.handoffs,
+            "forgery_detected": detected,
+            "tally": report.failure_tally(),
+            "holds": detected,
+        }
+
+    if config.trust == "k-collusion":
+        from repro.trust.coalition import (
+            coalition_rewrite,
+            honest_blocker,
+            seeded_coalition,
+        )
+
+        coalition = seeded_coalition(
+            config.seed, participants, min(config.coalition_size, len(participants))
+        )
+        member_ids = {p.participant_id for p in coalition}
+        target = start_seq = None
+        for oid in sorted(db.store.roots()):
+            chain = inner.records_for(oid)
+            if len(chain) < 2 or any(
+                r.operation is Operation.AGGREGATE for r in chain
+            ):
+                continue
+            owned = next(
+                (r for r in chain if r.participant_id in member_ids), None
+            )
+            if owned is not None:
+                target, start_seq = oid, owned.seq_id
+                break
+        if target is None:
+            return {
+                "mode": "k-collusion",
+                "coalition": sorted(member_ids),
+                "skipped": "no linear chain with a coalition-owned record",
+                "holds": True,
+            }
+        shipment = db.ship(target)
+        blocker = honest_blocker(shipment, target, start_seq, coalition)
+        forged = coalition_rewrite(shipment, target, start_seq, coalition, 31337)
+        report = forged.verify(db.keystore(), workers=config.workers, faults=faults)
+        expected = blocker is not None
+        detected = not report.ok
+        return {
+            "mode": "k-collusion",
+            "coalition": sorted(member_ids),
+            "target": target,
+            "start_seq": start_seq,
+            "honest_blocker": (
+                None if blocker is None
+                else {"participant": blocker.participant_id, "seq_id": blocker.seq_id}
+            ),
+            "expected_detected": expected,
+            "detected": detected,
+            "tally": report.failure_tally(),
+            "holds": detected == expected,
+        }
+
+    # trust == "witnessed"
+    from repro.monitor.monitor import ProvenanceMonitor
+    from repro.trust.coalition import rewrite_store_suffix
+    from repro.trust.witness import Witness
+
+    consumed = {
+        state.object_id
+        for record in inner.all_records()
+        if record.operation is Operation.AGGREGATE
+        for state in record.inputs
+    }
+    target = next(
+        (
+            oid
+            for oid in sorted(db.store.roots())
+            if oid not in consumed
+            and inner.records_for(oid)
+            and inner.latest(oid).operation is not Operation.AGGREGATE
+        ),
+        None,
+    )
+    if target is None:
+        return {
+            "mode": "witnessed",
+            "skipped": "every chain is aggregate-entangled",
+            "holds": True,
+        }
+    witness = Witness.generate(seed=config.seed)
+    anchors = witness.tick(inner)
+    tail = inner.latest(target)
+    rewrite_store_suffix(inner, target, tail.seq_id, participants, 986543)
+    plain = ProvenanceMonitor(inner, db.keystore())
+    plain_health = plain.tick().health
+    watched = ProvenanceMonitor(
+        inner,
+        db.keystore(),
+        witness_log=witness.log,
+        witness_verifier=witness.verifier(),
+    )
+    watched_result = watched.tick()
+    mismatch_alerts = [
+        a.to_dict() for a in watched_result.alerts if a.rule == "witness-mismatch"
+    ]
+    return {
+        "mode": "witnessed",
+        "target": target,
+        "rewritten_seq": tail.seq_id,
+        "anchors": len(anchors),
+        "plain_monitor_health": plain_health,
+        "witnessed_monitor_health": watched_result.health,
+        "witness_mismatches": mismatch_alerts,
+        # Both halves of the theorem: undetectable without the witness,
+        # flagged as tampering with it.
+        "holds": plain_health == "ok"
+        and watched_result.health == "tampered"
+        and bool(mismatch_alerts),
+    }
+
+
 def run_chaos(config: ChaosConfig) -> Dict[str, object]:
     """One full chaos run; returns a JSON-able, seed-deterministic report."""
+    if config.trust not in _TRUST_MODES:
+        raise ProvenanceError(
+            f"unknown trust mode {config.trust!r} (choose from {_TRUST_MODES})"
+        )
     plan = config.build_plan()
     inner = _make_store(config)
     faulty = FaultyStore(inner, plan)
@@ -221,12 +492,15 @@ def run_chaos(config: ChaosConfig) -> Dict[str, object]:
 
     obs.emit(
         "chaos.start", seed=config.seed, ops=config.ops, store=config.store,
-        tamper=config.tamper,
+        tamper=config.tamper, trust=config.trust,
     )
-    log = _run_workload(config, db, scanner)
+    if config.trust == "solo":
+        log = _run_workload(config, db, scanner)
+    else:
+        log = _run_trust_workload(config, db, scanner)
     obs.emit(
         "chaos.workload", applied=log.applied, crashes=log.crashes,
-        failed_ops=log.failed_ops,
+        failed_ops=log.failed_ops, handoffs=log.handoffs,
     )
     # A last sweep: the workload recovers after every observed crash, so
     # this must find nothing — a torn batch here means a crash went
@@ -261,8 +535,15 @@ def run_chaos(config: ChaosConfig) -> Dict[str, object]:
             target=tamper["target"], detected=tamper["detected"],
         )
 
+    # The trust drill runs LAST: the witnessed mode rewrites the store
+    # in place, so everything before it must already be settled.
+    trust = _trust_phase(config, db, inner, plan, log)
+    if trust is not None:
+        obs.emit("chaos.trust", mode=trust["mode"], holds=trust["holds"])
+
     no_false_positives = all_clean and final_recovery.clean
     no_false_negatives = tamper is None or bool(tamper["detected"])
+    trust_holds = trust is None or bool(trust["holds"])
     injected: Dict[str, int] = {}
     for event in plan.events:
         key = f"{event.site}:{event.kind.value}"
@@ -276,6 +557,7 @@ def run_chaos(config: ChaosConfig) -> Dict[str, object]:
             "applied": log.applied,
             "crashes": log.crashes,
             "failed_ops": log.failed_ops,
+            "handoffs": log.handoffs,
         },
         "faults_injected": dict(sorted(injected.items())),
         "fault_events": [event.to_dict() for event in plan.events],
@@ -283,9 +565,11 @@ def run_chaos(config: ChaosConfig) -> Dict[str, object]:
         "final_recovery": final_recovery.to_dict(),
         "verification": verification,
         "tamper": tamper,
+        "trust": trust,
         "invariants": {
             "no_false_positives": no_false_positives,
             "no_false_negatives": no_false_negatives,
-            "ok": no_false_positives and no_false_negatives,
+            "trust_holds": trust_holds,
+            "ok": no_false_positives and no_false_negatives and trust_holds,
         },
     }

@@ -24,6 +24,12 @@ rule                        severity  fires when
 ``watermark-lag``           warning   records past the watermarks exceed a
                                       threshold after the tick (the monitor
                                       cannot keep up, or chains keep failing)
+``witness-mismatch``        critical  the store contradicts a witness anchor
+                                      (anchored record missing or rewritten, or
+                                      the anchor log itself damaged) — the one
+                                      signal that survives a *full-coalition*
+                                      suffix rewrite; inert until the monitor
+                                      is given a witness log and verifier
 ``store-latency``           warning   the ``store.txn.seconds`` p99 exceeds a
                                       threshold (requires metrics enabled)
 ``degraded-chunks``         warning   parallel verification degraded chunks to
@@ -35,9 +41,9 @@ rule                        severity  fires when
                                       and explicit per-phase SLOs)
 ==========================  ========  ========================================
 
-``tamper`` and ``watermark-regression`` alerts carry ``tampering=True``;
-they trip the ``tampered`` health state and make ``repro monitor --once``
-exit non-zero.
+``tamper``, ``watermark-regression`` and ``witness-mismatch`` alerts
+carry ``tampering=True``; they trip the ``tampered`` health state and
+make ``repro monitor --once`` exit non-zero.
 """
 
 from __future__ import annotations
@@ -51,6 +57,7 @@ __all__ = [
     "TickContext",
     "TamperRule",
     "WatermarkRegressionRule",
+    "WitnessMismatchRule",
     "WatermarkLagRule",
     "StoreLatencyRule",
     "DegradedChunksRule",
@@ -106,6 +113,11 @@ class TickContext:
     #: Mean seconds per call per profiled phase (empty when no profiler
     #: is attached) — what the ``phase-latency-slo`` rule consumes.
     phase_latencies: Dict[str, float] = field(default_factory=dict)
+    #: ``(object_id, seq_id, reason)`` contradictions between the store
+    #: and the witness anchor log (see
+    #: :func:`repro.trust.witness.check_anchors`); always empty when the
+    #: monitor has no witness configured.
+    witness_mismatches: Tuple[Tuple[str, int, str], ...] = ()
 
 
 class AlertRule:
@@ -154,6 +166,35 @@ class WatermarkRegressionRule(AlertRule):
                 fields={"object_id": object_id, "reason": reason},
             )
             for object_id, reason in ctx.regressions
+        ]
+
+
+class WitnessMismatchRule(AlertRule):
+    """The store contradicts an external witness anchor.
+
+    The checksum chain alone concedes one attack: a coalition owning an
+    *entire* chain suffix can re-sign it into an internally consistent
+    forgery no signature check flags.  A witness anchor is outside the
+    coalition's keys, so the contradiction between the anchored tail and
+    the rewritten store is the surviving tamper signal — hence
+    ``tampering=True`` and critical severity.
+    """
+
+    name = "witness-mismatch"
+
+    def evaluate(self, ctx: TickContext) -> List[Alert]:
+        return [
+            Alert(
+                rule=self.name,
+                severity="critical",
+                message=(
+                    f"store state of {object_id!r} contradicts the witness "
+                    f"anchor log ({reason})"
+                ),
+                tampering=True,
+                fields={"object_id": object_id, "seq_id": seq_id, "reason": reason},
+            )
+            for object_id, seq_id, reason in ctx.witness_mismatches
         ]
 
 
@@ -261,6 +302,7 @@ def default_rules(
     return (
         TamperRule(),
         WatermarkRegressionRule(),
+        WitnessMismatchRule(),
         WatermarkLagRule(lag_threshold),
         StoreLatencyRule(latency_threshold),
         DegradedChunksRule(),

@@ -117,6 +117,15 @@ class ProvenanceMonitor:
             :func:`repro.obs.enable_profile` profiler is attached.
         full_scan_every: Force a full (watermark-ignoring) pass every Nth
             tick; ``0`` disables the cadence.
+        witness_log: Optional :class:`repro.trust.witness.AnchorLog` of
+            external witness anchors.  When set (with its verifier),
+            every tick — including the idle fast path — cross-checks the
+            store against the anchors and fires ``witness-mismatch`` on
+            any contradiction.  This is the one check that survives a
+            full-coalition suffix rewrite, which is internally consistent
+            and invisible to signature verification.
+        witness_verifier: The witness's public-material verifier
+            (``Witness.verifier()``); required alongside ``witness_log``.
     """
 
     def __init__(
@@ -129,7 +138,14 @@ class ProvenanceMonitor:
         latency_threshold: float = 0.5,
         phase_slos: Optional[Dict[str, float]] = None,
         full_scan_every: int = 0,
+        witness_log=None,
+        witness_verifier=None,
     ):
+        if (witness_log is None) != (witness_verifier is None):
+            raise ProvenanceError(
+                "witness_log and witness_verifier must be given together "
+                "(anchors are meaningless without the key to check them)"
+            )
         for method in _WATERMARK_SURFACE:
             if not callable(getattr(store, method, None)):
                 raise ProvenanceError(
@@ -146,6 +162,8 @@ class ProvenanceMonitor:
             else default_rules(lag_threshold, latency_threshold, phase_slos)
         )
         self.full_scan_every = max(0, int(full_scan_every))
+        self.witness_log = witness_log
+        self.witness_verifier = witness_verifier
         self._tick = 0
         #: Authoritative per-object failures (replace semantics).
         self._failures: Dict[str, Tuple[VerificationFailure, ...]] = {}
@@ -391,6 +409,7 @@ class ProvenanceMonitor:
             degraded_chunks=self._degraded_delta(),
             store_p99=self._store_p99(),
             phase_latencies=self._phase_latencies(),
+            witness_mismatches=self._witness_mismatches(),
         )
         alerts: List[Alert] = []
         for rule in self.rules:
@@ -420,6 +439,20 @@ class ProvenanceMonitor:
             advanced=tuple(advanced), regressions=regressions,
             alerts=tuple(alerts), lag_records=lag,
         )
+
+    def _witness_mismatches(self) -> Tuple[Tuple[str, int, str], ...]:
+        """Store-vs-anchor contradictions (empty without a witness).
+
+        Runs on *every* tick, idle fast path included: the fast path
+        proves the store matches the last verified state, but a
+        full-coalition rewrite that also rewinds the watermarks is
+        internally consistent — only the external anchors contradict it.
+        """
+        if self.witness_log is None:
+            return ()
+        from repro.trust.witness import check_anchors
+
+        return check_anchors(self.store, self.witness_log, self.witness_verifier)
 
     def _lag_records(self, chains, watermarks) -> int:
         """Records past the watermarks *after* the tick's advances."""

@@ -19,7 +19,7 @@ from repro.crypto.proofs import BatchProof
 from repro.exceptions import ProvenanceError
 from repro.model.values import Value, decode_value, encode_value
 
-__all__ = ["Operation", "ObjectState", "ProvenanceRecord"]
+__all__ = ["Operation", "ObjectState", "CustodyTransfer", "ProvenanceRecord"]
 
 
 class Operation(str, enum.Enum):
@@ -30,6 +30,9 @@ class Operation(str, enum.Enum):
     AGGREGATE = "aggregate"
     #: One complex operation (§4.4) — update-shaped, possibly many primitives.
     COMPLEX = "complex"
+    #: Custody hand-off: the object's value is unchanged but responsibility
+    #: moves to a new participant, countersigned by the outgoing custodian.
+    TRANSFER = "transfer"
 
     def __str__(self) -> str:  # stored in the provenance database
         return self.value
@@ -86,6 +89,76 @@ class ObjectState:
 
 
 @dataclass(frozen=True)
+class CustodyTransfer:
+    """The dual-signature evidence carried by a ``TRANSFER`` record.
+
+    A hand-off is only meaningful if *both* sides commit to it: the
+    incoming custodian signs the record itself (the ordinary checksum),
+    and the outgoing custodian countersigns a domain-tagged message
+    binding the hand-off to the exact chain position
+    (``payloads.transfer_message``).  The participant ids and the
+    countersignature bytes are folded into the signed record payload, so
+    stripping or swapping any of them breaks the incoming custodian's
+    checksum (R1) as well as the custody invariant itself.
+
+    Attributes:
+        from_participant: The outgoing custodian (must have authored the
+            predecessor record — verified as a chain invariant).
+        to_participant: The incoming custodian (must equal the transfer
+            record's ``participant_id``).
+        countersignature: The outgoing custodian's signature over
+            :func:`repro.core.checksum.transfer_message`.
+        counter_scheme: Signature scheme of the countersignature.
+        counter_proof: Batch inclusion proof for the countersignature
+            when the outgoing custodian signs with the Merkle-batch
+            scheme (sealed immediately as a single-leaf batch);
+            ``None`` for per-record schemes.
+    """
+
+    from_participant: str
+    to_participant: str
+    countersignature: bytes
+    counter_scheme: str = "rsa-pkcs1v15"
+    counter_proof: Optional[BatchProof] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "from": self.from_participant,
+            "to": self.to_participant,
+            "countersignature": self.countersignature.hex(),
+            "counter_scheme": self.counter_scheme,
+        }
+        if self.counter_proof is not None:
+            out["counter_proof"] = self.counter_proof.to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CustodyTransfer":
+        try:
+            return cls(
+                from_participant=str(data["from"]),
+                to_participant=str(data["to"]),
+                countersignature=bytes.fromhex(data["countersignature"]),
+                counter_scheme=str(data.get("counter_scheme", "rsa-pkcs1v15")),
+                counter_proof=(
+                    BatchProof.from_dict(data["counter_proof"])
+                    if data.get("counter_proof") is not None
+                    else None
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProvenanceError(f"malformed custody transfer: {exc}") from exc
+
+    def storage_bytes(self) -> int:
+        proof_bytes = (
+            self.counter_proof.storage_bytes()
+            if self.counter_proof is not None
+            else 0
+        )
+        return len(self.countersignature) + proof_bytes
+
+
+@dataclass(frozen=True)
 class ProvenanceRecord:
     """One provenance record with its integrity checksum.
 
@@ -115,6 +188,8 @@ class ProvenanceRecord:
         proof: Batch-signature inclusion proof (Merkle-batch scheme
             only): ties the checksum — there a leaf digest — to the
             RSA-signed batch root.  ``None`` for per-record schemes.
+        transfer: Custody hand-off evidence; required on (and only
+            meaningful for) ``TRANSFER`` records.
     """
 
     object_id: str
@@ -129,6 +204,7 @@ class ProvenanceRecord:
     hash_algorithm: str = "sha1"
     note: str = ""
     proof: Optional[BatchProof] = None
+    transfer: Optional[CustodyTransfer] = None
 
     def __post_init__(self) -> None:
         if self.output.object_id != self.object_id:
@@ -172,7 +248,10 @@ class ProvenanceRecord:
         checksum plus the proof blob instead of a full RSA signature.
         """
         proof_bytes = self.proof.storage_bytes() if self.proof is not None else 0
-        return 12 + len(self.checksum) + proof_bytes
+        transfer_bytes = (
+            self.transfer.storage_bytes() if self.transfer is not None else 0
+        )
+        return 12 + len(self.checksum) + proof_bytes + transfer_bytes
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable form (used by shipments)."""
@@ -192,6 +271,8 @@ class ProvenanceRecord:
             out["note"] = self.note
         if self.proof is not None:
             out["proof"] = self.proof.to_dict()
+        if self.transfer is not None:
+            out["transfer"] = self.transfer.to_dict()
         return out
 
     @classmethod
@@ -219,6 +300,11 @@ class ProvenanceRecord:
                     if data.get("proof") is not None
                     else None
                 ),
+                transfer=(
+                    CustodyTransfer.from_dict(data["transfer"])
+                    if data.get("transfer") is not None
+                    else None
+                ),
             )
         except ProvenanceError:
             raise
@@ -229,7 +315,13 @@ class ProvenanceRecord:
         """One-line human-readable rendering (used by the audit inspector)."""
         inherited = " (inherited)" if self.inherited else ""
         ins = ", ".join(self.input_ids) or "∅"
+        custody = ""
+        if self.transfer is not None:
+            custody = (
+                f" [custody {self.transfer.from_participant}"
+                f" -> {self.transfer.to_participant}]"
+            )
         return (
             f"[{self.object_id} #{self.seq_id}] {self.operation.value}{inherited} "
-            f"by {self.participant_id}: {{{ins}}} -> {self.object_id}"
+            f"by {self.participant_id}: {{{ins}}} -> {self.object_id}{custody}"
         )

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import base64
 import json
+import os
 import threading
 import time
 from dataclasses import dataclass
@@ -102,20 +103,67 @@ class ApiKeyAuthority:
             provenance CAs) so a compromise of one tenant's world never
             yields a token-minting key.
         clock: Time source for expiry checks (injectable for tests).
+        state_path: Optional JSON file persisting the issued/revoked
+            state across restarts.  Revocation is the critical half: a
+            key revoked before a crash must STAY revoked after ``repro
+            serve`` comes back, or the bearer regains access.  Writes go
+            through a temp-file rename, so a crash mid-write leaves the
+            previous state intact.
     """
 
     def __init__(
         self,
         ca: CertificateAuthority,
         clock: Callable[[], float] = time.time,
+        state_path: Optional[str] = None,
     ):
         self.ca = ca
         self.clock = clock
+        self.state_path = state_path
         self._lock = threading.Lock()
         self._next_key = 1
         #: key id -> claims for every issued key (introspection surface).
         self._issued: Dict[str, ApiKeyClaims] = {}
         self._revoked: set = set()
+        if state_path is not None:
+            self._load_state(state_path)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def _load_state(self, path: str) -> None:
+        if not os.path.exists(path):
+            return
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            self._next_key = int(data["next_key"])
+            self._issued = {
+                str(kid): ApiKeyClaims.from_dict(claims)
+                for kid, claims in data["issued"].items()
+            }
+            self._revoked = {str(kid) for kid in data["revoked"]}
+        except (KeyError, TypeError, ValueError, OSError) as exc:
+            raise AuthError(
+                f"corrupt API key state at {path}: {exc}"
+            ) from exc
+
+    def _persist_locked(self) -> None:
+        """Write the current state; caller holds ``self._lock``."""
+        if self.state_path is None:
+            return
+        data = {
+            "next_key": self._next_key,
+            "issued": {
+                kid: claims.to_dict() for kid, claims in self._issued.items()
+            },
+            "revoked": sorted(self._revoked),
+        }
+        tmp = f"{self.state_path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, sort_keys=True)
+        os.replace(tmp, self.state_path)
 
     # ------------------------------------------------------------------
     # issue
@@ -143,6 +191,7 @@ class ApiKeyAuthority:
                 expires=expires,
             )
             self._issued[key_id] = claims
+            self._persist_locked()
         return self._encode(claims)
 
     def issue_admin(self, ttl: Optional[float] = None) -> str:
@@ -236,6 +285,8 @@ class ApiKeyAuthority:
                 return False
             already = key_id in self._revoked
             self._revoked.add(key_id)
+            if not already:
+                self._persist_locked()
             return not already
 
     def issued_keys(self) -> Tuple[ApiKeyClaims, ...]:

@@ -35,6 +35,7 @@ evident as tampering with the data it audits.
 from __future__ import annotations
 
 import json
+import os
 import random
 import threading
 from dataclasses import dataclass, field
@@ -92,6 +93,13 @@ class ServiceConfig:
     retry_backoff: float = 0.002
     #: Watermark-lag alert threshold for /healthz monitors.
     lag_threshold: int = 1 << 30
+    #: Per-tenant witness anchoring: each tenant world gets its own
+    #: notary (seeded from ``(seed, tenant_id)``) whose anchor log the
+    #: healthz monitors check, so even a full insider rewrite of a
+    #: tenant store surfaces as ``witness-mismatch`` tampering.  With
+    #: ``store_root`` set, each tenant's anchor log persists beside its
+    #: shard files and restarts resume it.
+    witness: bool = False
     #: Optional fault plan consulted at the service.request boundary and
     #: wired into every tenant's store + collector (chaos testing).
     faults: Optional["FaultPlan"] = field(default=None, compare=False)
@@ -142,21 +150,62 @@ class TenantWorld:
         #: the CA signatures on every request.
         self.keystore: KeyStore = self.db.keystore()
         self._monitor = None
+        self.witness = None
+        self._anchor_path: Optional[str] = None
+        if config.witness:
+            from repro.provenance.registry import tenant_store_paths
+            from repro.trust.witness import AnchorLog, Witness
+
+            log = AnchorLog()
+            if config.store_root is not None:
+                shard_paths = tenant_store_paths(
+                    config.store_root, tenant_id, config.shards
+                )
+                self._anchor_path = os.path.join(
+                    os.path.dirname(shard_paths[0]), "witness-anchors.jsonl"
+                )
+                log = AnchorLog.load(self._anchor_path)
+            self.witness = Witness.generate(
+                key_bits=config.key_bits,
+                seed=f"{config.seed}|witness|{tenant_id}",
+                log=log,
+            )
 
     @property
     def store(self):
         return self.db.provenance_store
+
+    def witness_tick(self) -> int:
+        """Anchor the current chain tails; returns new-anchor count.
+
+        Called under the world lock from the healthz pass BEFORE the
+        monitor tick, so every healthy state a monitor ever reported is
+        pinned by an anchor a later insider rewrite must contradict.
+        """
+        if self.witness is None:
+            return 0
+        fresh = self.witness.tick(self.store)
+        if fresh and self._anchor_path is not None:
+            self.witness.log.save(self._anchor_path)
+        return len(fresh)
 
     def monitor(self):
         """The tenant's health monitor (lazily built, watermark-backed)."""
         if self._monitor is None:
             from repro.monitor import ProvenanceMonitor
 
+            kwargs = {}
+            if self.witness is not None:
+                kwargs = {
+                    "witness_log": self.witness.log,
+                    "witness_verifier": self.witness.verifier(),
+                }
             self._monitor = ProvenanceMonitor(
                 self.store,
                 self.keystore,
                 workers=self.config.workers,
                 lag_threshold=self.config.lag_threshold,
+                **kwargs,
             )
         return self._monitor
 
@@ -184,13 +233,18 @@ class ProvenanceService:
         self._worlds: Dict[str, TenantWorld] = {}
         self._worlds_lock = threading.Lock()
         auth_rng = random.Random(f"{config.seed}|auth")
+        auth_state = None
+        if config.store_root is not None:
+            os.makedirs(config.store_root, exist_ok=True)
+            auth_state = os.path.join(config.store_root, "api-keys.json")
         self.authority = ApiKeyAuthority(
             CertificateAuthority(
                 name="repro-service-auth-ca",
                 key_bits=config.key_bits,
                 hash_algorithm=config.hash_algorithm,
                 rng=auth_rng,
-            )
+            ),
+            state_path=auth_state,
         )
         self.admin_token = self.authority.issue_admin()
 
@@ -443,6 +497,7 @@ class ProvenanceService:
             world = self._worlds[tenant_id]
             with world.lock:
                 monitor = world.monitor()
+                world.witness_tick()
                 result = monitor.tick(full=full)
                 if visible is None or tenant_id in visible:
                     tenants[tenant_id] = {

@@ -47,3 +47,30 @@ def test_detected_scenarios_name_a_requirement(world):
             continue
         _, report = scenario.execute(world)
         assert report.requirement_codes(), scenario.name
+
+
+@pytest.mark.parametrize("scheme", ["rsa-pkcs1v15", "merkle-batch"])
+@pytest.mark.parametrize("scenario", all_scenarios(), ids=lambda s: s.name)
+def test_same_seed_execution_is_byte_identical(scenario, scheme):
+    """Satellite guarantee: no scenario draws from a module-level RNG.
+
+    Scenarios mutate their world (custody transfers, R7's extra honest
+    record), so each run gets a FRESH world — equal seeds must still
+    yield equal verdicts and byte-identical failure reports.
+    """
+    reports = [
+        scenario.execute(build_world(seed=123, scheme=scheme))[1]
+        for _ in range(2)
+    ]
+    assert reports[0].ok == reports[1].ok
+    assert [str(f) for f in reports[0].failures] == [
+        str(f) for f in reports[1].failures
+    ]
+    assert reports[0].failure_tally() == reports[1].failure_tally()
+
+
+def test_worlds_record_their_seed_and_scheme():
+    world = build_world(seed=77, scheme="merkle-batch")
+    assert world.seed == 77
+    assert world.scheme == "merkle-batch"
+    assert set(world.participants) == {"alice", "mallory", "eve"}

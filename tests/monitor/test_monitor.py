@@ -328,8 +328,9 @@ class TestAlertRules:
     def test_default_rules_cover_all_conditions(self):
         names = {r.name for r in default_rules()}
         assert names == {
-            "tamper", "watermark-regression", "watermark-lag",
-            "store-latency", "degraded-chunks", "phase-latency-slo",
+            "tamper", "watermark-regression", "witness-mismatch",
+            "watermark-lag", "store-latency", "degraded-chunks",
+            "phase-latency-slo",
         }
 
     def test_phase_latency_slo_rule(self):

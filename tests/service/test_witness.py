@@ -1,0 +1,87 @@
+"""Per-tenant witness anchoring in the service layer.
+
+With ``ServiceConfig(witness=True)`` every tenant world gets its own
+notary; /healthz monitors check the anchor log, so a full insider
+rewrite of one tenant's store — invisible to plain chain checks —
+flips that tenant (and only that tenant) to ``witness-mismatch``
+tampering.  With a ``store_root`` the anchor log persists and a
+restarted service still holds the pre-crash anchors against the store.
+"""
+
+import os
+
+import pytest
+
+from repro.service.core import ProvenanceService, ServiceConfig
+from repro.trust.coalition import rewrite_store_suffix
+
+from tests.service.conftest import TEST_KEY_BITS
+
+
+def _config(**kwargs):
+    return ServiceConfig(seed=5, key_bits=TEST_KEY_BITS, witness=True, **kwargs)
+
+
+def _rewrite_tenant_tail(service, tenant):
+    world = service.world(tenant)
+    tail = world.store.latest("x")
+    rewrite_store_suffix(world.store, "x", tail.seq_id, [world.participant], 999_999)
+
+
+def test_witnessed_healthz_flags_insider_rewrite():
+    service = ProvenanceService(_config())
+    try:
+        for tenant in ("acme", "globex"):
+            service.record(tenant, "insert", "x", 1)
+            service.record(tenant, "update", "x", 2)
+        payload, tampered = service.healthz()
+        assert not tampered and payload["health"] == "ok"
+
+        _rewrite_tenant_tail(service, "acme")
+        payload, tampered = service.healthz()
+        assert tampered
+        assert "witness-mismatch" in payload["tenants"]["acme"]["alerts"]
+        # Tenant isolation: globex's world is untouched and stays clean.
+        assert payload["tenants"]["globex"]["health"] == "ok"
+    finally:
+        service.close()
+
+
+def test_unwitnessed_service_cannot_see_the_rewrite():
+    service = ProvenanceService(
+        ServiceConfig(seed=5, key_bits=TEST_KEY_BITS, witness=False)
+    )
+    try:
+        service.record("acme", "insert", "x", 1)
+        service.record("acme", "update", "x", 2)
+        service.healthz()  # plain baseline tick
+        _rewrite_tenant_tail(service, "acme")
+        payload, tampered = service.healthz()
+        assert not tampered, payload
+    finally:
+        service.close()
+
+
+def test_anchor_log_persists_across_restart(tmp_path):
+    root = str(tmp_path / "svc")
+    service = ProvenanceService(_config(store_root=root))
+    try:
+        service.record("acme", "insert", "x", 1)
+        service.record("acme", "update", "x", 2)
+        payload, tampered = service.healthz()
+        assert not tampered
+        anchor_path = os.path.join(root, "acme", "witness-anchors.jsonl")
+        assert os.path.exists(anchor_path)
+    finally:
+        service.close()
+
+    reborn = ProvenanceService(_config(store_root=root))
+    try:
+        # The rewrite happens against the REBORN process's store; only
+        # the persisted anchors from the first life can contradict it.
+        _rewrite_tenant_tail(reborn, "acme")
+        payload, tampered = reborn.healthz()
+        assert tampered
+        assert "witness-mismatch" in payload["tenants"]["acme"]["alerts"]
+    finally:
+        reborn.close()

@@ -1,0 +1,28 @@
+"""Shared fixtures for the multi-participant trust suite.
+
+Every test here runs under BOTH signature schemes (per-record RSA and
+Merkle-batch) — the trust layer's guarantees are scheme-independent.
+"""
+
+import pytest
+
+from repro.attacks.scenarios import build_world
+
+SCHEMES = ("rsa-pkcs1v15", "merkle-batch")
+
+
+@pytest.fixture(params=SCHEMES)
+def scheme(request):
+    return request.param
+
+
+@pytest.fixture
+def world(scheme):
+    """A fresh attack world per test — trust drills mutate the store."""
+    return build_world(seed=0x5EC, scheme=scheme)
+
+
+def verify(world):
+    """Verify a fresh shipment of ``x`` as the data recipient would."""
+    shipment = world.db.ship("x")
+    return shipment.verify_with_ca(world.db.ca.public_key, world.db.ca.name)

@@ -1,0 +1,74 @@
+"""The chaos adversary axis: every trust mode holds under faults.
+
+CI runs the extended matrix ({memory,sqlite} × {serial,parallel} ×
+{schemes} × {trust modes} × several seeds); this in-tree slice keeps the
+conformance claim under test on every run.
+"""
+
+import json
+
+import pytest
+
+from repro.faults import ChaosConfig, run_chaos
+
+MODES = ("solo", "hand-off", "k-collusion", "witnessed")
+
+
+@pytest.mark.parametrize("trust", MODES)
+@pytest.mark.parametrize("scheme", ("rsa-per-record", "merkle-batch"))
+def test_trust_modes_hold_under_faults(trust, scheme):
+    report = run_chaos(
+        ChaosConfig(seed=11, ops=25, trust=trust, scheme=scheme)
+    )
+    assert report["invariants"]["trust_holds"], report["trust"]
+    assert report["invariants"]["ok"], report["invariants"]
+    if trust == "witnessed":
+        assert report["trust"]["plain_monitor_health"] == "ok"
+        assert report["trust"]["witnessed_monitor_health"] == "tampered"
+
+
+def test_trust_reports_are_seed_deterministic():
+    config = dict(seed=23, ops=25, trust="k-collusion", coalition_size=2)
+    first = json.dumps(run_chaos(ChaosConfig(**config)), sort_keys=True)
+    second = json.dumps(run_chaos(ChaosConfig(**config)), sort_keys=True)
+    assert first == second
+
+
+@pytest.mark.parametrize("scheme", ("rsa-per-record", "merkle-batch"))
+def test_trust_verdicts_identical_serial_vs_parallel(scheme):
+    """Acceptance criterion: the verification-bearing report sections are
+    byte-identical across {serial, parallel} × both schemes (the config
+    echo necessarily differs on ``workers``)."""
+    sections = ("workload", "tamper", "trust", "invariants")
+    reports = [
+        run_chaos(
+            ChaosConfig(
+                seed=31, ops=25, trust="hand-off", scheme=scheme,
+                workers=workers,
+            )
+        )
+        for workers in (1, 2)
+    ]
+    serial = {k: reports[0][k] for k in sections}
+    parallel = {k: reports[1][k] for k in sections}
+    assert json.dumps(serial, sort_keys=True) == json.dumps(
+        parallel, sort_keys=True
+    )
+
+
+def test_unknown_trust_mode_is_rejected():
+    from repro.exceptions import ProvenanceError
+
+    with pytest.raises(ProvenanceError, match="trust"):
+        run_chaos(ChaosConfig(seed=1, ops=5, trust="quorum"))
+
+
+def test_solo_reports_unchanged_by_the_trust_axis():
+    """The new axis must not shift historical solo schedules: a solo run
+    is byte-identical to the same config from before the axis existed
+    (same rng streams, handoffs pinned at zero)."""
+    report = run_chaos(ChaosConfig(seed=2, ops=25))
+    assert report["workload"]["handoffs"] == 0
+    assert report["trust"] is None  # no drill ran, nothing to report
+    assert report["invariants"]["trust_holds"]
+    assert report["invariants"]["ok"]

@@ -1,0 +1,170 @@
+"""Property tests: custody/coalition verdicts are scheme- and
+worker-independent.
+
+Hypothesis draws random chains (author sequences), transfer points, and
+coalition subsets; for every drawn scenario the verification report must
+be byte-identical serial vs parallel AND across the per-record RSA and
+Merkle-batch signature schemes, and tampering at/around the hand-off
+must fail exactly the expected requirement.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import tampering
+from repro.core.system import TamperEvidentDatabase
+from repro.trust.coalition import coalition_rewrite, honest_blocker
+from repro.trust.custody import (
+    fabricate_handoff,
+    reattribute_handoff,
+    strip_handoff,
+    transfer_custody,
+)
+
+SCHEMES = ("rsa-per-record", "merkle-batch")
+CAST = ("p0", "p1", "p2")
+
+#: A drawn chain plan: per-update author indices.  The insert is always
+#: p0's; a transfer is woven in after the last update.
+authors_strategy = st.lists(
+    st.integers(min_value=0, max_value=2), min_size=2, max_size=5
+)
+
+SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _build(scheme, authors, transfer_to):
+    """Replay one drawn plan under ``scheme``; returns (db, people, xfer)."""
+    db = TamperEvidentDatabase(
+        key_bits=512, rng=random.Random(0xFEED), signature_scheme=scheme
+    )
+    people = {name: db.enroll(name) for name in CAST}
+    sessions = {name: db.session(p) for name, p in people.items()}
+    sessions["p0"].insert("x", 0)
+    for step, author in enumerate(authors):
+        sessions[CAST[author]].update("x", step + 1)
+    tail = db.provenance_store.latest("x")
+    outgoing = people[tail.participant_id]
+    others = [n for n in CAST if n != tail.participant_id]
+    incoming = people[others[transfer_to % len(others)]]
+    record = transfer_custody(db.provenance_store, "x", outgoing, incoming)
+    return db, people, record
+
+
+def _report_bytes(db, shipment, workers):
+    report = shipment.verify(db.keystore(), workers=workers)
+    return (
+        report.ok,
+        tuple(str(f) for f in report.failures),
+        tuple(sorted(report.failure_tally().items())),
+    )
+
+
+@SETTINGS
+@given(
+    authors=authors_strategy,
+    transfer_to=st.integers(min_value=0, max_value=1),
+    attack=st.sampled_from(("none", "fabricate", "reattribute", "strip", "r1")),
+)
+def test_reports_identical_across_schemes_and_workers(
+    authors, transfer_to, attack
+):
+    outcomes = []
+    for scheme in SCHEMES:
+        db, people, record = _build(scheme, authors, transfer_to)
+        shipment = db.ship("x")
+        incoming = people[record.participant_id]
+        if attack == "fabricate":
+            attacker = next(
+                p for n, p in sorted(people.items())
+                if n != record.participant_id
+            )
+            shipment = fabricate_handoff(shipment, "x", attacker)
+        elif attack == "reattribute":
+            new_from = next(
+                n for n in CAST
+                if n not in (record.transfer.from_participant,
+                             record.participant_id)
+            )
+            shipment = reattribute_handoff(
+                shipment, "x", record.seq_id, incoming, new_from
+            )
+        elif attack == "strip":
+            shipment = strip_handoff(shipment, "x", record.seq_id, incoming)
+        elif attack == "r1":
+            # Tamper with the record just BEFORE the hand-off.
+            shipment = tampering.modify_record_output(
+                shipment, "x", record.seq_id - 1, fake_value=777_000
+            )
+        serial = _report_bytes(db, shipment, workers=1)
+        parallel = _report_bytes(db, shipment, workers=2)
+        assert serial == parallel, (scheme, attack)
+        outcomes.append(serial)
+
+        ok, _, tally = serial
+        codes = dict(tally)
+        if attack == "none":
+            assert ok
+        elif attack in ("fabricate", "reattribute"):
+            assert not ok and "CUSTODY" in codes, (scheme, attack, tally)
+        elif attack == "strip":
+            assert not ok and "STRUCT" in codes, (scheme, tally)
+        else:  # r1
+            assert not ok and "R1" in codes, (scheme, tally)
+    assert outcomes[0] == outcomes[1], "schemes disagree"
+
+
+@SETTINGS
+@given(
+    authors=authors_strategy,
+    transfer_to=st.integers(min_value=0, max_value=1),
+    members=st.sets(
+        st.integers(min_value=0, max_value=2), min_size=1, max_size=3
+    ),
+    data=st.data(),
+)
+def test_coalition_detection_matches_honest_blocker(
+    authors, transfer_to, members, data
+):
+    """For every drawn coalition/suffix: detected iff an honest
+    participant (author or outgoing custodian) sits in the suffix —
+    identically under both schemes."""
+    outcomes = []
+    start_pick = None  # drawn ONCE; the plan is identical across schemes
+    for scheme in SCHEMES:
+        db, people, record = _build(scheme, authors, transfer_to)
+        shipment = db.ship("x")
+        coalition = [people[CAST[i]] for i in sorted(members)]
+        member_ids = {p.participant_id for p in coalition}
+        chain = sorted(
+            (r for r in shipment.records if r.object_id == "x"),
+            key=lambda r: r.seq_id,
+        )
+        starts = [
+            r.seq_id for r in chain
+            if r.seq_id >= 1 and r.participant_id in member_ids
+        ]
+        if not starts:
+            return  # drawn coalition owns nothing rewriteable
+        if start_pick is None:
+            start_pick = data.draw(
+                st.integers(0, len(starts) - 1), label="start"
+            )
+        start = starts[start_pick]
+        blocker = honest_blocker(shipment, "x", start, coalition)
+        forged = coalition_rewrite(shipment, "x", start, coalition, 424_242)
+        report = forged.verify(db.keystore())
+        detected = not report.ok
+        assert detected == (blocker is not None), (
+            scheme, start, sorted(member_ids), report.summary()
+        )
+        outcomes.append(
+            (detected, tuple(str(f) for f in report.failures))
+        )
+    assert outcomes[0] == outcomes[1], "schemes disagree"
