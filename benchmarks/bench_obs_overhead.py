@@ -15,6 +15,11 @@ profiler phases entered, x measured per-check cost / wall time) and
 the process exits non-zero when the guard fails, so CI catches an
 instrumentation regression that creeps into the disabled path.  Metrics
 are dumped to ``BENCH_obs_overhead.json`` for the trajectory record.
+
+A second **service arm** times HTTP requests against a live in-process
+server and guards the cost the observability *plane* adds per request:
+tracing-header codec work plus the background monitor's idle sweep,
+amortized over its interval.  Skip it with ``--no-service``.
 """
 
 from __future__ import annotations
@@ -23,7 +28,7 @@ import argparse
 import json
 import sys
 
-from repro.bench.experiments import run_obs_overhead
+from repro.bench.experiments import run_obs_overhead, run_service_obs_overhead
 from repro.bench.history import with_meta
 
 
@@ -45,6 +50,13 @@ def main(argv=None) -> int:
                         help="where to write the metrics (default "
                              "BENCH_obs_overhead.json, or skipped under "
                              "--quick; '-' to skip)")
+    parser.add_argument("--requests", type=int, default=300,
+                        help="HTTP requests in the service arm (default 300)")
+    parser.add_argument("--monitor-interval", type=float, default=1.0,
+                        help="background-monitor interval amortizing the "
+                             "idle-tick cost (default 1.0s)")
+    parser.add_argument("--no-service", action="store_true",
+                        help="skip the live-server service arm")
     parser.add_argument("--quick", action="store_true",
                         help="tiny everything, for smoke-testing")
     args = parser.parse_args(argv)
@@ -52,6 +64,7 @@ def main(argv=None) -> int:
     if args.quick:
         args.records, args.runs = 2_000, 1
         args.verify_objects, args.verify_updates = 60, 2
+        args.requests = 80
     if args.json is None:
         # Quick smoke runs must not clobber the committed full-scale numbers.
         args.json = "-" if args.quick else "BENCH_obs_overhead.json"
@@ -65,12 +78,28 @@ def main(argv=None) -> int:
         max_disabled_overhead=args.max_overhead,
     )
     print(result.render())
+    metrics = dict(result.metrics)
+    guard_ok = bool(result.metrics["guard"]["ok"])
+
+    if not args.no_service:
+        service_result = run_service_obs_overhead(
+            n_requests=args.requests,
+            runs=args.runs,
+            key_bits=args.key_bits,
+            monitor_interval=args.monitor_interval,
+            max_overhead=args.max_overhead,
+        )
+        print()
+        print(service_result.render())
+        metrics["service"] = service_result.metrics
+        guard_ok = guard_ok and bool(service_result.metrics["guard"]["ok"])
+
     if args.json != "-":
         with open(args.json, "w") as fh:
-            json.dump(with_meta(result.metrics), fh, indent=2)
+            json.dump(with_meta(metrics), fh, indent=2)
         print(f"\nmetrics written to {args.json}")
-    if not result.metrics["guard"]["ok"]:
-        print("error: disabled-mode overhead guard FAILED", file=sys.stderr)
+    if not guard_ok:
+        print("error: observability overhead guard FAILED", file=sys.stderr)
         return 1
     return 0
 

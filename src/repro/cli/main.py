@@ -17,7 +17,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.audit.inspector import ChainInspector, audit_trail, render_report
 from repro.cli.workspace import Workspace
@@ -386,6 +386,22 @@ def build_parser() -> argparse.ArgumentParser:
                         "contradict (persisted beside --store-root shards)")
     p.add_argument("--events", default=None, metavar="PATH",
                    help="append structured events to this JSONL file")
+    p.add_argument("--events-max-bytes", type=int, default=None, metavar="N",
+                   help="rotate the --events file before it exceeds N bytes")
+    p.add_argument("--events-keep", type=int, default=3, metavar="N",
+                   help="rotated --events segments to retain (default: 3)")
+    p.add_argument("--monitor-interval", type=float, default=0.0, metavar="SEC",
+                   help="run a background monitor sweep over every tenant "
+                        "each SEC seconds (incremental ticks; health "
+                        "transitions and fresh alerts go to the alert "
+                        "sinks and the /v1/alerts stream; 0 = off)")
+    p.add_argument("--alert-log", default=None, metavar="PATH",
+                   help="append background-monitor alerts to this JSONL file")
+    p.add_argument("--alert-webhook", default=None, metavar="URL",
+                   help="POST background-monitor alerts to this URL "
+                        "(best-effort; failures are counted, not fatal)")
+    p.add_argument("--profile", action="store_true",
+                   help="attach the phase profiler (served at /v1/profile)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress the startup line (admin token included)")
 
@@ -457,6 +473,60 @@ def build_parser() -> argparse.ArgumentParser:
                     help="incremental monitor tick instead of a full audit")
 
     cp = client_sub.add_parser("recover", help="run crash recovery (admin)")
+
+    p = sub.add_parser(
+        "dash",
+        help="live fleet dashboard for a running service (admin)",
+        description=(
+            "Renders per-tenant health, request rates, latency quantiles, "
+            "verify failures, and watermark lag from a running service's "
+            "observability endpoints (/healthz, /v1/metrics). Needs an "
+            "admin key — the dashboard sees every tenant. --once prints a "
+            "single snapshot and exits (CI smoke); otherwise the view "
+            "refreshes every --interval seconds until interrupted."
+        ),
+    )
+    p.add_argument("--url", required=True, help="service base URL")
+    p.add_argument("--token", default=None,
+                   help="admin API key (default: $REPRO_API_KEY)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between refreshes (default: 2)")
+    p.add_argument("--ticks", type=int, default=0,
+                   help="frames to render, 0 = until interrupted")
+    p.add_argument("--once", action="store_true",
+                   help="print one snapshot and exit")
+    p.add_argument("--json", action="store_true",
+                   help="emit the snapshot as JSON instead of a table")
+
+    p = sub.add_parser(
+        "alerts",
+        help="stream a running service's alert feed (admin)",
+        description=(
+            "Reads the cursor-paged /v1/alerts stream: monitor alerts, "
+            "tamper evidence, and background-monitor health transitions. "
+            "`tail` prints one line per event; with --follow it long-polls "
+            "for new events until --duration/--max-events. Exits 1 iff any "
+            "streamed event carries tamper evidence, so a cron or CI step "
+            "can gate on it."
+        ),
+    )
+    alerts_sub = p.add_subparsers(dest="alerts_command", required=True)
+    ap = alerts_sub.add_parser("tail", help="print the alert stream")
+    ap.add_argument("--url", required=True, help="service base URL")
+    ap.add_argument("--token", default=None,
+                    help="admin API key (default: $REPRO_API_KEY)")
+    ap.add_argument("--since", type=int, default=-1,
+                    help="start after this event sequence (default: all)")
+    ap.add_argument("--follow", action="store_true",
+                    help="keep long-polling for new events")
+    ap.add_argument("--wait", type=float, default=5.0,
+                    help="long-poll seconds per request with --follow")
+    ap.add_argument("--duration", type=float, default=0.0,
+                    help="stop following after this many seconds (0 = never)")
+    ap.add_argument("--max-events", type=int, default=0,
+                    help="stop after printing this many events (0 = no cap)")
+    ap.add_argument("--json", action="store_true",
+                    help="print events as JSON lines")
 
     p = sub.add_parser(
         "trust",
@@ -1136,12 +1206,28 @@ def _cmd_bench(args) -> int:
 
 def _cmd_serve(args) -> int:
     from repro import obs
+    from repro.obs.plane import FileAlertSink, LogAlertSink, WebhookAlertSink
     from repro.service import ServiceConfig
     from repro.service.http import ProvenanceHTTPServer
 
     obs.enable(reset=True)
-    if args.events:
-        obs.enable_events(path=args.events)
+    # Always keep a ring buffer: /v1/alerts streams from it, and losing
+    # the last 4096 events to save a few MB would blind the fleet view.
+    obs.enable_events(
+        ring=4096,
+        path=args.events,
+        max_bytes=args.events_max_bytes,
+        keep=args.events_keep,
+    )
+    if args.profile:
+        obs.enable_profile(reset=True)
+    sinks = []
+    if args.monitor_interval > 0 and not args.quiet:
+        sinks.append(LogAlertSink())
+    if args.alert_log:
+        sinks.append(FileAlertSink(args.alert_log))
+    if args.alert_webhook:
+        sinks.append(WebhookAlertSink(args.alert_webhook))
     config = ServiceConfig(
         seed=args.seed,
         key_bits=args.key_bits,
@@ -1149,6 +1235,8 @@ def _cmd_serve(args) -> int:
         shards=args.shards,
         store_root=args.store_root,
         witness=args.witness,
+        monitor_interval=args.monitor_interval,
+        alert_sinks=tuple(sinks),
     )
     server = ProvenanceHTTPServer(
         config=config, host=args.host, port=args.port,
@@ -1161,6 +1249,7 @@ def _cmd_serve(args) -> int:
             "scheme": config.resolved_scheme(),
             "shards": config.shards,
             "store_root": config.store_root,
+            "monitor_interval": config.monitor_interval,
         }), flush=True)
     try:
         server.serve_forever(poll_interval=0.2)
@@ -1169,8 +1258,9 @@ def _cmd_serve(args) -> int:
     finally:
         server.server_close()
         server.service.close()
-        if args.events:
-            obs.disable_events()
+        obs.disable_events()
+        if args.profile:
+            obs.disable_profile()
         obs.disable()
     return 0
 
@@ -1226,6 +1316,215 @@ def _cmd_client(args) -> int:
     if command == "verify":
         return 0 if result.get("ok") else 1
     return 0
+
+
+def _metric_labels(key: str) -> Tuple[str, Dict[str, str]]:
+    """Split a snapshot key ``name{k=v,...}`` into (name, labels).
+
+    Best-effort for display: a label *value* containing ``,`` or ``=``
+    (possible — tenant ids are free-form) parses raggedly, which mangles
+    at most that row of the dashboard, never the service.
+    """
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    labels: Dict[str, str] = {}
+    for part in rest.rstrip("}").split(","):
+        k, _, v = part.partition("=")
+        labels[k] = v
+    return name, labels
+
+
+def _dash_snapshot(client) -> Dict[str, object]:
+    """One dashboard frame: healthz breakdown + parsed metric snapshot."""
+    health = client.healthz(quick=True).json
+    metrics = client.metrics_json().get("metrics", {})
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    histograms = metrics.get("histograms", {})
+
+    requests_total = 0
+    per_tenant: Dict[str, Dict[str, object]] = {}
+
+    def tenant_row(tenant: str) -> Dict[str, object]:
+        return per_tenant.setdefault(
+            tenant,
+            {"health": "-", "records": 0, "requests": 0,
+             "verify_failures": 0, "lag": 0, "alerts": []},
+        )
+
+    for tenant, breakdown in (health.get("tenants") or {}).items():
+        row = tenant_row(tenant)
+        row["health"] = breakdown.get("health", "-")
+        row["records"] = breakdown.get("records", 0)
+        row["alerts"] = breakdown.get("alerts", [])
+    for key, value in counters.items():
+        name, labels = _metric_labels(key)
+        if name == "service.http.requests":
+            requests_total += int(value)
+        elif name == "service.tenant.requests":
+            tenant_row(labels.get("tenant", "?"))["requests"] = int(value)
+        elif name == "service.verify.failures":
+            row = tenant_row(labels.get("tenant", "?"))
+            row["verify_failures"] = int(row["verify_failures"]) + int(value)
+    for key, value in gauges.items():
+        name, labels = _metric_labels(key)
+        if name == "service.tenant.lag":
+            tenant_row(labels.get("tenant", "?"))["lag"] = value
+
+    # Latency quantiles: worst endpoint wins (quantiles don't merge, and
+    # an operator scanning a fleet wants the conservative number).
+    p50 = p99 = 0.0
+    for key, summary in histograms.items():
+        name, _ = _metric_labels(key)
+        if name == "service.http.seconds" and summary.get("count"):
+            p50 = max(p50, float(summary.get("p50", 0.0)))
+            p99 = max(p99, float(summary.get("p99", 0.0)))
+
+    return {
+        "health": health.get("health", "?"),
+        "requests_total": requests_total,
+        "p50_s": p50,
+        "p99_s": p99,
+        "tenants": per_tenant,
+    }
+
+
+def _cmd_dash(args) -> int:
+    import os
+    import time
+
+    from repro.bench.reporting import format_table
+    from repro.service.client import ServiceClient, ServiceHTTPError
+
+    token = args.token or os.environ.get("REPRO_API_KEY")
+    client = ServiceClient(args.url, token=token)
+    frames = 1 if args.once else (args.ticks if args.ticks > 0 else None)
+    interactive = sys.stdout.isatty() and not args.once
+    previous: Optional[Tuple[float, int, Dict[str, int]]] = None
+    rendered = 0
+    while True:
+        try:
+            snap = _dash_snapshot(client)
+        except ServiceHTTPError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        except OSError as exc:
+            print(f"error: {args.url}: {exc}", file=sys.stderr)
+            return 1
+        now = time.monotonic()
+        tenant_reqs = {
+            tenant: int(row["requests"])
+            for tenant, row in snap["tenants"].items()
+        }
+        rps = None
+        tenant_rps: Dict[str, float] = {}
+        if previous is not None:
+            dt = max(now - previous[0], 1e-6)
+            rps = (snap["requests_total"] - previous[1]) / dt
+            tenant_rps = {
+                tenant: (count - previous[2].get(tenant, 0)) / dt
+                for tenant, count in tenant_reqs.items()
+            }
+        previous = (now, snap["requests_total"], tenant_reqs)
+        if args.json:
+            snap_out = dict(snap)
+            snap_out["rps"] = rps
+            text = json.dumps(snap_out, indent=2, sort_keys=True, default=str)
+        else:
+            header = (
+                f"service {args.url}  health={snap['health']}  "
+                f"requests={snap['requests_total']}"
+                + (f"  req/s={rps:.1f}" if rps is not None else "")
+                + f"  p50={snap['p50_s'] * 1e3:.1f}ms"
+                + f"  p99={snap['p99_s'] * 1e3:.1f}ms"
+            )
+            rows = []
+            for tenant in sorted(snap["tenants"]):
+                row = snap["tenants"][tenant]
+                rate = tenant_rps.get(tenant)
+                rows.append([
+                    tenant, row["health"], row["records"], row["requests"],
+                    "-" if rate is None else f"{rate:.1f}",
+                    row["verify_failures"], row["lag"],
+                    "; ".join(row["alerts"]) or "-",
+                ])
+            table = format_table(
+                ("tenant", "health", "records", "requests", "req/s",
+                 "verify-fail", "lag", "alerts"),
+                rows or [["-"] * 8],
+            )
+            text = header + "\n" + table
+        if interactive:
+            print("\x1b[2J\x1b[H" + text, flush=True)
+        else:
+            print(text, flush=True)
+        rendered += 1
+        if frames is not None and rendered >= frames:
+            return 0
+        try:
+            time.sleep(max(0.1, args.interval))
+        except KeyboardInterrupt:
+            return 0
+
+
+def _format_alert_event(event: Dict[str, object]) -> str:
+    fields = event.get("fields", {}) or {}
+    tenant = fields.get("tenant") or fields.get("monitor") or "-"
+    kind = event.get("kind", "?")
+    if kind == "service.health":
+        detail = f"health {fields.get('previous')} -> {fields.get('health')}"
+    else:
+        detail = (
+            f"[{fields.get('severity', '?')}] {fields.get('rule', '?')}: "
+            f"{fields.get('message', '')}"
+        )
+        if fields.get("tampering"):
+            detail += "  TAMPERING"
+    return f"#{event.get('seq')} {kind} tenant={tenant} {detail}"
+
+
+def _cmd_alerts(args) -> int:
+    import os
+    import time
+
+    from repro.service.client import ServiceClient, ServiceHTTPError
+
+    token = args.token or os.environ.get("REPRO_API_KEY")
+    client = ServiceClient(args.url, token=token)
+    cursor = args.since
+    tampering = False
+    shown = 0
+    deadline = (
+        time.monotonic() + args.duration if args.duration > 0 else None
+    )
+    while True:
+        try:
+            page = client.alerts(
+                since=cursor, wait=args.wait if args.follow else 0.0
+            )
+        except ServiceHTTPError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except OSError as exc:
+            print(f"error: {args.url}: {exc}", file=sys.stderr)
+            return 2
+        cursor = page.get("cursor", cursor)
+        for event in page.get("events", []):
+            if args.json:
+                print(json.dumps(event, sort_keys=True, default=str), flush=True)
+            else:
+                print(_format_alert_event(event), flush=True)
+            if (event.get("fields") or {}).get("tampering"):
+                tampering = True
+            shown += 1
+            if args.max_events and shown >= args.max_events:
+                return 1 if tampering else 0
+        if not args.follow:
+            break
+        if deadline is not None and time.monotonic() >= deadline:
+            break
+    return 1 if tampering else 0
 
 
 def _cmd_trace(args) -> int:
@@ -1336,6 +1635,10 @@ def _dispatch(args) -> int:
         return _cmd_serve(args)
     if args.command == "client":
         return _cmd_client(args)
+    if args.command == "dash":
+        return _cmd_dash(args)
+    if args.command == "alerts":
+        return _cmd_alerts(args)
 
     with Workspace(args.workspace) as ws:
         if args.command == "enroll":

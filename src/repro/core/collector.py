@@ -444,6 +444,16 @@ class ChecksumCollector:
         )
 
     def _flush_staging(self) -> Tuple[ProvenanceRecord, ...]:
+        if OBS.tracing:
+            # The flush span nests under whatever is open on this thread
+            # — for a served request, the handler's http.request span,
+            # itself parented on the client's traceparent context — so
+            # the collector leg shows up in the distributed trace tree.
+            with OBS.tracer.span("collector.flush", staged=len(self._staged)):
+                return self._flush_staging_profiled()
+        return self._flush_staging_profiled()
+
+    def _flush_staging_profiled(self) -> Tuple[ProvenanceRecord, ...]:
         prof = OBS.profiler
         if prof is None:
             return self._flush_staging_impl()

@@ -140,6 +140,7 @@ class ProvenanceMonitor:
         full_scan_every: int = 0,
         witness_log=None,
         witness_verifier=None,
+        name: Optional[str] = None,
     ):
         if (witness_log is None) != (witness_verifier is None):
             raise ProvenanceError(
@@ -164,6 +165,11 @@ class ProvenanceMonitor:
         self.full_scan_every = max(0, int(full_scan_every))
         self.witness_log = witness_log
         self.witness_verifier = witness_verifier
+        #: Optional label stamped onto this monitor's alert/tick events
+        #: (the service sets the tenant id, so a multi-tenant event
+        #: stream attributes raw monitor events without joining).  None
+        #: keeps single-monitor event streams byte-identical to before.
+        self.name = name
         self._tick = 0
         #: Authoritative per-object failures (replace semantics).
         self._failures: Dict[str, Tuple[VerificationFailure, ...]] = {}
@@ -422,15 +428,16 @@ class ProvenanceMonitor:
         else:
             self._health = "ok"
         if log is not None:
+            tag = {} if self.name is None else {"monitor": self.name}
             for alert in alerts:
-                log.emit("alert", **alert.to_dict())
+                log.emit("alert", **alert.to_dict(), **tag)
             log.emit(
                 "monitor.tick",
                 tick=self._tick, mode=mode, health=self._health,
                 records_total=records_total, verified=verified,
                 skipped=skipped, advanced=len(advanced),
                 regressions=len(regressions), alerts=len(alerts),
-                lag_records=lag,
+                lag_records=lag, **tag,
             )
         return TickResult(
             tick=self._tick, mode=mode, health=self._health,

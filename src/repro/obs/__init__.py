@@ -35,6 +35,9 @@ from typing import Dict, Optional
 from repro.obs import events as events_module  # noqa: F401 (re-exported)
 from repro.obs import export, tracing  # re-exported submodules
 from repro.obs import profile as profile_module  # noqa: F401 (re-exported)
+# NOTE: repro.obs.plane is intentionally NOT imported here — it depends
+# on tracing only and is imported lazily by the service layer, keeping
+# `import repro.obs` light for the hot paths that only check OBS slots.
 from repro.obs.events import EventLog, FileSink, RingBufferSink
 from repro.obs.metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.profile import CostModel, PhaseProfiler
@@ -45,6 +48,7 @@ __all__ = [
     "enable",
     "disable",
     "span",
+    "span_remote",
     "snapshot",
     "emit",
     "enable_events",
@@ -142,6 +146,20 @@ def span(name: str, **attrs: object):
     return _NOOP_SPAN
 
 
+def span_remote(name: str, context: Optional[TraceContext], **attrs: object):
+    """A span parented on an explicit remote trace context.
+
+    Used by the service's HTTP handler to join a client's trace (from a
+    ``traceparent`` header) without touching the tracer's process-global
+    remote context — safe with one span per concurrent request thread.
+    ``context=None`` degrades to a plain local span; tracing off is the
+    shared no-op.
+    """
+    if OBS.tracing:
+        return OBS.tracer.span_remote(name, context, **attrs)
+    return _NOOP_SPAN
+
+
 def snapshot() -> Dict[str, Dict[str, object]]:
     """Plain-data snapshot of the default registry."""
     return OBS.registry.snapshot()
@@ -153,12 +171,16 @@ def snapshot() -> Dict[str, Dict[str, object]]:
 
 
 def enable_events(
-    ring: int = 1024, path: Optional[str] = None
+    ring: int = 1024,
+    path: Optional[str] = None,
+    max_bytes: Optional[int] = None,
+    keep: int = 3,
 ) -> EventLog:
     """Attach an event log (ring buffer of ``ring`` events, optional JSONL file).
 
     ``ring=0`` skips the ring-buffer sink; ``path`` adds an append-only
-    :class:`~repro.obs.events.FileSink`.  Returns the installed log.
+    :class:`~repro.obs.events.FileSink`, size-capped at ``max_bytes``
+    with ``keep`` rotated segments when set.  Returns the installed log.
     Orthogonal to :func:`enable`/:func:`disable` — events can run with
     metrics and tracing off (they still get correlation ids, just no
     trace ids).
@@ -167,7 +189,7 @@ def enable_events(
     if ring:
         log.add_sink(RingBufferSink(ring))
     if path is not None:
-        log.add_sink(FileSink(path))
+        log.add_sink(FileSink(path, max_bytes=max_bytes, keep=keep))
     OBS.events = log
     return log
 

@@ -29,6 +29,7 @@ so attaching a sink mid-run never renumbers the stream.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from collections import deque
@@ -132,15 +133,48 @@ class RingBufferSink:
 
 
 class FileSink:
-    """Appends events to a JSONL file, one line per event, flushed."""
+    """Appends events to a JSONL file, one line per event, flushed.
 
-    def __init__(self, path: str):
+    With ``max_bytes`` set the file rotates before a write would push it
+    past the cap: ``path`` is renamed to ``path.1`` (older segments shift
+    to ``path.2`` ... ``path.<keep>``, the oldest dropped) and a fresh
+    ``path`` is opened — so a long-running ``repro serve --events`` holds
+    at most ``keep + 1`` bounded segments instead of one unbounded file.
+    ``path.1`` is always the most recently rotated segment.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        max_bytes: Optional[int] = None,
+        keep: int = 3,
+    ):
         self.path = path
-        self._file = open(path, "a", encoding="utf-8")
+        self.max_bytes = int(max_bytes) if max_bytes else None
+        self.keep = max(1, int(keep))
         self._lock = threading.Lock()
+        self._open()
+
+    def _open(self) -> None:
+        self._file = open(self.path, "a", encoding="utf-8")
+        # Append mode positions at end-of-file, so tell() is the size.
+        self._size = self._file.tell()
+
+    def _rotate(self) -> None:
+        self._file.close()
+        oldest = f"{self.path}.{self.keep}"
+        if os.path.exists(oldest):
+            os.remove(oldest)
+        for i in range(self.keep - 1, 0, -1):
+            src = f"{self.path}.{i}"
+            if os.path.exists(src):
+                os.replace(src, f"{self.path}.{i + 1}")
+        os.replace(self.path, f"{self.path}.1")
+        self._open()
 
     def write(self, event: Event) -> None:
-        line = json.dumps(event.to_dict(), sort_keys=True, default=str)
+        line = json.dumps(event.to_dict(), sort_keys=True, default=str) + "\n"
+        size = len(line.encode("utf-8"))
         with self._lock:
             # Emission after close is a shutdown race (the monitor's
             # finally-block closes sinks while a late tick may still
@@ -149,10 +183,19 @@ class FileSink:
             # so the surviving stream stays ordered, just truncated.
             if self._file.closed:
                 return
-            self._file.write(line + "\n")
+            if (
+                self.max_bytes is not None
+                and self._size > 0
+                and self._size + size > self.max_bytes
+            ):
+                # Rotate only a non-empty file: one oversized line still
+                # lands (in a fresh segment) instead of looping forever.
+                self._rotate()
+            self._file.write(line)
             # Flush per event: the sink exists for post-mortem forensics,
             # where the last lines before a crash matter most.
             self._file.flush()
+            self._size += size
 
     def close(self) -> None:
         with self._lock:
@@ -160,15 +203,7 @@ class FileSink:
                 self._file.close()
 
 
-def read_events(path: str) -> List[Dict[str, object]]:
-    """Re-read a JSONL event file written by :class:`FileSink`.
-
-    Tolerant by design: a crash mid-write leaves a torn final line, and
-    operators concatenate or grep these files — so malformed lines and
-    non-object lines are skipped, never fatal.  Returns event dicts in
-    file order (which is ``seq`` order for a single-writer log).
-    """
-    events: List[Dict[str, object]] = []
+def _read_jsonl(path: str, events: List[Dict[str, object]]) -> None:
     with open(path, "r", encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
@@ -180,6 +215,32 @@ def read_events(path: str) -> List[Dict[str, object]]:
                 continue
             if isinstance(payload, dict) and "kind" in payload:
                 events.append(payload)
+
+
+def read_events(path: str) -> List[Dict[str, object]]:
+    """Re-read a JSONL event file written by :class:`FileSink`.
+
+    Tolerant by design: a crash mid-write leaves a torn final line, and
+    operators concatenate or grep these files — so malformed lines and
+    non-object lines are skipped, never fatal.  Rotated segments
+    (``path.<n>``, oldest = highest ``n``) are read before the live file,
+    so the result is in emission order across the whole rotation set —
+    which is ``seq`` order for a single-writer log.
+    """
+    segments: List[str] = []
+    index = 1
+    while os.path.exists(f"{path}.{index}"):
+        segments.append(f"{path}.{index}")
+        index += 1
+    events: List[Dict[str, object]] = []
+    for segment in reversed(segments):  # oldest (highest index) first
+        try:
+            _read_jsonl(segment, events)
+        except FileNotFoundError:  # rotated away mid-read
+            continue
+    if segments and not os.path.exists(path):
+        return events
+    _read_jsonl(path, events)
     return events
 
 

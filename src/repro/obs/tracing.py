@@ -40,7 +40,8 @@ class Span:
     """One timed region of a trace."""
 
     __slots__ = ("name", "attrs", "trace_id", "span_id", "parent_id",
-                 "start", "end", "wall_start", "children", "worker_pid")
+                 "start", "end", "wall_start", "children", "worker_pid",
+                 "remote_root")
 
     def __init__(
         self,
@@ -62,6 +63,11 @@ class Span:
         self.end: Optional[float] = None
         self.children: List["Span"] = []
         self.worker_pid: Optional[int] = None
+        #: True when this span's parent lives in another process/thread
+        #: (a pool worker's top span, or a served request parented on a
+        #: client's traceparent header): logged as a root despite having
+        #: a parent_id, and re-attachable via ``plane.stitch_traces``.
+        self.remote_root = False
 
     @property
     def duration(self) -> float:
@@ -103,6 +109,7 @@ class Span:
         span.end = float(data.get("duration_s", 0.0))
         span.wall_start = float(data.get("wall_start", 0.0))
         span.worker_pid = data.get("worker_pid")
+        span.remote_root = False
         span.children = [cls.from_dict(child) for child in data.get("children", [])]
         return span
 
@@ -113,16 +120,23 @@ class Span:
 class _SpanHandle:
     """Context manager returned by :meth:`Tracer.span`."""
 
-    __slots__ = ("_tracer", "_name", "_attrs", "span")
+    __slots__ = ("_tracer", "_name", "_attrs", "_remote", "span")
 
-    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]):
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: Dict[str, object],
+        remote: Optional[TraceContext] = None,
+    ):
         self._tracer = tracer
         self._name = name
         self._attrs = attrs
+        self._remote = remote
         self.span: Optional[Span] = None
 
     def __enter__(self) -> Span:
-        self.span = self._tracer.start(self._name, self._attrs)
+        self.span = self._tracer.start(self._name, self._attrs, remote=self._remote)
         return self.span
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -164,15 +178,39 @@ class Tracer:
         """``with tracer.span("verify.chain", object_id=...) as s:``"""
         return _SpanHandle(self, name, attrs)
 
-    def start(self, name: str, attrs: Dict[str, object]) -> Span:
+    def span_remote(
+        self, name: str, context: Optional[TraceContext], **attrs: object
+    ) -> _SpanHandle:
+        """A span parented on an explicit remote context (per call).
+
+        Unlike :meth:`install_remote_context` — process-global, meant for
+        pool workers whose whole lifetime serves one parent — the remote
+        parent here is carried on the handle, so concurrent server
+        threads can each open a span for a *different* client trace
+        without sharing state.  ``context=None`` degrades to a plain
+        local span.
+        """
+        return _SpanHandle(self, name, attrs, remote=context)
+
+    def start(
+        self,
+        name: str,
+        attrs: Dict[str, object],
+        remote: Optional[TraceContext] = None,
+    ) -> Span:
         stack = self._stack()
         if stack:
             parent = stack[-1]
             span = Span(name, attrs, parent.trace_id, parent.span_id)
             parent.children.append(span)
+        elif remote is not None:
+            trace_id, parent_id = remote
+            span = Span(name, attrs, trace_id, parent_id)
+            span.remote_root = True
         elif self._remote_context is not None:
             trace_id, parent_id = self._remote_context
             span = Span(name, attrs, trace_id, parent_id)
+            span.remote_root = True
         else:
             span = Span(name, attrs, trace_id=_new_id(), parent_id=None)
         stack.append(span)
@@ -185,7 +223,7 @@ class Tracer:
         stack = self._stack()
         if stack and stack[-1] is span:
             stack.pop()
-        if span.parent_id is None or self._remote_context is not None:
+        if span.parent_id is None or span.remote_root:
             # A root (locally, or relative to a remote parent): log it.
             if not stack:
                 with self._lock:
@@ -244,10 +282,19 @@ class Tracer:
             return self.traces[-1] if self.traces else None
 
     def reset(self) -> None:
-        """Drop finished traces and any remote context (open spans stay)."""
+        """Drop finished traces and any remote context (open spans stay).
+
+        Also restarts the module-wide span-id counter: a measurement
+        window opened by ``obs.enable(reset=True)`` must replay with
+        identical ids, or event streams that attach trace ids stop being
+        deterministic (the monitor conformance suite compares them
+        byte-for-byte modulo timestamps).
+        """
+        global _ids
         with self._lock:
             self.traces.clear()
         self._remote_context = None
+        _ids = itertools.count(1)
 
     def __repr__(self) -> str:
         return f"Tracer(traces={len(self.traces)})"

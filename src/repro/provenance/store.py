@@ -207,6 +207,13 @@ class InMemoryProvenanceStore:
         batch = list(records)
         if not batch:
             return
+        if OBS.tracing:
+            with OBS.tracer.span("store.batch", store="memory", records=len(batch)):
+                self._append_many_profiled(batch)
+            return
+        self._append_many_profiled(batch)
+
+    def _append_many_profiled(self, batch: List[ProvenanceRecord]) -> None:
         prof = OBS.profiler
         if prof is None:
             self._append_many_impl(batch)
@@ -523,6 +530,13 @@ class SQLiteProvenanceStore:
         batch = list(records)
         if not batch:
             return
+        if OBS.tracing:
+            with OBS.tracer.span("store.batch", store="sqlite", records=len(batch)):
+                self._append_many_run(batch)
+            return
+        self._append_many_run(batch)
+
+    def _append_many_run(self, batch: List[ProvenanceRecord]) -> None:
         staged = _check_batch(batch, self._tail)
         observing = OBS.enabled
         start = perf_counter() if observing else 0.0

@@ -24,9 +24,15 @@ engine + collector behind per-tenant sharded stores:
 - :mod:`repro.service.load` — the seeded concurrent load harness
   (thousands of simulated clients over a bounded thread pool) used by
   the stress tests, ``benchmarks/bench_service.py``, and CI.
+- :mod:`repro.service.background` — the opt-in continuous monitor
+  daemon (``ServiceConfig(monitor_interval=...)``): incremental
+  per-tenant ticks, health-transition and alert publication to
+  pluggable :class:`repro.obs.plane.AlertSink` targets, and the
+  per-tenant gauges ``repro dash`` renders.
 """
 
 from repro.service.auth import ApiKeyAuthority, ApiKeyClaims
+from repro.service.background import BackgroundMonitor
 from repro.service.client import ServiceClient, ServiceHTTPError, ServiceResponse
 from repro.service.core import (
     AUDIT_OBJECT,
@@ -41,6 +47,7 @@ from repro.service.load import LoadReport, LoadSpec, run_load
 __all__ = [
     "ApiKeyAuthority",
     "ApiKeyClaims",
+    "BackgroundMonitor",
     "AUDIT_OBJECT",
     "ProvenanceService",
     "ServiceConfig",

@@ -9,6 +9,17 @@ invisible to callers as long as they are actually transient.
 
 Only 503 is retried.  4xx responses are caller errors and a 500 is a
 (simulated) crash whose repair is recovery at restart, not a retry loop.
+
+Observability crosses the wire in both directions.  When this process
+has tracing on and a span open, every request carries a ``traceparent``
+header (so the server's ``http.request`` span joins the caller's trace)
+and the active correlation id as ``X-Correlation-Id`` (so client- and
+server-side events share one id).  With observability off neither header
+is computed or sent — request bytes are unchanged, which the
+byte-identity equivalence suite depends on.  Failures keep the join
+handle too: a :class:`ServiceHTTPError` carries the server-echoed
+``correlation_id`` so the failing request can be grepped out of the
+server's event log.
 """
 
 from __future__ import annotations
@@ -21,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.exceptions import ServiceError
+from repro.obs import OBS
 
 __all__ = ["ServiceHTTPError", "ServiceResponse", "ServiceClient"]
 
@@ -28,11 +40,22 @@ __all__ = ["ServiceHTTPError", "ServiceResponse", "ServiceClient"]
 class ServiceHTTPError(ServiceError):
     """A non-2xx response (after any retries were exhausted)."""
 
-    def __init__(self, status: int, payload: Dict[str, object], method: str, path: str):
+    def __init__(
+        self,
+        status: int,
+        payload: Dict[str, object],
+        method: str,
+        path: str,
+        correlation_id: Optional[str] = None,
+    ):
         self.status = status
         self.payload = payload
+        #: The server's ``X-Correlation-Id`` echo, if it sent one — joins
+        #: this failure to the server-side events of the same request.
+        self.correlation_id = correlation_id
+        corr = f" [corr {correlation_id}]" if correlation_id else ""
         super().__init__(
-            f"{method} {path} -> {status}: {payload.get('error', payload)}"
+            f"{method} {path} -> {status}: {payload.get('error', payload)}{corr}"
         )
 
 
@@ -93,6 +116,24 @@ class ServiceClient:
         raise_for_status: bool = True,
     ) -> ServiceResponse:
         """One request with the 503 retry loop; returns the raw exchange."""
+        if OBS.tracing:
+            # The client-side half of the distributed trace: _once() sees
+            # this span as the innermost open one and encodes its context
+            # into the traceparent header, so the server's http.request
+            # span becomes this span's (remote) child.
+            with OBS.tracer.span("client.request", method=method, path=path) as s:
+                response = self._request_impl(method, path, body, raise_for_status)
+                s.attrs["status"] = response.status
+                return response
+        return self._request_impl(method, path, body, raise_for_status)
+
+    def _request_impl(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, object]],
+        raise_for_status: bool,
+    ) -> ServiceResponse:
         attempts = 0
         while True:
             response = self._once(method, path, body)
@@ -105,7 +146,14 @@ class ServiceClient:
                 headers=response.headers, retries=attempts,
             )
             if raise_for_status and not response.ok:
-                raise ServiceHTTPError(response.status, response.json, method, path)
+                try:
+                    payload = response.json
+                except ValueError:  # non-JSON error body (proxy, raw text)
+                    payload = {"error": response.raw.decode("utf-8", "replace")}
+                raise ServiceHTTPError(
+                    response.status, payload, method, path,
+                    correlation_id=response.headers.get("X-Correlation-Id"),
+                )
             return response
 
     def _once(self, method: str, path: str, body) -> ServiceResponse:
@@ -113,6 +161,21 @@ class ServiceClient:
         headers = {"Accept": "application/json"}
         if self.token:
             headers["Authorization"] = f"Bearer {self.token}"
+        if OBS.tracing or OBS.events is not None:
+            # Propagate the trace context / correlation id only when this
+            # process is actually observing: with obs off (the default)
+            # no header is computed, keeping the disabled-mode cost at
+            # two slot reads and the request bytes identical.
+            from repro.obs.events import current_correlation
+            from repro.obs.plane import encode_traceparent
+
+            if OBS.tracing:
+                traceparent = encode_traceparent(OBS.tracer.context())
+                if traceparent is not None:
+                    headers["traceparent"] = traceparent
+            corr = current_correlation()
+            if corr is not None:
+                headers["X-Correlation-Id"] = corr
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -210,6 +273,36 @@ class ServiceClient:
     def healthz(self, quick: bool = False) -> ServiceResponse:
         path = "/healthz?quick=1" if quick else "/healthz"
         return self.request("GET", path, raise_for_status=False)
+
+    # ------------------------------------------------------------------
+    # observability plane (admin)
+    # ------------------------------------------------------------------
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition of the server's registry."""
+        return self.request("GET", "/v1/metrics").raw.decode("utf-8")
+
+    def metrics_json(self) -> Dict[str, object]:
+        """The server's metrics registry as a JSON snapshot."""
+        return self.request("GET", "/v1/metrics?format=json").json
+
+    def profile(self) -> Dict[str, object]:
+        """The server's cost-model snapshot (phase-attributed timings)."""
+        return self.request("GET", "/v1/profile").json
+
+    def alerts(
+        self, since: int = -1, wait: float = 0.0
+    ) -> Dict[str, object]:
+        """One page of the alert stream after cursor ``since``.
+
+        ``wait`` long-polls: the server holds the request up to that many
+        seconds for a fresh event before answering empty.  The response's
+        ``cursor`` is the next ``since``.
+        """
+        path = f"/v1/alerts?since={int(since)}"
+        if wait:
+            path += f"&wait={wait:g}"
+        return self.request("GET", path).json
 
     def issue_key(
         self,

@@ -103,6 +103,15 @@ class ServiceConfig:
     #: Optional fault plan consulted at the service.request boundary and
     #: wired into every tenant's store + collector (chaos testing).
     faults: Optional["FaultPlan"] = field(default=None, compare=False)
+    #: Seconds between background monitor sweeps (0 = no daemon).  Each
+    #: sweep runs the cheap incremental tick per tenant — the idle fast
+    #: path makes a quiet tenant cost one watermark comparison — and
+    #: publishes health transitions + alerts to ``alert_sinks``.
+    monitor_interval: float = 0.0
+    #: Pluggable :class:`repro.obs.plane.AlertSink` targets for the
+    #: background monitor (excluded from config equality: sinks are
+    #: side-effect objects, not part of the deterministic world recipe).
+    alert_sinks: Tuple[object, ...] = field(default=(), compare=False)
 
     def resolved_scheme(self) -> str:
         return resolve_scheme_name(self.signature_scheme)
@@ -205,6 +214,7 @@ class TenantWorld:
                 self.keystore,
                 workers=self.config.workers,
                 lag_threshold=self.config.lag_threshold,
+                name=self.tenant_id,
                 **kwargs,
             )
         return self._monitor
@@ -247,6 +257,16 @@ class ProvenanceService:
             state_path=auth_state,
         )
         self.admin_token = self.authority.issue_admin()
+        self.background = None
+        if config.monitor_interval > 0:
+            from repro.service.background import BackgroundMonitor
+
+            self.background = BackgroundMonitor(
+                self,
+                interval=config.monitor_interval,
+                sinks=config.alert_sinks,
+            )
+            self.background.start()
 
     # ------------------------------------------------------------------
     # tenants
@@ -380,6 +400,12 @@ class ProvenanceService:
             OBS.registry.counter(
                 "service.verifications", ok=str(report.ok).lower()
             ).inc()
+            if not report.ok:
+                for code, count in report.failure_tally().items():
+                    OBS.registry.counter(
+                        "service.verify.failures",
+                        tenant=tenant_id, requirement=code,
+                    ).inc(count)
         return {
             "tenant": tenant_id,
             "object_id": object_id,
@@ -531,6 +557,8 @@ class ProvenanceService:
         return {"tenants": reports}
 
     def close(self) -> None:
+        if self.background is not None:
+            self.background.stop()
         for tenant_id in self.tenant_ids():
             self._worlds[tenant_id].close()
 

@@ -25,10 +25,22 @@ GET    /healthz                     monitor pass over every tenant;
                                     tenant key adds that tenant's
                                     breakdown; an admin key, all
                                     tenants'.
+GET    /v1/metrics                  Prometheus text exposition of the
+                                    server's registry (``?format=json``
+                                    = raw snapshot)          (admin)
+GET    /v1/profile                  phase-profiler cost model  (admin)
+GET    /v1/alerts                   alert/health event stream, cursor
+                                    paged (``?since=<seq>&wait=<s>``
+                                    long-polls)                (admin)
 POST   /v1/admin/keys               mint an API key            (admin)
 DELETE /v1/admin/keys/<key_id>      revoke an API key          (admin)
 POST   /v1/admin/recover            run crash recovery         (admin)
 ====== ============================ =======================================
+
+The observability endpoints are admin-only on purpose: metric label
+values contain tenant ids and the alert stream narrates every tenant's
+health — in the mutually-distrusting threat model that is operator data,
+never tenant data.
 
 Authentication: ``Authorization: Bearer <token>`` (or ``X-Api-Key``).
 The tenant is *always* taken from the token's claims — no request names
@@ -54,7 +66,13 @@ Status mapping (the chaos suite pins this down):
 
 Every request runs inside an event-log correlation scope, so the HTTP
 request, the collector flush it triggers, and the store batch commit
-share one correlation id (echoed as ``X-Correlation-Id``).
+share one correlation id (echoed as ``X-Correlation-Id``).  A client
+that sends a valid ``X-Correlation-Id`` of its own has that id *adopted*
+(after :func:`repro.obs.plane.valid_correlation_id` hygiene), so client-
+and server-side events join on one id; a ``traceparent`` header likewise
+parents the server's ``http.request`` span — and the collector/store
+spans beneath it — onto the client's open span, forming one distributed
+trace tree.
 """
 
 from __future__ import annotations
@@ -63,7 +81,7 @@ import json
 import threading
 from contextlib import nullcontext
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from time import perf_counter
+from time import perf_counter, sleep
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
@@ -124,10 +142,37 @@ class _RequestHandler(BaseHTTPRequestHandler):
         route = split.path.rstrip("/") or "/"
         query = parse_qs(split.query)
         log = OBS.events
-        scope = log.correlation() if log is not None else nullcontext()
+        span_cm: object = nullcontext()
+        if log is not None or OBS.tracing:
+            from repro.obs.plane import valid_correlation_id
+
+            if OBS.tracing:
+                from repro.obs import span_remote
+                from repro.obs.plane import parse_traceparent
+
+                # Per-request remote parent (never the tracer's process-
+                # global remote context — concurrent handler threads each
+                # carry their own client's context on the span handle).
+                span_cm = span_remote(
+                    "http.request",
+                    parse_traceparent(self.headers.get("traceparent")),
+                    method=method,
+                    path=route,
+                )
+        if log is not None:
+            # Adopt the client's correlation id when it sent a sane one,
+            # so client- and server-side events join on one id; anything
+            # unvalidated (log injection, overlong values) is replaced by
+            # a freshly minted server id.
+            client_corr = self.headers.get("X-Correlation-Id")
+            if not valid_correlation_id(client_corr):
+                client_corr = None
+            scope = log.correlation(client_corr)
+        else:
+            scope = nullcontext()
         began = perf_counter()
         endpoint = f"{method} {route.split('/v1/', 1)[-1].split('/')[0] or route}"
-        with scope:
+        with span_cm as request_span, scope:
             corr = _current_correlation()
             try:
                 status, payload, headers = self._route(method, route, query)
@@ -161,6 +206,8 @@ class _RequestHandler(BaseHTTPRequestHandler):
                     method=method, path=route, status=status,
                     duration=perf_counter() - began,
                 )
+            if request_span is not None:
+                request_span.attrs["status"] = status
         if OBS.enabled:
             OBS.registry.counter(
                 "service.http.requests", endpoint=endpoint, status=str(status)
@@ -195,6 +242,9 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 )
             return (503 if tampered else 200), payload, {}
 
+        if route in ("/v1/metrics", "/v1/profile", "/v1/alerts"):
+            return self._route_observability(method, route, query)
+
         if route.startswith("/v1/admin/"):
             return self._route_admin(method, route)
 
@@ -204,6 +254,12 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 "admin keys carry no tenant and cannot access the data plane"
             )
         tenant = claims.tenant
+        if OBS.enabled:
+            # Per-tenant traffic counter, labelled post-auth so the label
+            # value is a *validated* tenant claim (hostile ids still pass
+            # through — the exporter escapes them; the scrape tests feed
+            # quotes/backslashes/newlines through exactly this label).
+            OBS.registry.counter("service.tenant.requests", tenant=tenant).inc()
 
         if route == "/v1/record" and method == "POST":
             body = self._body()
@@ -238,6 +294,77 @@ class _RequestHandler(BaseHTTPRequestHandler):
             object_id = route[len("/v1/lineage/"):]
             return 200, service.lineage(tenant, object_id), {}
         raise ServiceError(f"no route for {method} {route}")
+
+    #: Event kinds surfaced by /v1/alerts: raw monitor alerts plus the
+    #: background monitor's tenant-attributed alert/health transitions.
+    ALERT_KINDS = frozenset({"alert", "service.alert", "service.health"})
+    #: Longest long-poll the server will hold an /v1/alerts request.
+    MAX_ALERT_WAIT = 30.0
+
+    def _route_observability(
+        self, method: str, route: str, query: Dict[str, list]
+    ) -> Tuple[int, object, Dict[str, str]]:
+        """Admin-only: /v1/metrics, /v1/profile, /v1/alerts."""
+        service = self.service
+        service.authority.require_admin(self._token())
+        if method != "GET":
+            raise ServiceError(f"no route for {method} {route}")
+
+        if route == "/v1/metrics":
+            snapshot = OBS.registry.snapshot()
+            if query.get("format", [""])[0] == "json":
+                return 200, {"enabled": OBS.enabled, "metrics": snapshot}, {}
+            from repro.obs.export import to_prometheus
+
+            body = to_prometheus(snapshot).encode("utf-8")
+            return 200, body, {
+                "Content-Type": "text/plain; version=0.0.4; charset=utf-8"
+            }
+
+        if route == "/v1/profile":
+            profiler = OBS.profiler
+            if profiler is None:
+                return 200, {"attached": False}, {}
+            from repro.obs.profile import CostModel
+
+            records = 0
+            for tenant_id in service.tenant_ids():
+                world = service._worlds[tenant_id]
+                with world.lock:
+                    records += len(world.store)
+            cost = CostModel.from_profiler(profiler, records=records)
+            return 200, {"attached": True, "cost": cost.to_dict()}, {}
+
+        # /v1/alerts — cursor-paged, optionally long-polling.  The cursor
+        # is an event sequence number: events with seq > since match, and
+        # the returned cursor is the newest seq seen in the ring (matching
+        # or not), so a poll loop never rescans what it already skipped.
+        log = OBS.events
+        ring = log.ring if log is not None else None
+        if ring is None:
+            return 200, {"events": [], "cursor": -1, "attached": False}, {}
+        try:
+            since = int(query.get("since", ["-1"])[0])
+        except ValueError:
+            raise ServiceError("since must be an integer event sequence")
+        try:
+            wait = min(float(query.get("wait", ["0"])[0]), self.MAX_ALERT_WAIT)
+        except ValueError:
+            raise ServiceError("wait must be a number of seconds")
+        deadline = perf_counter() + max(0.0, wait)
+        while True:
+            events = ring.events()
+            matched = [
+                e.to_dict()
+                for e in events
+                if e.seq > since and e.kind in self.ALERT_KINDS
+            ]
+            cursor = max([since] + [e.seq for e in events])
+            if matched or perf_counter() >= deadline:
+                return 200, {
+                    "events": matched, "cursor": cursor, "attached": True,
+                }, {}
+            sleep(0.05)
 
     def _route_admin(
         self, method: str, route: str
@@ -297,12 +424,21 @@ class _RequestHandler(BaseHTTPRequestHandler):
         return 401, {"error": _strip(exc)}, {"WWW-Authenticate": "Bearer"}
 
     def _respond(
-        self, status: int, payload: Dict[str, object], headers: Dict[str, str]
+        self, status: int, payload: object, headers: Dict[str, str]
     ) -> None:
-        body = canonical_json(payload)
+        # JSON-dict payloads get the canonical encoding (byte-identity
+        # suite); a bytes payload goes out verbatim with whatever
+        # Content-Type the route set (the Prometheus text exposition).
+        headers = dict(headers)
+        if isinstance(payload, bytes):
+            body = payload
+            content_type = headers.pop("Content-Type", "text/plain; charset=utf-8")
+        else:
+            body = canonical_json(payload)
+            content_type = headers.pop("Content-Type", "application/json")
         try:
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             for name, value in headers.items():
                 self.send_header(name, value)

@@ -297,3 +297,108 @@ class TestStatsAndTrace:
                      "--workers", "2"]) == 0
         out = capsys.readouterr().out
         assert "verify.chain" in out
+
+
+class TestDashAndAlerts:
+    """`repro dash` / `repro alerts tail` against an in-process server."""
+
+    @pytest.fixture
+    def live(self):
+        from repro import obs
+        from repro.service import ProvenanceHTTPServer, ServiceClient, ServiceConfig
+
+        obs.enable(reset=True)
+        obs.OBS.tracing = False
+        log = obs.enable_events()
+        server = ProvenanceHTTPServer(
+            config=ServiceConfig(seed=11, key_bits=512)
+        )
+        server.start_background()
+        admin = ServiceClient(server.base_url, token=server.service.admin_token)
+        tenant = ServiceClient(
+            server.base_url, token=admin.issue_key("t1")["token"]
+        )
+        tenant.insert("A", 1)
+        yield server, admin, log
+        server.stop()
+        obs.disable_events()
+        obs.disable(reset=True)
+
+    def test_dash_once_renders_fleet_table(self, live, capsys):
+        server, admin, _ = live
+        assert main(["dash", "--url", server.base_url,
+                     "--token", admin.token, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "health=ok" in out
+        assert "tenant" in out and "t1" in out
+        assert "p99" in out
+
+    def test_dash_once_json(self, live, capsys):
+        server, admin, _ = live
+        assert main(["dash", "--url", server.base_url,
+                     "--token", admin.token, "--once", "--json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["health"] == "ok"
+        assert "t1" in snap["tenants"]
+        assert snap["tenants"]["t1"]["records"] >= 1
+
+    def test_dash_ticks_compute_request_rate(self, live, capsys):
+        server, admin, _ = live
+        assert main(["dash", "--url", server.base_url, "--token", admin.token,
+                     "--ticks", "2", "--interval", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("health=ok") == 2
+        assert "req/s=" in out  # second frame has a delta to rate
+
+    def test_dash_non_admin_token_fails(self, live, capsys):
+        server, _, _ = live
+        assert main(["dash", "--url", server.base_url,
+                     "--token", "not-a-key", "--once"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_dash_unreachable_server_fails(self, capsys):
+        assert main(["dash", "--url", "http://127.0.0.1:9",
+                     "--token", "x", "--once"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_alerts_tail_empty_stream_exits_zero(self, live, capsys):
+        server, admin, _ = live
+        assert main(["alerts", "tail", "--url", server.base_url,
+                     "--token", admin.token]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_alerts_tail_tampering_exits_one(self, live, capsys):
+        server, admin, log = live
+        log.emit("alert", rule="tamper", severity="critical",
+                 message="R1 failed", tampering=True, tenant="t1")
+        assert main(["alerts", "tail", "--url", server.base_url,
+                     "--token", admin.token]) == 1
+        out = capsys.readouterr().out
+        assert "tamper" in out and "TAMPERING" in out
+
+    def test_alerts_tail_json_lines(self, live, capsys):
+        server, admin, log = live
+        log.emit("service.health", tenant="t1",
+                 previous="ok", health="degraded")
+        assert main(["alerts", "tail", "--url", server.base_url,
+                     "--token", admin.token, "--json"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert events[-1]["kind"] == "service.health"
+        assert events[-1]["fields"]["health"] == "degraded"
+
+    def test_alerts_tail_since_skips_old_events(self, live, capsys):
+        server, admin, log = live
+        old = log.emit("alert", rule="old")
+        new = log.emit("alert", rule="new")
+        assert main(["alerts", "tail", "--url", server.base_url, "--token",
+                     admin.token, "--since", str(old.seq)]) == 0
+        out = capsys.readouterr().out
+        assert "new" in out and "old" not in out
+        assert f"#{new.seq}" in out
+
+    def test_alerts_tail_bad_token_exits_two(self, live, capsys):
+        server, _, _ = live
+        assert main(["alerts", "tail", "--url", server.base_url,
+                     "--token", "nope"]) == 2
+        assert "error:" in capsys.readouterr().err

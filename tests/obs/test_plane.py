@@ -1,0 +1,179 @@
+"""Cross-boundary plane: traceparent codec, stitching, alert sinks."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs.plane import (
+    FileAlertSink,
+    LogAlertSink,
+    WebhookAlertSink,
+    encode_traceparent,
+    parse_traceparent,
+    stitch_traces,
+    valid_correlation_id,
+)
+from repro.obs.tracing import Tracer
+
+
+class TestTraceparentCodec:
+    def test_roundtrip_recovers_native_ids(self):
+        context = ("5db5-1", "5db5-2a")
+        header = encode_traceparent(context)
+        assert header is not None
+        assert parse_traceparent(header) == context
+
+    def test_header_is_w3c_shaped(self):
+        header = encode_traceparent(("1f-2", "3-4"))
+        version, trace, span, flags = header.split("-")
+        assert version == "00"
+        assert len(trace) == 32
+        assert len(span) == 16
+        assert flags == "01"
+
+    def test_none_context_encodes_to_none(self):
+        assert encode_traceparent(None) is None
+
+    def test_overflowing_ids_refuse_to_encode(self):
+        # A counter too wide for the 8-hex span field must not be
+        # silently truncated into a *different* id on the far side.
+        assert encode_traceparent(("1-1", "1-" + "f" * 9)) is None
+
+    def test_non_native_ids_refuse_to_encode(self):
+        assert encode_traceparent(("no dashes here", "1-2")) is None
+        assert encode_traceparent(("1-2-3", "1-2")) is None
+
+    @pytest.mark.parametrize("value", [
+        None,
+        "",
+        "garbage",
+        "00-zz-11-01",
+        "00-" + "0" * 32 + "-" + "1" * 16 + "-01",  # all-zero trace id
+        "00-" + "1" * 32 + "-" + "0" * 16 + "-01",  # all-zero span id
+        "ff-" + "1" * 32 + "-" + "2" * 16 + "-01",  # unknown version
+        "00-" + "1" * 31 + "-" + "2" * 16 + "-01",  # short trace id
+        "00-1-2-01\nX-Injected: 1",                 # header injection
+    ])
+    def test_hostile_headers_parse_to_none(self, value):
+        assert parse_traceparent(value) is None
+
+    def test_parse_tolerates_case_and_whitespace(self):
+        header = encode_traceparent(("ab-1", "cd-2"))
+        assert parse_traceparent("  " + header.upper() + "  ") == ("ab-1", "cd-2")
+
+
+class TestCorrelationValidation:
+    @pytest.mark.parametrize("value", ["c0", "req-1", "a.b:c_d", "X" * 64])
+    def test_accepts_conservative_tokens(self, value):
+        assert valid_correlation_id(value)
+
+    @pytest.mark.parametrize("value", [
+        None, "", "has space", 'quo"te', "new\nline", "tab\there", "X" * 65,
+    ])
+    def test_rejects_hostile_values(self, value):
+        assert not valid_correlation_id(value)
+
+
+class TestStitchTraces:
+    def test_remote_root_reparents_under_named_parent(self):
+        client = Tracer()
+        with client.span("client.request") as client_span:
+            context = client.context()
+        server = Tracer()
+        with server.span_remote("http.request", context):
+            with server.span("store.batch"):
+                pass
+        roots = stitch_traces(list(client.traces) + list(server.traces))
+        assert [r.name for r in roots] == ["client.request"]
+        names = [s.name for s in roots[0].iter_spans()]
+        assert names == ["client.request", "http.request", "store.batch"]
+        assert {s.trace_id for s in roots[0].iter_spans()} == {
+            client_span.trace_id
+        }
+
+    def test_unrelated_roots_stay_separate(self):
+        a, b = Tracer(), Tracer()
+        with a.span("one"):
+            pass
+        with b.span("two"):
+            pass
+        roots = stitch_traces(list(a.traces) + list(b.traces))
+        assert sorted(r.name for r in roots) == ["one", "two"]
+
+
+class TestLogAlertSink:
+    def test_renders_alert_and_health_lines(self):
+        stream = io.StringIO()
+        sink = LogAlertSink(stream=stream)
+        sink.publish({
+            "type": "alert", "tenant": "t1", "severity": "critical",
+            "rule": "tamper", "message": "R1 failed",
+        })
+        sink.publish({
+            "type": "health", "tenant": "t1",
+            "previous": "ok", "health": "tampered",
+        })
+        lines = stream.getvalue().splitlines()
+        assert lines[0] == "[repro-monitor] tenant t1: critical tamper: R1 failed"
+        assert lines[1] == "[repro-monitor] tenant t1: health ok -> tampered"
+        assert sink.published == 2
+
+    def test_closed_stream_swallowed(self):
+        stream = io.StringIO()
+        stream.close()
+        sink = LogAlertSink(stream=stream)
+        sink.publish({"type": "alert", "tenant": "t"})  # must not raise
+        assert sink.published == 0
+
+
+class TestFileAlertSink:
+    def test_appends_jsonl(self, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        sink = FileAlertSink(str(path))
+        sink.publish({"type": "alert", "tenant": "a", "rule": "tamper"})
+        sink.publish({"type": "health", "tenant": "a", "health": "ok"})
+        sink.close()
+        rows = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [r["type"] for r in rows] == ["alert", "health"]
+        assert sink.published == 2
+
+    def test_publish_after_close_is_dropped(self, tmp_path):
+        sink = FileAlertSink(str(tmp_path / "a.jsonl"))
+        sink.close()
+        sink.publish({"type": "alert"})  # must not raise
+        assert sink.published == 0
+
+
+class TestWebhookAlertSink:
+    def test_posts_json_payload(self):
+        seen = []
+
+        class _Response:
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+        def opener(request, timeout):
+            seen.append((request, timeout))
+            return _Response()
+
+        sink = WebhookAlertSink("http://hook.example/alerts", opener=opener)
+        sink.publish({"type": "alert", "tenant": "a"})
+        assert sink.delivered == 1 and sink.failed == 0
+        request, timeout = seen[0]
+        assert request.get_method() == "POST"
+        assert json.loads(request.data.decode("utf-8"))["tenant"] == "a"
+        assert timeout == sink.timeout
+
+    def test_delivery_failure_counted_not_raised(self):
+        def opener(request, timeout):
+            raise OSError("connection refused")
+
+        sink = WebhookAlertSink("http://down.example", opener=opener)
+        sink.publish({"type": "alert"})  # must not raise
+        assert sink.failed == 1 and sink.delivered == 0
